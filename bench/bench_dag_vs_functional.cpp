@@ -1,0 +1,71 @@
+// §2/§5 comparison: DTAS functional matching vs DAGON-style flat DAG
+// covering. The paper's argument: logic-level mappers flatten the design
+// and cannot exploit MSI/LSI cells, while functional matching "avoids the
+// complexity of subgraph isomorphism inherent in DAG matching".
+//
+// For n-bit adders we compare (a) mapped area/delay — the baseline only
+// reaches SSI gates, DTAS binds ADD4/CLA4-class cells — and (b) mapping
+// runtime.
+#include <chrono>
+#include <cstdio>
+
+#include "cells/cell.h"
+#include "dag/dagon.h"
+#include "dtas/synthesizer.h"
+
+using namespace bridge;
+
+int main() {
+  std::printf("DTAS functional matching vs DAGON-style flat DAG covering\n");
+  std::printf("component: n-bit ripple-carry adder (same LSI library)\n\n");
+  std::printf("%-6s | %10s %10s %10s %9s | %10s %10s %9s | %s\n", "width",
+              "dtas_area", "dtas_ns", "dtas_fast", "dtas_ms", "dag_area",
+              "dag_ns", "dag_ms", "dag cells");
+  const auto patterns = dag::build_patterns(cells::lsi_library());
+  for (int width : {4, 8, 16, 32, 64}) {
+    auto t0 = std::chrono::steady_clock::now();
+    dtas::Synthesizer synth(cells::lsi_library());
+    auto alts = synth.synthesize(genus::make_adder_spec(width));
+    auto t1 = std::chrono::steady_clock::now();
+    const double dtas_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    auto t2 = std::chrono::steady_clock::now();
+    auto network = dag::GateNetwork::ripple_adder(width);
+    auto cover = dag::map_network(network, patterns);
+    auto t3 = std::chrono::steady_clock::now();
+    const double dag_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+    std::string histogram;
+    for (const auto& [cell, count] : cover.cell_histogram) {
+      histogram += cell + ":" + std::to_string(count) + " ";
+    }
+    std::printf(
+        "%-6d | %10.1f %10.1f %10.1f %9.2f | %10.1f %10.1f %9.2f | %s\n",
+        width, alts.empty() ? -1.0 : alts.front().metric.area,
+        alts.empty() ? -1.0 : alts.front().metric.delay,
+        alts.empty() ? -1.0 : alts.back().metric.delay, dtas_ms, cover.area,
+        cover.delay, dag_ms, histogram.c_str());
+  }
+
+  std::printf("\nequality comparator:\n");
+  std::printf("%-6s | %10s %10s | %10s %10s\n", "width", "dtas_area",
+              "dtas_ns", "dag_area", "dag_ns");
+  for (int width : {8, 16, 32}) {
+    dtas::Synthesizer synth(cells::lsi_library());
+    auto alts = synth.synthesize(
+        genus::make_comparator_spec(width, genus::OpSet{genus::Op::kEq}));
+    auto cover = dag::map_network(dag::GateNetwork::equality_comparator(width),
+                                  patterns);
+    std::printf("%-6d | %10.1f %10.1f | %10.1f %10.1f\n", width,
+                alts.empty() ? -1.0 : alts.front().metric.area,
+                alts.empty() ? -1.0 : alts.front().metric.delay, cover.area,
+                cover.delay);
+  }
+  std::printf(
+      "\nexpected shape: the flat mapper is restricted to SSI patterns, so\n"
+      "its area exceeds DTAS's MSI-cell designs and it offers no fast\n"
+      "alternatives; DTAS additionally returns the whole Pareto set.\n");
+  return 0;
+}

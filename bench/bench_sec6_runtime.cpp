@@ -1,0 +1,52 @@
+// §6 runtime claim: "DTAS generated this design space in less than 15
+// minutes of real time on a SUN-3 workstation." google-benchmark timing of
+// full design-space generation + evaluation + extraction on modern
+// hardware, across component sizes, plus the memoization ablation
+// (DESIGN.md ablation 5: shared spec nodes are what keep expansion linear).
+#include <benchmark/benchmark.h>
+
+#include "cells/cell.h"
+#include "dtas/synthesizer.h"
+
+using namespace bridge;
+
+static void BM_AluFullSynthesis(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dtas::Synthesizer synth(cells::lsi_library());
+    auto alts = synth.synthesize(genus::make_alu_spec(width,
+                                                      genus::alu16_ops()));
+    benchmark::DoNotOptimize(alts);
+  }
+  state.SetLabel("paper: <15 min on a SUN-3 for width 64");
+}
+BENCHMARK(BM_AluFullSynthesis)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_AdderDesignSpace(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dtas::Synthesizer synth(cells::lsi_library());
+    auto* node = synth.space().expand(genus::make_adder_spec(width));
+    synth.space().evaluate(node);
+    benchmark::DoNotOptimize(node->alts);
+  }
+}
+BENCHMARK(BM_AdderDesignSpace)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_ExpansionStats(benchmark::State& state) {
+  // Reports how large the memoized AND-OR graph is for the 64-bit ALU.
+  for (auto _ : state) {
+    dtas::Synthesizer synth(cells::lsi_library());
+    auto* node =
+        synth.space().expand(genus::make_alu_spec(64, genus::alu16_ops()));
+    synth.space().evaluate(node);
+    const auto& stats = synth.space().stats();
+    state.counters["spec_nodes"] = stats.spec_nodes;
+    state.counters["impl_nodes"] = stats.impl_nodes;
+    state.counters["leaf_impls"] = stats.leaf_impls;
+    state.counters["rule_apps"] = stats.rule_applications;
+  }
+}
+BENCHMARK(BM_ExpansionStats);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Quickstart: generate a generic component with GENUS, map it into RTL
+// library cells with DTAS, inspect the alternatives, and emit VHDL.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "cells/cell.h"
+#include "dtas/synthesizer.h"
+#include "genus/library.h"
+#include "vhdl/vhdl.h"
+
+using namespace bridge;
+
+int main() {
+  // 1. Instantiate a generic 16-bit adder through the GENUS library.
+  const genus::GenusLibrary& lib = genus::builtin_library();
+  genus::ParamMap params;
+  params.set(genus::kParamInputWidth, 16L);
+  genus::ComponentPtr adder = lib.instantiate(genus::Kind::kAdder, params);
+  std::printf("generic component: %s\n", adder->name().c_str());
+  std::printf("functional spec:   %s\n\n", adder->spec().key().c_str());
+
+  // 2. Map it into the LSI-style data book with DTAS.
+  dtas::Synthesizer synth(cells::lsi_library());
+  auto alternatives = synth.synthesize(adder->spec());
+  std::printf("DTAS alternatives (area in equivalent NAND gates):\n");
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    const auto& alt = alternatives[i];
+    std::printf("  %zu: area %6.1f, delay %5.1f ns  -- %s\n", i,
+                alt.metric.area, alt.metric.delay, alt.description.c_str());
+  }
+
+  // 3. Emit the smallest alternative as structural VHDL.
+  if (!alternatives.empty()) {
+    std::printf("\nstructural VHDL of the smallest design:\n\n%s",
+                vhdl::emit_structural(*alternatives.front().design).c_str());
+  }
+  return 0;
+}

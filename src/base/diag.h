@@ -1,0 +1,55 @@
+// Diagnostics: error type and assertion helpers used across the library.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bridge {
+
+/// Base error type for all library failures. Carries a human-readable
+/// message built from the failing subsystem and condition.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Raised when an input text (LEGEND, databook, behavioral language)
+/// fails to parse. Carries line/column of the offending token.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& msg, int line, int column)
+      : Error(format(msg, line, column)), line_(line), column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  static std::string format(const std::string& msg, int line, int column) {
+    std::ostringstream os;
+    os << "parse error at " << line << ":" << column << ": " << msg;
+    return os.str();
+  }
+
+  int line_;
+  int column_;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace bridge
+
+/// Internal-invariant check: throws bridge::Error when violated.
+/// Used for conditions that indicate a bug in this library, not bad input.
+#define BRIDGE_CHECK(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::std::ostringstream bridge_check_os_;                             \
+      bridge_check_os_ << msg;                                           \
+      ::bridge::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                            bridge_check_os_.str());     \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,33 @@
+// Small string helpers shared by the parsers and emitters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bridge {
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any whitespace run; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII upper/lower-casing (identifiers in LEGEND and databooks are ASCII).
+std::string to_upper(std::string_view s);
+std::string to_lower(std::string_view s);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Render a double with trailing-zero trimming ("12.5", "3", "0.25").
+std::string format_double(double v, int max_decimals = 3);
+
+}  // namespace bridge

@@ -1,0 +1,230 @@
+#include "base/widthexpr.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge {
+
+namespace {
+
+enum class NodeKind { kConst, kParam, kAdd, kSub, kMul, kDiv, kLog2 };
+
+}  // namespace
+
+struct WidthExpr::Node {
+  NodeKind kind;
+  long value = 0;        // kConst
+  std::string name;      // kParam
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const WidthExpr::Node>;
+
+NodePtr make_node(NodeKind kind, NodePtr lhs = nullptr, NodePtr rhs = nullptr) {
+  auto n = std::make_shared<WidthExpr::Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+/// Minimal recursive-descent parser over the expression text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  NodePtr parse() {
+    NodePtr e = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("unexpected trailing characters in width expression", 1,
+                       static_cast<int>(pos_) + 1);
+    }
+    return e;
+  }
+
+ private:
+  NodePtr expr() {
+    NodePtr lhs = term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        lhs = make_node(NodeKind::kAdd, lhs, term());
+      } else if (consume('-')) {
+        lhs = make_node(NodeKind::kSub, lhs, term());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr term() {
+    NodePtr lhs = factor();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        lhs = make_node(NodeKind::kMul, lhs, factor());
+      } else if (consume('/')) {
+        lhs = make_node(NodeKind::kDiv, lhs, factor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr factor() {
+    skip_ws();
+    if (consume('(')) {
+      NodePtr e = expr();
+      expect(')');
+      return e;
+    }
+    if (pos_ < text_.size() && std::isdigit(uc(text_[pos_]))) {
+      long v = 0;
+      while (pos_ < text_.size() && std::isdigit(uc(text_[pos_]))) {
+        v = v * 10 + (text_[pos_++] - '0');
+      }
+      auto num = make_node(NodeKind::kConst);
+      const_cast<WidthExpr::Node*>(num.get())->value = v;
+      // Implicit multiplication: "2w" means 2 * w.
+      if (pos_ < text_.size() && (std::isalpha(uc(text_[pos_])) ||
+                                  text_[pos_] == '_')) {
+        return make_node(NodeKind::kMul, num, factor());
+      }
+      return num;
+    }
+    if (pos_ < text_.size() &&
+        (std::isalpha(uc(text_[pos_])) || text_[pos_] == '_')) {
+      std::string id;
+      while (pos_ < text_.size() &&
+             (std::isalnum(uc(text_[pos_])) || text_[pos_] == '_')) {
+        id.push_back(text_[pos_++]);
+      }
+      if (to_lower(id) == "log2") {
+        skip_ws();
+        expect('(');
+        NodePtr e = expr();
+        expect(')');
+        return make_node(NodeKind::kLog2, e);
+      }
+      auto p = make_node(NodeKind::kParam);
+      const_cast<WidthExpr::Node*>(p.get())->name = to_lower(id);
+      return p;
+    }
+    throw ParseError("expected number, identifier, or '(' in width expression",
+                     1, static_cast<int>(pos_) + 1);
+  }
+
+  static int uc(char c) { return static_cast<unsigned char>(c); }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(uc(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (!consume(c)) {
+      throw ParseError(std::string("expected '") + c + "' in width expression",
+                       1, static_cast<int>(pos_) + 1);
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+long eval_node(const WidthExpr::Node& n,
+               const std::map<std::string, int>& params) {
+  switch (n.kind) {
+    case NodeKind::kConst:
+      return n.value;
+    case NodeKind::kParam: {
+      auto it = params.find(n.name);
+      if (it == params.end()) {
+        throw Error("width expression references unbound parameter '" +
+                    n.name + "'");
+      }
+      return it->second;
+    }
+    case NodeKind::kAdd:
+      return eval_node(*n.lhs, params) + eval_node(*n.rhs, params);
+    case NodeKind::kSub:
+      return eval_node(*n.lhs, params) - eval_node(*n.rhs, params);
+    case NodeKind::kMul:
+      return eval_node(*n.lhs, params) * eval_node(*n.rhs, params);
+    case NodeKind::kDiv: {
+      long d = eval_node(*n.rhs, params);
+      if (d == 0) throw Error("division by zero in width expression");
+      return eval_node(*n.lhs, params) / d;
+    }
+    case NodeKind::kLog2: {
+      long v = eval_node(*n.lhs, params);
+      if (v < 1) throw Error("log2 of non-positive value in width expression");
+      long bits = 0;
+      long cap = 1;
+      while (cap < v) {
+        cap <<= 1;
+        ++bits;
+      }
+      return bits < 1 ? 1 : bits;  // a 1-entry select still needs one wire
+    }
+  }
+  throw Error("corrupt width expression node");
+}
+
+bool node_is_constant(const WidthExpr::Node& n) {
+  switch (n.kind) {
+    case NodeKind::kConst:
+      return true;
+    case NodeKind::kParam:
+      return false;
+    case NodeKind::kLog2:
+      return node_is_constant(*n.lhs);
+    default:
+      return node_is_constant(*n.lhs) && node_is_constant(*n.rhs);
+  }
+}
+
+}  // namespace
+
+WidthExpr WidthExpr::parse(const std::string& text) {
+  WidthExpr e;
+  e.text_ = trim(text);
+  e.root_ = Parser(e.text_).parse();
+  return e;
+}
+
+WidthExpr WidthExpr::constant(long value) {
+  return parse(std::to_string(value));
+}
+
+int WidthExpr::eval(const std::map<std::string, int>& params) const {
+  BRIDGE_CHECK(root_ != nullptr, "evaluating empty width expression");
+  long v = eval_node(*root_, params);
+  if (v < 1) {
+    throw Error("width expression '" + text_ + "' evaluated to " +
+                std::to_string(v) + " (must be >= 1)");
+  }
+  return static_cast<int>(v);
+}
+
+bool WidthExpr::is_constant() const {
+  BRIDGE_CHECK(root_ != nullptr, "inspecting empty width expression");
+  return node_is_constant(*root_);
+}
+
+}  // namespace bridge

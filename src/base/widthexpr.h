@@ -1,0 +1,52 @@
+// Symbolic width expressions for parameterizable component generators.
+//
+// LEGEND port declarations use widths that depend on generator parameters,
+// e.g. `I0[w]`, `OUT[2w]`, `SEL[log2(n)]`. A WidthExpr is parsed once when
+// the generator description is read and evaluated every time a component is
+// generated with concrete parameter values.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace bridge {
+
+/// A parsed width expression. Grammar (LEGEND-style, case-insensitive):
+///
+///   expr   := term (('+' | '-') term)*
+///   term   := factor (('*' | '/') factor)*
+///   factor := NUMBER IDENT      -- implicit multiply: "2w" = 2 * w
+///           | NUMBER
+///           | IDENT
+///           | 'log2' '(' expr ')'   -- ceil(log2(...)), >= 1
+///           | '(' expr ')'
+class WidthExpr {
+ public:
+  /// Parse from text. Throws ParseError on malformed input.
+  static WidthExpr parse(const std::string& text);
+
+  /// Constant expression convenience.
+  static WidthExpr constant(long value);
+
+  /// Evaluate with the given parameter bindings. Throws Error on an unbound
+  /// identifier, division by zero, or a non-positive result (widths must be
+  /// >= 1).
+  int eval(const std::map<std::string, int>& params) const;
+
+  /// The original text (normalized) for round-trip emission.
+  const std::string& text() const { return text_; }
+
+  /// True if the expression references no parameters.
+  bool is_constant() const;
+
+  struct Node;  // implementation detail, defined in widthexpr.cpp
+
+ private:
+  WidthExpr() = default;
+
+  std::string text_;
+  std::shared_ptr<const Node> root_;  // shared: WidthExpr is a cheap value
+};
+
+}  // namespace bridge

@@ -1,0 +1,41 @@
+#include "cells/cell.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::cells {
+
+std::string Cell::pretty() const {
+  std::ostringstream os;
+  os << name << " (" << spec.pretty() << ", area " << format_double(area)
+     << ", delay " << format_double(delay_ns) << " ns)";
+  return os.str();
+}
+
+const Cell& CellLibrary::add(Cell cell) {
+  if (find(cell.name) != nullptr) {
+    throw Error("library " + name_ + ": duplicate cell '" + cell.name + "'");
+  }
+  cells_.push_back(std::move(cell));
+  return cells_.back();
+}
+
+const Cell* CellLibrary::find(const std::string& name) const {
+  for (const Cell& c : cells_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Cell*> CellLibrary::matches(
+    const genus::ComponentSpec& need) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (genus::spec_implements(c.spec, need)) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace bridge::cells

@@ -1,0 +1,78 @@
+// Technology-specific RTL library cells.
+//
+// "Technology mapping is performed using the functional specification of
+// library cells... The functionality of library cells, i.e., their type,
+// bit-width, and other characteristics, is described with the same
+// representation language used in recognizing and decomposing GENUS
+// components." (paper §5)
+//
+// A Cell is therefore a ComponentSpec plus data-book performance numbers:
+// area in equivalent NAND gates and worst-case delay in nanoseconds —
+// the units of Figure 3.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "genus/spec.h"
+
+namespace bridge::cells {
+
+struct Cell {
+  std::string name;               // data-book part name, e.g. "ADD4"
+  genus::ComponentSpec spec;      // functional specification
+  double area = 0.0;              // equivalent NAND gates
+  double delay_ns = 0.0;          // worst-case pin-to-pin / clock-to-q
+  std::string description;
+
+  std::string pretty() const;
+};
+
+/// A technology library: an ordered set of cells with unique names.
+/// Cells have stable addresses for the lifetime of the library, so DTAS
+/// design spaces may hold `const Cell*`.
+class CellLibrary {
+ public:
+  explicit CellLibrary(std::string name = "", std::string description = "")
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  void set_description(std::string d) { description_ = std::move(d); }
+
+  /// Add a cell; throws Error on duplicate names.
+  const Cell& add(Cell cell);
+
+  /// Find by part name; nullptr when absent.
+  const Cell* find(const std::string& name) const;
+
+  /// All cells whose functional specification can implement `need`
+  /// (see genus::spec_implements). This is the paper's functional match:
+  /// no DAG/subgraph isomorphism is involved.
+  std::vector<const Cell*> matches(const genus::ComponentSpec& need) const;
+
+  const std::deque<Cell>& all() const { return cells_; }
+  int size() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::deque<Cell> cells_;  // deque: stable addresses
+};
+
+/// The LSI Logic-style 1.5-micron macrocell data-book subset: exactly the
+/// 30 cells the paper describes (§6): 2-to-1 / 4-to-1 / 8-to-1 multiplexers,
+/// 1-, 2-, and 4-bit adders plus a 4-bit carry-look-ahead generator, a
+/// 2-bit adder/subtractor, D flip-flops, 4- and 8-bit data registers, and
+/// the SSI support gates. Performance values are plausible-era stand-ins
+/// (the original data book is proprietary); DTAS behaviour depends only on
+/// the functional specs and the relative area/delay tradeoffs.
+const CellLibrary& lsi_library();
+
+/// A second, TTL-era library (74xx-style MSI parts, including a 4-bit
+/// 16-function ALU slice and look-ahead unit) used by the LOLA retargeting
+/// experiments.
+const CellLibrary& ttl_library();
+
+}  // namespace bridge::cells

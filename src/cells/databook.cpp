@@ -1,0 +1,212 @@
+#include "cells/databook.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::cells {
+
+namespace {
+
+/// Tokenize one logical line. Quoted strings become single tokens with the
+/// quotes retained; parentheses are standalone tokens.
+std::vector<std::string> tokenize_line(const std::string& line, int line_no) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;  // comment to end of line
+    if (c == '"') {
+      size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) {
+        throw ParseError("unterminated string", line_no,
+                         static_cast<int>(i) + 1);
+      }
+      tokens.push_back(line.substr(i, end - i + 1));
+      i = end + 1;
+      continue;
+    }
+    if (c == '(' || c == ')') {
+      tokens.push_back(std::string(1, c));
+      ++i;
+      continue;
+    }
+    size_t b = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+           line[i] != '(' && line[i] != ')' && line[i] != '"') {
+      ++i;
+    }
+    tokens.push_back(line.substr(b, i - b));
+  }
+  return tokens;
+}
+
+std::string unquote(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '"' && tok.back() == '"') {
+    return tok.substr(1, tok.size() - 2);
+  }
+  return tok;
+}
+
+double parse_number(const std::string& tok, int line_no) {
+  try {
+    size_t used = 0;
+    double v = std::stod(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("expected a number, got '" + tok + "'", line_no, 1);
+  }
+}
+
+}  // namespace
+
+CellLibrary parse_databook(const std::string& text) {
+  CellLibrary lib;
+  bool saw_library = false;
+  std::string lib_name;
+  std::string lib_desc;
+  std::vector<Cell> pending;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize_line(line, line_no);
+    if (tokens.empty()) continue;
+    const std::string head = to_upper(tokens[0]);
+
+    if (head == "LIBRARY") {
+      if (tokens.size() < 2) {
+        throw ParseError("LIBRARY needs a name", line_no, 1);
+      }
+      saw_library = true;
+      lib_name = tokens[1];
+      lib_desc = tokens.size() >= 3 ? unquote(tokens[2]) : "";
+      continue;
+    }
+
+    if (head != "CELL") {
+      throw ParseError("expected LIBRARY or CELL, got '" + tokens[0] + "'",
+                       line_no, 1);
+    }
+    if (tokens.size() < 2) throw ParseError("CELL needs a name", line_no, 1);
+
+    Cell cell;
+    cell.name = tokens[1];
+    bool saw_area = false;
+    bool saw_delay = false;
+    size_t i = 2;
+    auto next_token = [&](const std::string& what) -> std::string {
+      if (i >= tokens.size()) {
+        throw ParseError("missing value after " + what, line_no, 1);
+      }
+      return tokens[i++];
+    };
+    while (i < tokens.size()) {
+      const std::string attr = to_upper(tokens[i++]);
+      if (attr == "KIND") {
+        cell.spec.kind = genus::kind_from_name(next_token("KIND"));
+      } else if (attr == "WIDTH") {
+        cell.spec.width =
+            static_cast<int>(parse_number(next_token("WIDTH"), line_no));
+      } else if (attr == "SIZE") {
+        cell.spec.size =
+            static_cast<int>(parse_number(next_token("SIZE"), line_no));
+      } else if (attr == "OPS") {
+        if (next_token("OPS") != "(") {
+          throw ParseError("OPS expects a parenthesized list", line_no, 1);
+        }
+        genus::OpSet ops;
+        for (;;) {
+          std::string tok = next_token("OPS list");
+          if (tok == ")") break;
+          try {
+            ops.insert(genus::op_from_name(tok));
+          } catch (const Error&) {
+            throw ParseError("bad operation '" + tok +
+                                 "' in OPS list (unterminated list?)",
+                             line_no, 1);
+          }
+        }
+        cell.spec.ops = ops;
+      } else if (attr == "STYLE") {
+        cell.spec.style = genus::style_from_name(next_token("STYLE"));
+      } else if (attr == "REP") {
+        cell.spec.rep = to_upper(next_token("REP")) == "BCD"
+                            ? genus::Representation::kBcd
+                            : genus::Representation::kBinary;
+      } else if (attr == "CI") {
+        cell.spec.carry_in = true;
+      } else if (attr == "CO") {
+        cell.spec.carry_out = true;
+      } else if (attr == "EN") {
+        cell.spec.enable = true;
+      } else if (attr == "ASET") {
+        cell.spec.async_set = true;
+      } else if (attr == "ARST") {
+        cell.spec.async_reset = true;
+      } else if (attr == "TS") {
+        cell.spec.tristate = true;
+      } else if (attr == "AREA") {
+        cell.area = parse_number(next_token("AREA"), line_no);
+        saw_area = true;
+      } else if (attr == "DELAY") {
+        cell.delay_ns = parse_number(next_token("DELAY"), line_no);
+        saw_delay = true;
+      } else if (attr == "DESC") {
+        cell.description = unquote(next_token("DESC"));
+      } else {
+        throw ParseError("unknown cell attribute '" + attr + "'", line_no, 1);
+      }
+    }
+    if (!saw_area || !saw_delay) {
+      throw ParseError("cell " + cell.name + " needs AREA and DELAY", line_no,
+                       1);
+    }
+    pending.push_back(std::move(cell));
+  }
+
+  if (!saw_library) {
+    throw ParseError("data book must start with a LIBRARY line", 1, 1);
+  }
+  CellLibrary out(lib_name, lib_desc);
+  for (Cell& c : pending) out.add(std::move(c));
+  return out;
+}
+
+std::string emit_databook(const CellLibrary& lib) {
+  std::ostringstream os;
+  os << "LIBRARY " << lib.name() << " \"" << lib.description() << "\"\n";
+  for (const Cell& c : lib.all()) {
+    os << "CELL " << c.name << " KIND " << genus::kind_name(c.spec.kind)
+       << " WIDTH " << c.spec.width;
+    if (c.spec.size != 0) os << " SIZE " << c.spec.size;
+    if (!c.spec.ops.empty()) os << " OPS ( " << c.spec.ops.to_string() << " )";
+    if (c.spec.style != genus::Style::kAny) {
+      os << " STYLE " << genus::style_name(c.spec.style);
+    }
+    if (c.spec.rep != genus::Representation::kBinary) {
+      os << " REP " << genus::representation_name(c.spec.rep);
+    }
+    if (c.spec.carry_in) os << " CI";
+    if (c.spec.carry_out) os << " CO";
+    if (c.spec.enable) os << " EN";
+    if (c.spec.async_set) os << " ASET";
+    if (c.spec.async_reset) os << " ARST";
+    if (c.spec.tristate) os << " TS";
+    os << " AREA " << format_double(c.area) << " DELAY "
+       << format_double(c.delay_ns);
+    if (!c.description.empty()) os << " DESC \"" << c.description << "\"";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bridge::cells

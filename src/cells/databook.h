@@ -1,0 +1,27 @@
+// Text data-book format for cell libraries.
+//
+// Retargeting DTAS to a new technology starts from the vendor data book;
+// this module gives libraries a textual exchange form:
+//
+//   LIBRARY LSI_LGC15 "LSI Logic 1.5-micron Compacted Array (subset)"
+//   CELL MUX21 KIND MUX WIDTH 1 SIZE 2 OPS (PASS) AREA 2.5 DELAY 1.8
+//        DESC "2-to-1 multiplexer"
+//   CELL ADD4 KIND ADDER WIDTH 4 OPS (ADD) CI CO AREA 18 DELAY 7.8
+//
+// Recognized cell attributes: KIND, WIDTH, SIZE, OPS (...), STYLE, REP,
+// the flags CI CO EN ASET ARST TS, AREA, DELAY, DESC "...".
+#pragma once
+
+#include <string>
+
+#include "cells/cell.h"
+
+namespace bridge::cells {
+
+/// Parse a data book. Throws ParseError with line information on bad input.
+CellLibrary parse_databook(const std::string& text);
+
+/// Emit a library in data-book form (round-trips through parse_databook).
+std::string emit_databook(const CellLibrary& lib);
+
+}  // namespace bridge::cells

@@ -1,0 +1,45 @@
+// A TTL-era (74xx-style) MSI library used by the LOLA retargeting
+// experiments: same representation, very different cell granularity —
+// including a 4-bit 16-function ALU slice, which the LSI subset lacks.
+//
+// The T181 part is modeled after the 74181 ALU restricted to its
+// *sliceable* operations (ADD, SUB, and the eight bitwise functions),
+// i.e. the operations whose per-slice semantics compose exactly across a
+// raw carry chain; see DESIGN.md (substitutions).
+#include "cells/cell.h"
+#include "cells/databook.h"
+
+namespace bridge::cells {
+
+namespace {
+
+constexpr const char* kTtlDatabook = R"db(
+LIBRARY TTL74 "TTL-era MSI parts (74xx-style, synthetic data-book values)"
+CELL T04   KIND GATE WIDTH 1 SIZE 1 OPS ( LNOT ) AREA 0.7 DELAY 9   DESC "hex inverter slice"
+CELL T00   KIND GATE WIDTH 1 SIZE 2 OPS ( NAND ) AREA 1   DELAY 10  DESC "quad 2-input NAND slice"
+CELL T08   KIND GATE WIDTH 1 SIZE 2 OPS ( AND )  AREA 1.5 DELAY 12  DESC "quad 2-input AND slice"
+CELL T32   KIND GATE WIDTH 1 SIZE 2 OPS ( OR )   AREA 1.5 DELAY 12  DESC "quad 2-input OR slice"
+CELL T02   KIND GATE WIDTH 1 SIZE 2 OPS ( NOR )  AREA 1   DELAY 10  DESC "quad 2-input NOR slice"
+CELL T86   KIND GATE WIDTH 1 SIZE 2 OPS ( XOR )  AREA 2.5 DELAY 14  DESC "quad 2-input XOR slice"
+CELL T157  KIND MUX WIDTH 4 SIZE 2 OPS ( PASS )  AREA 9   DELAY 14  DESC "quad 2-to-1 multiplexer"
+CELL T153  KIND MUX WIDTH 1 SIZE 4 OPS ( PASS )  AREA 5   DELAY 18  DESC "4-to-1 multiplexer"
+CELL T151  KIND MUX WIDTH 1 SIZE 8 OPS ( PASS )  AREA 10  DELAY 20  DESC "8-to-1 multiplexer"
+CELL T138  KIND DECODER WIDTH 3 SIZE 8 OPS ( DECODE ) EN AREA 11 DELAY 22 DESC "3-to-8 decoder"
+CELL T283  KIND ADDER WIDTH 4 OPS ( ADD ) CI CO AREA 19 DELAY 24 DESC "4-bit binary full adder"
+CELL T181  KIND ALU WIDTH 4 OPS ( ADD SUB AND OR NAND NOR XOR XNOR LNOT LIMPL ) CI CO AREA 62 DELAY 31 DESC "4-bit 10-function ALU slice (sliceable operations only)"
+CELL T182  KIND CLA SIZE 4 AREA 12 DELAY 13 DESC "look-ahead carry generator"
+CELL T85   KIND COMPARATOR WIDTH 4 OPS ( EQ LT GT ) AREA 16 DELAY 23 DESC "4-bit magnitude comparator"
+CELL T74   KIND DFF WIDTH 1 OPS ( LOAD ) ASET ARST AREA 4 DELAY 25 DESC "D flip-flop with preset and clear"
+CELL T173  KIND REGISTER WIDTH 4 OPS ( LOAD ) EN ARST AREA 17 DELAY 28 DESC "4-bit register with enable"
+CELL T191  KIND COUNTER WIDTH 4 OPS ( LOAD COUNT_UP COUNT_DOWN ) STYLE SYNCHRONOUS EN AREA 30 DELAY 31 DESC "4-bit up/down counter"
+CELL T125  KIND TRISTATE WIDTH 1 OPS ( PASS ) TS AREA 1.5 DELAY 13 DESC "tristate buffer"
+)db";
+
+}  // namespace
+
+const CellLibrary& ttl_library() {
+  static const CellLibrary lib = parse_databook(kTtlDatabook);
+  return lib;
+}
+
+}  // namespace bridge::cells

@@ -1,0 +1,133 @@
+#include "ctrl/qm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/diag.h"
+
+namespace bridge::ctrl {
+
+int Implicant::literals(int nvars) const {
+  int n = 0;
+  for (int b = 0; b < nvars; ++b) {
+    if (((mask >> b) & 1) == 0) ++n;
+  }
+  return n;
+}
+
+std::string Implicant::to_string(int nvars,
+                                 const std::string& var_prefix) const {
+  std::string out;
+  for (int b = nvars - 1; b >= 0; --b) {
+    if ((mask >> b) & 1) continue;
+    if (!out.empty()) out += " & ";
+    if (((value >> b) & 1) == 0) out += "~";
+    out += var_prefix + std::to_string(b);
+  }
+  return out.empty() ? "1" : out;
+}
+
+std::vector<Implicant> minimize(int nvars,
+                                const std::vector<std::uint32_t>& on_set,
+                                const std::vector<std::uint32_t>& dc_set) {
+  BRIDGE_CHECK(nvars >= 0 && nvars <= 20, "QM limited to 20 variables");
+  if (on_set.empty()) return {};
+
+  // Level 0: all on-set and don't-care minterms as implicants.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;
+  for (std::uint32_t m : on_set) current.insert({m, 0});
+  for (std::uint32_t m : dc_set) current.insert({m, 0});
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> combined;
+    for (const auto& ip : current) combined[ip] = false;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> list(current.begin(),
+                                                              current.end());
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].second != list[j].second) continue;
+        std::uint32_t diff = list[i].first ^ list[j].first;
+        // Combine when they differ in exactly one non-masked bit.
+        if (diff == 0 || (diff & (diff - 1)) != 0) continue;
+        next.insert({list[i].first & ~diff, list[i].second | diff});
+        combined[list[i]] = true;
+        combined[list[j]] = true;
+      }
+    }
+    for (const auto& [ip, was_combined] : combined) {
+      if (!was_combined) primes.push_back(Implicant{ip.first, ip.second});
+    }
+    current = std::move(next);
+  }
+
+  // Cover the on-set: essential primes first, then greedy.
+  std::vector<std::uint32_t> remaining = on_set;
+  std::sort(remaining.begin(), remaining.end());
+  remaining.erase(std::unique(remaining.begin(), remaining.end()),
+                  remaining.end());
+  std::vector<Implicant> chosen;
+  auto remove_covered = [&remaining](const Implicant& imp) {
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&imp](std::uint32_t m) {
+                                     return imp.covers(m);
+                                   }),
+                    remaining.end());
+  };
+
+  // Essential primes: minterms covered by exactly one prime.
+  for (std::uint32_t m : std::vector<std::uint32_t>(remaining)) {
+    const Implicant* only = nullptr;
+    int count = 0;
+    for (const Implicant& p : primes) {
+      if (p.covers(m)) {
+        ++count;
+        only = &p;
+      }
+    }
+    BRIDGE_CHECK(count > 0, "QM lost a minterm");
+    if (count == 1 &&
+        std::find(chosen.begin(), chosen.end(), *only) == chosen.end()) {
+      chosen.push_back(*only);
+    }
+  }
+  for (const Implicant& p : chosen) remove_covered(p);
+
+  // Greedy: repeatedly take the prime covering the most remaining.
+  while (!remaining.empty()) {
+    const Implicant* best = nullptr;
+    int best_cover = 0;
+    for (const Implicant& p : primes) {
+      if (std::find(chosen.begin(), chosen.end(), p) != chosen.end()) {
+        continue;
+      }
+      int cover = 0;
+      for (std::uint32_t m : remaining) {
+        if (p.covers(m)) ++cover;
+      }
+      // Prefer wider coverage; break ties toward fewer literals.
+      if (cover > best_cover ||
+          (cover == best_cover && cover > 0 && best != nullptr &&
+           p.literals(nvars) < best->literals(nvars))) {
+        best = &p;
+        best_cover = cover;
+      }
+    }
+    BRIDGE_CHECK(best != nullptr, "QM cover failed");
+    chosen.push_back(*best);
+    remove_covered(*best);
+  }
+  return chosen;
+}
+
+bool eval_sop(const std::vector<Implicant>& sop, std::uint32_t input) {
+  for (const Implicant& imp : sop) {
+    if (imp.covers(input)) return true;
+  }
+  return false;
+}
+
+}  // namespace bridge::ctrl

@@ -1,0 +1,45 @@
+// Quine-McCluskey two-level logic minimization.
+//
+// The control compiler of Figure 1 "extracts the sequencing logic and
+// applies logic-level optimizations"; this is the classical exact
+// prime-implicant generation with an essential-then-greedy cover, adequate
+// for controller-sized functions (<= ~16 inputs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bridge::ctrl {
+
+/// A product term over n variables: for each bit position, if mask has a 1
+/// the variable is a don't-care in this term; otherwise the literal value
+/// comes from `value`.
+struct Implicant {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+
+  bool covers(std::uint32_t minterm) const {
+    return ((minterm ^ value) & ~mask) == 0;
+  }
+  /// Number of literals in the product term.
+  int literals(int nvars) const;
+  /// Render as e.g. "x3 & ~x1 & x0".
+  std::string to_string(int nvars, const std::string& var_prefix = "x") const;
+
+  bool operator==(const Implicant&) const = default;
+};
+
+/// Minimize a single-output function given its on-set and don't-care set
+/// (both as minterm indices over `nvars` variables). Returns a minimal-ish
+/// sum of products covering every on-set minterm (essential primes first,
+/// then greedy covering). An empty result means the function is constant 0;
+/// a single all-don't-care implicant means constant 1.
+std::vector<Implicant> minimize(int nvars,
+                                const std::vector<std::uint32_t>& on_set,
+                                const std::vector<std::uint32_t>& dc_set);
+
+/// Evaluate a sum of products.
+bool eval_sop(const std::vector<Implicant>& sop, std::uint32_t input);
+
+}  // namespace bridge::ctrl

@@ -1,0 +1,292 @@
+#include "dag/dagon.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/diag.h"
+
+namespace bridge::dag {
+
+int GateNetwork::add_input() {
+  nodes_.push_back(GateNode{GateKind::kInput, -1, -1});
+  return size() - 1;
+}
+
+int GateNetwork::add_nand(int a, int b) {
+  BRIDGE_CHECK(a >= 0 && a < size() && b >= 0 && b < size(), "bad fanin");
+  nodes_.push_back(GateNode{GateKind::kNand, a, b});
+  return size() - 1;
+}
+
+int GateNetwork::add_inv(int a) {
+  BRIDGE_CHECK(a >= 0 && a < size(), "bad fanin");
+  nodes_.push_back(GateNode{GateKind::kInv, a, -1});
+  return size() - 1;
+}
+
+GateNetwork GateNetwork::ripple_adder(int width) {
+  GateNetwork net;
+  std::vector<int> a(width);
+  std::vector<int> b(width);
+  for (int i = 0; i < width; ++i) a[i] = net.add_input();
+  for (int i = 0; i < width; ++i) b[i] = net.add_input();
+  int carry = net.add_input();  // CI
+  for (int i = 0; i < width; ++i) {
+    // Classic nine-NAND full adder.
+    int n1 = net.add_nand(a[i], b[i]);
+    int n2 = net.add_nand(a[i], n1);
+    int n3 = net.add_nand(b[i], n1);
+    int x = net.add_nand(n2, n3);  // a XOR b
+    int n4 = net.add_nand(x, carry);
+    int n5 = net.add_nand(x, n4);
+    int n6 = net.add_nand(carry, n4);
+    int s = net.add_nand(n5, n6);  // sum
+    int co = net.add_nand(n1, n4);
+    net.mark_output(s);
+    carry = co;
+  }
+  net.mark_output(carry);  // CO
+  return net;
+}
+
+GateNetwork GateNetwork::equality_comparator(int width) {
+  GateNetwork net;
+  std::vector<int> eqs;
+  for (int i = 0; i < width; ++i) {
+    int a = net.add_input();
+    int b = net.add_input();
+    int n1 = net.add_nand(a, b);
+    int n2 = net.add_nand(a, n1);
+    int n3 = net.add_nand(b, n1);
+    int x = net.add_nand(n2, n3);  // a XOR b
+    eqs.push_back(net.add_inv(x));  // XNOR
+  }
+  // AND reduction tree over per-bit equalities.
+  while (eqs.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i + 1 < eqs.size(); i += 2) {
+      next.push_back(net.add_inv(net.add_nand(eqs[i], eqs[i + 1])));
+    }
+    if (eqs.size() % 2 == 1) next.push_back(eqs.back());
+    eqs = std::move(next);
+  }
+  net.mark_output(eqs[0]);
+  return net;
+}
+
+namespace {
+
+using NodePtr = std::unique_ptr<PatternNode>;
+
+NodePtr leaf(int var) {
+  auto n = std::make_unique<PatternNode>();
+  n->kind = PatternNode::Kind::kLeaf;
+  n->var = var;
+  return n;
+}
+
+NodePtr pnand(NodePtr a, NodePtr b) {
+  auto n = std::make_unique<PatternNode>();
+  n->kind = PatternNode::Kind::kNand;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+NodePtr pinv(NodePtr a) {
+  auto n = std::make_unique<PatternNode>();
+  n->kind = PatternNode::Kind::kInv;
+  n->a = std::move(a);
+  return n;
+}
+
+}  // namespace
+
+std::vector<Pattern> build_patterns(const cells::CellLibrary& library) {
+  std::vector<Pattern> out;
+  auto add = [&out, &library](const char* cell_name, NodePtr tree,
+                              int inputs) {
+    const cells::Cell* cell = library.find(cell_name);
+    if (cell == nullptr) return;
+    Pattern p;
+    p.cell = cell->name;
+    p.area = cell->area;
+    p.delay = cell->delay_ns;
+    p.tree = std::move(tree);
+    p.inputs = inputs;
+    out.push_back(std::move(p));
+  };
+  add("INV", pinv(leaf(0)), 1);
+  add("NAND2", pnand(leaf(0), leaf(1)), 2);
+  add("AND2", pinv(pnand(leaf(0), leaf(1))), 2);
+  add("OR2", pnand(pinv(leaf(0)), pinv(leaf(1))), 2);
+  add("NOR2", pinv(pnand(pinv(leaf(0)), pinv(leaf(1)))), 2);
+  // NAND3 = ~(abc) = nand(~(ab) inverted, c).
+  add("NAND3", pnand(pinv(pnand(leaf(0), leaf(1))), leaf(2)), 3);
+  add("NAND4",
+      pnand(pinv(pnand(leaf(0), leaf(1))), pinv(pnand(leaf(2), leaf(3)))), 4);
+  // XOR2 = nand(nand(a, nand(a,b)), nand(b, nand(a,b))).
+  add("XOR2",
+      pnand(pnand(leaf(0), pnand(leaf(0), leaf(1))),
+            pnand(leaf(1), pnand(leaf(0), leaf(1)))),
+      2);
+  add("XNOR2",
+      pinv(pnand(pnand(leaf(0), pnand(leaf(0), leaf(1))),
+                 pnand(leaf(1), pnand(leaf(0), leaf(1))))),
+      2);
+  return out;
+}
+
+namespace {
+
+/// Match state: leaf-variable bindings plus how many times each internal
+/// multi-fanout subject node was consumed (for leaf-DAG patterns like XOR,
+/// whose shared inner NAND is legal to absorb only if the pattern accounts
+/// for every one of its fanouts).
+struct MatchState {
+  std::map<int, int> bindings;
+  std::map<int, int> internal_uses;
+};
+
+/// Try to match `pat` rooted at subject node `node`. Internal pattern
+/// nodes normally may not cross tree boundaries (multi-fanout subject
+/// nodes); crossing is tentatively allowed and validated afterwards
+/// against the node's fanout count. Repeated pattern variables must bind
+/// to the same subject node. NAND children are tried in both orders.
+bool match(const GateNetwork& net, const std::vector<bool>& is_boundary,
+           const PatternNode& pat, int node, bool at_root, MatchState& st) {
+  if (pat.kind == PatternNode::Kind::kLeaf) {
+    auto it = st.bindings.find(pat.var);
+    if (it != st.bindings.end()) return it->second == node;
+    st.bindings[pat.var] = node;
+    return true;
+  }
+  const GateNode& g = net.nodes()[node];
+  if (g.kind == GateKind::kInput) return false;
+  if (!at_root && is_boundary[node]) {
+    ++st.internal_uses[node];  // validated by the caller against fanout
+  }
+  if (pat.kind == PatternNode::Kind::kInv) {
+    if (g.kind != GateKind::kInv) return false;
+    return match(net, is_boundary, *pat.a, g.a, false, st);
+  }
+  if (g.kind != GateKind::kNand) return false;
+  // Try both child orders (NAND is commutative).
+  for (int order = 0; order < 2; ++order) {
+    MatchState trial = st;
+    const int x = order == 0 ? g.a : g.b;
+    const int y = order == 0 ? g.b : g.a;
+    if (match(net, is_boundary, *pat.a, x, false, trial) &&
+        match(net, is_boundary, *pat.b, y, false, trial)) {
+      st = std::move(trial);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CoverResult map_network(const GateNetwork& network,
+                        const std::vector<Pattern>& patterns) {
+  const auto& nodes = network.nodes();
+  const int n = network.size();
+
+  // Fanout counts -> tree boundaries.
+  std::vector<int> fanout(n, 0);
+  for (const GateNode& g : nodes) {
+    if (g.a >= 0) ++fanout[g.a];
+    if (g.b >= 0) ++fanout[g.b];
+  }
+  for (int o : network.outputs()) ++fanout[o];
+  std::vector<bool> is_boundary(n, false);
+  for (int i = 0; i < n; ++i) {
+    is_boundary[i] =
+        nodes[i].kind == GateKind::kInput || fanout[i] > 1;
+  }
+  for (int o : network.outputs()) is_boundary[o] = true;
+
+  // DP over nodes in index order (fanins precede fanouts by construction).
+  struct Choice {
+    double cost = -1;
+    const Pattern* pattern = nullptr;
+    std::vector<int> leaves;
+  };
+  std::vector<Choice> best(n);
+  for (int i = 0; i < n; ++i) {
+    if (nodes[i].kind == GateKind::kInput) {
+      best[i].cost = 0;
+      continue;
+    }
+    for (const Pattern& p : patterns) {
+      MatchState st;
+      if (!match(network, is_boundary, *p.tree, i, true, st)) continue;
+      // Absorbed multi-fanout internals are legal only if the pattern
+      // itself consumes every fanout (leaf-DAG patterns, e.g. XOR).
+      bool ok = true;
+      for (const auto& [node, uses] : st.internal_uses) {
+        if (uses != fanout[node]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      double cost = p.area;
+      std::vector<int> leaves;
+      for (const auto& [var, subject] : st.bindings) {
+        (void)var;
+        if (st.internal_uses.count(subject)) {
+          ok = false;  // a leaf cannot also be absorbed internally
+          break;
+        }
+        leaves.push_back(subject);
+        if (best[subject].cost < 0) {
+          ok = false;  // leaf not yet covered (shouldn't happen: topo order)
+          break;
+        }
+        // Leaf cost is only charged at its own tree root.
+        if (!is_boundary[subject]) cost += best[subject].cost;
+      }
+      if (!ok) continue;
+      if (best[i].cost < 0 || cost < best[i].cost) {
+        best[i] = Choice{cost, &p, std::move(leaves)};
+      }
+    }
+    if (best[i].cost < 0) {
+      throw Error("DAG mapping: node " + std::to_string(i) +
+                  " not coverable by the pattern set");
+    }
+  }
+
+  // Collect the chosen cells: walk the chosen covers from the primary
+  // outputs; pattern leaves become new roots (absorbed shared nodes are
+  // thereby skipped automatically).
+  CoverResult result;
+  std::vector<double> arrival(n, -1.0);
+  std::function<double(int)> arrive = [&](int i) -> double {
+    if (nodes[i].kind == GateKind::kInput) return 0.0;
+    if (arrival[i] >= 0) return arrival[i];
+    const Choice& c = best[i];
+    double worst = 0.0;
+    for (int leaf : c.leaves) worst = std::max(worst, arrive(leaf));
+    arrival[i] = worst + c.pattern->delay;
+    return arrival[i];
+  };
+  std::vector<bool> accounted(n, false);
+  std::function<void(int)> account = [&](int i) {
+    if (nodes[i].kind == GateKind::kInput || accounted[i]) return;
+    accounted[i] = true;
+    const Choice& c = best[i];
+    result.area += c.pattern->area;
+    ++result.cells_used;
+    ++result.cell_histogram[c.pattern->cell];
+    for (int leaf : c.leaves) account(leaf);
+  };
+  for (int o : network.outputs()) {
+    account(o);
+    result.delay = std::max(result.delay, arrive(o));
+  }
+  return result;
+}
+
+}  // namespace bridge::dag

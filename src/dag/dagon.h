@@ -1,0 +1,94 @@
+// DAGON-style logic-level technology mapping — the baseline DTAS argues
+// against (paper §2): "technology mapping is done at the logic level on
+// large flat designs, which requires DAG matching by detecting isomorphism
+// of large subgraphs [Keut87]. This complicates the task of interfacing to
+// a given cell library that may consist of large cells at the MSI and LSI
+// level."
+//
+// This module implements the classical approach faithfully enough to
+// compare: designs are flattened into a NAND2/INV canonical network, the
+// DAG is partitioned into trees at multi-fanout points, and each tree is
+// covered by dynamic programming over gate patterns expressed in the same
+// canonical basis. MSI cells (4-bit adders, look-ahead generators) have no
+// tree pattern, so the baseline cannot use them — which is exactly the
+// paper's point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+
+namespace bridge::dag {
+
+enum class GateKind : std::uint8_t { kInput, kNand, kInv };
+
+struct GateNode {
+  GateKind kind = GateKind::kInput;
+  int a = -1;
+  int b = -1;
+};
+
+/// A combinational network in NAND2/INV canonical form.
+class GateNetwork {
+ public:
+  int add_input();
+  int add_nand(int a, int b);
+  int add_inv(int a);
+  void mark_output(int node) { outputs_.push_back(node); }
+
+  const std::vector<GateNode>& nodes() const { return nodes_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Flat ripple-carry adder: the classic nine-NAND full adder per bit.
+  static GateNetwork ripple_adder(int width);
+  /// Flat equality comparator: XNOR-per-bit (4 NAND + INV) + AND tree.
+  static GateNetwork equality_comparator(int width);
+
+ private:
+  std::vector<GateNode> nodes_;
+  std::vector<int> outputs_;
+};
+
+/// A library-cell pattern over the canonical basis. Leaves carry variable
+/// indices; repeated variables must bind to the same subject node (this is
+/// what makes XOR-style patterns non-trivial to match).
+struct PatternNode {
+  enum class Kind : std::uint8_t { kLeaf, kNand, kInv };
+  Kind kind = Kind::kLeaf;
+  int var = 0;  // kLeaf
+  std::unique_ptr<PatternNode> a;
+  std::unique_ptr<PatternNode> b;
+};
+
+struct Pattern {
+  std::string cell;
+  double area = 0;
+  double delay = 0;
+  std::unique_ptr<PatternNode> tree;
+  int inputs = 0;
+};
+
+/// Build the pattern set from the SSI gates of a library (INV, BUF, NAND2,
+/// NAND3, NAND4, AND2, OR2, NOR2, XOR2, XNOR2 as available). MSI cells are
+/// skipped: they are not trees over the canonical basis.
+std::vector<Pattern> build_patterns(const cells::CellLibrary& library);
+
+struct CoverResult {
+  double area = 0;
+  double delay = 0;
+  int cells_used = 0;
+  std::map<std::string, int> cell_histogram;
+};
+
+/// Partition the network into trees at fanout points and cover each tree
+/// by dynamic programming (minimum area; delay reported for the chosen
+/// cover). Throws Error if some node cannot be covered (pattern set must
+/// include INV and NAND2).
+CoverResult map_network(const GateNetwork& network,
+                        const std::vector<Pattern>& patterns);
+
+}  // namespace bridge::dag

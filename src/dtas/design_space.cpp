@@ -1,0 +1,466 @@
+#include "dtas/design_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/diag.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+using netlist::PortConn;
+using netlist::RefKind;
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+bool dominates(const Metric& a, const Metric& b) {
+  return a.area <= b.area + kEps && a.delay <= b.delay + kEps &&
+         (a.area < b.area - kEps || a.delay < b.delay - kEps);
+}
+
+DesignSpace::DesignSpace(const RuleBase& rules,
+                         const cells::CellLibrary& library,
+                         SpaceOptions options)
+    : rules_(rules), library_(library), options_(options) {}
+
+SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
+  auto it = memo_.find(spec);
+  if (it != memo_.end()) return it->second.get();
+  auto owned = std::make_unique<SpecNode>();
+  SpecNode* node = owned.get();
+  node->spec = spec;
+  memo_.emplace(spec, std::move(owned));
+  ++stats_.spec_nodes;
+  expand_node(node);
+  return node;
+}
+
+void DesignSpace::expand_node(SpecNode* node) {
+  node->in_progress = true;
+  const ComponentSpec& spec = node->spec;
+
+  // Leaf implementations: functional matches against the data book.
+  for (const cells::Cell* cell : library_.matches(spec)) {
+    auto impl = std::make_unique<ImplNode>();
+    impl->cell = cell;
+    node->impls.push_back(std::move(impl));
+    ++stats_.impl_nodes;
+    ++stats_.leaf_impls;
+  }
+
+  // Decomposition implementations: every applicable rule contributes.
+  RuleContext ctx{library_};
+  for (const auto& rule : rules_.rules()) {
+    if (!rule->applies(spec, ctx)) continue;
+    ++stats_.rule_applications;
+    for (Module& tmpl : rule->expand(spec, ctx)) {
+      auto impl = std::make_unique<ImplNode>();
+      impl->rule_name = rule->name();
+
+      // Recursively expand children; reject templates that reference a
+      // specification still being expanded (would make the graph cyclic).
+      bool cyclic = false;
+      std::vector<SpecNode*> children;
+      for (const Instance& inst : tmpl.instances()) {
+        BRIDGE_CHECK(inst.ref == RefKind::kSpec,
+                     "rule " << rule->name()
+                             << " emitted a non-spec instance");
+        SpecNode* child = expand(inst.spec);
+        if (child->in_progress) {
+          cyclic = true;
+          break;
+        }
+        if (std::find(children.begin(), children.end(), child) ==
+            children.end()) {
+          children.push_back(child);
+        }
+      }
+      if (cyclic) {
+        ++stats_.rejected_templates;
+        continue;
+      }
+      EvalSchedule topo;
+      try {
+        topo = topo_order(tmpl);
+      } catch (const Error&) {
+        ++stats_.rejected_templates;
+        continue;
+      }
+      impl->tmpl = std::move(tmpl);
+      impl->children = std::move(children);
+      impl->topo = std::move(topo);
+      node->impls.push_back(std::move(impl));
+      ++stats_.impl_nodes;
+    }
+  }
+
+  node->in_progress = false;
+  node->expanded = true;
+  if (node->impls.empty()) ++stats_.dead_specs;
+}
+
+namespace {
+
+/// Per-instance connection view with resolved port directions, computed
+/// once (instance_ports + find_port are too hot to call per edge).
+struct InstView {
+  bool sequential = false;
+  // (port name, conn, width) split by direction.
+  std::vector<std::tuple<std::string, PortConn, int>> ins;
+  std::vector<std::tuple<std::string, PortConn, int>> outs;
+};
+
+std::vector<InstView> make_views(const Module& tmpl) {
+  std::vector<InstView> views;
+  views.reserve(tmpl.instances().size());
+  for (const Instance& inst : tmpl.instances()) {
+    InstView v;
+    v.sequential = genus::kind_is_sequential(inst.spec.kind);
+    const auto ports = Module::instance_ports(inst);
+    for (const auto& [port_name, conn] : inst.connections) {
+      const genus::PortSpec& p = genus::find_port(ports, port_name);
+      if (p.dir == genus::PortDir::kIn) {
+        v.ins.emplace_back(port_name, conn, p.width);
+      } else {
+        v.outs.emplace_back(port_name, conn, p.width);
+      }
+    }
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+}  // namespace
+
+EvalSchedule DesignSpace::topo_order(const Module& tmpl) {
+  const auto& insts = tmpl.instances();
+  const int n = static_cast<int>(insts.size());
+  const auto views = make_views(tmpl);
+
+  // Units: one per (combinational instance, connected output port).
+  std::vector<EvalStep> units;
+  std::vector<std::vector<int>> unit_of_inst(n);
+  for (int i = 0; i < n; ++i) {
+    if (views[i].sequential) continue;
+    for (const auto& [port, conn, width] : views[i].outs) {
+      (void)conn;
+      (void)width;
+      unit_of_inst[i].push_back(static_cast<int>(units.size()));
+      units.push_back(EvalStep{i, port});
+    }
+  }
+
+  // Driver unit per net bit (-1: external input / sequential / constant).
+  std::vector<std::vector<int>> bit_driver(tmpl.nets().size());
+  for (size_t nn = 0; nn < tmpl.nets().size(); ++nn) {
+    bit_driver[nn].assign(tmpl.nets()[nn].width, -1);
+  }
+  for (size_t u = 0; u < units.size(); ++u) {
+    const EvalStep& step = units[u];
+    for (const auto& [port, conn, width] : views[step.instance].outs) {
+      if (port != step.port || conn.kind != PortConn::Kind::kNet) continue;
+      for (int b = 0; b < width; ++b) {
+        bit_driver[conn.net][conn.lo + b] = static_cast<int>(u);
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> succs(units.size());
+  std::vector<int> indegree(units.size(), 0);
+  for (size_t u = 0; u < units.size(); ++u) {
+    const EvalStep& step = units[u];
+    const Instance& inst = insts[step.instance];
+    std::vector<int> preds;
+    for (const auto& [in_port, conn, width] : views[step.instance].ins) {
+      if (conn.kind != PortConn::Kind::kNet) continue;
+      if (!genus::output_depends_on(inst.spec, step.port, in_port)) continue;
+      const int span = conn.replicate ? 1 : width;
+      for (int b = 0; b < span; ++b) {
+        int d = bit_driver[conn.net][conn.lo + b];
+        if (d >= 0 && d != static_cast<int>(u)) preds.push_back(d);
+      }
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    for (int p : preds) {
+      succs[p].push_back(static_cast<int>(u));
+      ++indegree[u];
+    }
+  }
+
+  EvalSchedule order;
+  std::vector<int> ready;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (indegree[u] == 0) ready.push_back(static_cast<int>(u));
+  }
+  while (!ready.empty()) {
+    int u = ready.back();
+    ready.pop_back();
+    order.push_back(units[u]);
+    for (int s : succs[u]) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != units.size()) {
+    throw Error("combinational cycle in template " + tmpl.name());
+  }
+  return order;
+}
+
+Metric DesignSpace::eval_template(
+    const Module& tmpl, const EvalSchedule& topo,
+    const std::function<Metric(const ComponentSpec&)>& child_metric) {
+  const auto& insts = tmpl.instances();
+  const auto views = make_views(tmpl);
+  Metric total;
+  double worst_path = 0.0;
+
+  // Arrival time per net bit.
+  std::vector<std::vector<double>> arrival(tmpl.nets().size());
+  for (size_t nn = 0; nn < tmpl.nets().size(); ++nn) {
+    arrival[nn].assign(tmpl.nets()[nn].width, 0.0);
+  }
+
+  auto write_port = [&](int i, const std::string& port, double t) {
+    for (const auto& [pname, conn, width] : views[i].outs) {
+      if (pname != port || conn.kind != PortConn::Kind::kNet) continue;
+      for (int b = 0; b < width; ++b) {
+        double& a = arrival[conn.net][conn.lo + b];
+        a = std::max(a, t);
+      }
+    }
+  };
+  auto in_arrival = [&](int i, const std::string* out_port) {
+    double a = 0.0;
+    for (const auto& [in_port, conn, width] : views[i].ins) {
+      if (conn.kind != PortConn::Kind::kNet) continue;
+      if (out_port != nullptr &&
+          !genus::output_depends_on(insts[i].spec, *out_port, in_port)) {
+        continue;
+      }
+      const int span = conn.replicate ? 1 : width;
+      for (int b = 0; b < span; ++b) {
+        a = std::max(a, arrival[conn.net][conn.lo + b]);
+      }
+    }
+    return a;
+  };
+
+  // Area, and clock-to-q launch for sequential instances.
+  std::vector<int> seq_insts;
+  std::vector<double> inst_delay(insts.size(), 0.0);
+  for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+    Metric m = child_metric(insts[i].spec);
+    total.area += m.area;
+    inst_delay[i] = m.delay;
+    if (views[i].sequential) {
+      seq_insts.push_back(i);
+      for (const auto& [pname, conn, width] : views[i].outs) {
+        (void)conn;
+        (void)width;
+        write_port(i, pname, m.delay);
+      }
+      worst_path = std::max(worst_path, m.delay);
+    }
+  }
+  for (const EvalStep& step : topo) {
+    double t = in_arrival(step.instance, &step.port) +
+               inst_delay[step.instance];
+    write_port(step.instance, step.port, t);
+    worst_path = std::max(worst_path, t);
+  }
+  // Paths terminating at sequential inputs (register setup).
+  for (int i : seq_insts) {
+    worst_path = std::max(worst_path, in_arrival(i, nullptr));
+  }
+  total.delay = worst_path;
+  return total;
+}
+
+std::vector<Alternative> DesignSpace::filter_alternatives(
+    std::vector<Alternative> candidates) const {
+  // Deduplicate identical metrics (keep the first).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Alternative& a, const Alternative& b) {
+              if (std::abs(a.metric.area - b.metric.area) > kEps) {
+                return a.metric.area < b.metric.area;
+              }
+              return a.metric.delay < b.metric.delay;
+            });
+  std::vector<Alternative> kept;
+  switch (options_.filter) {
+    case FilterKind::kPareto: {
+      // Favorable-tradeoff filter: strictly Pareto, and additional area is
+      // only worth paying for a significant delay gain.
+      double best_delay = std::numeric_limits<double>::infinity();
+      for (Alternative& alt : candidates) {
+        const double required =
+            kept.empty() ? best_delay
+                         : best_delay * (1.0 - options_.min_delay_gain);
+        if (alt.metric.delay < required - kEps) {
+          best_delay = alt.metric.delay;
+          kept.push_back(std::move(alt));
+        }
+      }
+      break;
+    }
+    case FilterKind::kAreaOnly:
+      if (!candidates.empty()) kept.push_back(std::move(candidates.front()));
+      break;
+    case FilterKind::kDelayOnly: {
+      if (!candidates.empty()) {
+        auto it = std::min_element(candidates.begin(), candidates.end(),
+                                   [](const Alternative& a,
+                                      const Alternative& b) {
+                                     return a.metric.delay < b.metric.delay;
+                                   });
+        kept.push_back(std::move(*it));
+      }
+      break;
+    }
+    case FilterKind::kNone: {
+      // Drop exact duplicates only.
+      for (Alternative& alt : candidates) {
+        if (kept.empty() ||
+            std::abs(kept.back().metric.area - alt.metric.area) > kEps ||
+            std::abs(kept.back().metric.delay - alt.metric.delay) > kEps) {
+          kept.push_back(std::move(alt));
+        }
+      }
+      break;
+    }
+  }
+  if (static_cast<int>(kept.size()) > options_.max_alternatives_per_node) {
+    kept.resize(options_.max_alternatives_per_node);
+  }
+  return kept;
+}
+
+void DesignSpace::evaluate(SpecNode* node) {
+  if (node->evaluated) return;
+  node->evaluated = true;  // set first: graph is acyclic by construction
+
+  std::vector<Alternative> candidates;
+  for (size_t ii = 0; ii < node->impls.size(); ++ii) {
+    ImplNode* impl = node->impls[ii].get();
+    if (impl->is_leaf()) {
+      Alternative alt;
+      alt.impl_index = static_cast<int>(ii);
+      alt.metric = Metric{impl->cell->area, impl->cell->delay_ns};
+      candidates.push_back(std::move(alt));
+      continue;
+    }
+    // Evaluate children first.
+    bool viable = true;
+    for (SpecNode* child : impl->children) {
+      evaluate(child);
+      if (child->alts.empty()) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) {
+      impl->dead = true;
+      continue;
+    }
+    // Bound the combination count per implementation: shrink the number of
+    // alternatives considered per child until the product fits.
+    const int nchildren = static_cast<int>(impl->children.size());
+    std::vector<int> limit(nchildren);
+    for (int c = 0; c < nchildren; ++c) {
+      limit[c] = static_cast<int>(impl->children[c]->alts.size());
+    }
+    auto product = [&]() {
+      double p = 1;
+      for (int c = 0; c < nchildren; ++c) p *= limit[c];
+      return p;
+    };
+    while (product() > static_cast<double>(options_.max_combinations_per_impl)) {
+      auto it = std::max_element(limit.begin(), limit.end());
+      if (*it <= 1) break;
+      --*it;
+    }
+
+    // Odometer over child alternative choices (uniform-implementation
+    // constraint: one choice per *distinct* child spec).
+    std::vector<int> choice(nchildren, 0);
+    for (;;) {
+      auto metric_of = [&](const ComponentSpec& spec) -> Metric {
+        for (int c = 0; c < nchildren; ++c) {
+          if (impl->children[c]->spec == spec) {
+            return impl->children[c]->alts[choice[c]].metric;
+          }
+        }
+        throw Error("template child spec not found: " + spec.key());
+      };
+      Alternative alt;
+      alt.impl_index = static_cast<int>(ii);
+      alt.child_alt = choice;
+      alt.metric = eval_template(*impl->tmpl, impl->topo, metric_of);
+      candidates.push_back(std::move(alt));
+
+      int c = 0;
+      while (c < nchildren && ++choice[c] >= limit[c]) {
+        choice[c] = 0;
+        ++c;
+      }
+      if (c == nchildren) break;
+      if (nchildren == 0) break;
+    }
+    if (nchildren == 0 && impl->tmpl.has_value()) {
+      // Template with no spec instances at all: constant metrics already
+      // pushed by the loop body above (single iteration).
+    }
+  }
+  node->alts = filter_alternatives(std::move(candidates));
+}
+
+double DesignSpace::count_constrained(SpecNode* node) {
+  if (node->count_constrained >= 0) return node->count_constrained;
+  node->count_constrained = 0;  // guards (graph is acyclic)
+  double total = 0;
+  for (const auto& impl : node->impls) {
+    if (impl->is_leaf()) {
+      total += 1;
+      continue;
+    }
+    double p = 1;
+    for (SpecNode* child : impl->children) {
+      p *= count_constrained(child);
+    }
+    total += p;
+  }
+  node->count_constrained = total;
+  return total;
+}
+
+double DesignSpace::count_unconstrained(SpecNode* node) {
+  if (node->count_unconstrained >= 0) return node->count_unconstrained;
+  node->count_unconstrained = 0;
+  double total = 0;
+  for (const auto& impl : node->impls) {
+    if (impl->is_leaf()) {
+      total += 1;
+      continue;
+    }
+    double p = 1;
+    for (const Instance& inst : impl->tmpl->instances()) {
+      for (SpecNode* child : impl->children) {
+        if (child->spec == inst.spec) {
+          p *= count_unconstrained(child);
+          break;
+        }
+      }
+    }
+    total += p;
+  }
+  node->count_unconstrained = total;
+  return total;
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,177 @@
+// The DTAS design space: an acyclic AND-OR graph.
+//
+// "This design space is represented as an acyclic graph. Nodes consist of
+// component specifications and alternative component implementations. Each
+// component implementation corresponds to a library cell or to a netlist
+// of modules." (paper §5)
+//
+// SpecNode is a specification node; its ImplNodes are the alternatives —
+// either a library cell (functional match) or a one-level decomposition
+// template produced by a rule. Specification nodes are memoized, so the
+// graph is shared across the whole design (a 4-bit adder appearing in many
+// contexts is expanded once).
+//
+// Search control (paper §5):
+//  1. Uniform-implementation constraint: "we ignore netlist implementations
+//     containing two or more modules with the same component specification
+//     that are not instances of the same component implementation" —
+//     enforced by choosing one alternative per *distinct* child
+//     specification when combining.
+//  2. Performance filters: "we apply performance filters to eliminate all
+//     but the best alternative implementations of each component
+//     specification" — a Pareto filter over (area, delay) at every node.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cells/cell.h"
+#include "dtas/rule.h"
+#include "genus/spec.h"
+#include "netlist/netlist.h"
+
+namespace bridge::dtas {
+
+/// Area (equivalent NAND gates) and delay (ns) of a candidate design.
+struct Metric {
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+/// True if `a` is at least as good as `b` on both axes and better on one.
+bool dominates(const Metric& a, const Metric& b);
+
+struct SpecNode;
+
+/// One scheduled evaluation step: an instance and one of its output ports.
+/// Scheduling is per output port (not per instance) so that false paths —
+/// e.g. a look-ahead generator's GP/GG outputs, which do not depend on its
+/// carry input — do not create spurious combinational cycles.
+struct EvalStep {
+  int instance = -1;
+  std::string port;
+};
+using EvalSchedule = std::vector<EvalStep>;
+
+/// One alternative implementation of a specification.
+struct ImplNode {
+  /// Leaf: the matched library cell (functional match). Null for decomps.
+  const cells::Cell* cell = nullptr;
+  /// Decomposition: the rule that produced it and its template netlist.
+  std::string rule_name;
+  std::optional<netlist::Module> tmpl;
+  /// Distinct child specification nodes, in deterministic order.
+  std::vector<SpecNode*> children;
+  /// Topological evaluation schedule of the template (combinational only).
+  EvalSchedule topo;
+  bool dead = false;
+
+  bool is_leaf() const { return cell != nullptr; }
+};
+
+/// A surviving alternative after evaluation: which implementation, which
+/// alternative of each distinct child, and the resulting metrics.
+struct Alternative {
+  int impl_index = -1;
+  std::vector<int> child_alt;  // parallel to impls[impl_index]->children
+  Metric metric;
+};
+
+struct SpecNode {
+  genus::ComponentSpec spec;
+  std::vector<std::unique_ptr<ImplNode>> impls;
+  std::vector<Alternative> alts;  // filtered, sorted by ascending area
+  bool expanded = false;
+  bool in_progress = false;
+  bool evaluated = false;
+  double count_constrained = -1.0;
+  double count_unconstrained = -1.0;
+};
+
+/// Performance-filter policy (ablation knob; the paper uses the
+/// favorable-tradeoff filter, i.e. Pareto).
+enum class FilterKind { kPareto, kNone, kAreaOnly, kDelayOnly };
+
+struct SpaceOptions {
+  FilterKind filter = FilterKind::kPareto;
+  /// Cap on surviving alternatives per node (after filtering).
+  int max_alternatives_per_node = 24;
+  /// Cap on child-choice combinations explored per implementation.
+  long max_combinations_per_impl = 100000;
+  /// "Favorable tradeoff" threshold of the Pareto filter: a larger design
+  /// survives only if it improves delay by at least this fraction. This is
+  /// what keeps the paper's alternative sets small (5 designs for the
+  /// 64-bit ALU) instead of full of near-duplicates.
+  double min_delay_gain = 0.10;
+};
+
+struct SpaceStats {
+  int spec_nodes = 0;
+  int impl_nodes = 0;
+  int leaf_impls = 0;
+  int rule_applications = 0;
+  int dead_specs = 0;        // specs with no viable implementation
+  int rejected_templates = 0;  // cyclic or malformed rule output
+};
+
+class DesignSpace {
+ public:
+  DesignSpace(const RuleBase& rules, const cells::CellLibrary& library,
+              SpaceOptions options = {});
+
+  /// Recursively expand a specification (memoized). Never null; the node
+  /// may end up with no implementations (dead) if the library can't
+  /// realize it.
+  SpecNode* expand(const genus::ComponentSpec& spec);
+
+  /// Evaluate a node bottom-up: build its filtered alternative list.
+  void evaluate(SpecNode* node);
+
+  /// Design-space size under the uniform-implementation constraint
+  /// (search principle 1) but with no performance filter.
+  double count_constrained(SpecNode* node);
+
+  /// Raw design-space size with neither search-control principle: every
+  /// module instance chooses independently. "Even for components of modest
+  /// size ... several hundred thousand to several million alternative
+  /// designs." (paper §5)
+  double count_unconstrained(SpecNode* node);
+
+  const cells::CellLibrary& library() const { return library_; }
+  const RuleBase& rules() const { return rules_; }
+  const SpaceStats& stats() const { return stats_; }
+  const SpaceOptions& options() const { return options_; }
+
+  /// Evaluate a template's metrics given per-child-spec metrics: area is
+  /// the sum over instances, delay the longest structural path (sequential
+  /// instances act as path sources/sinks with their clock-to-q delay).
+  /// Arrival times are tracked per net *bit*.
+  static Metric eval_template(
+      const netlist::Module& tmpl, const EvalSchedule& topo,
+      const std::function<Metric(const genus::ComponentSpec&)>& child_metric);
+
+  /// Topological evaluation schedule over (instance, output port) units
+  /// with bit-granular dependencies. Throws Error on a real combinational
+  /// cycle.
+  static EvalSchedule topo_order(const netlist::Module& tmpl);
+
+  /// Apply this space's filter policy to a set of alternatives (also used
+  /// by netlist-level synthesis). Sorted by ascending area.
+  std::vector<Alternative> filter_alternatives(
+      std::vector<Alternative> candidates) const;
+
+ private:
+  void expand_node(SpecNode* node);
+
+  const RuleBase& rules_;
+  const cells::CellLibrary& library_;
+  SpaceOptions options_;
+  SpaceStats stats_;
+  std::unordered_map<genus::ComponentSpec, std::unique_ptr<SpecNode>> memo_;
+};
+
+}  // namespace bridge::dtas

@@ -1,0 +1,120 @@
+#include "dtas/rule.h"
+
+#include "base/diag.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Op;
+using netlist::Instance;
+using netlist::NetIndex;
+
+void RuleBase::add(std::unique_ptr<Rule> rule) {
+  BRIDGE_CHECK(rule != nullptr, "null rule");
+  BRIDGE_CHECK(find(rule->name()) == nullptr,
+               "duplicate rule '" << rule->name() << "'");
+  rules_.push_back(std::move(rule));
+}
+
+int RuleBase::generic_count() const {
+  int n = 0;
+  for (const auto& r : rules_) {
+    if (!r->library_specific()) ++n;
+  }
+  return n;
+}
+
+int RuleBase::library_specific_count() const {
+  return total_count() - generic_count();
+}
+
+const Rule* RuleBase::find(const std::string& name) const {
+  for (const auto& r : rules_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
+TemplateBuilder::TemplateBuilder(const ComponentSpec& spec,
+                                 const std::string& label)
+    : mod_(label) {
+  for (const genus::PortSpec& p : genus::spec_ports(spec)) {
+    mod_.add_port(p.name, p.dir, p.width);
+  }
+}
+
+NetIndex TemplateBuilder::port(const std::string& name) const {
+  NetIndex idx = mod_.find_net(name);
+  BRIDGE_CHECK(idx != netlist::kNoNet,
+               "template " << mod_.name() << " has no port net '" << name
+                           << "'");
+  return idx;
+}
+
+NetIndex TemplateBuilder::fresh(const std::string& base, int width) {
+  return mod_.add_net(base + "_" + std::to_string(counter_++), width);
+}
+
+Instance& TemplateBuilder::add(const std::string& name,
+                               const ComponentSpec& child) {
+  return mod_.add_spec_instance(name + "_" + std::to_string(counter_++),
+                                child);
+}
+
+NetIndex TemplateBuilder::gate2(Op fn, NetIndex a, int a_lo, NetIndex b,
+                                int b_lo) {
+  Instance& g = add("g", genus::make_gate_spec(fn, 1, 2));
+  connect(g, "I0", a, a_lo);
+  connect(g, "I1", b, b_lo);
+  NetIndex out = fresh("t", 1);
+  connect(g, "OUT", out);
+  return out;
+}
+
+NetIndex TemplateBuilder::inv(NetIndex a, int a_lo) {
+  Instance& g = add("n", genus::make_gate_spec(Op::kLnot, 1));
+  connect(g, "I0", a, a_lo);
+  NetIndex out = fresh("t", 1);
+  connect(g, "OUT", out);
+  return out;
+}
+
+NetIndex TemplateBuilder::gate_many(
+    Op fn, const std::vector<std::pair<NetIndex, int>>& picks) {
+  BRIDGE_CHECK(picks.size() >= 1, "gate_many needs at least one input");
+  if (picks.size() == 1 && fn != Op::kLnot) {
+    // Degenerate gate: a single-input AND/OR is a buffer.
+    Instance& g = add("b", genus::make_gate_spec(Op::kBuf, 1));
+    connect(g, "I0", picks[0].first, picks[0].second);
+    NetIndex out = fresh("t", 1);
+    connect(g, "OUT", out);
+    return out;
+  }
+  Instance& g = add("g", genus::make_gate_spec(
+                             fn, 1, static_cast<int>(picks.size())));
+  for (size_t i = 0; i < picks.size(); ++i) {
+    connect(g, "I" + std::to_string(i), picks[i].first, picks[i].second);
+  }
+  NetIndex out = fresh("t", 1);
+  connect(g, "OUT", out);
+  return out;
+}
+
+void TemplateBuilder::buf_slice(NetIndex src, int src_lo, NetIndex dst,
+                                int dst_lo, int width) {
+  BRIDGE_CHECK(width >= 1, "buf_slice of empty range");
+  Instance& g = add("w", genus::make_gate_spec(Op::kBuf, width));
+  connect(g, "I0", src, src_lo);
+  connect(g, "OUT", dst, dst_lo);
+}
+
+void TemplateBuilder::const_slice(NetIndex dst, int dst_lo, int width,
+                                  bool value) {
+  // A gate with constant inputs is the structural form of a GND/VDD tie.
+  Instance& g = add("k", genus::make_gate_spec(Op::kBuf, width));
+  std::uint64_t v = value ? ~0ULL : 0ULL;
+  connect_const(g, "I0", v);
+  connect(g, "OUT", dst, dst_lo);
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,213 @@
+// DTAS rules: functional decomposition of component specifications.
+//
+// "Functional decomposition is implemented with a rule-based system that
+// expands the space of component decompositions." (paper §5)
+//
+// A Rule recognizes a component specification and rewrites it into one or
+// more template netlists. Each template is one level of decomposition: a
+// netlist::Module whose instances are *specifications* of connected
+// subcomponents (RefKind::kSpec). DTAS recursively decomposes those in
+// turn, and the functional matcher maps specifications onto library cells.
+//
+// Rules come in two flavors, mirroring the paper's "86 rules written in
+// the DTAS Design Language" and "nine library-specific design rules":
+// generic rules encode technology-independent design principles (ripple
+// composition, bit slicing, tree composition, ...); library-specific rules
+// instantiate those principles for the granularities a particular data
+// book offers (e.g. ripple by 4 because ADD4 exists). LOLA (src/lola)
+// induces the latter automatically from a data book.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+#include "genus/spec.h"
+#include "netlist/netlist.h"
+
+namespace bridge::dtas {
+
+/// Everything a rule may consult while expanding. Rules may look at the
+/// target library (e.g. to propose granularities that cells exist for),
+/// but must not bind cells themselves — matching is the engine's job.
+struct RuleContext {
+  const cells::CellLibrary& library;
+};
+
+class Rule {
+ public:
+  Rule(std::string name, std::string principle, bool library_specific)
+      : name_(std::move(name)),
+        principle_(std::move(principle)),
+        library_specific_(library_specific) {}
+  virtual ~Rule() = default;
+
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  /// Fast recognition test.
+  virtual bool applies(const genus::ComponentSpec& spec,
+                       const RuleContext& ctx) const = 0;
+
+  /// Produce alternative one-level decompositions of `spec`. Only called
+  /// when applies() is true. Each returned module's ports must be exactly
+  /// spec_ports(spec).
+  virtual std::vector<netlist::Module> expand(const genus::ComponentSpec& spec,
+                                              const RuleContext& ctx) const = 0;
+
+  const std::string& name() const { return name_; }
+  /// The abstract design principle the rule instantiates
+  /// ("ripple-composition", "bit-slice", "tree-composition", ...).
+  const std::string& principle() const { return principle_; }
+  bool library_specific() const { return library_specific_; }
+
+ private:
+  std::string name_;
+  std::string principle_;
+  bool library_specific_;
+};
+
+/// An ordered rule base. Generic rules are registered by
+/// register_standard_rules(); library rules by register_lsi_rules() or by
+/// LOLA induction.
+class RuleBase {
+ public:
+  void add(std::unique_ptr<Rule> rule);
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  int total_count() const { return static_cast<int>(rules_.size()); }
+  int generic_count() const;
+  int library_specific_count() const;
+
+  /// Rule lookup by name; nullptr when absent.
+  const Rule* find(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Convenience rule built from two lambdas.
+class LambdaRule final : public Rule {
+ public:
+  using AppliesFn = std::function<bool(const genus::ComponentSpec&,
+                                       const RuleContext&)>;
+  using ExpandFn = std::function<std::vector<netlist::Module>(
+      const genus::ComponentSpec&, const RuleContext&)>;
+
+  LambdaRule(std::string name, std::string principle, bool library_specific,
+             AppliesFn applies, ExpandFn expand)
+      : Rule(std::move(name), std::move(principle), library_specific),
+        applies_(std::move(applies)),
+        expand_(std::move(expand)) {}
+
+  bool applies(const genus::ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    return applies_(spec, ctx);
+  }
+  std::vector<netlist::Module> expand(const genus::ComponentSpec& spec,
+                                      const RuleContext& ctx) const override {
+    return expand_(spec, ctx);
+  }
+
+ private:
+  AppliesFn applies_;
+  ExpandFn expand_;
+};
+
+/// Helper for authoring decomposition templates. Wraps a Module whose
+/// ports are created from the parent specification, and offers small
+/// hardware idioms (fresh nets, gates, buffers, constants) so rules read
+/// like the structures they build.
+class TemplateBuilder {
+ public:
+  /// Create a template whose ports are spec_ports(spec).
+  TemplateBuilder(const genus::ComponentSpec& spec, const std::string& label);
+
+  netlist::Module take() && { return std::move(mod_); }
+  netlist::Module& module() { return mod_; }
+
+  /// Net index of a parent port.
+  netlist::NetIndex port(const std::string& name) const;
+
+  /// Create a fresh internal net (unique suffix added automatically).
+  netlist::NetIndex fresh(const std::string& base, int width);
+
+  /// Add a subcomponent specification instance.
+  netlist::Instance& add(const std::string& name,
+                         const genus::ComponentSpec& child);
+
+  // --- small hardware idioms ------------------------------------------
+  /// 1-bit two-input gate; returns its (fresh) output net.
+  netlist::NetIndex gate2(genus::Op fn, netlist::NetIndex a, int a_lo,
+                          netlist::NetIndex b, int b_lo);
+  /// 1-bit inverter.
+  netlist::NetIndex inv(netlist::NetIndex a, int a_lo);
+  /// Fanin-k 1-bit gate over bit picks; k>=2 (k taken from picks.size()).
+  netlist::NetIndex gate_many(genus::Op fn,
+                              const std::vector<std::pair<netlist::NetIndex,
+                                                          int>>& picks);
+  /// Copy `width` bits from src[src_lo...] into dst[dst_lo...] via a
+  /// buffer array (used for shift/rotate wiring).
+  void buf_slice(netlist::NetIndex src, int src_lo, netlist::NetIndex dst,
+                 int dst_lo, int width);
+  /// Drive dst[dst_lo...width) with a constant (zero-generator gate).
+  void const_slice(netlist::NetIndex dst, int dst_lo, int width,
+                   bool value = false);
+
+  /// Connect helpers forwarding to the module.
+  void connect(netlist::Instance& inst, const std::string& port,
+               netlist::NetIndex net, int lo = 0) {
+    mod_.connect(inst, port, net, lo);
+  }
+  void connect_const(netlist::Instance& inst, const std::string& port,
+                     std::uint64_t v) {
+    mod_.connect_const(inst, port, v);
+  }
+  void connect_replicated(netlist::Instance& inst, const std::string& port,
+                          netlist::NetIndex net, int bit = 0) {
+    mod_.connect_replicated(inst, port, net, bit);
+  }
+
+ private:
+  netlist::Module mod_;
+  int counter_ = 0;
+};
+
+/// Register the generic (technology-independent) DTAS rule set.
+void register_standard_rules(RuleBase& base);
+
+/// Register the nine library-specific rules for the LSI-style data book.
+void register_lsi_rules(RuleBase& base);
+
+// Per-family registration (exposed for tests and for LOLA, which reuses
+// the parameterized rule constructors).
+void register_arith_rules(RuleBase& base);
+void register_gate_rules(RuleBase& base);
+void register_mux_rules(RuleBase& base);
+void register_codec_rules(RuleBase& base);
+void register_compare_shift_rules(RuleBase& base);
+void register_seq_rules(RuleBase& base);
+void register_alu_rules(RuleBase& base);
+
+// Parameterized rule constructors shared with library rules and LOLA.
+std::unique_ptr<Rule> make_ripple_adder_rule(int group_width,
+                                             bool library_specific);
+std::unique_ptr<Rule> make_fast_adder_ripple_rule(int group_width,
+                                                  bool library_specific);
+std::unique_ptr<Rule> make_addsub_ripple_rule(int group_width,
+                                              bool library_specific);
+std::unique_ptr<Rule> make_mux_bitslice_rule(int slice_width,
+                                             bool library_specific);
+std::unique_ptr<Rule> make_mux_tree_rule(int arity, bool library_specific);
+std::unique_ptr<Rule> make_register_pack_rule(int pack_width,
+                                              bool library_specific);
+std::unique_ptr<Rule> make_comparator_cascade_rule(int group_width,
+                                                   bool library_specific);
+std::unique_ptr<Rule> make_decoder_tree_rule(int leaf_width,
+                                             bool library_specific);
+std::unique_ptr<Rule> make_alu_slice_cascade_rule(int slice_width,
+                                                  bool library_specific);
+
+}  // namespace bridge::dtas

@@ -1,0 +1,349 @@
+// ALU decomposition rules.
+//
+// The generic rule decomposes an n-bit multi-function ALU the way the
+// paper's Figure 3 study requires: an add/subtract datapath with a
+// B-operand selector (ADD/SUB/INC/DEC and the compare differences), a
+// multi-function logic unit, a dedicated comparator and zero detector for
+// the status pins, an output selector, and a small minterm decode plane
+// that derives the datapath controls from the function code F.
+//
+// The slice-cascade rule composes an ALU from data-book ALU slices
+// (74181-style) chained through the raw carry — valid exactly for the
+// operations whose per-slice semantics compose (ADD, SUB, bitwise logic).
+#include <map>
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+const OpSet kArithGroup{Op::kAdd, Op::kSub, Op::kInc, Op::kDec,
+                        Op::kEq,  Op::kLt,  Op::kGt,  Op::kZerop};
+const OpSet kSliceableOps = OpSet{Op::kAdd, Op::kSub} | genus::alu16_logic_ops();
+
+/// Builds decode signals from the function code F: each signal is an OR of
+/// shared minterms, simplified to a direct F wire or a constant when the
+/// code set allows it.
+class DecodePlane {
+ public:
+  DecodePlane(TemplateBuilder& t, int selw, int nops)
+      : t_(t), selw_(selw), nops_(nops) {}
+
+  /// Net holding 1 exactly when the current F code is in `codes`.
+  NetIndex signal(const std::vector<int>& codes) {
+    if (codes.empty()) return const_net(false);
+    if (static_cast<int>(codes.size()) == nops_) return const_net(true);
+    // Single F bit? codes == all in-range codes with bit j set.
+    for (int j = 0; j < selw_; ++j) {
+      std::vector<int> with_bit;
+      for (int c = 0; c < nops_; ++c) {
+        if ((c >> j) & 1) with_bit.push_back(c);
+      }
+      if (with_bit == codes) {
+        NetIndex o = t_.fresh("fb", 1);
+        t_.buf_slice(t_.port("F"), j, o, 0, 1);
+        return o;
+      }
+    }
+    std::vector<std::pair<NetIndex, int>> terms;
+    for (int c : codes) terms.emplace_back(minterm(c), 0);
+    if (terms.size() == 1) return terms[0].first;
+    return t_.gate_many(Op::kOr, terms);
+  }
+
+ private:
+  NetIndex const_net(bool v) {
+    NetIndex o = t_.fresh("k", 1);
+    t_.const_slice(o, 0, 1, v);
+    return o;
+  }
+
+  NetIndex inv_bit(int j) {
+    auto it = inv_.find(j);
+    if (it != inv_.end()) return it->second;
+    NetIndex n = t_.inv(t_.port("F"), j);
+    inv_[j] = n;
+    return n;
+  }
+
+  NetIndex minterm(int code) {
+    auto it = minterms_.find(code);
+    if (it != minterms_.end()) return it->second;
+    std::vector<std::pair<NetIndex, int>> picks;
+    for (int j = 0; j < selw_; ++j) {
+      if ((code >> j) & 1) {
+        picks.emplace_back(t_.port("F"), j);
+      } else {
+        picks.emplace_back(inv_bit(j), 0);
+      }
+    }
+    NetIndex m = t_.gate_many(Op::kAnd, picks);
+    minterms_[code] = m;
+    return m;
+  }
+
+  TemplateBuilder& t_;
+  int selw_;
+  int nops_;
+  std::map<int, NetIndex> inv_;
+  std::map<int, NetIndex> minterms_;
+};
+
+class AluDatapathRule final : public Rule {
+ public:
+  explicit AluDatapathRule(bool library_specific)
+      : Rule("alu-datapath-decompose", "datapath-composition",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kAlu && !spec.ops.empty() &&
+           (kArithGroup | genus::alu16_logic_ops()).contains_all(spec.ops);
+  }
+
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "aludp");
+    const int w = spec.width;
+    const auto ops = spec.ops.to_vector();
+    const int nops = static_cast<int>(ops.size());
+    const int selw = spec.select_width();
+
+    std::vector<Op> logic_ops;
+    std::vector<int> logic_codes;
+    std::vector<int> mode_codes;  // subtract-style datapath ops
+    std::vector<int> bsel1_codes;  // B operand = constant 1 (INC/DEC)
+    std::vector<int> bsel0_codes;  // B operand = constant 0 (ZEROP)
+    bool any_arith = false;
+    for (int c = 0; c < nops; ++c) {
+      Op op = ops[c];
+      if (genus::op_is_logic(op)) {
+        logic_ops.push_back(op);
+        logic_codes.push_back(c);
+        continue;
+      }
+      any_arith = true;
+      switch (op) {
+        case Op::kSub:
+        case Op::kEq:
+        case Op::kLt:
+        case Op::kGt:
+          mode_codes.push_back(c);
+          break;
+        case Op::kDec:
+          mode_codes.push_back(c);
+          bsel1_codes.push_back(c);
+          break;
+        case Op::kInc:
+          bsel1_codes.push_back(c);
+          break;
+        case Op::kZerop:
+          mode_codes.push_back(c);
+          bsel0_codes.push_back(c);
+          break;
+        default:
+          break;
+      }
+    }
+    const bool need_datapath = any_arith || spec.carry_out;
+    const bool multi_op = nops > 1;
+    DecodePlane decode(t, multi_op ? selw : 0, nops);
+
+    NetIndex ds = netlist::kNoNet;  // datapath sum
+    if (need_datapath) {
+      // B-operand selector: B, constant 1, constant 0.
+      NetIndex b_operand = t.port("B");
+      if (!bsel1_codes.empty() || !bsel0_codes.empty()) {
+        NetIndex bsel = t.fresh("bsel", 2);
+        NetIndex b0 = decode.signal(sorted_union(bsel1_codes, {}));
+        NetIndex b1 = decode.signal(sorted_union(bsel0_codes, {}));
+        t.buf_slice(b0, 0, bsel, 0, 1);
+        t.buf_slice(b1, 0, bsel, 1, 1);
+        Instance& bm = t.add("bmux", genus::make_mux_spec(w, 3));
+        t.connect(bm, "I0", t.port("B"));
+        t.connect_const(bm, "I1", 1);
+        t.connect_const(bm, "I2", 0);
+        t.connect(bm, "SEL", bsel);
+        b_operand = t.fresh("bop", w);
+        t.connect(bm, "OUT", b_operand);
+      }
+      NetIndex mode = decode.signal(sorted_union(mode_codes, {}));
+
+      ComponentSpec as = genus::make_addsub_spec(w);
+      as.carry_out = spec.carry_out;
+      Instance& core = t.add("arith", as);
+      t.connect(core, "A", t.port("A"));
+      t.connect(core, "B", b_operand);
+      t.connect(core, "MODE", mode);
+      if (spec.carry_in) {
+        t.connect(core, "CI", t.port("CI"));
+      } else {
+        t.connect_const(core, "CI", 0);
+      }
+      if (spec.carry_out) t.connect(core, "CO", t.port("CO"));
+      ds = t.fresh("ds", w);
+      t.connect(core, "S", ds);
+    }
+
+    // Logic unit.
+    NetIndex lo = netlist::kNoNet;
+    if (!logic_ops.empty()) {
+      OpSet lset;
+      for (Op op : logic_ops) lset.insert(op);
+      ComponentSpec lu = genus::make_logic_unit_spec(w, lset);
+      Instance& u = t.add("logic", lu);
+      t.connect(u, "A", t.port("A"));
+      t.connect(u, "B", t.port("B"));
+      if (logic_ops.size() > 1) {
+        // LU select code = index within the logic subset: per-bit OR plane.
+        const int lsw = lu.select_width();
+        NetIndex lf = t.fresh("lf", lsw);
+        for (int j = 0; j < lsw; ++j) {
+          std::vector<int> codes;
+          for (size_t i = 0; i < logic_codes.size(); ++i) {
+            if ((static_cast<int>(i) >> j) & 1) {
+              codes.push_back(logic_codes[i]);
+            }
+          }
+          NetIndex s = decode.signal(sorted_union(codes, {}));
+          t.buf_slice(s, 0, lf, j, 1);
+        }
+        t.connect(u, "F", lf);
+      }
+      lo = t.fresh("lo", w);
+      t.connect(u, "OUT", lo);
+    }
+
+    // Output selection.
+    if (ds != netlist::kNoNet && lo != netlist::kNoNet) {
+      NetIndex outsel = decode.signal(sorted_union(logic_codes, {}));
+      Instance& om = t.add("omux", genus::make_mux_spec(w, 2));
+      t.connect(om, "I0", ds);
+      t.connect(om, "I1", lo);
+      t.connect(om, "SEL", outsel);
+      t.connect(om, "OUT", t.port("OUT"));
+    } else if (ds != netlist::kNoNet) {
+      t.buf_slice(ds, 0, t.port("OUT"), 0, w);
+    } else if (lo != netlist::kNoNet) {
+      t.buf_slice(lo, 0, t.port("OUT"), 0, w);
+    } else {
+      t.const_slice(t.port("OUT"), 0, w);
+    }
+
+    // Status pins: dedicated comparator (EQ/LT/GT) and zero detector.
+    OpSet cmp_ops;
+    for (Op op : {Op::kEq, Op::kLt, Op::kGt}) {
+      if (spec.ops.contains(op)) cmp_ops.insert(op);
+    }
+    if (!cmp_ops.empty()) {
+      ComponentSpec cs = genus::make_comparator_spec(w, cmp_ops);
+      Instance& cmp = t.add("cmp", cs);
+      t.connect(cmp, "A", t.port("A"));
+      t.connect(cmp, "B", t.port("B"));
+      for (Op op : cmp_ops.to_vector()) {
+        t.connect(cmp, genus::op_name(op), t.port(genus::op_name(op)));
+      }
+    }
+    if (spec.ops.contains(Op::kZerop)) {
+      if (w == 1) {
+        NetIndex z = t.inv(t.port("A"), 0);
+        t.buf_slice(z, 0, t.port("ZEROP"), 0, 1);
+      } else {
+        std::vector<std::pair<NetIndex, int>> picks;
+        for (int b = 0; b < w; ++b) picks.emplace_back(t.port("A"), b);
+        NetIndex z = t.gate_many(Op::kNor, picks);
+        t.buf_slice(z, 0, t.port("ZEROP"), 0, 1);
+      }
+    }
+
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  static std::vector<int> sorted_union(std::vector<int> a,
+                                       const std::vector<int>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    return a;
+  }
+};
+
+/// Cascade of data-book ALU slices through the raw carry chain.
+class AluSliceCascadeRule final : public Rule {
+ public:
+  AluSliceCascadeRule(int k, bool library_specific)
+      : Rule("alu-slice-cascade-" + std::to_string(k), "ripple-composition",
+             library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kAlu || spec.width <= k_ ||
+        spec.width % k_ != 0 || spec.ops.empty() ||
+        !kSliceableOps.contains_all(spec.ops)) {
+      return false;
+    }
+    ComponentSpec probe = genus::make_alu_spec(k_, spec.ops);
+    return !ctx.library.matches(probe).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "aluslices" + std::to_string(k_));
+    const int groups = spec.width / k_;
+    NetIndex carry = netlist::kNoNet;
+    for (int g = 0; g < groups; ++g) {
+      ComponentSpec slice = genus::make_alu_spec(k_, spec.ops);
+      Instance& u = t.add("slice", slice);
+      t.connect(u, "A", t.port("A"), g * k_);
+      t.connect(u, "B", t.port("B"), g * k_);
+      t.connect(u, "F", t.port("F"));
+      t.connect(u, "OUT", t.port("OUT"), g * k_);
+      if (g == 0) {
+        if (spec.carry_in) {
+          t.connect(u, "CI", t.port("CI"));
+        } else {
+          t.connect_const(u, "CI", 0);
+        }
+      } else {
+        t.connect(u, "CI", carry);
+      }
+      if (g + 1 == groups) {
+        if (spec.carry_out) t.connect(u, "CO", t.port("CO"));
+      } else {
+        carry = t.fresh("c", 1);
+        t.connect(u, "CO", carry);
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_alu_slice_cascade_rule(int slice_width,
+                                                  bool library_specific) {
+  return std::make_unique<AluSliceCascadeRule>(slice_width, library_specific);
+}
+
+void register_alu_rules(RuleBase& base) {
+  base.add(std::make_unique<AluDatapathRule>(false));
+}
+
+}  // namespace bridge::dtas

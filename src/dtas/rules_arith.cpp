@@ -1,0 +1,668 @@
+// Arithmetic decomposition rules: adders, adder/subtractors, subtractors,
+// carry look-ahead structures, carry select.
+//
+// These instantiate the abstract design principles the paper's DTAS Design
+// Language expresses: ripple composition, look-ahead carry networks,
+// duplicated-hardware selection, and gate-level realization of the 1-bit
+// base cases (which is what gives even a 16-bit adder its "several hundred
+// thousand to several million" raw alternatives, §5).
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::Style;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+/// Split `width` into ripple groups of at most `k` bits, LSB first.
+std::vector<int> partition_width(int width, int k) {
+  std::vector<int> groups;
+  int remaining = width;
+  while (remaining > 0) {
+    int g = std::min(remaining, k);
+    groups.push_back(g);
+    remaining -= g;
+  }
+  return groups;
+}
+
+bool is_plain_adder(const ComponentSpec& spec) {
+  return spec.kind == Kind::kAdder &&
+         spec.rep == genus::Representation::kBinary &&
+         spec.ops == genus::OpSet{Op::kAdd};
+}
+
+bool style_allows(const ComponentSpec& spec, Style s) {
+  return spec.style == Style::kAny || spec.style == s;
+}
+
+/// Ripple-carry composition from `k`-bit adder groups.
+Module ripple_adder_template(const ComponentSpec& spec, int k) {
+  TemplateBuilder t(spec, "ripple" + std::to_string(k));
+  const auto groups = partition_width(spec.width, k);
+  NetIndex carry = netlist::kNoNet;
+  int offset = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    ComponentSpec child = genus::make_adder_spec(groups[g], true, true);
+    Instance& add = t.add("add", child);
+    t.connect(add, "A", t.port("A"), offset);
+    t.connect(add, "B", t.port("B"), offset);
+    t.connect(add, "S", t.port("S"), offset);
+    if (g == 0) {
+      if (spec.carry_in) {
+        t.connect(add, "CI", t.port("CI"));
+      } else {
+        t.connect_const(add, "CI", 0);
+      }
+    } else {
+      t.connect(add, "CI", carry);
+    }
+    if (g + 1 == groups.size()) {
+      if (spec.carry_out) t.connect(add, "CO", t.port("CO"));
+    } else {
+      carry = t.fresh("c", 1);
+      t.connect(add, "CO", carry);
+    }
+    offset += groups[g];
+  }
+  return std::move(t).take();
+}
+
+class RippleAdderRule final : public Rule {
+ public:
+  RippleAdderRule(int k, bool library_specific)
+      : Rule("adder-ripple-by-" + std::to_string(k), "ripple-composition",
+             library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return is_plain_adder(spec) && spec.width > k_ &&
+           style_allows(spec, Style::kRipple);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    std::vector<Module> out;
+    out.push_back(ripple_adder_template(spec, k_));
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+/// Ripple composition of internally look-ahead ("fast") adder groups: the
+/// child groups demand Style::kCarryLookahead cells (e.g. ADD4F).
+class FastAdderRippleRule final : public Rule {
+ public:
+  FastAdderRippleRule(int k, bool library_specific)
+      : Rule("adder-fast-group-ripple-" + std::to_string(k),
+             "ripple-composition", library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (!is_plain_adder(spec) || spec.width <= k_ ||
+        !style_allows(spec, Style::kCarryLookahead)) {
+      return false;
+    }
+    ComponentSpec probe = genus::make_adder_spec(k_, true, true);
+    probe.style = Style::kCarryLookahead;
+    return !ctx.library.matches(probe).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "fastripple" + std::to_string(k_));
+    const auto groups = partition_width(spec.width, k_);
+    NetIndex carry = netlist::kNoNet;
+    int offset = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      ComponentSpec child = genus::make_adder_spec(groups[g], true, true);
+      if (groups[g] == k_) child.style = Style::kCarryLookahead;
+      Instance& add = t.add("fadd", child);
+      t.connect(add, "A", t.port("A"), offset);
+      t.connect(add, "B", t.port("B"), offset);
+      t.connect(add, "S", t.port("S"), offset);
+      if (g == 0) {
+        if (spec.carry_in) {
+          t.connect(add, "CI", t.port("CI"));
+        } else {
+          t.connect_const(add, "CI", 0);
+        }
+      } else {
+        t.connect(add, "CI", carry);
+      }
+      if (g + 1 == groups.size()) {
+        if (spec.carry_out) t.connect(add, "CO", t.port("CO"));
+      } else {
+        carry = t.fresh("c", 1);
+        t.connect(add, "CO", carry);
+      }
+      offset += groups[g];
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+/// Shared scaffolding for the CLA rules: per-bit propagate/generate XOR and
+/// AND arrays plus the sum XOR. Returns the nets (p, g, carry-into-bit).
+struct PgNets {
+  NetIndex p;        // propagate, width w
+  NetIndex g;        // generate, width w
+  NetIndex cin_bit;  // carry into each bit, width w
+};
+
+PgNets build_pg_and_sum(TemplateBuilder& t, const ComponentSpec& spec) {
+  const int w = spec.width;
+  PgNets nets;
+  nets.p = t.fresh("p", w);
+  nets.g = t.fresh("g", w);
+  nets.cin_bit = t.fresh("cb", w);
+
+  Instance& px = t.add("pgen", genus::make_gate_spec(Op::kXor, w));
+  t.connect(px, "I0", t.port("A"));
+  t.connect(px, "I1", t.port("B"));
+  t.connect(px, "OUT", nets.p);
+
+  Instance& gx = t.add("ggen", genus::make_gate_spec(Op::kAnd, w));
+  t.connect(gx, "I0", t.port("A"));
+  t.connect(gx, "I1", t.port("B"));
+  t.connect(gx, "OUT", nets.g);
+
+  Instance& sx = t.add("sum", genus::make_gate_spec(Op::kXor, w));
+  t.connect(sx, "I0", nets.p);
+  t.connect(sx, "I1", nets.cin_bit);
+  t.connect(sx, "OUT", t.port("S"));
+
+  // Carry into bit 0 is the external carry-in (or ground).
+  if (spec.carry_in) {
+    t.buf_slice(t.port("CI"), 0, nets.cin_bit, 0, 1);
+  } else {
+    t.const_slice(nets.cin_bit, 0, 1);
+  }
+  return nets;
+}
+
+/// Single-level look-ahead: CLA generators chained group to group.
+class ClaAdderRule final : public Rule {
+ public:
+  explicit ClaAdderRule(bool library_specific)
+      : Rule("adder-cla-flat", "lookahead-carry", library_specific) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (!is_plain_adder(spec) || spec.width < 8 || spec.width % 4 != 0 ||
+        !style_allows(spec, Style::kCarryLookahead)) {
+      return false;
+    }
+    ComponentSpec cla;
+    cla.kind = Kind::kCarryLookahead;
+    cla.width = 1;
+    cla.size = 4;
+    return !ctx.library.matches(cla).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "claflat");
+    const int w = spec.width;
+    const int ngroups = w / 4;
+    PgNets nets = build_pg_and_sum(t, spec);
+
+    ComponentSpec cla;
+    cla.kind = Kind::kCarryLookahead;
+    cla.width = 1;
+    cla.size = 4;
+
+    NetIndex prev_group = netlist::kNoNet;  // net holding C[] of prior group
+    for (int g = 0; g < ngroups; ++g) {
+      Instance& u = t.add("cla", cla);
+      t.connect(u, "P", nets.p, 4 * g);
+      t.connect(u, "G", nets.g, 4 * g);
+      if (g == 0) {
+        // Group 0 sees the external carry-in (bit 0 of cin_bit).
+        t.connect(u, "CI", nets.cin_bit, 0);
+      } else {
+        t.connect(u, "CI", prev_group, 3);
+      }
+      NetIndex c = t.fresh("cg", 4);
+      t.connect(u, "C", c);
+      // Carries into bits 4g+1..4g+3 come from C[0..2].
+      t.buf_slice(c, 0, nets.cin_bit, 4 * g + 1, 3);
+      if (g + 1 < ngroups) {
+        // Carry into bit 4(g+1) is this group's C[3].
+        t.buf_slice(c, 3, nets.cin_bit, 4 * (g + 1), 1);
+      } else if (spec.carry_out) {
+        t.buf_slice(c, 3, t.port("CO"), 0, 1);
+      }
+      prev_group = c;
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Two-level look-ahead tree (74182 style): level-1 CLAs produce group
+/// propagate/generate, level-2 CLAs compute the group carries.
+class ClaTreeRule final : public Rule {
+ public:
+  explicit ClaTreeRule(bool library_specific)
+      : Rule("adder-cla-tree", "lookahead-carry", library_specific) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (!is_plain_adder(spec) || spec.width < 16 || spec.width % 16 != 0 ||
+        !style_allows(spec, Style::kCarryLookahead)) {
+      return false;
+    }
+    ComponentSpec cla;
+    cla.kind = Kind::kCarryLookahead;
+    cla.width = 1;
+    cla.size = 4;
+    return !ctx.library.matches(cla).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "clatree");
+    const int w = spec.width;
+    const int ngroups = w / 4;
+    const int nsuper = ngroups / 4;
+    PgNets nets = build_pg_and_sum(t, spec);
+
+    ComponentSpec cla;
+    cla.kind = Kind::kCarryLookahead;
+    cla.width = 1;
+    cla.size = 4;
+
+    NetIndex gp_vec = t.fresh("gp", ngroups);
+    NetIndex gg_vec = t.fresh("gg", ngroups);
+    NetIndex group_ci = t.fresh("gci", ngroups);  // carry into each group
+
+    // Level 1: one CLA per 4-bit group; CI comes from the level-2 network.
+    for (int g = 0; g < ngroups; ++g) {
+      Instance& u = t.add("cla1", cla);
+      t.connect(u, "P", nets.p, 4 * g);
+      t.connect(u, "G", nets.g, 4 * g);
+      t.connect(u, "CI", group_ci, g);
+      NetIndex c = t.fresh("cg", 4);
+      t.connect(u, "C", c);
+      t.buf_slice(c, 0, nets.cin_bit, 4 * g + 1, 3);
+      t.connect(u, "GP", gp_vec, g);
+      t.connect(u, "GG", gg_vec, g);
+      if (g + 1 == ngroups && spec.carry_out) {
+        t.buf_slice(c, 3, t.port("CO"), 0, 1);
+      }
+    }
+    // Carry into group 0 is the external carry-in; the sum XOR needs the
+    // group-boundary carries mirrored into the per-bit carry net.
+    t.buf_slice(nets.cin_bit, 0, group_ci, 0, 1);
+    for (int g = 1; g < ngroups; ++g) {
+      t.buf_slice(group_ci, g, nets.cin_bit, 4 * g, 1);
+    }
+
+    // Level 2: one CLA per super-group of 4 groups, chained.
+    NetIndex prev_super = netlist::kNoNet;
+    for (int s = 0; s < nsuper; ++s) {
+      Instance& u = t.add("cla2", cla);
+      t.connect(u, "P", gp_vec, 4 * s);
+      t.connect(u, "G", gg_vec, 4 * s);
+      if (s == 0) {
+        t.connect(u, "CI", nets.cin_bit, 0);
+      } else {
+        t.connect(u, "CI", prev_super, 3);
+      }
+      NetIndex c = t.fresh("cs", 4);
+      t.connect(u, "C", c);
+      // Carries into groups 4s+1..4s+3.
+      t.buf_slice(c, 0, group_ci, 4 * s + 1, 3);
+      if (s + 1 < nsuper) {
+        t.buf_slice(c, 3, group_ci, 4 * (s + 1), 1);
+      }
+      prev_super = c;
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Carry select: duplicate the upper groups for carry 0/1 and select.
+class CarrySelectRule final : public Rule {
+ public:
+  CarrySelectRule(int k, bool library_specific)
+      : Rule("adder-carry-select-" + std::to_string(k),
+             "duplicated-hardware-selection", library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return is_plain_adder(spec) && spec.width >= 2 * k_ &&
+           spec.width % k_ == 0 &&
+           style_allows(spec, Style::kCarrySelect);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "csel" + std::to_string(k_));
+    const int w = spec.width;
+    const int ngroups = w / k_;
+    NetIndex carry = netlist::kNoNet;
+    for (int g = 0; g < ngroups; ++g) {
+      const int offset = g * k_;
+      ComponentSpec child = genus::make_adder_spec(k_, true, true);
+      if (g == 0) {
+        Instance& add = t.add("a0", child);
+        t.connect(add, "A", t.port("A"), offset);
+        t.connect(add, "B", t.port("B"), offset);
+        t.connect(add, "S", t.port("S"), offset);
+        if (spec.carry_in) {
+          t.connect(add, "CI", t.port("CI"));
+        } else {
+          t.connect_const(add, "CI", 0);
+        }
+        carry = t.fresh("c", 1);
+        t.connect(add, "CO", carry);
+        continue;
+      }
+      // Speculative pair: one assumes carry 0, one assumes carry 1.
+      Instance& add0 = t.add("az", child);
+      Instance& add1 = t.add("ao", child);
+      NetIndex s0 = t.fresh("s0", k_);
+      NetIndex s1 = t.fresh("s1", k_);
+      NetIndex c0 = t.fresh("c0", 1);
+      NetIndex c1 = t.fresh("c1", 1);
+      for (auto [inst, s, c, ci] :
+           {std::tuple<Instance*, NetIndex, NetIndex, int>{&add0, s0, c0, 0},
+            std::tuple<Instance*, NetIndex, NetIndex, int>{&add1, s1, c1,
+                                                           1}}) {
+        t.connect(*inst, "A", t.port("A"), offset);
+        t.connect(*inst, "B", t.port("B"), offset);
+        t.connect(*inst, "S", s);
+        t.connect_const(*inst, "CI", ci);
+        t.connect(*inst, "CO", c);
+      }
+      // Select sums and group carry by the incoming carry.
+      Instance& smux = t.add("smux", genus::make_mux_spec(k_, 2));
+      t.connect(smux, "I0", s0);
+      t.connect(smux, "I1", s1);
+      t.connect(smux, "SEL", carry);
+      t.connect(smux, "OUT", t.port("S"), offset);
+      const bool last = g + 1 == ngroups;
+      if (!last || spec.carry_out) {
+        Instance& cmux = t.add("cmux", genus::make_mux_spec(1, 2));
+        t.connect(cmux, "I0", c0);
+        t.connect(cmux, "I1", c1);
+        t.connect(cmux, "SEL", carry);
+        if (last) {
+          t.connect(cmux, "OUT", t.port("CO"));
+        } else {
+          NetIndex next = t.fresh("c", 1);
+          t.connect(cmux, "OUT", next);
+          carry = next;
+        }
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+/// 1-bit full adder realized with XOR/AND/OR gates.
+class AdderFromGatesRule final : public Rule {
+ public:
+  explicit AdderFromGatesRule(bool library_specific)
+      : Rule("adder-1bit-gates", "gate-level-realization", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return is_plain_adder(spec) && spec.width == 1;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "fa_gates");
+    NetIndex axb = t.gate2(Op::kXor, t.port("A"), 0, t.port("B"), 0);
+    if (spec.carry_in) {
+      Instance& sx = t.add("s", genus::make_gate_spec(Op::kXor, 1, 2));
+      t.connect(sx, "I0", axb);
+      t.connect(sx, "I1", t.port("CI"));
+      t.connect(sx, "OUT", t.port("S"));
+      if (spec.carry_out) {
+        NetIndex ab = t.gate2(Op::kAnd, t.port("A"), 0, t.port("B"), 0);
+        NetIndex cp = t.gate2(Op::kAnd, axb, 0, t.port("CI"), 0);
+        Instance& co = t.add("co", genus::make_gate_spec(Op::kOr, 1, 2));
+        t.connect(co, "I0", ab);
+        t.connect(co, "I1", cp);
+        t.connect(co, "OUT", t.port("CO"));
+      }
+    } else {
+      t.buf_slice(axb, 0, t.port("S"), 0, 1);
+      if (spec.carry_out) {
+        Instance& co = t.add("co", genus::make_gate_spec(Op::kAnd, 1, 2));
+        t.connect(co, "I0", t.port("A"));
+        t.connect(co, "I1", t.port("B"));
+        t.connect(co, "OUT", t.port("CO"));
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// 1-bit full adder realized with nine 2-input NAND gates (the classic
+/// all-NAND construction) — a second gate-level base case, which widens
+/// the raw design space the way §5 describes.
+class AdderFromNandRule final : public Rule {
+ public:
+  explicit AdderFromNandRule(bool library_specific)
+      : Rule("adder-1bit-nand", "gate-level-realization", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return is_plain_adder(spec) && spec.width == 1 && spec.carry_in &&
+           spec.carry_out;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "fa_nand");
+    auto nand = [&t](NetIndex a, NetIndex b) {
+      return t.gate2(Op::kNand, a, 0, b, 0);
+    };
+    NetIndex a = t.port("A");
+    NetIndex b = t.port("B");
+    NetIndex ci = t.port("CI");
+    // Half adder 1: x = a XOR b via 4 NANDs.
+    NetIndex n1 = nand(a, b);
+    NetIndex n2 = nand(a, n1);
+    NetIndex n3 = nand(b, n1);
+    NetIndex x = nand(n2, n3);
+    // Half adder 2: s = x XOR ci via 4 NANDs.
+    NetIndex n4 = nand(x, ci);
+    NetIndex n5 = nand(x, n4);
+    NetIndex n6 = nand(ci, n4);
+    Instance& sg = t.add("s", genus::make_gate_spec(Op::kNand, 1, 2));
+    t.connect(sg, "I0", n5);
+    t.connect(sg, "I1", n6);
+    t.connect(sg, "OUT", t.port("S"));
+    // Carry: co = NAND(n1, n4).
+    Instance& cg = t.add("co", genus::make_gate_spec(Op::kNand, 1, 2));
+    t.connect(cg, "I0", n1);
+    t.connect(cg, "I1", n4);
+    t.connect(cg, "OUT", t.port("CO"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// AddSub from a plain adder plus a B-inverting XOR array.
+class AddSubFromAdderRule final : public Rule {
+ public:
+  explicit AddSubFromAdderRule(bool library_specific)
+      : Rule("addsub-from-adder", "operand-conditioning", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kAddSub &&
+           spec.rep == genus::Representation::kBinary;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "addsub_xor");
+    const int w = spec.width;
+    NetIndex bx = t.fresh("bx", w);
+    Instance& xg = t.add("binv", genus::make_gate_spec(Op::kXor, w));
+    t.connect(xg, "I0", t.port("B"));
+    t.connect_replicated(xg, "I1", t.port("MODE"));
+    t.connect(xg, "OUT", bx);
+
+    ComponentSpec child =
+        genus::make_adder_spec(w, true, spec.carry_out);
+    Instance& add = t.add("core", child);
+    t.connect(add, "A", t.port("A"));
+    t.connect(add, "B", bx);
+    if (spec.carry_in) {
+      t.connect(add, "CI", t.port("CI"));
+    } else {
+      t.connect_const(add, "CI", 0);
+    }
+    t.connect(add, "S", t.port("S"));
+    if (spec.carry_out) t.connect(add, "CO", t.port("CO"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Ripple composition of k-bit adder/subtractor cells (MODE broadcast).
+class AddSubRippleRule final : public Rule {
+ public:
+  AddSubRippleRule(int k, bool library_specific)
+      : Rule("addsub-ripple-by-" + std::to_string(k), "ripple-composition",
+             library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kAddSub && spec.width > k_ &&
+           spec.width % k_ == 0 &&
+           spec.rep == genus::Representation::kBinary;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "adsuripple" + std::to_string(k_));
+    const int ngroups = spec.width / k_;
+    NetIndex carry = netlist::kNoNet;
+    for (int g = 0; g < ngroups; ++g) {
+      ComponentSpec child = genus::make_addsub_spec(k_);
+      Instance& u = t.add("as", child);
+      const int offset = g * k_;
+      t.connect(u, "A", t.port("A"), offset);
+      t.connect(u, "B", t.port("B"), offset);
+      t.connect(u, "MODE", t.port("MODE"));
+      t.connect(u, "S", t.port("S"), offset);
+      if (g == 0) {
+        if (spec.carry_in) {
+          t.connect(u, "CI", t.port("CI"));
+        } else {
+          t.connect_const(u, "CI", 0);
+        }
+      } else {
+        t.connect(u, "CI", carry);
+      }
+      if (g + 1 == ngroups) {
+        if (spec.carry_out) t.connect(u, "CO", t.port("CO"));
+      } else {
+        carry = t.fresh("c", 1);
+        t.connect(u, "CO", carry);
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+/// Subtractor realized with an adder/subtractor datapath in subtract mode.
+class SubtractorFromAddSubRule final : public Rule {
+ public:
+  explicit SubtractorFromAddSubRule(bool library_specific)
+      : Rule("subtractor-from-addsub", "operand-conditioning",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kSubtractor &&
+           spec.rep == genus::Representation::kBinary;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "sub_addsub");
+    ComponentSpec child = genus::make_addsub_spec(spec.width);
+    child.carry_out = spec.carry_out;
+    Instance& u = t.add("as", child);
+    t.connect(u, "A", t.port("A"));
+    t.connect(u, "B", t.port("B"));
+    t.connect_const(u, "MODE", 1);
+    t.connect(u, "S", t.port("S"));
+    // Borrow-in/out have inverted sense relative to the raw carry chain.
+    if (spec.carry_in) {
+      NetIndex nci = t.inv(t.port("CI"), 0);
+      t.connect(u, "CI", nci);
+    } else {
+      t.connect_const(u, "CI", 1);
+    }
+    if (spec.carry_out) {
+      NetIndex raw = t.fresh("rc", 1);
+      t.connect(u, "CO", raw);
+      Instance& ng = t.add("nb", genus::make_gate_spec(Op::kLnot, 1));
+      t.connect(ng, "I0", raw);
+      t.connect(ng, "OUT", t.port("CO"));
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_ripple_adder_rule(int group_width,
+                                             bool library_specific) {
+  return std::make_unique<RippleAdderRule>(group_width, library_specific);
+}
+
+std::unique_ptr<Rule> make_fast_adder_ripple_rule(int group_width,
+                                                  bool library_specific) {
+  return std::make_unique<FastAdderRippleRule>(group_width, library_specific);
+}
+
+std::unique_ptr<Rule> make_addsub_ripple_rule(int group_width,
+                                              bool library_specific) {
+  return std::make_unique<AddSubRippleRule>(group_width, library_specific);
+}
+
+void register_arith_rules(RuleBase& base) {
+  base.add(make_ripple_adder_rule(1, false));
+  base.add(std::make_unique<ClaAdderRule>(false));
+  base.add(std::make_unique<ClaTreeRule>(false));
+  base.add(std::make_unique<CarrySelectRule>(8, false));
+  base.add(std::make_unique<AdderFromGatesRule>(false));
+  base.add(std::make_unique<AdderFromNandRule>(false));
+  base.add(std::make_unique<AddSubFromAdderRule>(false));
+  base.add(std::make_unique<SubtractorFromAddSubRule>(false));
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,223 @@
+// Decoder and encoder decomposition rules: enable-tree composition from
+// data-book decoders, gate-level minterm realization (binary and BCD),
+// and priority encoders from a scan chain plus OR planes.
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::Representation;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+/// Gate-level decoder: shared input inverters plus one minterm AND per
+/// output (with the enable folded into the minterm when present).
+class DecoderFromGatesRule final : public Rule {
+ public:
+  explicit DecoderFromGatesRule(bool library_specific)
+      : Rule("decoder-minterm-gates", "gate-level-realization",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kDecoder && spec.width <= 4 &&
+           spec.rep == Representation::kBinary;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "decgates");
+    const int w = spec.width;
+    std::vector<NetIndex> nbit(w);
+    for (int b = 0; b < w; ++b) nbit[b] = t.inv(t.port("IN"), b);
+    for (int o = 0; o < spec.size; ++o) {
+      std::vector<std::pair<NetIndex, int>> picks;
+      for (int b = 0; b < w; ++b) {
+        if ((o >> b) & 1) {
+          picks.emplace_back(t.port("IN"), b);
+        } else {
+          picks.emplace_back(nbit[b], 0);
+        }
+      }
+      if (spec.enable) picks.emplace_back(t.port("EN"), 0);
+      NetIndex m = t.gate_many(Op::kAnd, picks);
+      t.buf_slice(m, 0, t.port("OUT"), o, 1);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Decoder tree: a root decoder on the high input bits enables a row of
+/// leaf decoders on the low bits (the classic 74138 expansion scheme).
+class DecoderTreeRule final : public Rule {
+ public:
+  DecoderTreeRule(int leaf_width, bool library_specific)
+      : Rule("decoder-tree-leaf-" + std::to_string(leaf_width),
+             "enable-tree-composition", library_specific),
+        leaf_(leaf_width) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kDecoder || spec.rep != Representation::kBinary ||
+        spec.width <= leaf_) {
+      return false;
+    }
+    ComponentSpec probe = genus::make_decoder_spec(leaf_);
+    probe.enable = true;
+    return !ctx.library.matches(probe).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "dectree" + std::to_string(leaf_));
+    const int w = spec.width;
+    const int high = w - leaf_;
+    const int nleaves = 1 << high;
+    const int leaf_outs = 1 << leaf_;
+
+    ComponentSpec root_spec = genus::make_decoder_spec(high);
+    root_spec.enable = spec.enable;
+    Instance& root = t.add("root", root_spec);
+    t.connect(root, "IN", t.port("IN"), leaf_);
+    if (spec.enable) t.connect(root, "EN", t.port("EN"));
+    NetIndex sel = t.fresh("row", nleaves);
+    t.connect(root, "OUT", sel);
+
+    ComponentSpec leaf_spec = genus::make_decoder_spec(leaf_);
+    leaf_spec.enable = true;
+    for (int g = 0; g < nleaves; ++g) {
+      Instance& leaf = t.add("leaf", leaf_spec);
+      t.connect(leaf, "IN", t.port("IN"), 0);
+      t.connect(leaf, "EN", sel, g);
+      t.connect(leaf, "OUT", t.port("OUT"), g * leaf_outs);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int leaf_;
+};
+
+/// BCD decoder (7442 style): invalid codes (10-15) drive no output.
+class BcdDecoderRule final : public Rule {
+ public:
+  explicit BcdDecoderRule(bool library_specific)
+      : Rule("decoder-bcd-minterms", "gate-level-realization",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kDecoder && spec.rep == Representation::kBcd &&
+           spec.width == 4 && spec.size == 10;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "decbcd");
+    std::vector<NetIndex> nbit(4);
+    for (int b = 0; b < 4; ++b) nbit[b] = t.inv(t.port("IN"), b);
+    for (int o = 0; o < 10; ++o) {
+      std::vector<std::pair<NetIndex, int>> picks;
+      for (int b = 0; b < 4; ++b) {
+        if ((o >> b) & 1) {
+          picks.emplace_back(t.port("IN"), b);
+        } else {
+          picks.emplace_back(nbit[b], 0);
+        }
+      }
+      if (spec.enable) picks.emplace_back(t.port("EN"), 0);
+      NetIndex m = t.gate_many(Op::kAnd, picks);
+      t.buf_slice(m, 0, t.port("OUT"), o, 1);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Priority encoder: a higher-index scan chain masks lower inputs; the
+/// output bits are OR planes over the surviving one-hot picks.
+class PriorityEncoderRule final : public Rule {
+ public:
+  explicit PriorityEncoderRule(bool library_specific)
+      : Rule("encoder-priority-scan", "gate-level-realization",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kEncoder && spec.size >= 2 && spec.size <= 32;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "encprio");
+    const int n = spec.size;
+    const int w = spec.width;
+    // any_higher[i] = OR(IN[i+1..n-1]); built as a chain, MSB down.
+    std::vector<NetIndex> any_higher(n, netlist::kNoNet);
+    for (int i = n - 2; i >= 0; --i) {
+      if (i == n - 2) {
+        NetIndex o = t.fresh("ah", 1);
+        t.buf_slice(t.port("IN"), n - 1, o, 0, 1);
+        any_higher[i] = o;
+      } else {
+        any_higher[i] =
+            t.gate2(Op::kOr, t.port("IN"), i + 1, any_higher[i + 1], 0);
+      }
+    }
+    // pick[i] = IN[i] & ~any_higher[i] (only needed where i has set bits).
+    std::vector<NetIndex> pick(n, netlist::kNoNet);
+    for (int i = 1; i < n; ++i) {
+      if (i == n - 1) {
+        NetIndex o = t.fresh("pk", 1);
+        t.buf_slice(t.port("IN"), n - 1, o, 0, 1);
+        pick[i] = o;
+      } else {
+        NetIndex nh = t.inv(any_higher[i], 0);
+        Instance& g = t.add("pk", genus::make_gate_spec(Op::kAnd, 1, 2));
+        t.connect(g, "I0", t.port("IN"), i);
+        t.connect(g, "I1", nh);
+        NetIndex o = t.fresh("pk", 1);
+        t.connect(g, "OUT", o);
+        pick[i] = o;
+      }
+    }
+    // OUT[j] = OR of picks whose index has bit j set.
+    for (int j = 0; j < w; ++j) {
+      std::vector<std::pair<NetIndex, int>> picks;
+      for (int i = 1; i < n; ++i) {
+        if ((i >> j) & 1) picks.emplace_back(pick[i], 0);
+      }
+      if (picks.empty()) {
+        t.const_slice(t.port("OUT"), j, 1);
+      } else if (picks.size() == 1) {
+        t.buf_slice(picks[0].first, 0, t.port("OUT"), j, 1);
+      } else {
+        NetIndex o = t.gate_many(Op::kOr, picks);
+        t.buf_slice(o, 0, t.port("OUT"), j, 1);
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_decoder_tree_rule(int leaf_width,
+                                             bool library_specific) {
+  return std::make_unique<DecoderTreeRule>(leaf_width, library_specific);
+}
+
+void register_codec_rules(RuleBase& base) {
+  base.add(std::make_unique<DecoderFromGatesRule>(false));
+  base.add(std::make_unique<BcdDecoderRule>(false));
+  base.add(std::make_unique<PriorityEncoderRule>(false));
+}
+
+}  // namespace bridge::dtas

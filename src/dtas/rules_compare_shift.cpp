@@ -1,0 +1,486 @@
+// Comparators, shifters, barrel shifters, and array multipliers.
+#include <functional>
+#include <memory>
+
+#include "dtas/rule.h"
+
+#include "base/diag.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+const OpSet kOrderOps{Op::kEq, Op::kNe, Op::kLt, Op::kGt, Op::kLe, Op::kGe};
+
+/// Comparator built on a subtract datapath: A - B yields borrow (order)
+/// and a zero-detect (equality).
+class ComparatorFromSubRule final : public Rule {
+ public:
+  explicit ComparatorFromSubRule(bool library_specific)
+      : Rule("comparator-from-subtract", "arithmetic-reuse",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kComparator && !spec.ops.empty() &&
+           kOrderOps.contains_all(spec.ops);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "cmpsub");
+    const int w = spec.width;
+    // diff = A + ~B + 1; raw carry == 1  <=>  A >= B.
+    ComponentSpec core = genus::make_addsub_spec(w);
+    Instance& u = t.add("sub", core);
+    t.connect(u, "A", t.port("A"));
+    t.connect(u, "B", t.port("B"));
+    t.connect_const(u, "MODE", 1);
+    t.connect_const(u, "CI", 1);
+    NetIndex diff = t.fresh("diff", w);
+    NetIndex ge = t.fresh("ge", 1);
+    t.connect(u, "S", diff);
+    t.connect(u, "CO", ge);
+
+    const bool need_eq = spec.ops.intersects(OpSet{Op::kEq, Op::kNe,
+                                                   Op::kGt, Op::kLe});
+    NetIndex eq = netlist::kNoNet;
+    if (need_eq) {
+      std::vector<std::pair<NetIndex, int>> picks;
+      for (int b = 0; b < w; ++b) picks.emplace_back(diff, b);
+      eq = picks.size() == 1 ? t.inv(diff, 0) : t.gate_many(Op::kNor, picks);
+    }
+    auto emit = [&](Op op, NetIndex n, int lo) {
+      t.buf_slice(n, lo, t.port(genus::op_name(op)), 0, 1);
+    };
+    if (spec.ops.contains(Op::kEq)) emit(Op::kEq, eq, 0);
+    if (spec.ops.contains(Op::kNe)) emit(Op::kNe, t.inv(eq, 0), 0);
+    if (spec.ops.contains(Op::kGe)) emit(Op::kGe, ge, 0);
+    if (spec.ops.contains(Op::kLt)) emit(Op::kLt, t.inv(ge, 0), 0);
+    NetIndex gt = netlist::kNoNet;
+    if (spec.ops.intersects(OpSet{Op::kGt, Op::kLe})) {
+      NetIndex neq = t.inv(eq, 0);
+      gt = t.gate2(Op::kAnd, ge, 0, neq, 0);
+    }
+    if (spec.ops.contains(Op::kGt)) emit(Op::kGt, gt, 0);
+    if (spec.ops.contains(Op::kLe)) emit(Op::kLe, t.inv(gt, 0), 0);
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Equality-only comparator: XNOR array plus an AND reduction tree.
+class EqualityXnorRule final : public Rule {
+ public:
+  explicit EqualityXnorRule(bool library_specific)
+      : Rule("comparator-equality-xnor", "gate-level-realization",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kComparator && !spec.ops.empty() &&
+           OpSet{Op::kEq, Op::kNe}.contains_all(spec.ops);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "cmpeq");
+    const int w = spec.width;
+    NetIndex x = t.fresh("x", w);
+    Instance& xg = t.add("xn", genus::make_gate_spec(Op::kXnor, w));
+    t.connect(xg, "I0", t.port("A"));
+    t.connect(xg, "I1", t.port("B"));
+    t.connect(xg, "OUT", x);
+    std::vector<std::pair<NetIndex, int>> picks;
+    for (int b = 0; b < w; ++b) picks.emplace_back(x, b);
+    NetIndex eq = w == 1 ? x : t.gate_many(Op::kAnd, picks);
+    if (spec.ops.contains(Op::kEq)) {
+      t.buf_slice(eq, 0, t.port("EQ"), 0, 1);
+    }
+    if (spec.ops.contains(Op::kNe)) {
+      NetIndex ne = t.inv(eq, 0);
+      t.buf_slice(ne, 0, t.port("NE"), 0, 1);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Cascade of data-book comparator cells, combined most-significant first.
+class ComparatorCascadeRule final : public Rule {
+ public:
+  ComparatorCascadeRule(int k, bool library_specific)
+      : Rule("comparator-cascade-" + std::to_string(k), "ripple-composition",
+             library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kComparator || spec.width <= k_ ||
+        spec.width % k_ != 0 || spec.ops.empty() ||
+        !kOrderOps.contains_all(spec.ops)) {
+      return false;
+    }
+    return !ctx.library
+                .matches(genus::make_comparator_spec(
+                    k_, OpSet{Op::kEq, Op::kLt, Op::kGt}))
+                .empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    // Two combine topologies: a linear cascade (minimal gates on a short
+    // chain) and a balanced tree (log depth for wide comparators).
+    std::vector<Module> out;
+    out.push_back(build(spec, /*tree=*/false));
+    if (spec.width / k_ >= 4) out.push_back(build(spec, /*tree=*/true));
+    return out;
+  }
+
+ private:
+  struct Triple {
+    NetIndex eq, lt, gt;
+  };
+
+  Module build(const ComponentSpec& spec, bool tree) const {
+    TemplateBuilder t(spec, tree ? "cmptree" + std::to_string(k_)
+                                 : "cmpcasc" + std::to_string(k_));
+    const int groups = spec.width / k_;
+    ComponentSpec cell =
+        genus::make_comparator_spec(k_, OpSet{Op::kEq, Op::kLt, Op::kGt});
+    std::vector<Triple> g(groups);
+    for (int i = 0; i < groups; ++i) {
+      Instance& c = t.add("cmp", cell);
+      t.connect(c, "A", t.port("A"), i * k_);
+      t.connect(c, "B", t.port("B"), i * k_);
+      g[i] = Triple{t.fresh("eq", 1), t.fresh("lt", 1), t.fresh("gt", 1)};
+      t.connect(c, "EQ", g[i].eq);
+      t.connect(c, "LT", g[i].lt);
+      t.connect(c, "GT", g[i].gt);
+    }
+    // combine(low, high): higher-significance side dominates.
+    auto combine = [&t](const Triple& lo, const Triple& hi) {
+      Triple r;
+      NetIndex pass_lt = t.gate2(Op::kAnd, hi.eq, 0, lo.lt, 0);
+      r.lt = t.gate2(Op::kOr, hi.lt, 0, pass_lt, 0);
+      NetIndex pass_gt = t.gate2(Op::kAnd, hi.eq, 0, lo.gt, 0);
+      r.gt = t.gate2(Op::kOr, hi.gt, 0, pass_gt, 0);
+      r.eq = t.gate2(Op::kAnd, hi.eq, 0, lo.eq, 0);
+      return r;
+    };
+    Triple cur;
+    if (tree) {
+      // Balanced reduction, pairing adjacent significance ranges.
+      std::function<Triple(int, int)> reduce = [&](int lo, int n) -> Triple {
+        if (n == 1) return g[lo];
+        int half = n / 2;
+        Triple left = reduce(lo, half);          // lower significance
+        Triple right = reduce(lo + half, n - half);
+        return combine(left, right);
+      };
+      cur = reduce(0, groups);
+    } else {
+      cur = g[0];
+      for (int i = 1; i < groups; ++i) cur = combine(cur, g[i]);
+    }
+    if (spec.ops.contains(Op::kEq)) t.buf_slice(cur.eq, 0, t.port("EQ"), 0, 1);
+    if (spec.ops.contains(Op::kLt)) t.buf_slice(cur.lt, 0, t.port("LT"), 0, 1);
+    if (spec.ops.contains(Op::kGt)) t.buf_slice(cur.gt, 0, t.port("GT"), 0, 1);
+    if (spec.ops.contains(Op::kNe)) {
+      t.buf_slice(t.inv(cur.eq, 0), 0, t.port("NE"), 0, 1);
+    }
+    if (spec.ops.contains(Op::kGe)) {
+      t.buf_slice(t.inv(cur.lt, 0), 0, t.port("GE"), 0, 1);
+    }
+    if (spec.ops.contains(Op::kLe)) {
+      t.buf_slice(t.inv(cur.gt, 0), 0, t.port("LE"), 0, 1);
+    }
+    return std::move(t).take();
+  }
+
+  int k_;
+};
+
+const OpSet kShiftOps{Op::kShl, Op::kShr, Op::kAshr, Op::kRotl, Op::kRotr};
+
+/// Wire a shift-by-`amount` version of IN into a fresh net.
+NetIndex shifted_wiring(TemplateBuilder& t, Op op, int w, int amount) {
+  NetIndex val = t.fresh("sh", w);
+  const int a = op == Op::kRotl || op == Op::kRotr ? amount % w
+                                                   : std::min(amount, w);
+  switch (op) {
+    case Op::kShl:
+      if (a < w) t.buf_slice(t.port("IN"), 0, val, a, w - a);
+      if (a > 0) t.const_slice(val, 0, a);
+      break;
+    case Op::kShr:
+      if (a < w) t.buf_slice(t.port("IN"), a, val, 0, w - a);
+      if (a > 0) t.const_slice(val, w - a, a);
+      break;
+    case Op::kAshr:
+      if (a < w) t.buf_slice(t.port("IN"), a, val, 0, w - a);
+      for (int b = std::max(0, w - a); b < w; ++b) {
+        t.buf_slice(t.port("IN"), w - 1, val, b, 1);
+      }
+      break;
+    case Op::kRotl:
+      if (a == 0) {
+        t.buf_slice(t.port("IN"), 0, val, 0, w);
+      } else {
+        t.buf_slice(t.port("IN"), 0, val, a, w - a);
+        t.buf_slice(t.port("IN"), w - a, val, 0, a);
+      }
+      break;
+    case Op::kRotr:
+      if (a == 0) {
+        t.buf_slice(t.port("IN"), 0, val, 0, w);
+      } else {
+        t.buf_slice(t.port("IN"), a, val, 0, w - a);
+        t.buf_slice(t.port("IN"), 0, val, w - a, a);
+      }
+      break;
+    default:
+      throw bridge::Error("not a shift op");
+  }
+  return val;
+}
+
+/// Shift-by-one shifter: per-operation rewiring plus a function mux.
+class ShifterWiringRule final : public Rule {
+ public:
+  explicit ShifterWiringRule(bool library_specific)
+      : Rule("shifter-wiring-mux", "function-enumeration", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kShifter && spec.width >= 2 &&
+           !spec.ops.empty() && kShiftOps.contains_all(spec.ops);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "shiftwire");
+    const auto ops = spec.ops.to_vector();
+    if (ops.size() == 1) {
+      NetIndex v = shifted_wiring(t, ops[0], spec.width, 1);
+      t.buf_slice(v, 0, t.port("OUT"), 0, spec.width);
+    } else {
+      Instance& mux = t.add(
+          "fsel", genus::make_mux_spec(spec.width,
+                                       static_cast<int>(ops.size())));
+      for (size_t i = 0; i < ops.size(); ++i) {
+        t.connect(mux, "I" + std::to_string(i),
+                  shifted_wiring(t, ops[i], spec.width, 1));
+      }
+      t.connect(mux, "SEL", t.port("F"));
+      t.connect(mux, "OUT", t.port("OUT"));
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Single-operation barrel shifter: logarithmic mux stages.
+class BarrelLogStageRule final : public Rule {
+ public:
+  explicit BarrelLogStageRule(bool library_specific)
+      : Rule("barrel-log-stages", "logarithmic-staging", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kBarrelShifter && spec.width >= 2 &&
+           spec.ops.size() == 1 && kShiftOps.contains_all(spec.ops);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "barrel");
+    const int w = spec.width;
+    const Op op = spec.ops.to_vector()[0];
+    int stages = 0;
+    while ((1 << stages) < w) ++stages;
+    if (stages < 1) stages = 1;
+
+    NetIndex cur = t.fresh("st", w);
+    t.buf_slice(t.port("IN"), 0, cur, 0, w);
+    for (int s = 0; s < stages; ++s) {
+      // Shifted-by-2^s view of `cur` (same wiring trick, source = cur).
+      NetIndex sh = t.fresh("sv", w);
+      const int amount = 1 << s;
+      const int a = (op == Op::kRotl || op == Op::kRotr) ? amount % w
+                                                         : std::min(amount, w);
+      switch (op) {
+        case Op::kShl:
+          if (a < w) t.buf_slice(cur, 0, sh, a, w - a);
+          if (a > 0) t.const_slice(sh, 0, a);
+          break;
+        case Op::kShr:
+          if (a < w) t.buf_slice(cur, a, sh, 0, w - a);
+          if (a > 0) t.const_slice(sh, w - a, a);
+          break;
+        case Op::kAshr:
+          if (a < w) t.buf_slice(cur, a, sh, 0, w - a);
+          for (int b = std::max(0, w - a); b < w; ++b) {
+            t.buf_slice(cur, w - 1, sh, b, 1);
+          }
+          break;
+        case Op::kRotl:
+          if (a == 0) {
+            t.buf_slice(cur, 0, sh, 0, w);
+          } else {
+            t.buf_slice(cur, 0, sh, a, w - a);
+            t.buf_slice(cur, w - a, sh, 0, a);
+          }
+          break;
+        case Op::kRotr:
+          if (a == 0) {
+            t.buf_slice(cur, 0, sh, 0, w);
+          } else {
+            t.buf_slice(cur, a, sh, 0, w - a);
+            t.buf_slice(cur, 0, sh, w - a, a);
+          }
+          break;
+        default:
+          throw bridge::Error("not a shift op");
+      }
+      Instance& mux = t.add("stage", genus::make_mux_spec(w, 2));
+      t.connect(mux, "I0", cur);
+      t.connect(mux, "I1", sh);
+      t.connect(mux, "SEL", t.port("AMT"), s);
+      if (s + 1 == stages) {
+        t.connect(mux, "OUT", t.port("OUT"));
+      } else {
+        NetIndex nxt = t.fresh("st", w);
+        t.connect(mux, "OUT", nxt);
+        cur = nxt;
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Multi-operation barrel shifter: one single-op barrel per operation plus
+/// a function mux.
+class BarrelPerOpRule final : public Rule {
+ public:
+  explicit BarrelPerOpRule(bool library_specific)
+      : Rule("barrel-split-by-op", "function-enumeration", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kBarrelShifter && spec.width >= 2 &&
+           spec.ops.size() > 1 && kShiftOps.contains_all(spec.ops);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "barrelops");
+    const auto ops = spec.ops.to_vector();
+    Instance& mux = t.add(
+        "fsel",
+        genus::make_mux_spec(spec.width, static_cast<int>(ops.size())));
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ComponentSpec child =
+          genus::make_barrel_shifter_spec(spec.width, genus::OpSet{ops[i]});
+      Instance& b = t.add("bs", child);
+      t.connect(b, "IN", t.port("IN"));
+      t.connect(b, "AMT", t.port("AMT"));
+      NetIndex o = t.fresh("bo", spec.width);
+      t.connect(b, "OUT", o);
+      t.connect(mux, "I" + std::to_string(i), o);
+    }
+    t.connect(mux, "SEL", t.port("F"));
+    t.connect(mux, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Array multiplier: AND partial products accumulated through a row of
+/// ripple adders (each row further decomposed by the adder rules).
+class MultiplierArrayRule final : public Rule {
+ public:
+  explicit MultiplierArrayRule(bool library_specific)
+      : Rule("multiplier-array", "array-composition", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kMultiplier && spec.size >= 1 &&
+           spec.rep == genus::Representation::kBinary;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "mularray");
+    const int w = spec.width;
+    const int m = spec.size;
+    // Partial products pp_i = A & B[i].
+    std::vector<NetIndex> pp(m);
+    for (int i = 0; i < m; ++i) {
+      Instance& g = t.add("pp", genus::make_gate_spec(Op::kAnd, w, 2));
+      t.connect(g, "I0", t.port("A"));
+      t.connect_replicated(g, "I1", t.port("B"), i);
+      pp[i] = t.fresh("pp", w);
+      t.connect(g, "OUT", pp[i]);
+    }
+    if (m == 1) {
+      t.buf_slice(pp[0], 0, t.port("P"), 0, w);
+      t.const_slice(t.port("P"), w, 1);
+      std::vector<Module> out;
+      out.push_back(std::move(t).take());
+      return out;
+    }
+    // Row 0 contributes P[0] and the shifted-down accumulator input.
+    t.buf_slice(pp[0], 0, t.port("P"), 0, 1);
+    NetIndex a_in = t.fresh("ra", w);  // {0, pp0[w-1:1]}
+    t.buf_slice(pp[0], 1, a_in, 0, w - 1);
+    t.const_slice(a_in, w - 1, 1);
+
+    NetIndex prev = netlist::kNoNet;  // r_{i-1}[w+1] = {CO, S}
+    for (int i = 1; i < m; ++i) {
+      ComponentSpec addspec = genus::make_adder_spec(w, true, true);
+      Instance& add = t.add("row", addspec);
+      if (i == 1) {
+        t.connect(add, "A", a_in);
+      } else {
+        t.connect(add, "A", prev, 1);
+      }
+      t.connect(add, "B", pp[i]);
+      t.connect_const(add, "CI", 0);
+      if (i + 1 == m) {
+        // Last row drives the top product bits directly.
+        t.connect(add, "S", t.port("P"), m - 1);
+        t.connect(add, "CO", t.port("P"), m + w - 1);
+      } else {
+        NetIndex r = t.fresh("r", w + 1);
+        t.connect(add, "S", r, 0);
+        t.connect(add, "CO", r, w);
+        t.buf_slice(r, 0, t.port("P"), i, 1);
+        prev = r;
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_comparator_cascade_rule(int group_width,
+                                                   bool library_specific) {
+  return std::make_unique<ComparatorCascadeRule>(group_width,
+                                                 library_specific);
+}
+
+void register_compare_shift_rules(RuleBase& base) {
+  base.add(std::make_unique<ComparatorFromSubRule>(false));
+  base.add(std::make_unique<EqualityXnorRule>(false));
+  base.add(std::make_unique<ShifterWiringRule>(false));
+  base.add(std::make_unique<BarrelLogStageRule>(false));
+  base.add(std::make_unique<BarrelPerOpRule>(false));
+  base.add(std::make_unique<MultiplierArrayRule>(false));
+}
+
+}  // namespace bridge::dtas

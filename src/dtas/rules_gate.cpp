@@ -1,0 +1,283 @@
+// Gate and logic-unit decomposition rules: bit slicing, fan-in trees,
+// De Morgan re-expressions (which give the gate level its alternative
+// implementations), and the multi-function logic unit.
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+bool is_gate(const ComponentSpec& spec, int min_width = 1, int min_fanin = 1) {
+  return spec.kind == Kind::kGate && spec.width >= min_width &&
+         spec.size >= min_fanin && spec.ops.size() == 1;
+}
+
+Op gate_fn(const ComponentSpec& spec) { return spec.ops.to_vector().at(0); }
+
+/// Wide gates slice into per-bit gates.
+class GateBitSliceRule final : public Rule {
+ public:
+  explicit GateBitSliceRule(bool library_specific)
+      : Rule("gate-bit-slice", "bit-slice", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return is_gate(spec) && spec.width > 1;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "gslice");
+    const int fanin = spec.size;
+    for (int b = 0; b < spec.width; ++b) {
+      Instance& g = t.add("b", genus::make_gate_spec(gate_fn(spec), 1, fanin));
+      for (int i = 0; i < fanin; ++i) {
+        t.connect(g, "I" + std::to_string(i),
+                  t.port("I" + std::to_string(i)), b);
+      }
+      t.connect(g, "OUT", t.port("OUT"), b);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Wide-fanin gates split into two subtrees plus a root gate. The root
+/// keeps the (possibly inverting) function; subtrees use the base function.
+class GateTreeRule final : public Rule {
+ public:
+  explicit GateTreeRule(bool library_specific)
+      : Rule("gate-fanin-tree", "tree-composition", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    if (!is_gate(spec, 1, 3) || spec.width != 1) return false;
+    switch (gate_fn(spec)) {
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kNand:
+      case Op::kNor:
+      case Op::kXnor:
+        return true;
+      default:
+        return false;
+    }
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    const Op fn = gate_fn(spec);
+    Op base = fn;
+    if (fn == Op::kNand) base = Op::kAnd;
+    if (fn == Op::kNor) base = Op::kOr;
+    if (fn == Op::kXnor) base = Op::kXor;
+    const int k = spec.size;
+    const int k1 = (k + 1) / 2;
+    const int k2 = k - k1;
+
+    TemplateBuilder t(spec, "gtree");
+    auto subtree = [&](int lo, int n) -> std::pair<NetIndex, int> {
+      if (n == 1) return {t.port("I" + std::to_string(lo)), 0};
+      Instance& g = t.add("st", genus::make_gate_spec(base, 1, n));
+      for (int i = 0; i < n; ++i) {
+        t.connect(g, "I" + std::to_string(i),
+                  t.port("I" + std::to_string(lo + i)), 0);
+      }
+      NetIndex o = t.fresh("st", 1);
+      t.connect(g, "OUT", o);
+      return {o, 0};
+    };
+    auto [left, llo] = subtree(0, k1);
+    auto [right, rlo] = subtree(k1, k2);
+    Instance& root = t.add("root", genus::make_gate_spec(fn, 1, 2));
+    t.connect(root, "I0", left, llo);
+    t.connect(root, "I1", right, rlo);
+    t.connect(root, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Re-expression rules: alternative gate-level realizations. Directions are
+/// chosen so the rewrite system is well-founded (everything bottoms out in
+/// the NAND/INV basis).
+class GateRewriteRule final : public Rule {
+ public:
+  GateRewriteRule(std::string name, Op from,
+                  std::function<void(TemplateBuilder&)> build)
+      : Rule(std::move(name), "gate-re-expression", false),
+        from_(from),
+        build_(std::move(build)) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    const int want_fanin = (from_ == Op::kLnot || from_ == Op::kBuf) ? 1 : 2;
+    return is_gate(spec) && spec.width == 1 && spec.size == want_fanin &&
+           gate_fn(spec) == from_;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "grw");
+    build_(t);
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  Op from_;
+  std::function<void(TemplateBuilder&)> build_;
+};
+
+void connect_out_gate(TemplateBuilder& t, Op fn, NetIndex a, NetIndex b) {
+  Instance& g = t.add("o", genus::make_gate_spec(fn, 1, 2));
+  t.connect(g, "I0", a);
+  t.connect(g, "I1", b);
+  t.connect(g, "OUT", t.port("OUT"));
+}
+
+void connect_out_inv(TemplateBuilder& t, NetIndex a) {
+  Instance& g = t.add("o", genus::make_gate_spec(Op::kLnot, 1));
+  t.connect(g, "I0", a);
+  t.connect(g, "OUT", t.port("OUT"));
+}
+
+/// Multi-function logic units slice into per-bit logic units.
+class LuBitSliceRule final : public Rule {
+ public:
+  explicit LuBitSliceRule(bool library_specific)
+      : Rule("lu-bit-slice", "bit-slice", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kLogicUnit && spec.width > 1;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "luslice");
+    for (int b = 0; b < spec.width; ++b) {
+      ComponentSpec child = genus::make_logic_unit_spec(1, spec.ops);
+      Instance& u = t.add("lu", child);
+      t.connect(u, "A", t.port("A"), b);
+      t.connect(u, "B", t.port("B"), b);
+      if (spec.ops.size() > 1) t.connect(u, "F", t.port("F"));
+      t.connect(u, "OUT", t.port("OUT"), b);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// A 1-bit logic unit: one gate per function plus a selecting multiplexer.
+class LuGatesRule final : public Rule {
+ public:
+  explicit LuGatesRule(bool library_specific)
+      : Rule("lu-gates-and-mux", "function-enumeration", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    if (spec.kind != Kind::kLogicUnit || spec.width != 1) return false;
+    for (Op op : spec.ops.to_vector()) {
+      if (!genus::op_is_logic(op)) return false;
+    }
+    return true;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "lugates");
+    const auto ops = spec.ops.to_vector();
+
+    auto fn_output = [&](Op op) -> NetIndex {
+      switch (op) {
+        case Op::kLnot: {
+          return t.inv(t.port("A"), 0);
+        }
+        case Op::kBuf: {
+          NetIndex o = t.fresh("fb", 1);
+          t.buf_slice(t.port("A"), 0, o, 0, 1);
+          return o;
+        }
+        default:
+          return t.gate2(op, t.port("A"), 0, t.port("B"), 0);
+      }
+    };
+
+    if (ops.size() == 1) {
+      NetIndex o = fn_output(ops[0]);
+      t.buf_slice(o, 0, t.port("OUT"), 0, 1);
+    } else {
+      Instance& mux = t.add(
+          "sel", genus::make_mux_spec(1, static_cast<int>(ops.size())));
+      for (size_t i = 0; i < ops.size(); ++i) {
+        t.connect(mux, "I" + std::to_string(i), fn_output(ops[i]));
+      }
+      t.connect(mux, "SEL", t.port("F"));
+      t.connect(mux, "OUT", t.port("OUT"));
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_gate_rules(RuleBase& base) {
+  base.add(std::make_unique<GateBitSliceRule>(false));
+  base.add(std::make_unique<GateTreeRule>(false));
+
+  base.add(std::make_unique<GateRewriteRule>(
+      "and-from-nand-inv", Op::kAnd, [](TemplateBuilder& t) {
+        NetIndex n = t.gate2(Op::kNand, t.port("I0"), 0, t.port("I1"), 0);
+        connect_out_inv(t, n);
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "or-from-nand-demorgan", Op::kOr, [](TemplateBuilder& t) {
+        NetIndex na = t.inv(t.port("I0"), 0);
+        NetIndex nb = t.inv(t.port("I1"), 0);
+        connect_out_gate(t, Op::kNand, na, nb);
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "nor-from-and-demorgan", Op::kNor, [](TemplateBuilder& t) {
+        NetIndex na = t.inv(t.port("I0"), 0);
+        NetIndex nb = t.inv(t.port("I1"), 0);
+        connect_out_gate(t, Op::kAnd, na, nb);
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "xor-from-nand", Op::kXor, [](TemplateBuilder& t) {
+        NetIndex n1 = t.gate2(Op::kNand, t.port("I0"), 0, t.port("I1"), 0);
+        NetIndex n2 = t.gate2(Op::kNand, t.port("I0"), 0, n1, 0);
+        NetIndex n3 = t.gate2(Op::kNand, t.port("I1"), 0, n1, 0);
+        connect_out_gate(t, Op::kNand, n2, n3);
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "xnor-from-xor-inv", Op::kXnor, [](TemplateBuilder& t) {
+        NetIndex x = t.gate2(Op::kXor, t.port("I0"), 0, t.port("I1"), 0);
+        connect_out_inv(t, x);
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "limpl-from-inv-or", Op::kLimpl, [](TemplateBuilder& t) {
+        NetIndex na = t.inv(t.port("I0"), 0);
+        connect_out_gate(t, Op::kOr, na, t.port("I1"));
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "inv-from-nand", Op::kLnot, [](TemplateBuilder& t) {
+        connect_out_gate(t, Op::kNand, t.port("I0"), t.port("I0"));
+      }));
+  base.add(std::make_unique<GateRewriteRule>(
+      "buffer-from-inverters", Op::kBuf, [](TemplateBuilder& t) {
+        NetIndex n = t.inv(t.port("I0"), 0);
+        connect_out_inv(t, n);
+      }));
+
+  base.add(std::make_unique<LuBitSliceRule>(false));
+  base.add(std::make_unique<LuGatesRule>(false));
+}
+
+}  // namespace bridge::dtas

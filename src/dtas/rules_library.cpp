@@ -1,0 +1,41 @@
+// Rule-base assembly.
+//
+// register_standard_rules() installs the technology-independent rule set
+// (the analog of the paper's "86 rules written in the DTAS Design
+// Language"); register_lsi_rules() installs the nine library-specific
+// rules that "fully utilize the subset of cells from LSI Logic" (§7):
+// the data-book granularities for ripple composition, bit slicing, select
+// trees, and register packing.
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+void register_standard_rules(RuleBase& base) {
+  register_arith_rules(base);
+  register_gate_rules(base);
+  register_mux_rules(base);
+  register_codec_rules(base);
+  register_compare_shift_rules(base);
+  register_seq_rules(base);
+  register_alu_rules(base);
+  // Availability-gated compositions: use data-book decoders/comparators
+  // whenever the target library offers them (the rules probe the library).
+  base.add(make_decoder_tree_rule(2, false));
+  base.add(make_decoder_tree_rule(3, false));
+  base.add(make_comparator_cascade_rule(4, false));
+}
+
+void register_lsi_rules(RuleBase& base) {
+  // The nine LSI-specific rules (paper §7).
+  base.add(make_ripple_adder_rule(2, true));        // 1. ADD2 ripple groups
+  base.add(make_ripple_adder_rule(4, true));        // 2. ADD4 ripple groups
+  base.add(make_fast_adder_ripple_rule(4, true));   // 3. ADD4F fast groups
+  base.add(make_addsub_ripple_rule(2, true));       // 4. ADSU2 ripple groups
+  base.add(make_mux_bitslice_rule(4, true));        // 5. MUX21X4 nibbles
+  base.add(make_mux_tree_rule(4, true));            // 6. MUX41 select trees
+  base.add(make_mux_tree_rule(8, true));            // 7. MUX81 select trees
+  base.add(make_register_pack_rule(4, true));       // 8. REG4 packing
+  base.add(make_register_pack_rule(8, true));       // 9. REG8 packing
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,204 @@
+// Multiplexer and selector decomposition rules: bit slicing to the widths
+// the data book offers, select-tree composition, gate-level realization,
+// and the one-hot selector as an AND-OR array.
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+int clog2(int n) {
+  int bits = 0;
+  int cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits < 1 ? 1 : bits;
+}
+
+/// Slice a wide mux into data-book-width muxes (SEL broadcast).
+class MuxBitSliceRule final : public Rule {
+ public:
+  MuxBitSliceRule(int slice_width, bool library_specific)
+      : Rule("mux-bit-slice-" + std::to_string(slice_width), "bit-slice",
+             library_specific),
+        kw_(slice_width) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kMux || spec.width <= kw_ ||
+        spec.width % kw_ != 0) {
+      return false;
+    }
+    if (kw_ == 1) return true;  // generic base case
+    return !ctx.library.matches(genus::make_mux_spec(kw_, spec.size)).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "muxslice" + std::to_string(kw_));
+    const int nslices = spec.width / kw_;
+    for (int s = 0; s < nslices; ++s) {
+      Instance& m = t.add("m", genus::make_mux_spec(kw_, spec.size));
+      for (int i = 0; i < spec.size; ++i) {
+        t.connect(m, "I" + std::to_string(i),
+                  t.port("I" + std::to_string(i)), s * kw_);
+      }
+      t.connect(m, "SEL", t.port("SEL"));
+      t.connect(m, "OUT", t.port("OUT"), s * kw_);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int kw_;
+};
+
+/// Select-tree composition: first level of `arity`-input muxes on the low
+/// select bits, then a second-level mux on the high bits. Short final
+/// groups pad with their last real input, which composes to the
+/// OUT = I[min(SEL, n-1)] semantics.
+class MuxTreeRule final : public Rule {
+ public:
+  MuxTreeRule(int arity, bool library_specific)
+      : Rule("mux-tree-arity-" + std::to_string(arity), "tree-composition",
+             library_specific),
+        arity_(arity) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kMux || spec.size <= arity_) return false;
+    if (arity_ == 2) return true;  // generic base case
+    return !ctx.library.matches(genus::make_mux_spec(1, arity_)).empty() ||
+           !ctx.library.matches(genus::make_mux_spec(spec.width, arity_))
+                .empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "muxtree" + std::to_string(arity_));
+    const int w = spec.width;
+    const int n = spec.size;
+    const int low_bits = clog2(arity_);
+    // Pad to the full 2^selw so no tree level ever select-clamps; padded
+    // entries alias the last real input, which realizes the
+    // OUT = I[min(SEL, n-1)] semantics exactly at every level.
+    const int ntotal = 1 << clog2(n);
+    const int ngroups = ntotal / arity_;
+
+    Instance& root = t.add("root", genus::make_mux_spec(w, ngroups));
+    for (int g = 0; g < ngroups; ++g) {
+      const int base = g * arity_;
+      const int real = std::max(0, std::min(arity_, n - base));
+      if (real <= 1) {
+        // Degenerate group (one real input or pure padding).
+        t.connect(root, "I" + std::to_string(g),
+                  t.port("I" + std::to_string(std::min(base, n - 1))));
+        continue;
+      }
+      Instance& m = t.add("l", genus::make_mux_spec(w, arity_));
+      for (int i = 0; i < arity_; ++i) {
+        const int src = base + std::min(i, real - 1);  // pad w/ last input
+        t.connect(m, "I" + std::to_string(i),
+                  t.port("I" + std::to_string(src)));
+      }
+      t.connect(m, "SEL", t.port("SEL"), 0);  // low select bits
+      NetIndex o = t.fresh("lg", w);
+      t.connect(m, "OUT", o);
+      t.connect(root, "I" + std::to_string(g), o);
+    }
+    t.connect(root, "SEL", t.port("SEL"), low_bits);
+    t.connect(root, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int arity_;
+};
+
+/// 1-bit 2:1 mux from gates: OUT = (I0 & ~SEL) | (I1 & SEL).
+class MuxFromGatesRule final : public Rule {
+ public:
+  explicit MuxFromGatesRule(bool library_specific)
+      : Rule("mux21-from-gates", "gate-level-realization", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kMux && spec.width == 1 && spec.size == 2;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "mux_gates");
+    NetIndex nsel = t.inv(t.port("SEL"), 0);
+    NetIndex a = t.gate2(Op::kAnd, t.port("I0"), 0, nsel, 0);
+    NetIndex b = t.gate2(Op::kAnd, t.port("I1"), 0, t.port("SEL"), 0);
+    Instance& o = t.add("or", genus::make_gate_spec(Op::kOr, 1, 2));
+    t.connect(o, "I0", a);
+    t.connect(o, "I1", b);
+    t.connect(o, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// One-hot selector: per-input AND mask, OR merge (wired-or style array).
+class SelectorAndOrRule final : public Rule {
+ public:
+  explicit SelectorAndOrRule(bool library_specific)
+      : Rule("selector-and-or-array", "one-hot-selection", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kSelector && spec.size >= 2;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "selarr");
+    const int w = spec.width;
+    const int n = spec.size;
+    Instance& merge = t.add("or", genus::make_gate_spec(Op::kOr, w, n));
+    for (int i = 0; i < n; ++i) {
+      Instance& mask = t.add("and", genus::make_gate_spec(Op::kAnd, w, 2));
+      t.connect(mask, "I0", t.port("I" + std::to_string(i)));
+      t.connect_replicated(mask, "I1", t.port("SEL"), i);
+      NetIndex m = t.fresh("m", w);
+      t.connect(mask, "OUT", m);
+      t.connect(merge, "I" + std::to_string(i), m);
+    }
+    t.connect(merge, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_mux_bitslice_rule(int slice_width,
+                                             bool library_specific) {
+  return std::make_unique<MuxBitSliceRule>(slice_width, library_specific);
+}
+
+std::unique_ptr<Rule> make_mux_tree_rule(int arity, bool library_specific) {
+  return std::make_unique<MuxTreeRule>(arity, library_specific);
+}
+
+void register_mux_rules(RuleBase& base) {
+  base.add(make_mux_bitslice_rule(1, false));
+  base.add(make_mux_tree_rule(2, false));
+  base.add(std::make_unique<MuxFromGatesRule>(false));
+  base.add(std::make_unique<SelectorAndOrRule>(false));
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,496 @@
+// Sequential and interface decomposition rules: register packing,
+// enable-recirculation, synchronous and ripple-carry counters, register
+// files, memories, and the interface/miscellaneous component family.
+#include <memory>
+
+#include "dtas/rule.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+using genus::Style;
+using netlist::Instance;
+using netlist::Module;
+using netlist::NetIndex;
+
+namespace {
+
+int clog2(int n) {
+  int bits = 0;
+  int cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits < 1 ? 1 : bits;
+}
+
+void connect_register_controls(TemplateBuilder& t, Instance& reg,
+                               const ComponentSpec& spec) {
+  t.connect(reg, "CLK", t.port("CLK"));
+  if (spec.enable) t.connect(reg, "EN", t.port("EN"));
+  if (spec.async_set) t.connect(reg, "ASET", t.port("ASET"));
+  if (spec.async_reset) t.connect(reg, "ARST", t.port("ARST"));
+}
+
+/// Pack a wide register from k-bit register (or flip-flop) slices.
+class RegisterPackRule final : public Rule {
+ public:
+  RegisterPackRule(int k, bool library_specific)
+      : Rule("register-pack-" + std::to_string(k), "bit-slice",
+             library_specific),
+        k_(k) {}
+
+  bool applies(const ComponentSpec& spec,
+               const RuleContext& ctx) const override {
+    if (spec.kind != Kind::kRegister || spec.width <= k_ ||
+        spec.width % k_ != 0) {
+      return false;
+    }
+    if (k_ == 1) return true;  // generic base case (flip-flop slices)
+    ComponentSpec probe = spec;
+    probe.width = k_;
+    return !ctx.library.matches(probe).empty();
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "regpack" + std::to_string(k_));
+    const int slices = spec.width / k_;
+    for (int s = 0; s < slices; ++s) {
+      ComponentSpec child = spec;
+      child.width = k_;
+      Instance& r = t.add("r", child);
+      t.connect(r, "D", t.port("D"), s * k_);
+      t.connect(r, "Q", t.port("Q"), s * k_);
+      connect_register_controls(t, r, spec);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+
+ private:
+  int k_;
+};
+
+/// Enable by input recirculation: a plain register behind a 2:1 mux.
+/// Used when the data book's flip-flops have no enable pin.
+class RegisterEnableMuxRule final : public Rule {
+ public:
+  explicit RegisterEnableMuxRule(bool library_specific)
+      : Rule("register-enable-recirculate", "control-conditioning",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kRegister && spec.enable;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "regen");
+    const int w = spec.width;
+    ComponentSpec child = spec;
+    child.enable = false;
+    Instance& r = t.add("core", child);
+    Instance& m = t.add("recirc", genus::make_mux_spec(w, 2));
+    t.connect(m, "I0", t.port("Q"));  // hold
+    t.connect(m, "I1", t.port("D"));  // load
+    t.connect(m, "SEL", t.port("EN"));
+    NetIndex d = t.fresh("d", w);
+    t.connect(m, "OUT", d);
+    t.connect(r, "D", d);
+    t.connect(r, "Q", t.port("Q"));
+    t.connect(r, "CLK", t.port("CLK"));
+    if (spec.async_set) t.connect(r, "ASET", t.port("ASET"));
+    if (spec.async_reset) t.connect(r, "ARST", t.port("ARST"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+const OpSet kCounterOps{Op::kLoad, Op::kCountUp, Op::kCountDown};
+
+/// Build the counter's "any operation requested" enable and the D input.
+struct CounterCommon {
+  NetIndex ren = netlist::kNoNet;   // register enable
+  NetIndex mode = netlist::kNoNet;  // 1 = down (priority: up wins)
+};
+
+CounterCommon build_counter_enable(TemplateBuilder& t,
+                                   const ComponentSpec& spec) {
+  CounterCommon c;
+  const bool has_load = spec.ops.contains(Op::kLoad);
+  const bool has_up = spec.ops.contains(Op::kCountUp);
+  const bool has_down = spec.ops.contains(Op::kCountDown);
+
+  std::vector<std::pair<NetIndex, int>> any;
+  if (has_load) any.emplace_back(t.port("CLOAD"), 0);
+  if (has_up) any.emplace_back(t.port("CUP"), 0);
+  if (has_down) any.emplace_back(t.port("CDOWN"), 0);
+  NetIndex anyop = t.gate_many(Op::kOr, any);
+  if (spec.enable) {
+    c.ren = t.gate2(Op::kAnd, t.port("CEN"), 0, anyop, 0);
+  } else {
+    c.ren = anyop;
+  }
+  if (has_down && has_up) {
+    NetIndex nup = t.inv(t.port("CUP"), 0);
+    c.mode = t.gate2(Op::kAnd, t.port("CDOWN"), 0, nup, 0);
+  } else if (has_down) {
+    c.mode = t.fresh("md", 1);
+    t.const_slice(c.mode, 0, 1, true);
+  } else {
+    c.mode = t.fresh("md", 1);
+    t.const_slice(c.mode, 0, 1, false);
+  }
+  return c;
+}
+
+/// Synchronous counter: register plus an add/subtract-by-one datapath.
+class CounterSyncRule final : public Rule {
+ public:
+  explicit CounterSyncRule(bool library_specific)
+      : Rule("counter-sync-addsub", "state-plus-increment",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kCounter && !spec.ops.empty() &&
+           kCounterOps.contains_all(spec.ops) &&
+           spec.ops.intersects(OpSet{Op::kCountUp, Op::kCountDown}) &&
+           (spec.style == Style::kAny || spec.style == Style::kSynchronous);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "ctrsync");
+    const int w = spec.width;
+    const bool has_load = spec.ops.contains(Op::kLoad);
+    CounterCommon c = build_counter_enable(t, spec);
+
+    ComponentSpec reg =
+        genus::make_register_spec(w, /*enable=*/true, spec.async_reset);
+    reg.async_set = spec.async_set;
+    Instance& r = t.add("state", reg);
+    t.connect(r, "Q", t.port("O0"));
+    t.connect(r, "CLK", t.port("CLK"));
+    t.connect(r, "EN", c.ren);
+    if (spec.async_set) t.connect(r, "ASET", t.port("ASET"));
+    if (spec.async_reset) t.connect(r, "ARST", t.port("ARESET"));
+
+    // Count datapath: Q +/- 1. Raw add/sub: up = Q+1+0, down = Q+~1+1.
+    ComponentSpec as = genus::make_addsub_spec(w);
+    as.carry_out = false;
+    Instance& a = t.add("count", as);
+    t.connect(a, "A", t.port("O0"));
+    t.connect_const(a, "B", 1);
+    t.connect(a, "MODE", c.mode);
+    t.connect(a, "CI", c.mode);  // subtract needs raw carry-in of 1
+    NetIndex next = t.fresh("nx", w);
+    t.connect(a, "S", next);
+
+    if (has_load) {
+      Instance& m = t.add("ldmux", genus::make_mux_spec(w, 2));
+      t.connect(m, "I0", next);
+      t.connect(m, "I1", t.port("I0"));
+      t.connect(m, "SEL", t.port("CLOAD"));
+      NetIndex d = t.fresh("d", w);
+      t.connect(m, "OUT", d);
+      t.connect(r, "D", d);
+    } else {
+      t.connect(r, "D", next);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Ripple-carry toggle counter (the paper's RIPPLE counter style, realized
+/// synchronously): per-bit toggle flip-flops with an AND carry chain.
+class CounterToggleRule final : public Rule {
+ public:
+  explicit CounterToggleRule(bool library_specific)
+      : Rule("counter-ripple-toggle", "state-plus-increment",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kCounter && !spec.ops.empty() &&
+           kCounterOps.contains_all(spec.ops) &&
+           spec.ops.intersects(OpSet{Op::kCountUp, Op::kCountDown}) &&
+           (spec.style == Style::kAny || spec.style == Style::kRipple);
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "ctrtoggle");
+    const int w = spec.width;
+    const bool has_load = spec.ops.contains(Op::kLoad);
+    CounterCommon c = build_counter_enable(t, spec);
+
+    ComponentSpec ff =
+        genus::make_register_spec(1, /*enable=*/true, spec.async_reset);
+    ff.async_set = spec.async_set;
+
+    NetIndex carry = netlist::kNoNet;  // toggle-enable chain
+    for (int b = 0; b < w; ++b) {
+      // x_b = Q_b XOR mode (count direction view of the chain).
+      NetIndex x = t.gate2(Op::kXor, t.port("O0"), b, c.mode, 0);
+      NetIndex toggle_en =
+          b == 0 ? netlist::kNoNet : carry;  // carry into this bit
+      NetIndex tog;
+      if (b == 0) {
+        tog = t.fresh("c", 1);
+        t.buf_slice(c.ren, 0, tog, 0, 1);
+        // Bit 0 always toggles when counting; chain starts from count
+        // request (load overrides via the mux below).
+      } else {
+        tog = toggle_en;
+      }
+      // next carry = tog & x_b.
+      carry = t.gate2(Op::kAnd, tog, 0, x, 0);
+      // toggled_b = Q_b XOR tog.
+      NetIndex tv = t.gate2(Op::kXor, t.port("O0"), b, tog, 0);
+
+      Instance& r = t.add("ff", ff);
+      t.connect(r, "CLK", t.port("CLK"));
+      t.connect(r, "EN", c.ren);
+      if (spec.async_set) t.connect(r, "ASET", t.port("ASET"));
+      if (spec.async_reset) t.connect(r, "ARST", t.port("ARESET"));
+      t.connect(r, "Q", t.port("O0"), b);
+      if (has_load) {
+        Instance& m = t.add("ldm", genus::make_mux_spec(1, 2));
+        t.connect(m, "I0", tv);
+        t.connect(m, "I1", t.port("I0"), b);
+        t.connect(m, "SEL", t.port("CLOAD"));
+        NetIndex d = t.fresh("d", 1);
+        t.connect(m, "OUT", d);
+        t.connect(r, "D", d);
+      } else {
+        t.connect(r, "D", tv);
+      }
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Register file from registers, a write decoder, and a read mux.
+class RegisterFileRule final : public Rule {
+ public:
+  explicit RegisterFileRule(bool library_specific)
+      : Rule("regfile-registers-decoder-mux", "storage-array-composition",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kRegisterFile && spec.size >= 2 &&
+           (spec.size & (spec.size - 1)) == 0;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "regfile");
+    const int w = spec.width;
+    const int n = spec.size;
+    const int abits = clog2(n);
+
+    ComponentSpec dec = genus::make_decoder_spec(abits);
+    dec.enable = true;
+    Instance& d = t.add("wdec", dec);
+    t.connect(d, "IN", t.port("WA"));
+    t.connect(d, "EN", t.port("WE"));
+    NetIndex sel = t.fresh("ws", n);
+    t.connect(d, "OUT", sel);
+
+    Instance& m = t.add("rmux", genus::make_mux_spec(w, n));
+    for (int i = 0; i < n; ++i) {
+      ComponentSpec reg = genus::make_register_spec(w, true, false);
+      Instance& r = t.add("word", reg);
+      t.connect(r, "D", t.port("WD"));
+      t.connect(r, "EN", sel, i);
+      t.connect(r, "CLK", t.port("CLK"));
+      NetIndex q = t.fresh("q", w);
+      t.connect(r, "Q", q);
+      t.connect(m, "I" + std::to_string(i), q);
+    }
+    t.connect(m, "SEL", t.port("RA"));
+    t.connect(m, "OUT", t.port("RD"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Small memories decompose exactly like register files (shared address).
+class MemoryAsRegisterArrayRule final : public Rule {
+ public:
+  explicit MemoryAsRegisterArrayRule(bool library_specific)
+      : Rule("memory-register-array", "storage-array-composition",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kMemory && spec.size >= 2 && spec.size <= 64 &&
+           (spec.size & (spec.size - 1)) == 0;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "memarray");
+    const int w = spec.width;
+    const int n = spec.size;
+    const int abits = clog2(n);
+
+    ComponentSpec dec = genus::make_decoder_spec(abits);
+    dec.enable = true;
+    Instance& d = t.add("wdec", dec);
+    t.connect(d, "IN", t.port("ADDR"));
+    t.connect(d, "EN", t.port("WE"));
+    NetIndex sel = t.fresh("ws", n);
+    t.connect(d, "OUT", sel);
+
+    Instance& m = t.add("rmux", genus::make_mux_spec(w, n));
+    for (int i = 0; i < n; ++i) {
+      ComponentSpec reg = genus::make_register_spec(w, true, false);
+      Instance& r = t.add("word", reg);
+      t.connect(r, "D", t.port("DIN"));
+      t.connect(r, "EN", sel, i);
+      t.connect(r, "CLK", t.port("CLK"));
+      NetIndex q = t.fresh("q", w);
+      t.connect(r, "Q", q);
+      t.connect(m, "I" + std::to_string(i), q);
+    }
+    t.connect(m, "SEL", t.port("ADDR"));
+    t.connect(m, "OUT", t.port("DOUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Tristate buses slice into per-bit tristate buffers.
+class TristateSliceRule final : public Rule {
+ public:
+  explicit TristateSliceRule(bool library_specific)
+      : Rule("tristate-bit-slice", "bit-slice", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kTristate && spec.width > 1;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "tslice");
+    for (int b = 0; b < spec.width; ++b) {
+      ComponentSpec child = spec;
+      child.width = 1;
+      Instance& u = t.add("ts", child);
+      t.connect(u, "IN", t.port("IN"), b);
+      t.connect(u, "OE", t.port("OE"));
+      t.connect(u, "OUT", t.port("OUT"), b);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Wired-or and bus merging realized as an OR plane.
+class WiredOrRule final : public Rule {
+ public:
+  explicit WiredOrRule(bool library_specific)
+      : Rule("wired-or-plane", "gate-level-realization", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return (spec.kind == Kind::kWiredOr || spec.kind == Kind::kBus) &&
+           spec.size >= 2;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "worplane");
+    Instance& g = t.add(
+        "or", genus::make_gate_spec(Op::kOr, spec.width, spec.size));
+    for (int i = 0; i < spec.size; ++i) {
+      t.connect(g, "I" + std::to_string(i), t.port("I" + std::to_string(i)));
+    }
+    t.connect(g, "OUT", t.port("OUT"));
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Interface pass-throughs (ports, buffers, clock drivers, Schmitt
+/// triggers, delays) realize as buffer arrays.
+class InterfaceBufferRule final : public Rule {
+ public:
+  explicit InterfaceBufferRule(bool library_specific)
+      : Rule("interface-buffer-array", "gate-level-realization",
+             library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    switch (spec.kind) {
+      case Kind::kPort:
+      case Kind::kBuffer:
+      case Kind::kClockDriver:
+      case Kind::kSchmittTrigger:
+      case Kind::kDelay:
+        return true;
+      default:
+        return false;
+    }
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "ifbuf");
+    t.buf_slice(t.port("IN"), 0, t.port("OUT"), 0, spec.width);
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+/// Switchbox concat/extract are wiring-only (buffer arrays keep the
+/// netlist single-driver).
+class SwitchboxRule final : public Rule {
+ public:
+  explicit SwitchboxRule(bool library_specific)
+      : Rule("switchbox-wiring", "wiring", library_specific) {}
+
+  bool applies(const ComponentSpec& spec, const RuleContext&) const override {
+    return spec.kind == Kind::kConcat || spec.kind == Kind::kExtract;
+  }
+  std::vector<Module> expand(const ComponentSpec& spec,
+                             const RuleContext&) const override {
+    TemplateBuilder t(spec, "sbox");
+    if (spec.kind == Kind::kConcat) {
+      t.buf_slice(t.port("I1"), 0, t.port("OUT"), 0, spec.size);
+      t.buf_slice(t.port("I0"), 0, t.port("OUT"), spec.size, spec.width);
+    } else {
+      t.buf_slice(t.port("IN"), 0, t.port("OUT"), 0,
+                  spec.size > 0 ? spec.size : 1);
+    }
+    std::vector<Module> out;
+    out.push_back(std::move(t).take());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_register_pack_rule(int pack_width,
+                                              bool library_specific) {
+  return std::make_unique<RegisterPackRule>(pack_width, library_specific);
+}
+
+void register_seq_rules(RuleBase& base) {
+  base.add(make_register_pack_rule(1, false));
+  base.add(std::make_unique<RegisterEnableMuxRule>(false));
+  base.add(std::make_unique<CounterSyncRule>(false));
+  base.add(std::make_unique<CounterToggleRule>(false));
+  base.add(std::make_unique<RegisterFileRule>(false));
+  base.add(std::make_unique<MemoryAsRegisterArrayRule>(false));
+  base.add(std::make_unique<TristateSliceRule>(false));
+  base.add(std::make_unique<WiredOrRule>(false));
+  base.add(std::make_unique<InterfaceBufferRule>(false));
+  base.add(std::make_unique<SwitchboxRule>(false));
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,354 @@
+#include "dtas/synthesizer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::dtas {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::PortDir;
+using genus::PortSpec;
+using netlist::Design;
+using netlist::Instance;
+using netlist::Module;
+using netlist::PortConn;
+using netlist::RefKind;
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+/// Materializes chosen alternatives into hierarchical modules.
+class Extractor {
+ public:
+  Extractor(Design& out, const DesignSpace& space) : out_(out), space_(space) {}
+
+  /// Module implementing (node, alt). Only valid for decomposition alts.
+  const Module* materialize(const SpecNode* node, int alt_index) {
+    auto key = std::make_pair(node, alt_index);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const Alternative& alt = node->alts.at(alt_index);
+    const ImplNode* impl = node->impls.at(alt.impl_index).get();
+    BRIDGE_CHECK(!impl->is_leaf(), "materialize called on a leaf alt");
+
+    std::string name = sanitize(node->spec.key()) + "__a" +
+                       std::to_string(alt_index);
+    Module& mod = out_.add_module(name);
+    const Module& tmpl = *impl->tmpl;
+    for (const auto& p : tmpl.module_ports()) {
+      mod.add_port(p.name, p.dir, p.width);
+    }
+    for (const auto& n : tmpl.nets()) {
+      if (mod.find_net(n.name) == netlist::kNoNet) {
+        mod.add_net(n.name, n.width);
+      }
+    }
+    for (const Instance& ti : tmpl.instances()) {
+      // Which distinct child and which of its alternatives was chosen?
+      int child_index = -1;
+      for (size_t c = 0; c < impl->children.size(); ++c) {
+        if (impl->children[c]->spec == ti.spec) {
+          child_index = static_cast<int>(c);
+          break;
+        }
+      }
+      BRIDGE_CHECK(child_index >= 0, "template instance spec not a child");
+      const SpecNode* child = impl->children[child_index];
+      const int child_alt = alt.child_alt.at(child_index);
+      Instance& ni = bind_instance(mod, ti, child, child_alt);
+      (void)ni;
+    }
+    memo_[key] = &mod;
+    return &mod;
+  }
+
+  /// Create the instance in `mod` implementing template instance `ti`
+  /// with the chosen (child, alt).
+  Instance& bind_instance(Module& mod, const Instance& ti,
+                          const SpecNode* child, int child_alt) {
+    const Alternative& calt = child->alts.at(child_alt);
+    const ImplNode* cimpl = child->impls.at(calt.impl_index).get();
+    if (cimpl->is_leaf()) {
+      const cells::Cell& cell = *cimpl->cell;
+      Instance& ni = mod.add_cell_instance(ti.name, cell.spec, cell.name);
+      // Map cell ports onto the need's ports; copy the template's
+      // connections through the binding; apply tie-offs.
+      for (const auto& [cell_port, binding] :
+           cell_binding(cell.spec, child->spec)) {
+        switch (binding.kind) {
+          case PortBinding::Kind::kPort: {
+            auto it = ti.connections.find(binding.need_port);
+            if (it != ti.connections.end()) {
+              ni.connections[cell_port] = it->second;
+            }
+            break;
+          }
+          case PortBinding::Kind::kConst:
+            ni.connections[cell_port] = PortConn::constant(binding.value);
+            break;
+          case PortBinding::Kind::kOpen:
+            break;
+        }
+      }
+      return ni;
+    }
+    const Module* child_mod = materialize(child, child_alt);
+    Instance& ni = mod.add_module_instance(ti.name, child_mod, child->spec);
+    ni.connections = ti.connections;
+    return ni;
+  }
+
+ private:
+  Design& out_;
+  const DesignSpace& space_;
+  std::map<std::pair<const SpecNode*, int>, const Module*> memo_;
+};
+
+/// Short human-readable trace of the chosen implementation.
+std::string describe(const SpecNode* node, int alt_index, int depth) {
+  const Alternative& alt = node->alts.at(alt_index);
+  const ImplNode* impl = node->impls.at(alt.impl_index).get();
+  if (impl->is_leaf()) return impl->cell->name;
+  std::string s = impl->rule_name;
+  if (depth > 0 && !impl->children.empty()) {
+    std::vector<std::string> parts;
+    for (size_t c = 0; c < impl->children.size(); ++c) {
+      const SpecNode* child = impl->children[c];
+      // Only describe "interesting" children (skip SSI gate fodder).
+      if (child->spec.kind == Kind::kGate) continue;
+      parts.push_back(genus::kind_name(child->spec.kind) + ":" +
+                      describe(child, alt.child_alt[c], depth - 1));
+    }
+    if (!parts.empty()) s += " (" + join(parts, ", ") + ")";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, PortBinding>> cell_binding(
+    const ComponentSpec& cell_spec, const ComponentSpec& need) {
+  BRIDGE_CHECK(genus::spec_implements(cell_spec, need),
+               "cell_binding: " << cell_spec.key() << " does not implement "
+                                << need.key());
+  const auto cell_ports = genus::spec_ports(cell_spec);
+  const auto need_ports = genus::spec_ports(need);
+  std::vector<std::pair<std::string, PortBinding>> out;
+  for (const PortSpec& cp : cell_ports) {
+    PortBinding b;
+    bool matched = false;
+    for (const PortSpec& np : need_ports) {
+      if (np.name == cp.name && np.width == cp.width && np.dir == cp.dir) {
+        b.kind = PortBinding::Kind::kPort;
+        b.need_port = np.name;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      if (cp.dir == PortDir::kOut) {
+        b.kind = PortBinding::Kind::kOpen;
+      } else {
+        // Data-book tie-offs for extra cell inputs.
+        b.kind = PortBinding::Kind::kConst;
+        if (cp.name == "EN" || cp.name == "CEN") {
+          b.value = 1;  // enables are active high
+        } else if (cp.name == "MODE") {
+          b.value = need.kind == Kind::kSubtractor ? 1 : 0;
+        } else if (cp.name == "CI" && need.kind == Kind::kSubtractor) {
+          b.value = 1;  // raw carry-in of 1 completes two's complement
+        } else {
+          b.value = 0;  // CI, ASET, ARST, spare data inputs
+        }
+      }
+    }
+    out.emplace_back(cp.name, b);
+  }
+  return out;
+}
+
+RuleBase default_rules_for(const cells::CellLibrary& library) {
+  RuleBase base;
+  register_standard_rules(base);
+  if (library.name() == "LSI_LGC15") {
+    register_lsi_rules(base);
+  }
+  return base;
+}
+
+Synthesizer::Synthesizer(RuleBase rules, const cells::CellLibrary& library,
+                         SpaceOptions options)
+    : rules_(std::move(rules)), space_(rules_, library, options) {}
+
+Synthesizer::Synthesizer(const cells::CellLibrary& library,
+                         SpaceOptions options)
+    : Synthesizer(default_rules_for(library), library, options) {}
+
+std::vector<AlternativeDesign> Synthesizer::synthesize(
+    const ComponentSpec& spec) {
+  SpecNode* node = space_.expand(spec);
+  space_.evaluate(node);
+  std::vector<AlternativeDesign> out;
+  for (size_t a = 0; a < node->alts.size(); ++a) {
+    const Alternative& alt = node->alts[a];
+    const ImplNode* impl = node->impls.at(alt.impl_index).get();
+    AlternativeDesign d;
+    d.metric = alt.metric;
+    d.description = describe(node, static_cast<int>(a), 2);
+    d.design = std::make_shared<Design>(sanitize(spec.key()) + "__alt" +
+                                        std::to_string(a));
+    if (impl->is_leaf()) {
+      // Wrap the direct cell match in a module with the spec's ports.
+      Module& top = d.design->add_module(sanitize(spec.key()) + "__direct" +
+                                         std::to_string(a));
+      for (const PortSpec& p : genus::spec_ports(spec)) {
+        top.add_port(p.name, p.dir, p.width);
+      }
+      Instance& ci =
+          top.add_cell_instance("u0", impl->cell->spec, impl->cell->name);
+      for (const auto& [cell_port, binding] :
+           cell_binding(impl->cell->spec, spec)) {
+        switch (binding.kind) {
+          case PortBinding::Kind::kPort:
+            top.connect(ci, cell_port, top.find_net(binding.need_port));
+            break;
+          case PortBinding::Kind::kConst:
+            top.connect_const(ci, cell_port, binding.value);
+            break;
+          case PortBinding::Kind::kOpen:
+            break;
+        }
+      }
+      d.design->set_top(&top);
+    } else {
+      Extractor ex(*d.design, space_);
+      const Module* top = ex.materialize(node, static_cast<int>(a));
+      d.design->set_top(top);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
+    const Module& input) {
+  // Expand and evaluate every distinct instance specification.
+  std::vector<SpecNode*> children;
+  for (const Instance& inst : input.instances()) {
+    BRIDGE_CHECK(inst.ref == RefKind::kSpec,
+                 "synthesize_netlist input must be a netlist of "
+                 "specification instances");
+    SpecNode* node = space_.expand(inst.spec);
+    if (std::find(children.begin(), children.end(), node) == children.end()) {
+      children.push_back(node);
+    }
+  }
+  for (SpecNode* c : children) {
+    space_.evaluate(c);
+    if (c->alts.empty()) return {};  // unrealizable instance
+  }
+  const EvalSchedule topo = DesignSpace::topo_order(input);
+
+  // Odometer over per-spec choices (uniform across the whole netlist).
+  const int n = static_cast<int>(children.size());
+  std::vector<int> limit(n);
+  for (int c = 0; c < n; ++c) {
+    limit[c] = static_cast<int>(children[c]->alts.size());
+  }
+  auto product = [&]() {
+    double p = 1;
+    for (int c = 0; c < n; ++c) p *= limit[c];
+    return p;
+  };
+  while (product() >
+         static_cast<double>(space_.options().max_combinations_per_impl)) {
+    auto it = std::max_element(limit.begin(), limit.end());
+    if (*it <= 1) break;
+    --*it;
+  }
+
+  std::vector<Alternative> candidates;
+  std::vector<int> choice(n, 0);
+  for (;;) {
+    auto metric_of = [&](const ComponentSpec& spec) -> Metric {
+      for (int c = 0; c < n; ++c) {
+        if (children[c]->spec == spec) {
+          return children[c]->alts[choice[c]].metric;
+        }
+      }
+      throw Error("netlist instance spec not expanded: " + spec.key());
+    };
+    Alternative alt;
+    alt.impl_index = 0;
+    alt.child_alt = choice;
+    alt.metric = DesignSpace::eval_template(input, topo, metric_of);
+    candidates.push_back(std::move(alt));
+    int c = 0;
+    while (c < n && ++choice[c] >= limit[c]) {
+      choice[c] = 0;
+      ++c;
+    }
+    if (c == n) break;
+  }
+  std::vector<Alternative> kept =
+      space_.filter_alternatives(std::move(candidates));
+
+  // Materialize each surviving combination.
+  std::vector<AlternativeDesign> out;
+  for (size_t a = 0; a < kept.size(); ++a) {
+    const Alternative& alt = kept[a];
+    AlternativeDesign d;
+    d.metric = alt.metric;
+    d.design = std::make_shared<Design>(input.name() + "__alt" +
+                                        std::to_string(a));
+    Module& top = d.design->add_module(input.name() + "__impl" +
+                                       std::to_string(a));
+    for (const auto& p : input.module_ports()) {
+      top.add_port(p.name, p.dir, p.width);
+    }
+    for (const auto& nn : input.nets()) {
+      if (top.find_net(nn.name) == netlist::kNoNet) {
+        top.add_net(nn.name, nn.width);
+      }
+    }
+    Extractor ex(*d.design, space_);
+    std::vector<std::string> parts;
+    for (const Instance& ti : input.instances()) {
+      int ci = -1;
+      for (int c = 0; c < n; ++c) {
+        if (children[c]->spec == ti.spec) {
+          ci = c;
+          break;
+        }
+      }
+      ex.bind_instance(top, ti, children[ci], alt.child_alt[ci]);
+    }
+    for (int c = 0; c < n; ++c) {
+      parts.push_back(genus::kind_name(children[c]->spec.kind) + ":" +
+                      describe(children[c], alt.child_alt[c], 1));
+    }
+    d.description = join(parts, "; ");
+    d.design->set_top(&top);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace bridge::dtas

@@ -1,0 +1,73 @@
+// DTAS front door: synthesize generic components or whole GENUS netlists
+// into sets of alternative, hierarchical, library-specific netlists.
+//
+// "The output of DTAS is a set of alternative implementations of the input
+// netlist. Each implementation is represented as a hierarchical netlist
+// that traces the top-down design of the input netlist into subcomponents.
+// Leaves of each hierarchical netlist map the alternative design to cells
+// drawn from the given RTL library." (paper §3)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtas/design_space.h"
+
+namespace bridge::dtas {
+
+/// One alternative implementation: metrics plus the hierarchical netlist.
+struct AlternativeDesign {
+  Metric metric;
+  std::shared_ptr<netlist::Design> design;  // top() is the implementation
+  std::string description;                  // top-level rule/cell trace
+};
+
+/// Assemble the rule base DTAS uses for a given data book: the standard
+/// generic rules plus the library-specific rules (hand-written for the
+/// LSI-style book; LOLA-induced sets can be added by the caller).
+RuleBase default_rules_for(const cells::CellLibrary& library);
+
+class Synthesizer {
+ public:
+  /// Takes ownership of the rule base.
+  Synthesizer(RuleBase rules, const cells::CellLibrary& library,
+              SpaceOptions options = {});
+
+  /// Convenience: default_rules_for(library).
+  Synthesizer(const cells::CellLibrary& library, SpaceOptions options = {});
+
+  /// Synthesize one component specification. Returns the filtered set of
+  /// alternative designs, sorted by ascending area. Empty when the library
+  /// cannot realize the specification.
+  std::vector<AlternativeDesign> synthesize(const genus::ComponentSpec& spec);
+
+  /// Synthesize a netlist of GENUS component instances (the output of
+  /// high-level synthesis). The uniform-implementation constraint applies
+  /// across the netlist: instances with the same specification share one
+  /// implementation choice.
+  std::vector<AlternativeDesign> synthesize_netlist(
+      const netlist::Module& input);
+
+  DesignSpace& space() { return space_; }
+  const DesignSpace& space() const { return space_; }
+
+ private:
+  RuleBase rules_;
+  DesignSpace space_;
+};
+
+/// Map a cell's ports onto the ports of the specification it implements.
+/// Unmatched cell inputs receive data-book tie-offs (carry-in 0, enable 1,
+/// asyncs 0, MODE 0/1 for adder/subtractor promotion); unmatched outputs
+/// are left open. Requires genus::spec_implements(cell_spec, need).
+struct PortBinding {
+  enum class Kind { kPort, kConst, kOpen };
+  Kind kind = Kind::kOpen;
+  std::string need_port;  // kPort
+  std::uint64_t value = 0;  // kConst
+};
+std::vector<std::pair<std::string, PortBinding>> cell_binding(
+    const genus::ComponentSpec& cell_spec, const genus::ComponentSpec& need);
+
+}  // namespace bridge::dtas

@@ -1,0 +1,15 @@
+#include "genus/component.h"
+
+#include "base/diag.h"
+
+namespace bridge::genus {
+
+void ComponentInstance::connect(const std::string& port,
+                                const std::string& net) {
+  BRIDGE_CHECK(component != nullptr, "instance '" << name
+                                                  << "' has no component");
+  component->port(port);  // throws if absent
+  connections[port] = net;
+}
+
+}  // namespace bridge::genus

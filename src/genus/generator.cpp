@@ -1,0 +1,385 @@
+#include "genus/generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::genus {
+
+namespace {
+
+/// Port names used by default semantics, resolved per kind.
+struct SemNames {
+  std::string a = "A";
+  std::string b = "B";
+  std::string out = "OUT";
+};
+
+SemNames sem_names(const ComponentSpec& spec) {
+  SemNames n;
+  switch (spec.kind) {
+    case Kind::kAdder:
+    case Kind::kSubtractor:
+    case Kind::kAddSub:
+      n.out = "S";
+      break;
+    case Kind::kRegister:
+    case Kind::kFlipFlop:
+      n.a = "D";
+      n.out = "Q";
+      break;
+    case Kind::kCounter:
+      n.a = "I0";
+      n.out = "O0";
+      break;
+    case Kind::kMultiplier:
+      n.out = "P";
+      break;
+    case Kind::kShifter:
+    case Kind::kBarrelShifter:
+    case Kind::kDecoder:
+    case Kind::kEncoder:
+      n.a = "IN";
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+}  // namespace
+
+ComponentSpec spec_from_params(Kind kind, const ParamMap& p) {
+  const int w = static_cast<int>(p.get_int(kParamInputWidth, 8));
+  ComponentSpec s;
+  s.kind = kind;
+  s.width = w;
+  if (p.get_string(kParamRepresentation, "BINARY") == "BCD") {
+    s.rep = Representation::kBcd;
+  }
+  s.style = p.get_style(kParamStyle, Style::kAny);
+  switch (kind) {
+    case Kind::kGate:
+      s.ops = p.get_ops(kParamFunctionList, OpSet{Op::kAnd});
+      s.size = static_cast<int>(p.get_int(kParamFanin, 2));
+      if (s.ops.contains(Op::kLnot) || s.ops.contains(Op::kBuf)) s.size = 1;
+      break;
+    case Kind::kLogicUnit:
+      s.ops = p.get_ops(kParamFunctionList,
+                        OpSet{Op::kAnd, Op::kOr, Op::kXor, Op::kXnor});
+      break;
+    case Kind::kMux:
+    case Kind::kSelector:
+      s.ops = OpSet{Op::kPass};
+      s.size = static_cast<int>(p.get_int(kParamNumInputs, 2));
+      break;
+    case Kind::kDecoder:
+      s.ops = OpSet{Op::kDecode};
+      s.size = s.rep == Representation::kBcd ? 10 : (1 << w);
+      s.enable = p.get_bool(kParamEnableFlag, false);
+      break;
+    case Kind::kEncoder:
+      s.ops = OpSet{Op::kEncode};
+      s.size = s.rep == Representation::kBcd ? 10 : (1 << w);
+      break;
+    case Kind::kComparator:
+      s.ops = p.get_ops(kParamFunctionList, OpSet{Op::kEq, Op::kLt, Op::kGt});
+      break;
+    case Kind::kAlu:
+      s.ops = p.get_ops(kParamFunctionList, alu16_ops());
+      s.carry_in = p.get_bool(kParamCarryIn, true);
+      s.carry_out = p.get_bool(kParamCarryOut, true);
+      break;
+    case Kind::kShifter:
+      s.ops = p.get_ops(kParamFunctionList, OpSet{Op::kShl, Op::kShr});
+      break;
+    case Kind::kBarrelShifter:
+      s.ops = p.get_ops(kParamFunctionList,
+                        OpSet{Op::kShl, Op::kShr, Op::kRotl, Op::kRotr});
+      s.style = Style::kMuxTree;
+      break;
+    case Kind::kMultiplier:
+      s.ops = OpSet{Op::kMul};
+      s.size = static_cast<int>(p.get_int(kParamOutputWidth, 0)) > 0
+                   ? static_cast<int>(p.get_int(kParamOutputWidth, 0)) - w
+                   : static_cast<int>(p.get_int(kParamSize, w));
+      break;
+    case Kind::kDivider:
+      s.ops = OpSet{Op::kDiv, Op::kRem};
+      s.size = static_cast<int>(p.get_int(kParamSize, w));
+      break;
+    case Kind::kAdder:
+      s.ops = OpSet{Op::kAdd};
+      s.carry_in = p.get_bool(kParamCarryIn, true);
+      s.carry_out = p.get_bool(kParamCarryOut, true);
+      break;
+    case Kind::kSubtractor:
+      s.ops = OpSet{Op::kSub};
+      s.carry_in = p.get_bool(kParamCarryIn, false);
+      s.carry_out = p.get_bool(kParamCarryOut, false);
+      break;
+    case Kind::kAddSub:
+      s.ops = OpSet{Op::kAdd, Op::kSub};
+      s.carry_in = p.get_bool(kParamCarryIn, true);
+      s.carry_out = p.get_bool(kParamCarryOut, true);
+      break;
+    case Kind::kCarryLookahead:
+      s.size = static_cast<int>(p.get_int(kParamSize, 4));
+      s.width = 1;
+      break;
+    case Kind::kRegister:
+      s.ops = OpSet{Op::kLoad};
+      s.enable = p.get_bool(kParamEnableFlag, true);
+      s.async_reset = p.get_bool(kParamAsyncReset, true);
+      s.async_set = p.get_bool(kParamAsyncSet, false);
+      break;
+    case Kind::kFlipFlop:
+      s.width = 1;
+      s.ops = OpSet{Op::kLoad};
+      s.enable = p.get_bool(kParamEnableFlag, false);
+      s.async_reset = p.get_bool(kParamAsyncReset, false);
+      s.async_set = p.get_bool(kParamAsyncSet, false);
+      break;
+    case Kind::kRegisterFile:
+      s.ops = OpSet{Op::kRead, Op::kWrite};
+      s.size = static_cast<int>(p.get_int(kParamSize, 16));
+      break;
+    case Kind::kCounter:
+      s.ops = p.get_ops(kParamFunctionList,
+                        OpSet{Op::kLoad, Op::kCountUp, Op::kCountDown});
+      s.style = p.get_style(kParamStyle, Style::kSynchronous);
+      s.enable = p.get_bool(kParamEnableFlag, true);
+      s.async_set = p.get_bool(kParamAsyncSet, true);
+      s.async_reset = p.get_bool(kParamAsyncReset, true);
+      break;
+    case Kind::kStack:
+    case Kind::kFifo:
+      s.ops = OpSet{Op::kPush, Op::kPop};
+      s.size = static_cast<int>(p.get_int(kParamSize, 16));
+      s.async_reset = p.get_bool(kParamAsyncReset, true);
+      break;
+    case Kind::kMemory:
+      s.ops = OpSet{Op::kRead, Op::kWrite};
+      s.size = static_cast<int>(p.get_int(kParamSize, 256));
+      break;
+    case Kind::kPort:
+    case Kind::kBuffer:
+    case Kind::kClockDriver:
+    case Kind::kSchmittTrigger:
+    case Kind::kDelay:
+      s.ops = OpSet{Op::kPass};
+      break;
+    case Kind::kTristate:
+      s.ops = OpSet{Op::kPass};
+      s.tristate = true;
+      break;
+    case Kind::kWiredOr:
+    case Kind::kBus:
+      s.ops = OpSet{Op::kPass};
+      s.size = static_cast<int>(p.get_int(kParamNumInputs, 2));
+      break;
+    case Kind::kConcat:
+      s.ops = OpSet{Op::kPass};
+      s.size = static_cast<int>(p.get_int(kParamSize, w));
+      break;
+    case Kind::kExtract:
+      s.ops = OpSet{Op::kPass};
+      s.size = static_cast<int>(p.get_int(kParamOutputWidth, 1));
+      break;
+    case Kind::kClockGenerator:
+      s.width = 1;
+      break;
+  }
+  return s;
+}
+
+std::map<std::string, int> width_bindings(const ComponentSpec& spec) {
+  std::map<std::string, int> b;
+  b["w"] = spec.width;
+  b["n"] = spec.size > 0 ? spec.size : 1;
+  b["f"] = std::max(1, spec.ops.size());
+  return b;
+}
+
+std::string default_semantics(Op op, const ComponentSpec& spec) {
+  const SemNames nm = sem_names(spec);
+  const std::string& A = nm.a;
+  const std::string& B = nm.b;
+  const std::string& O = nm.out;
+  switch (op) {
+    case Op::kAdd:
+      return O + " = " + A + " + " + B + (spec.carry_in ? " + CI" : "");
+    case Op::kSub:
+      return O + " = " + A + " - " + B;
+    case Op::kInc:
+      return O + " = " + A + " + 1";
+    case Op::kDec:
+      return O + " = " + A + " - 1";
+    case Op::kMul:
+      return O + " = " + A + " * " + B;
+    case Op::kDiv:
+      return "Q = " + A + " / " + B;
+    case Op::kRem:
+      return "R = " + A + " % " + B;
+    case Op::kEq:
+      return O + " = (" + A + " == " + B + ")";
+    case Op::kNe:
+      return O + " = (" + A + " != " + B + ")";
+    case Op::kLt:
+      return O + " = (" + A + " < " + B + ")";
+    case Op::kGt:
+      return O + " = (" + A + " > " + B + ")";
+    case Op::kLe:
+      return O + " = (" + A + " <= " + B + ")";
+    case Op::kGe:
+      return O + " = (" + A + " >= " + B + ")";
+    case Op::kZerop:
+      return O + " = (" + A + " == 0)";
+    case Op::kAnd:
+      return O + " = " + A + " & " + B;
+    case Op::kOr:
+      return O + " = " + A + " | " + B;
+    case Op::kNand:
+      return O + " = ~(" + A + " & " + B + ")";
+    case Op::kNor:
+      return O + " = ~(" + A + " | " + B + ")";
+    case Op::kXor:
+      return O + " = " + A + " ^ " + B;
+    case Op::kXnor:
+      return O + " = ~(" + A + " ^ " + B + ")";
+    case Op::kLnot:
+      return O + " = ~" + A;
+    case Op::kLimpl:
+      return O + " = ~" + A + " | " + B;
+    case Op::kBuf:
+      return O + " = " + A;
+    case Op::kShl:
+      return O + " = " + A + " << " +
+             (spec.kind == Kind::kBarrelShifter ? "AMT" : "1");
+    case Op::kShr:
+      return O + " = " + A + " >> " +
+             (spec.kind == Kind::kBarrelShifter ? "AMT" : "1");
+    case Op::kAshr:
+      return O + " = " + A + " >>> " +
+             (spec.kind == Kind::kBarrelShifter ? "AMT" : "1");
+    case Op::kRotl:
+      return O + " = rotl(" + A +
+             (spec.kind == Kind::kBarrelShifter ? ", AMT)" : ", 1)");
+    case Op::kRotr:
+      return O + " = rotr(" + A +
+             (spec.kind == Kind::kBarrelShifter ? ", AMT)" : ", 1)");
+    case Op::kLoad:
+      return O + " = " + A;
+    case Op::kPass:
+      return O + " = " + (spec.kind == Kind::kMux ? "I[SEL]" : "IN");
+    case Op::kCountUp:
+      return O + " = " + O + " + 1";
+    case Op::kCountDown:
+      return O + " = " + O + " - 1";
+    case Op::kPush:
+      return "push(DIN)";
+    case Op::kPop:
+      return "DOUT = pop()";
+    case Op::kRead:
+      return "DOUT = mem[ADDR]";
+    case Op::kWrite:
+      return "mem[ADDR] = DIN";
+    case Op::kDecode:
+      return "OUT = 1 << IN";
+    case Op::kEncode:
+      return "OUT = priority(IN)";
+  }
+  throw Error("no default semantics for op");
+}
+
+std::vector<Operation> default_operations(const ComponentSpec& spec) {
+  std::vector<Operation> ops;
+  const auto ports = spec_ports(spec);
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  for (const auto& port : ports) {
+    if (port.role == PortRole::kData || port.role == PortRole::kCarry) {
+      if (port.dir == PortDir::kIn) {
+        input_names.push_back(port.name);
+      } else {
+        output_names.push_back(port.name);
+      }
+    }
+  }
+  for (Op op : spec.ops.to_vector()) {
+    Operation o;
+    o.name = op_name(op);
+    o.inputs = input_names;
+    o.outputs = output_names;
+    o.semantics = default_semantics(op, spec);
+    // Counters trigger operations from dedicated control lines (Figure 2);
+    // multi-function combinational components use the F select encoding.
+    if (spec.kind == Kind::kCounter) {
+      if (op == Op::kLoad) o.control = "CLOAD";
+      if (op == Op::kCountUp) o.control = "CUP";
+      if (op == Op::kCountDown) o.control = "CDOWN";
+    }
+    ops.push_back(std::move(o));
+  }
+  return ops;
+}
+
+ComponentPtr GeneratorSpec::generate(const ParamMap& given) const {
+  // Merge defaults; verify obligatory parameters.
+  ParamMap merged = given;
+  for (const ParamDecl& decl : params) {
+    if (!merged.has(decl.name)) {
+      if (decl.required) {
+        throw Error("generator " + name + ": obligatory parameter " +
+                    decl.name + " not supplied");
+      }
+      if (decl.default_value.has_value()) {
+        merged.set(decl.name, *decl.default_value);
+      }
+    }
+  }
+
+  ComponentSpec spec = spec_from_params(kind, merged);
+
+  if (!styles.empty() && spec.style != Style::kAny &&
+      std::find(styles.begin(), styles.end(), spec.style) == styles.end()) {
+    throw Error("generator " + name + ": style " + style_name(spec.style) +
+                " not offered (NUM_STYLES list)");
+  }
+
+  // Resolve ports: declared symbolic ports if present, else spec-derived.
+  std::vector<PortSpec> resolved;
+  if (ports.empty()) {
+    resolved = spec_ports(spec);
+  } else {
+    const auto bindings = width_bindings(spec);
+    resolved.reserve(ports.size());
+    for (const GenPortDecl& decl : ports) {
+      resolved.push_back(PortSpec{decl.name, decl.dir,
+                                  decl.width.eval(bindings), decl.role});
+    }
+  }
+
+  // Resolve operations.
+  std::vector<Operation> resolved_ops;
+  if (operations.empty()) {
+    resolved_ops = default_operations(spec);
+  } else {
+    resolved_ops.reserve(operations.size());
+    for (const GenOperationDecl& decl : operations) {
+      resolved_ops.push_back(Operation{decl.name, decl.control, decl.inputs,
+                                       decl.outputs, decl.semantics});
+    }
+  }
+
+  std::string comp_name =
+      merged.get_string(kParamCompilerName, name + "." + spec.key());
+
+  return std::make_shared<Component>(std::move(comp_name), std::move(spec),
+                                     std::move(resolved), std::move(resolved_ops),
+                                     name, std::move(merged));
+}
+
+}  // namespace bridge::genus

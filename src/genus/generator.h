@@ -1,0 +1,86 @@
+// Component generators — the second level of the GENUS hierarchy.
+//
+// "A generator class is used to generate a family of similar components and
+// instances. LEGEND descriptions are used to maintain lists of all possible
+// parameters and definitions for every possible operation performed by a
+// generated component." (paper §4)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/widthexpr.h"
+#include "genus/component.h"
+#include "genus/param.h"
+
+namespace bridge::genus {
+
+/// A declared generator parameter: name, whether it must be supplied, and
+/// an optional default ("some parameters are obligatory, others may be
+/// assigned a default value").
+struct ParamDecl {
+  std::string name;
+  bool required = false;
+  std::optional<ParamValue> default_value;
+};
+
+/// A port declaration with a symbolic width, e.g. I0[w] or SEL[log2(n)].
+struct GenPortDecl {
+  std::string name;
+  PortDir dir = PortDir::kIn;
+  WidthExpr width = WidthExpr::constant(1);
+  PortRole role = PortRole::kData;
+};
+
+/// An operation declaration (one entry of the LEGEND OPERATIONS list).
+struct GenOperationDecl {
+  std::string name;
+  std::string control;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::string semantics;
+};
+
+/// A generator: produces a family of components from parameter bindings.
+class GeneratorSpec {
+ public:
+  std::string name;              // e.g. "COUNTER"
+  Kind kind = Kind::kGate;
+  std::string klass;             // LEGEND CLASS attribute, e.g. "Clocked"
+  std::vector<ParamDecl> params;
+  std::vector<Style> styles;     // allowed GC_STYLE values (empty = any)
+  /// Declared ports with symbolic widths. May be empty for built-in
+  /// generators, in which case ports are derived from the component spec
+  /// via spec_ports().
+  std::vector<GenPortDecl> ports;
+  /// Declared operations. May be empty, in which case operations are
+  /// derived from the spec's operation set with default semantics.
+  std::vector<GenOperationDecl> operations;
+  std::string vhdl_model;        // behavioral model tag (Figure 2 VHDL_MODEL)
+  std::string op_classes = "default";
+
+  /// Generate a component. Applies parameter defaults, rejects missing
+  /// obligatory parameters and disallowed styles, resolves symbolic widths,
+  /// and names the component from its generator and parameters.
+  ComponentPtr generate(const ParamMap& given) const;
+
+  TypeClass type_class() const { return kind_type_class(kind); }
+};
+
+/// Derive a ComponentSpec from a generator kind and parameter bindings.
+/// This is the canonical meaning of the GC_* parameters.
+ComponentSpec spec_from_params(Kind kind, const ParamMap& params);
+
+/// Width-expression bindings available to port declarations of a spec:
+/// w (primary width), n (size), f (number of functions).
+std::map<std::string, int> width_bindings(const ComponentSpec& spec);
+
+/// Default register-transfer semantics string for an operation of a given
+/// spec, e.g. kCountUp -> "O0 = O0 + 1".
+std::string default_semantics(Op op, const ComponentSpec& spec);
+
+/// Default operation list for a spec (used when LEGEND declares none).
+std::vector<Operation> default_operations(const ComponentSpec& spec);
+
+}  // namespace bridge::genus

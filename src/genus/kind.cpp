@@ -1,0 +1,108 @@
+#include "genus/kind.h"
+
+#include <array>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::genus {
+
+namespace {
+
+struct KindInfo {
+  Kind kind;
+  const char* name;
+  TypeClass type_class;
+};
+
+constexpr std::array<KindInfo, kNumKinds> kKindTable = {{
+    {Kind::kGate, "GATE", TypeClass::kCombinational},
+    {Kind::kLogicUnit, "LU", TypeClass::kCombinational},
+    {Kind::kMux, "MUX", TypeClass::kCombinational},
+    {Kind::kSelector, "SELECTOR", TypeClass::kCombinational},
+    {Kind::kDecoder, "DECODER", TypeClass::kCombinational},
+    {Kind::kEncoder, "ENCODER", TypeClass::kCombinational},
+    {Kind::kComparator, "COMPARATOR", TypeClass::kCombinational},
+    {Kind::kAlu, "ALU", TypeClass::kCombinational},
+    {Kind::kShifter, "SHIFTER", TypeClass::kCombinational},
+    {Kind::kBarrelShifter, "BARREL_SHIFTER", TypeClass::kCombinational},
+    {Kind::kMultiplier, "MULTIPLIER", TypeClass::kCombinational},
+    {Kind::kDivider, "DIVIDER", TypeClass::kCombinational},
+    {Kind::kAdder, "ADDER", TypeClass::kCombinational},
+    {Kind::kSubtractor, "SUBTRACTOR", TypeClass::kCombinational},
+    {Kind::kAddSub, "ADDSUB", TypeClass::kCombinational},
+    {Kind::kCarryLookahead, "CLA", TypeClass::kCombinational},
+    {Kind::kRegister, "REGISTER", TypeClass::kSequential},
+    {Kind::kRegisterFile, "REGISTER_FILE", TypeClass::kSequential},
+    {Kind::kCounter, "COUNTER", TypeClass::kSequential},
+    {Kind::kStack, "STACK", TypeClass::kSequential},
+    {Kind::kFifo, "FIFO", TypeClass::kSequential},
+    {Kind::kMemory, "MEMORY", TypeClass::kSequential},
+    {Kind::kFlipFlop, "DFF", TypeClass::kSequential},
+    {Kind::kPort, "PORT", TypeClass::kInterface},
+    {Kind::kBuffer, "BUFFER", TypeClass::kInterface},
+    {Kind::kClockDriver, "CLOCK_DRIVER", TypeClass::kInterface},
+    {Kind::kSchmittTrigger, "SCHMITT_TRIGGER", TypeClass::kInterface},
+    {Kind::kTristate, "TRISTATE", TypeClass::kInterface},
+    {Kind::kWiredOr, "WIRED_OR", TypeClass::kInterface},
+    {Kind::kBus, "BUS", TypeClass::kMiscellaneous},
+    {Kind::kDelay, "DELAY", TypeClass::kMiscellaneous},
+    {Kind::kConcat, "CONCAT", TypeClass::kMiscellaneous},
+    {Kind::kExtract, "EXTRACT", TypeClass::kMiscellaneous},
+    {Kind::kClockGenerator, "CLOCK_GENERATOR", TypeClass::kMiscellaneous},
+}};
+
+const KindInfo& info_for(Kind kind) {
+  int idx = static_cast<int>(kind);
+  BRIDGE_CHECK(idx >= 0 && idx < kNumKinds, "bad Kind value " << idx);
+  BRIDGE_CHECK(kKindTable[idx].kind == kind, "kind table out of order");
+  return kKindTable[idx];
+}
+
+}  // namespace
+
+std::string type_class_name(TypeClass tc) {
+  switch (tc) {
+    case TypeClass::kCombinational:
+      return "Combinational";
+    case TypeClass::kSequential:
+      return "Sequential";
+    case TypeClass::kInterface:
+      return "Interface";
+    case TypeClass::kMiscellaneous:
+      return "Miscellaneous";
+  }
+  throw Error("bad TypeClass value");
+}
+
+std::string kind_name(Kind kind) { return info_for(kind).name; }
+
+Kind kind_from_name(const std::string& name) {
+  std::string upper = to_upper(trim(name));
+  for (const auto& info : kKindTable) {
+    if (upper == info.name) return info.kind;
+  }
+  // Friendly aliases found in data books and the paper's prose.
+  if (upper == "ADD") return Kind::kAdder;
+  if (upper == "SUBTRACT" || upper == "SUB") return Kind::kSubtractor;
+  if (upper == "ADDER/SUBTRACTOR") return Kind::kAddSub;
+  if (upper == "MULT") return Kind::kMultiplier;
+  if (upper == "REG") return Kind::kRegister;
+  if (upper == "D_FLIP_FLOP" || upper == "FLIP_FLOP") return Kind::kFlipFlop;
+  throw Error("unknown component kind '" + name + "'");
+}
+
+TypeClass kind_type_class(Kind kind) { return info_for(kind).type_class; }
+
+bool kind_is_sequential(Kind kind) {
+  return kind_type_class(kind) == TypeClass::kSequential;
+}
+
+std::vector<Kind> all_kinds() {
+  std::vector<Kind> out;
+  out.reserve(kNumKinds);
+  for (const auto& info : kKindTable) out.push_back(info.kind);
+  return out;
+}
+
+}  // namespace bridge::genus

@@ -1,0 +1,85 @@
+// Component kinds and GENUS type classes.
+//
+// A GENUS library is organized as a hierarchy of types -> generators ->
+// components -> instances (paper §4). The *type class* describes abstract
+// functionality: combinational, sequential, interface, miscellaneous.
+// Kind identifies the component family a generator produces (Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bridge::genus {
+
+/// GENUS type classes (paper §4: "Sample type attributes include
+/// combinatorial, sequential, interface, and miscellaneous").
+enum class TypeClass : std::uint8_t {
+  kCombinational,
+  kSequential,
+  kInterface,
+  kMiscellaneous,
+};
+
+std::string type_class_name(TypeClass tc);
+
+/// Component families from Table 1 plus the cells DTAS needs for
+/// technology mapping (e.g. carry-look-ahead generators, D flip-flops).
+enum class Kind : std::uint8_t {
+  // Combinational (Table 1, left column)
+  kGate,          // bitwise Boolean gates (AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF)
+  kLogicUnit,     // LU: multi-function bitwise logic
+  kMux,           // binary-select multiplexer
+  kSelector,      // one-hot select multiplexer
+  kDecoder,
+  kEncoder,
+  kComparator,
+  kAlu,
+  kShifter,       // shift-by-one, function-selected
+  kBarrelShifter, // shift-by-k, amount input
+  kMultiplier,
+  kDivider,
+  kAdder,
+  kSubtractor,
+  kAddSub,        // adder/subtractor with mode input
+  kCarryLookahead,  // CLA generator block (library support cell)
+  // Sequential (Table 1, right column)
+  kRegister,
+  kRegisterFile,
+  kCounter,
+  kStack,
+  kFifo,
+  kMemory,
+  kFlipFlop,      // single D flip-flop (library support cell)
+  // Interface
+  kPort,
+  kBuffer,
+  kClockDriver,
+  kSchmittTrigger,
+  kTristate,
+  kWiredOr,
+  // Miscellaneous
+  kBus,
+  kDelay,
+  kConcat,        // switchbox concat
+  kExtract,       // switchbox extract
+  kClockGenerator,
+};
+
+inline constexpr int kNumKinds = static_cast<int>(Kind::kClockGenerator) + 1;
+
+/// Data-book style name ("ALU", "COUNTER", "BARREL_SHIFTER", ...).
+std::string kind_name(Kind kind);
+
+/// Parse a kind name (case-insensitive). Throws Error on unknown name.
+Kind kind_from_name(const std::string& name);
+
+/// The GENUS type class a kind belongs to.
+TypeClass kind_type_class(Kind kind);
+
+/// True if components of this kind hold state across clock edges.
+bool kind_is_sequential(Kind kind);
+
+/// All kinds, in declaration order (for taxonomy iteration).
+std::vector<Kind> all_kinds();
+
+}  // namespace bridge::genus

@@ -1,0 +1,174 @@
+#include "genus/library.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::genus {
+
+void GenusLibrary::add(GeneratorSpec generator) {
+  const std::string key = generator.name;
+  if (generators_.find(key) == generators_.end()) {
+    order_.push_back(key);
+  }
+  generators_.insert_or_assign(key, std::move(generator));
+}
+
+bool GenusLibrary::has(const std::string& generator_name) const {
+  return generators_.count(generator_name) != 0;
+}
+
+const GeneratorSpec& GenusLibrary::find(const std::string& generator_name) const {
+  auto it = generators_.find(generator_name);
+  if (it == generators_.end()) {
+    throw Error("library " + name_ + " has no generator '" + generator_name +
+                "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> GenusLibrary::generator_names() const {
+  return order_;
+}
+
+ComponentPtr GenusLibrary::instantiate(const std::string& generator_name,
+                                       const ParamMap& params) const {
+  const GeneratorSpec& gen = find(generator_name);
+  // Cache key: generator plus the full parameter binding.
+  std::ostringstream key;
+  key << generator_name;
+  for (const auto& [pname, pvalue] : params.values()) {
+    key << ";" << pname << "=" << param_value_to_string(pvalue);
+  }
+  auto it = component_cache_.find(key.str());
+  if (it != component_cache_.end()) return it->second;
+  ComponentPtr comp = gen.generate(params);
+  component_cache_.emplace(key.str(), comp);
+  return comp;
+}
+
+ComponentPtr GenusLibrary::instantiate(Kind kind, const ParamMap& params) const {
+  return instantiate(kind_name(kind), params);
+}
+
+ComponentInstance GenusLibrary::make_instance(std::string instance_name,
+                                              ComponentPtr component) {
+  BRIDGE_CHECK(component != nullptr, "instance of null component");
+  ComponentInstance inst;
+  inst.name = std::move(instance_name);
+  inst.component = std::move(component);
+  return inst;
+}
+
+namespace {
+
+GeneratorSpec make_builtin_generator(Kind kind) {
+  GeneratorSpec gen;
+  gen.name = kind_name(kind);
+  gen.kind = kind;
+  switch (kind_type_class(kind)) {
+    case TypeClass::kCombinational:
+      gen.klass = "Combinational";
+      break;
+    case TypeClass::kSequential:
+      gen.klass = "Clocked";
+      break;
+    case TypeClass::kInterface:
+      gen.klass = "Interface";
+      break;
+    case TypeClass::kMiscellaneous:
+      gen.klass = "Miscellaneous";
+      break;
+  }
+  gen.vhdl_model = to_lower(gen.name) + "_vhdl.c";
+
+  auto opt_int = [](const char* name, long v) {
+    return ParamDecl{name, false, ParamValue{v}};
+  };
+  auto optional = [](const char* name) {
+    return ParamDecl{name, false, std::nullopt};
+  };
+
+  gen.params.push_back(optional(kParamCompilerName));
+  gen.params.push_back(opt_int(kParamInputWidth, 8));
+  gen.params.push_back(optional(kParamFunctionList));
+  gen.params.push_back(optional(kParamStyle));
+  switch (kind) {
+    case Kind::kGate:
+      gen.params.push_back(opt_int(kParamFanin, 2));
+      break;
+    case Kind::kMux:
+    case Kind::kSelector:
+    case Kind::kWiredOr:
+    case Kind::kBus:
+      gen.params.push_back(opt_int(kParamNumInputs, 2));
+      break;
+    case Kind::kMultiplier:
+    case Kind::kDivider:
+    case Kind::kRegisterFile:
+    case Kind::kStack:
+    case Kind::kFifo:
+    case Kind::kMemory:
+    case Kind::kCarryLookahead:
+    case Kind::kConcat:
+      gen.params.push_back(optional(kParamSize));
+      break;
+    case Kind::kExtract:
+      gen.params.push_back(opt_int(kParamOutputWidth, 1));
+      break;
+    case Kind::kAdder:
+    case Kind::kSubtractor:
+    case Kind::kAddSub:
+    case Kind::kAlu:
+      gen.params.push_back(optional(kParamCarryIn));
+      gen.params.push_back(optional(kParamCarryOut));
+      break;
+    case Kind::kRegister:
+    case Kind::kFlipFlop:
+    case Kind::kCounter:
+      gen.params.push_back(optional(kParamEnableFlag));
+      gen.params.push_back(optional(kParamAsyncSet));
+      gen.params.push_back(optional(kParamAsyncReset));
+      gen.params.push_back(optional(kParamSetValue));
+      break;
+    case Kind::kDecoder:
+    case Kind::kEncoder:
+      gen.params.push_back(optional(kParamRepresentation));
+      gen.params.push_back(optional(kParamEnableFlag));
+      break;
+    default:
+      break;
+  }
+
+  // Style menus (the Figure 2 counter offers SYNCHRONOUS and RIPPLE).
+  switch (kind) {
+    case Kind::kCounter:
+      gen.styles = {Style::kSynchronous, Style::kRipple};
+      break;
+    case Kind::kAdder:
+    case Kind::kAddSub:
+    case Kind::kAlu:
+      gen.styles = {Style::kRipple, Style::kCarryLookahead,
+                    Style::kCarrySelect};
+      break;
+    default:
+      break;
+  }
+  return gen;
+}
+
+}  // namespace
+
+const GenusLibrary& builtin_library() {
+  static const GenusLibrary lib = [] {
+    GenusLibrary l("GENUS");
+    for (Kind kind : all_kinds()) {
+      l.add(make_builtin_generator(kind));
+    }
+    return l;
+  }();
+  return lib;
+}
+
+}  // namespace bridge::genus

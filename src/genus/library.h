@@ -1,0 +1,59 @@
+// GENUS libraries: named collections of component generators.
+//
+// "GENUS is a framework for maintaining and accessing libraries of generic
+// RTL components." (paper §4). A library holds generators keyed by name;
+// components are generated on demand and cached so that repeated requests
+// yield the same shared component (instances are then carbon copies).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genus/generator.h"
+
+namespace bridge::genus {
+
+class GenusLibrary {
+ public:
+  explicit GenusLibrary(std::string name = "GENUS") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Register a generator; replaces any previous generator of the same name
+  /// (LEGEND "customization of existing libraries").
+  void add(GeneratorSpec generator);
+
+  bool has(const std::string& generator_name) const;
+
+  /// Lookup; throws Error when the generator is unknown.
+  const GeneratorSpec& find(const std::string& generator_name) const;
+
+  /// All generator names in registration order.
+  std::vector<std::string> generator_names() const;
+
+  /// Generate (or fetch the cached) component for the given parameters.
+  ComponentPtr instantiate(const std::string& generator_name,
+                           const ParamMap& params) const;
+
+  /// Convenience: instantiate by kind using the built-in generator names.
+  ComponentPtr instantiate(Kind kind, const ParamMap& params) const;
+
+  /// Create a named instance (carbon copy) of a component.
+  static ComponentInstance make_instance(std::string instance_name,
+                                         ComponentPtr component);
+
+  int size() const { return static_cast<int>(order_.size()); }
+
+ private:
+  std::string name_;
+  std::map<std::string, GeneratorSpec> generators_;
+  std::vector<std::string> order_;
+  mutable std::map<std::string, ComponentPtr> component_cache_;
+};
+
+/// The standard built-in GENUS library: one generator per Table 1 entry
+/// (plus the DFF/CLA support generators used in technology mapping).
+const GenusLibrary& builtin_library();
+
+}  // namespace bridge::genus

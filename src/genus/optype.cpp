@@ -1,0 +1,165 @@
+#include "genus/optype.h"
+
+#include <array>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::genus {
+
+namespace {
+
+struct OpInfo {
+  Op op;
+  const char* name;
+};
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+    {Op::kAdd, "ADD"},
+    {Op::kSub, "SUB"},
+    {Op::kInc, "INC"},
+    {Op::kDec, "DEC"},
+    {Op::kMul, "MUL"},
+    {Op::kDiv, "DIV"},
+    {Op::kRem, "REM"},
+    {Op::kEq, "EQ"},
+    {Op::kNe, "NE"},
+    {Op::kLt, "LT"},
+    {Op::kGt, "GT"},
+    {Op::kLe, "LE"},
+    {Op::kGe, "GE"},
+    {Op::kZerop, "ZEROP"},
+    {Op::kAnd, "AND"},
+    {Op::kOr, "OR"},
+    {Op::kNand, "NAND"},
+    {Op::kNor, "NOR"},
+    {Op::kXor, "XOR"},
+    {Op::kXnor, "XNOR"},
+    {Op::kLnot, "LNOT"},
+    {Op::kLimpl, "LIMPL"},
+    {Op::kBuf, "BUF"},
+    {Op::kShl, "SHL"},
+    {Op::kShr, "SHR"},
+    {Op::kAshr, "ASHR"},
+    {Op::kRotl, "ROTL"},
+    {Op::kRotr, "ROTR"},
+    {Op::kLoad, "LOAD"},
+    {Op::kPass, "PASS"},
+    {Op::kCountUp, "COUNT_UP"},
+    {Op::kCountDown, "COUNT_DOWN"},
+    {Op::kPush, "PUSH"},
+    {Op::kPop, "POP"},
+    {Op::kRead, "READ"},
+    {Op::kWrite, "WRITE"},
+    {Op::kDecode, "DECODE"},
+    {Op::kEncode, "ENCODE"},
+}};
+
+}  // namespace
+
+std::string op_name(Op op) {
+  int idx = static_cast<int>(op);
+  BRIDGE_CHECK(idx >= 0 && idx < kNumOps, "bad Op value " << idx);
+  BRIDGE_CHECK(kOpTable[idx].op == op, "op table out of order at " << idx);
+  return kOpTable[idx].name;
+}
+
+Op op_from_name(const std::string& name) {
+  std::string upper = to_upper(trim(name));
+  for (const auto& info : kOpTable) {
+    if (upper == info.name) return info.op;
+  }
+  throw Error("unknown operation mnemonic '" + name + "'");
+}
+
+bool op_is_arithmetic(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kInc:
+    case Op::kDec:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kRem:
+    case Op::kCountUp:
+    case Op::kCountDown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_logic(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kNand:
+    case Op::kNor:
+    case Op::kXor:
+    case Op::kXnor:
+    case Op::kLnot:
+    case Op::kLimpl:
+    case Op::kBuf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_compare(Op op) {
+  switch (op) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kLe:
+    case Op::kGe:
+    case Op::kZerop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int OpSet::size() const {
+  int n = 0;
+  for (std::uint64_t m = mask_; m != 0; m &= m - 1) ++n;
+  return n;
+}
+
+std::vector<Op> OpSet::to_vector() const {
+  std::vector<Op> out;
+  for (int i = 0; i < kNumOps; ++i) {
+    Op op = static_cast<Op>(i);
+    if (contains(op)) out.push_back(op);
+  }
+  return out;
+}
+
+std::string OpSet::to_string() const {
+  std::vector<std::string> names;
+  for (Op op : to_vector()) names.push_back(op_name(op));
+  return join(names, " ");
+}
+
+OpSet OpSet::parse(const std::string& text) {
+  OpSet s;
+  for (const std::string& tok : split_ws(text)) {
+    s.insert(op_from_name(tok));
+  }
+  return s;
+}
+
+OpSet alu16_ops() { return alu16_arith_ops() | alu16_logic_ops(); }
+
+OpSet alu16_arith_ops() {
+  return OpSet{Op::kAdd, Op::kSub, Op::kInc, Op::kDec,
+               Op::kEq,  Op::kLt,  Op::kGt,  Op::kZerop};
+}
+
+OpSet alu16_logic_ops() {
+  return OpSet{Op::kAnd, Op::kOr,   Op::kNand, Op::kNor,
+               Op::kXor, Op::kXnor, Op::kLnot, Op::kLimpl};
+}
+
+}  // namespace bridge::genus

@@ -1,0 +1,138 @@
+// RTL operation kinds and operation sets.
+//
+// Every GENUS component and every RTL library cell declares the set of
+// micro-operations it can perform (the paper's OPERATIONS attribute, e.g.
+// the 16-function ALU performs ADD SUB INC DEC EQ LT GT ZEROP AND OR NAND
+// NOR XOR XNOR LNOT LIMPL). DTAS technology mapping matches a component's
+// required operation set against the sets offered by library cells.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bridge::genus {
+
+/// Micro-operation kinds. Order is stable: OpSet packs these as bit indices.
+enum class Op : std::uint8_t {
+  // Arithmetic
+  kAdd,
+  kSub,
+  kInc,
+  kDec,
+  kMul,
+  kDiv,
+  kRem,
+  // Comparison / status
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kZerop,  // "is zero" predicate (paper's ZEROP)
+  // Bitwise logic
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kLnot,   // logical/bitwise complement of A (paper's LNOT)
+  kLimpl,  // logical implication ~A | B (paper's LIMPL)
+  kBuf,
+  // Shifts / rotates
+  kShl,
+  kShr,
+  kAshr,
+  kRotl,
+  kRotr,
+  // Data movement / storage
+  kLoad,
+  kPass,
+  kCountUp,
+  kCountDown,
+  kPush,
+  kPop,
+  kRead,
+  kWrite,
+  // Structural codecs
+  kDecode,
+  kEncode,
+};
+
+/// Number of distinct Op values (bound for OpSet's bit storage).
+inline constexpr int kNumOps = static_cast<int>(Op::kEncode) + 1;
+static_assert(kNumOps <= 64, "OpSet packs ops into a 64-bit mask");
+
+/// Data-book style mnemonic ("ADD", "ZEROP", "COUNT_UP", ...).
+std::string op_name(Op op);
+
+/// Parse a mnemonic (case-insensitive). Throws Error on unknown name.
+Op op_from_name(const std::string& name);
+
+/// True for ops computed by arithmetic circuitry (carry chains).
+bool op_is_arithmetic(Op op);
+
+/// True for bitwise-logic ops.
+bool op_is_logic(Op op);
+
+/// True for comparison/status ops (single-bit results).
+bool op_is_compare(Op op);
+
+/// A set of operations, packed into a 64-bit mask. Cheap value type.
+class OpSet {
+ public:
+  OpSet() = default;
+  OpSet(std::initializer_list<Op> ops) {
+    for (Op op : ops) insert(op);
+  }
+
+  static OpSet from_mask(std::uint64_t mask) {
+    OpSet s;
+    s.mask_ = mask;
+    return s;
+  }
+
+  void insert(Op op) { mask_ |= bit(op); }
+  void erase(Op op) { mask_ &= ~bit(op); }
+  bool contains(Op op) const { return (mask_ & bit(op)) != 0; }
+  bool contains_all(OpSet o) const { return (mask_ & o.mask_) == o.mask_; }
+  bool intersects(OpSet o) const { return (mask_ & o.mask_) != 0; }
+  bool empty() const { return mask_ == 0; }
+  int size() const;
+
+  OpSet operator|(OpSet o) const { return from_mask(mask_ | o.mask_); }
+  OpSet operator&(OpSet o) const { return from_mask(mask_ & o.mask_); }
+  OpSet operator-(OpSet o) const { return from_mask(mask_ & ~o.mask_); }
+  bool operator==(const OpSet&) const = default;
+
+  std::uint64_t mask() const { return mask_; }
+
+  /// All members, in enum order.
+  std::vector<Op> to_vector() const;
+
+  /// Space-separated mnemonics, e.g. "ADD SUB INC".
+  std::string to_string() const;
+
+  /// Parse space-separated mnemonics.
+  static OpSet parse(const std::string& text);
+
+ private:
+  static std::uint64_t bit(Op op) {
+    return std::uint64_t{1} << static_cast<int>(op);
+  }
+  std::uint64_t mask_ = 0;
+};
+
+/// The paper's 16-function ALU operation set (Figure 3).
+OpSet alu16_ops();
+
+/// The 8 arithmetic/compare ops of the 16-function ALU.
+OpSet alu16_arith_ops();
+
+/// The 8 bitwise-logic ops of the 16-function ALU.
+OpSet alu16_logic_ops();
+
+}  // namespace bridge::genus

@@ -1,0 +1,65 @@
+#include "genus/param.h"
+
+#include "base/diag.h"
+
+namespace bridge::genus {
+
+const ParamValue* ParamMap::find(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+long ParamMap::get_int(const std::string& name, long fallback) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) return fallback;
+  if (const long* i = std::get_if<long>(v)) return *i;
+  throw Error("parameter " + name + " is not an integer");
+}
+
+bool ParamMap::get_bool(const std::string& name, bool fallback) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) return fallback;
+  if (const bool* b = std::get_if<bool>(v)) return *b;
+  if (const long* i = std::get_if<long>(v)) return *i != 0;
+  throw Error("parameter " + name + " is not a flag");
+}
+
+std::string ParamMap::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) return fallback;
+  if (const std::string* s = std::get_if<std::string>(v)) return *s;
+  throw Error("parameter " + name + " is not a string");
+}
+
+OpSet ParamMap::get_ops(const std::string& name, OpSet fallback) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) return fallback;
+  if (const OpSet* s = std::get_if<OpSet>(v)) return *s;
+  throw Error("parameter " + name + " is not an operation list");
+}
+
+Style ParamMap::get_style(const std::string& name, Style fallback) const {
+  const ParamValue* v = find(name);
+  if (v == nullptr) return fallback;
+  if (const Style* s = std::get_if<Style>(v)) return *s;
+  if (const std::string* str = std::get_if<std::string>(v)) {
+    return style_from_name(*str);
+  }
+  throw Error("parameter " + name + " is not a style");
+}
+
+std::string param_value_to_string(const ParamValue& v) {
+  struct Visitor {
+    std::string operator()(long i) const { return std::to_string(i); }
+    std::string operator()(bool b) const { return b ? "TRUE" : "FALSE"; }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const OpSet& ops) const {
+      return "(" + ops.to_string() + ")";
+    }
+    std::string operator()(Style s) const { return style_name(s); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+}  // namespace bridge::genus

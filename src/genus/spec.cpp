@@ -1,0 +1,516 @@
+#include "genus/spec.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::genus {
+
+namespace {
+
+/// ceil(log2(n)) with a floor of 1 (a 1-way select still needs one wire).
+int clog2(int n) {
+  int bits = 0;
+  int cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits < 1 ? 1 : bits;
+}
+
+PortSpec in(std::string name, int width, PortRole role = PortRole::kData) {
+  return PortSpec{std::move(name), PortDir::kIn, width, role};
+}
+
+PortSpec out(std::string name, int width, PortRole role = PortRole::kData) {
+  return PortSpec{std::move(name), PortDir::kOut, width, role};
+}
+
+}  // namespace
+
+std::string style_name(Style s) {
+  switch (s) {
+    case Style::kAny:
+      return "ANY";
+    case Style::kRipple:
+      return "RIPPLE";
+    case Style::kCarryLookahead:
+      return "CLA";
+    case Style::kCarrySelect:
+      return "CARRY_SELECT";
+    case Style::kSynchronous:
+      return "SYNCHRONOUS";
+    case Style::kMuxTree:
+      return "MUX_TREE";
+    case Style::kArray:
+      return "ARRAY";
+  }
+  throw Error("bad Style value");
+}
+
+Style style_from_name(const std::string& name) {
+  std::string u = to_upper(trim(name));
+  if (u == "ANY") return Style::kAny;
+  if (u == "RIPPLE") return Style::kRipple;
+  if (u == "CLA" || u == "CARRY_LOOKAHEAD") return Style::kCarryLookahead;
+  if (u == "CARRY_SELECT") return Style::kCarrySelect;
+  if (u == "SYNCHRONOUS") return Style::kSynchronous;
+  if (u == "MUX_TREE") return Style::kMuxTree;
+  if (u == "ARRAY") return Style::kArray;
+  throw Error("unknown style '" + name + "'");
+}
+
+std::string representation_name(Representation r) {
+  switch (r) {
+    case Representation::kBinary:
+      return "BINARY";
+    case Representation::kBcd:
+      return "BCD";
+  }
+  throw Error("bad Representation value");
+}
+
+std::string ComponentSpec::key() const {
+  std::ostringstream os;
+  os << kind_name(kind) << ".w" << width;
+  if (size != 0) os << ".n" << size;
+  if (style != Style::kAny) os << "." << style_name(style);
+  if (rep != Representation::kBinary) os << "." << representation_name(rep);
+  if (carry_in) os << ".ci";
+  if (carry_out) os << ".co";
+  if (enable) os << ".en";
+  if (async_set) os << ".as";
+  if (async_reset) os << ".ar";
+  if (tristate) os << ".ts";
+  if (!ops.empty()) os << "[" << ops.to_string() << "]";
+  return os.str();
+}
+
+std::string ComponentSpec::pretty() const {
+  std::ostringstream os;
+  os << width << "-bit " << kind_name(kind);
+  if (size != 0) os << " (n=" << size << ")";
+  int nops = ops.size();
+  if (nops > 1) os << ", " << nops << "-function";
+  if (style != Style::kAny) os << ", " << style_name(style);
+  return os.str();
+}
+
+int ComponentSpec::select_width() const { return clog2(ops.size()); }
+
+ComponentSpec make_gate_spec(Op fn, int width, int fanin) {
+  ComponentSpec s;
+  s.kind = Kind::kGate;
+  s.width = width;
+  s.size = (fn == Op::kLnot || fn == Op::kBuf) ? 1 : fanin;
+  s.ops = OpSet{fn};
+  return s;
+}
+
+ComponentSpec make_adder_spec(int width, bool carry_in, bool carry_out) {
+  ComponentSpec s;
+  s.kind = Kind::kAdder;
+  s.width = width;
+  s.ops = OpSet{Op::kAdd};
+  s.carry_in = carry_in;
+  s.carry_out = carry_out;
+  return s;
+}
+
+ComponentSpec make_subtractor_spec(int width) {
+  ComponentSpec s;
+  s.kind = Kind::kSubtractor;
+  s.width = width;
+  s.ops = OpSet{Op::kSub};
+  return s;
+}
+
+ComponentSpec make_addsub_spec(int width) {
+  ComponentSpec s;
+  s.kind = Kind::kAddSub;
+  s.width = width;
+  s.ops = OpSet{Op::kAdd, Op::kSub};
+  s.carry_in = true;
+  s.carry_out = true;
+  return s;
+}
+
+ComponentSpec make_alu_spec(int width, OpSet ops) {
+  ComponentSpec s;
+  s.kind = Kind::kAlu;
+  s.width = width;
+  s.ops = ops;
+  s.carry_in = true;
+  s.carry_out = true;
+  return s;
+}
+
+ComponentSpec make_mux_spec(int width, int num_inputs) {
+  ComponentSpec s;
+  s.kind = Kind::kMux;
+  s.width = width;
+  s.size = num_inputs;
+  s.ops = OpSet{Op::kPass};
+  return s;
+}
+
+ComponentSpec make_register_spec(int width, bool enable, bool async_reset) {
+  ComponentSpec s;
+  s.kind = Kind::kRegister;
+  s.width = width;
+  s.ops = OpSet{Op::kLoad};
+  s.enable = enable;
+  s.async_reset = async_reset;
+  return s;
+}
+
+ComponentSpec make_counter_spec(int width, OpSet ops, Style style) {
+  ComponentSpec s;
+  s.kind = Kind::kCounter;
+  s.width = width;
+  s.ops = ops;
+  s.style = style;
+  return s;
+}
+
+ComponentSpec make_comparator_spec(int width, OpSet ops) {
+  ComponentSpec s;
+  s.kind = Kind::kComparator;
+  s.width = width;
+  s.ops = ops;
+  return s;
+}
+
+ComponentSpec make_decoder_spec(int input_width, Representation rep) {
+  ComponentSpec s;
+  s.kind = Kind::kDecoder;
+  s.width = input_width;
+  s.size = rep == Representation::kBcd ? 10 : (1 << input_width);
+  s.ops = OpSet{Op::kDecode};
+  s.rep = rep;
+  return s;
+}
+
+ComponentSpec make_encoder_spec(int output_width, Representation rep) {
+  ComponentSpec s;
+  s.kind = Kind::kEncoder;
+  s.width = output_width;
+  s.size = rep == Representation::kBcd ? 10 : (1 << output_width);
+  s.ops = OpSet{Op::kEncode};
+  s.rep = rep;
+  return s;
+}
+
+ComponentSpec make_shifter_spec(int width, OpSet ops) {
+  ComponentSpec s;
+  s.kind = Kind::kShifter;
+  s.width = width;
+  s.ops = ops;
+  return s;
+}
+
+ComponentSpec make_barrel_shifter_spec(int width, OpSet ops) {
+  ComponentSpec s;
+  s.kind = Kind::kBarrelShifter;
+  s.width = width;
+  s.ops = ops;
+  s.style = Style::kMuxTree;
+  return s;
+}
+
+ComponentSpec make_multiplier_spec(int width_a, int width_b) {
+  ComponentSpec s;
+  s.kind = Kind::kMultiplier;
+  s.width = width_a;
+  s.size = width_b;
+  s.ops = OpSet{Op::kMul};
+  return s;
+}
+
+ComponentSpec make_logic_unit_spec(int width, OpSet ops) {
+  ComponentSpec s;
+  s.kind = Kind::kLogicUnit;
+  s.width = width;
+  s.ops = ops;
+  return s;
+}
+
+std::vector<PortSpec> spec_ports(const ComponentSpec& spec) {
+  std::vector<PortSpec> p;
+  const int w = spec.width;
+  const int n = spec.size;
+  switch (spec.kind) {
+    case Kind::kGate: {
+      int fanin = n > 0 ? n : 2;
+      for (int i = 0; i < fanin; ++i) p.push_back(in("I" + std::to_string(i), w));
+      p.push_back(out("OUT", w));
+      break;
+    }
+    case Kind::kLogicUnit:
+      p.push_back(in("A", w));
+      p.push_back(in("B", w));
+      if (spec.ops.size() > 1) {
+        p.push_back(in("F", spec.select_width(), PortRole::kSelect));
+      }
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kMux:
+      for (int i = 0; i < n; ++i) p.push_back(in("I" + std::to_string(i), w));
+      p.push_back(in("SEL", clog2(n), PortRole::kSelect));
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kSelector:
+      for (int i = 0; i < n; ++i) p.push_back(in("I" + std::to_string(i), w));
+      p.push_back(in("SEL", n, PortRole::kSelect));  // one-hot
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kDecoder:
+      p.push_back(in("IN", w));
+      if (spec.enable) p.push_back(in("EN", 1, PortRole::kEnable));
+      p.push_back(out("OUT", n));
+      break;
+    case Kind::kEncoder:
+      p.push_back(in("IN", n));
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kComparator:
+      p.push_back(in("A", w));
+      p.push_back(in("B", w));
+      for (Op op : spec.ops.to_vector()) {
+        p.push_back(out(op_name(op), 1, PortRole::kStatus));
+      }
+      break;
+    case Kind::kAlu:
+      // Data-book ALU convention: OUT carries the arithmetic/logic result
+      // selected by F; comparison predicates are dedicated status pins
+      // (always valid, computed from A and B alone).
+      p.push_back(in("A", w));
+      p.push_back(in("B", w));
+      if (spec.carry_in) p.push_back(in("CI", 1, PortRole::kCarry));
+      p.push_back(in("F", spec.select_width(), PortRole::kSelect));
+      p.push_back(out("OUT", w));
+      if (spec.carry_out) p.push_back(out("CO", 1, PortRole::kCarry));
+      for (Op op : spec.ops.to_vector()) {
+        if (op_is_compare(op)) {
+          p.push_back(out(op_name(op), 1, PortRole::kStatus));
+        }
+      }
+      break;
+    case Kind::kShifter:
+      p.push_back(in("IN", w));
+      if (spec.ops.size() > 1) {
+        p.push_back(in("F", spec.select_width(), PortRole::kSelect));
+      }
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kBarrelShifter:
+      p.push_back(in("IN", w));
+      p.push_back(in("AMT", clog2(w), PortRole::kSelect));
+      if (spec.ops.size() > 1) {
+        p.push_back(in("F", spec.select_width(), PortRole::kSelect));
+      }
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kMultiplier:
+      p.push_back(in("A", w));
+      p.push_back(in("B", n));
+      p.push_back(out("P", w + n));
+      break;
+    case Kind::kDivider:
+      p.push_back(in("A", w));
+      p.push_back(in("B", n));
+      p.push_back(out("Q", w));
+      p.push_back(out("R", n));
+      break;
+    case Kind::kAdder:
+    case Kind::kSubtractor:
+      p.push_back(in("A", w));
+      p.push_back(in("B", w));
+      if (spec.carry_in) p.push_back(in("CI", 1, PortRole::kCarry));
+      p.push_back(out("S", w));
+      if (spec.carry_out) p.push_back(out("CO", 1, PortRole::kCarry));
+      break;
+    case Kind::kAddSub:
+      p.push_back(in("A", w));
+      p.push_back(in("B", w));
+      if (spec.carry_in) p.push_back(in("CI", 1, PortRole::kCarry));
+      p.push_back(in("MODE", 1, PortRole::kMode));
+      p.push_back(out("S", w));
+      if (spec.carry_out) p.push_back(out("CO", 1, PortRole::kCarry));
+      break;
+    case Kind::kCarryLookahead: {
+      // 74182-style look-ahead generator: group carries plus group
+      // propagate/generate outputs for multi-level look-ahead trees.
+      int k = n > 0 ? n : 4;
+      p.push_back(in("P", k));
+      p.push_back(in("G", k));
+      p.push_back(in("CI", 1, PortRole::kCarry));
+      p.push_back(out("C", k, PortRole::kCarry));
+      p.push_back(out("GP", 1, PortRole::kStatus));
+      p.push_back(out("GG", 1, PortRole::kStatus));
+      break;
+    }
+    case Kind::kRegister:
+    case Kind::kFlipFlop:
+      p.push_back(in("D", w));
+      p.push_back(in("CLK", 1, PortRole::kClock));
+      if (spec.enable) p.push_back(in("EN", 1, PortRole::kEnable));
+      if (spec.async_set) p.push_back(in("ASET", 1, PortRole::kAsync));
+      if (spec.async_reset) p.push_back(in("ARST", 1, PortRole::kAsync));
+      p.push_back(out("Q", w));
+      break;
+    case Kind::kRegisterFile:
+      p.push_back(in("RA", clog2(n), PortRole::kSelect));
+      p.push_back(in("WA", clog2(n), PortRole::kSelect));
+      p.push_back(in("WD", w));
+      p.push_back(in("WE", 1, PortRole::kEnable));
+      p.push_back(in("CLK", 1, PortRole::kClock));
+      p.push_back(out("RD", w));
+      break;
+    case Kind::kCounter:
+      // Port names follow the paper's Figure 2 counter generator.
+      if (spec.ops.contains(Op::kLoad)) p.push_back(in("I0", w));
+      p.push_back(in("CLK", 1, PortRole::kClock));
+      if (spec.enable) p.push_back(in("CEN", 1, PortRole::kEnable));
+      if (spec.ops.contains(Op::kLoad)) {
+        p.push_back(in("CLOAD", 1, PortRole::kControl));
+      }
+      if (spec.ops.contains(Op::kCountUp)) {
+        p.push_back(in("CUP", 1, PortRole::kControl));
+      }
+      if (spec.ops.contains(Op::kCountDown)) {
+        p.push_back(in("CDOWN", 1, PortRole::kControl));
+      }
+      if (spec.async_set) p.push_back(in("ASET", 1, PortRole::kAsync));
+      if (spec.async_reset) p.push_back(in("ARESET", 1, PortRole::kAsync));
+      p.push_back(out("O0", w));
+      break;
+    case Kind::kStack:
+    case Kind::kFifo:
+      p.push_back(in("DIN", w));
+      p.push_back(in("PUSH", 1, PortRole::kControl));
+      p.push_back(in("POP", 1, PortRole::kControl));
+      p.push_back(in("CLK", 1, PortRole::kClock));
+      if (spec.async_reset) p.push_back(in("ARST", 1, PortRole::kAsync));
+      p.push_back(out("DOUT", w));
+      p.push_back(out("EMPTY", 1, PortRole::kStatus));
+      p.push_back(out("FULL", 1, PortRole::kStatus));
+      break;
+    case Kind::kMemory:
+      p.push_back(in("ADDR", clog2(n), PortRole::kSelect));
+      p.push_back(in("DIN", w));
+      p.push_back(in("WE", 1, PortRole::kEnable));
+      p.push_back(in("CLK", 1, PortRole::kClock));
+      p.push_back(out("DOUT", w));
+      break;
+    case Kind::kPort:
+    case Kind::kBuffer:
+    case Kind::kClockDriver:
+    case Kind::kSchmittTrigger:
+    case Kind::kDelay:
+      p.push_back(in("IN", w));
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kTristate:
+      p.push_back(in("IN", w));
+      p.push_back(in("OE", 1, PortRole::kMode));
+      p.push_back(out("OUT", w));
+      break;
+    case Kind::kWiredOr:
+    case Kind::kBus: {
+      int drivers = n > 0 ? n : 2;
+      for (int i = 0; i < drivers; ++i) {
+        p.push_back(in("I" + std::to_string(i), w));
+      }
+      p.push_back(out("OUT", w));
+      break;
+    }
+    case Kind::kConcat:
+      p.push_back(in("I0", w));       // high part
+      p.push_back(in("I1", n));       // low part
+      p.push_back(out("OUT", w + n));
+      break;
+    case Kind::kExtract:
+      p.push_back(in("IN", w));
+      p.push_back(out("OUT", n > 0 ? n : 1));  // low `size` bits
+      break;
+    case Kind::kClockGenerator:
+      p.push_back(out("CLK", 1, PortRole::kClock));
+      break;
+  }
+  return p;
+}
+
+const PortSpec& find_port(const std::vector<PortSpec>& ports,
+                          const std::string& name) {
+  for (const auto& port : ports) {
+    if (port.name == name) return port;
+  }
+  throw Error("no port named '" + name + "'");
+}
+
+namespace {
+
+/// True if a cell of kind `cell` can stand in for a need of kind `need`
+/// (beyond exact equality) via a port tie-off handled by the matcher.
+bool kind_promotes(const ComponentSpec& cell, const ComponentSpec& need) {
+  if (cell.kind == Kind::kAddSub && need.kind == Kind::kAdder) return true;
+  // AddSub can stand in for a subtractor only when the need has no borrow
+  // pins: a constant tie-off cannot invert the borrow sense of CI/CO.
+  if (cell.kind == Kind::kAddSub && need.kind == Kind::kSubtractor &&
+      !need.carry_in && !need.carry_out) {
+    return true;
+  }
+  if (cell.kind == Kind::kRegister && need.kind == Kind::kFlipFlop) return true;
+  if (cell.kind == Kind::kFlipFlop && need.kind == Kind::kRegister) return true;
+  return false;
+}
+
+}  // namespace
+
+bool spec_implements(const ComponentSpec& cell, const ComponentSpec& need) {
+  if (cell.kind != need.kind && !kind_promotes(cell, need)) {
+    return false;
+  }
+  if (cell.width != need.width) return false;
+  if (cell.size != need.size) return false;
+  // Multi-function components select operations by an F code (the index in
+  // OpSet order); a cell with a different operation list would scramble
+  // the coding, so those require exact equality. Components with per-op
+  // control lines or per-op status pins (counters, comparators) only need
+  // coverage — extra controls are tied off, extra outputs left open.
+  const bool f_select =
+      need.kind == Kind::kAlu || need.kind == Kind::kLogicUnit ||
+      need.kind == Kind::kShifter || need.kind == Kind::kBarrelShifter;
+  if (f_select && need.ops.size() > 1) {
+    if (!(cell.ops == need.ops)) return false;
+  } else if (!cell.ops.contains_all(need.ops)) {
+    return false;
+  }
+  if (need.style != Style::kAny && cell.style != Style::kAny &&
+      cell.style != need.style) {
+    return false;
+  }
+  if (cell.rep != need.rep) return false;
+  // Structural requirements demanded by the need must exist on the cell.
+  if (need.carry_in && !cell.carry_in) return false;
+  if (need.carry_out && !cell.carry_out) return false;
+  if (need.enable && !cell.enable) return false;
+  if (need.async_set && !cell.async_set) return false;
+  if (need.async_reset && !cell.async_reset) return false;
+  if (need.tristate && !cell.tristate) return false;
+  return true;
+}
+
+bool output_depends_on(const ComponentSpec& spec, const std::string& out_port,
+                       const std::string& in_port) {
+  if (spec.kind == Kind::kCarryLookahead &&
+      (out_port == "GP" || out_port == "GG")) {
+    return in_port != "CI";
+  }
+  return true;
+}
+
+}  // namespace bridge::genus

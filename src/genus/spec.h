@@ -1,0 +1,174 @@
+// Functional component specifications.
+//
+// The paper's pivotal idea (§5): "Technology mapping is performed using the
+// functional specification of library cells, as opposed to a DAG description
+// of their Boolean behavior. The functionality of library cells, i.e., their
+// type, bit-width, and other characteristics, is described with the same
+// representation language used in recognizing and decomposing GENUS
+// components."
+//
+// ComponentSpec is that shared representation. GENUS generators produce
+// components whose functionality is a ComponentSpec; RTL library cells carry
+// a ComponentSpec; DTAS decomposition rules rewrite ComponentSpecs; and the
+// functional matcher compares them directly — avoiding subgraph isomorphism.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genus/kind.h"
+#include "genus/optype.h"
+
+namespace bridge::genus {
+
+/// Implementation style of a component (GC_STYLE parameter).
+enum class Style : std::uint8_t {
+  kAny,             // unconstrained (specification side)
+  kRipple,          // ripple carry / ripple clock
+  kCarryLookahead,  // CLA-accelerated carry
+  kCarrySelect,
+  kSynchronous,     // synchronous (counters)
+  kMuxTree,         // mux/selector trees, logarithmic shifters
+  kArray,           // array multiplier
+};
+
+std::string style_name(Style s);
+Style style_from_name(const std::string& name);
+
+/// Number representation (GC_REPRESENTATION parameter).
+enum class Representation : std::uint8_t {
+  kBinary,  // unsigned / two's-complement binary
+  kBcd,     // binary-coded decimal
+};
+
+std::string representation_name(Representation r);
+
+/// Port roles, used to derive connectivity, simulation semantics, and VHDL.
+enum class PortRole : std::uint8_t {
+  kData,     // operand / result buses
+  kSelect,   // mux/function select
+  kControl,  // per-operation control lines (counters etc.)
+  kCarry,    // carry in/out
+  kStatus,   // single-bit status outputs (EQ, LT, overflow, empty/full)
+  kClock,
+  kEnable,
+  kAsync,    // asynchronous set/reset
+  kMode,     // add/subtract mode, direction, output-enable
+};
+
+enum class PortDir : std::uint8_t { kIn, kOut };
+
+/// A resolved (concrete-width) port of a component or cell.
+struct PortSpec {
+  std::string name;
+  PortDir dir = PortDir::kIn;
+  int width = 1;
+  PortRole role = PortRole::kData;
+
+  bool operator==(const PortSpec&) const = default;
+};
+
+/// The functional specification of a component or library cell.
+struct ComponentSpec {
+  Kind kind = Kind::kGate;
+  /// Primary bit-width: operand width for arithmetic, data width for
+  /// muxes/registers, input width for decoders, output width for encoders.
+  int width = 1;
+  /// Secondary size: number of data inputs for mux/selector/gate fan-in,
+  /// second operand width for multipliers/dividers, word count for
+  /// register files / memories / stacks / FIFOs, output count for
+  /// decoders, input count for encoders. 0 when not applicable.
+  int size = 0;
+  /// Operations the component must perform / the cell can perform.
+  OpSet ops;
+  Style style = Style::kAny;
+  Representation rep = Representation::kBinary;
+  // Optional structural capabilities / requirements.
+  bool carry_in = false;
+  bool carry_out = false;
+  bool enable = false;
+  bool async_set = false;
+  bool async_reset = false;
+  bool tristate = false;
+
+  bool operator==(const ComponentSpec&) const = default;
+
+  /// Canonical key, e.g. "ADDER.w16.ci.co[ADD]". Memoization and printing.
+  std::string key() const;
+
+  /// Short human-readable description for reports.
+  std::string pretty() const;
+
+  /// Width of a function-select input needed to choose among the data ops
+  /// (e.g. 4 for the 16-function ALU; the paper's "S-4" port).
+  int select_width() const;
+};
+
+/// Convenience constructors for the common specification shapes.
+ComponentSpec make_gate_spec(Op fn, int width, int fanin = 2);
+ComponentSpec make_adder_spec(int width, bool carry_in = true,
+                              bool carry_out = true);
+ComponentSpec make_subtractor_spec(int width);
+ComponentSpec make_addsub_spec(int width);
+ComponentSpec make_alu_spec(int width, OpSet ops);
+ComponentSpec make_mux_spec(int width, int num_inputs);
+ComponentSpec make_register_spec(int width, bool enable = true,
+                                 bool async_reset = true);
+ComponentSpec make_counter_spec(int width, OpSet ops,
+                                Style style = Style::kSynchronous);
+ComponentSpec make_comparator_spec(int width, OpSet ops);
+ComponentSpec make_decoder_spec(int input_width,
+                                Representation rep = Representation::kBinary);
+ComponentSpec make_encoder_spec(int output_width,
+                                Representation rep = Representation::kBinary);
+ComponentSpec make_shifter_spec(int width, OpSet ops);
+ComponentSpec make_barrel_shifter_spec(int width, OpSet ops);
+ComponentSpec make_multiplier_spec(int width_a, int width_b);
+ComponentSpec make_logic_unit_spec(int width, OpSet ops);
+
+/// Derive the full port list of a specification. This is the single source
+/// of truth used by netlist construction, simulation, and VHDL emission.
+std::vector<PortSpec> spec_ports(const ComponentSpec& spec);
+
+/// Find a port by name; throws Error if absent.
+const PortSpec& find_port(const std::vector<PortSpec>& ports,
+                          const std::string& name);
+
+/// True if `cell` can directly implement `need`: same kind family and
+/// geometry, cell's operation set covers the needed one, and every
+/// structural requirement (carries, enables, asyncs) that `need` demands is
+/// provided by `cell`. Extra cell capabilities are allowed (tie-offs).
+bool spec_implements(const ComponentSpec& cell, const ComponentSpec& need);
+
+/// Structural false-path knowledge: whether `out_port` combinationally
+/// depends on `in_port`. Almost always true; the notable exception is the
+/// carry-look-ahead generator, whose group propagate/generate outputs do
+/// not depend on the carry input — which is precisely what makes
+/// multi-level look-ahead trees acyclic.
+bool output_depends_on(const ComponentSpec& spec, const std::string& out_port,
+                       const std::string& in_port);
+
+}  // namespace bridge::genus
+
+namespace std {
+template <>
+struct hash<bridge::genus::ComponentSpec> {
+  size_t operator()(const bridge::genus::ComponentSpec& s) const noexcept {
+    size_t h = std::hash<int>()(static_cast<int>(s.kind));
+    auto mix = [&h](size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(std::hash<int>()(s.width));
+    mix(std::hash<int>()(s.size));
+    mix(std::hash<unsigned long long>()(s.ops.mask()));
+    mix(std::hash<int>()(static_cast<int>(s.style)));
+    mix(std::hash<int>()(static_cast<int>(s.rep)));
+    int flags = (s.carry_in << 0) | (s.carry_out << 1) | (s.enable << 2) |
+                (s.async_set << 3) | (s.async_reset << 4) | (s.tristate << 5);
+    mix(std::hash<int>()(flags));
+    return h;
+  }
+};
+}  // namespace std

@@ -1,0 +1,47 @@
+#include "genus/taxonomy.h"
+
+namespace bridge::genus {
+
+const std::vector<TaxonomyEntry>& table1_taxonomy() {
+  static const std::vector<TaxonomyEntry> kTable = {
+      // Combinational
+      {TypeClass::kCombinational, "Boolean Gates", {Kind::kGate}},
+      {TypeClass::kCombinational, "LU", {Kind::kLogicUnit}},
+      {TypeClass::kCombinational, "Mux", {Kind::kMux}},
+      {TypeClass::kCombinational, "Selector", {Kind::kSelector}},
+      {TypeClass::kCombinational, "Decoder", {Kind::kDecoder}},
+      {TypeClass::kCombinational, "Encoder", {Kind::kEncoder}},
+      {TypeClass::kCombinational, "Comparator", {Kind::kComparator}},
+      {TypeClass::kCombinational, "ALU", {Kind::kAlu}},
+      {TypeClass::kCombinational, "Shifter", {Kind::kShifter}},
+      {TypeClass::kCombinational, "Barrel Shifter", {Kind::kBarrelShifter}},
+      {TypeClass::kCombinational, "Multiplier", {Kind::kMultiplier}},
+      {TypeClass::kCombinational, "Divider", {Kind::kDivider}},
+      {TypeClass::kCombinational,
+       "Adder/Subtractor",
+       {Kind::kAdder, Kind::kSubtractor, Kind::kAddSub}},
+      // Sequential
+      {TypeClass::kSequential, "Register", {Kind::kRegister}},
+      {TypeClass::kSequential, "Register File", {Kind::kRegisterFile}},
+      {TypeClass::kSequential, "Counter", {Kind::kCounter}},
+      {TypeClass::kSequential, "Stack/FIFO", {Kind::kStack, Kind::kFifo}},
+      {TypeClass::kSequential, "Memory", {Kind::kMemory}},
+      // Interface
+      {TypeClass::kInterface, "Port", {Kind::kPort}},
+      {TypeClass::kInterface, "Buffer", {Kind::kBuffer}},
+      {TypeClass::kInterface, "Clock Driver", {Kind::kClockDriver}},
+      {TypeClass::kInterface, "Schmidt Trigger", {Kind::kSchmittTrigger}},
+      {TypeClass::kInterface, "Tristate", {Kind::kTristate}},
+      {TypeClass::kInterface, "Wired-or", {Kind::kWiredOr}},
+      // Miscellaneous
+      {TypeClass::kMiscellaneous, "Bus", {Kind::kBus}},
+      {TypeClass::kMiscellaneous, "Delay", {Kind::kDelay}},
+      {TypeClass::kMiscellaneous, "Switchbox Concat", {Kind::kConcat}},
+      {TypeClass::kMiscellaneous, "Switchbox Extract", {Kind::kExtract}},
+      {TypeClass::kMiscellaneous, "Clock Generator",
+       {Kind::kClockGenerator}},
+  };
+  return kTable;
+}
+
+}  // namespace bridge::genus

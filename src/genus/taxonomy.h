@@ -1,0 +1,25 @@
+// Table 1 of the paper: "Typical LEGEND/GENUS Generic Components".
+//
+// The taxonomy drives the Table 1 reproduction bench: every row must be
+// instantiable through the built-in GENUS library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genus/kind.h"
+
+namespace bridge::genus {
+
+/// One Table 1 entry: a display name and the kinds it covers (the table
+/// groups "Stack/FIFO" and "Adder/Subtractor" as single rows).
+struct TaxonomyEntry {
+  TypeClass type_class;
+  std::string display_name;
+  std::vector<Kind> kinds;
+};
+
+/// The rows of Table 1, in the paper's order.
+const std::vector<TaxonomyEntry>& table1_taxonomy();
+
+}  // namespace bridge::genus

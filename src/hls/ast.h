@@ -1,0 +1,95 @@
+// Behavioral input language for the high-level synthesis front end.
+//
+// Figure 1's flow starts from "an abstract behavioral language"; this is a
+// small imperative one, sufficient for the data-dominated loops the paper's
+// introduction motivates:
+//
+//   design gcd;
+//   input a : 8;
+//   input b : 8;
+//   output r : 8;
+//   var x : 8;
+//   var y : 8;
+//   begin
+//     x = a;
+//     y = b;
+//     while (x != y) {
+//       if (x > y) { x = x - y; } else { y = y - x; }
+//     }
+//     r = x;
+//   end
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bridge::hls {
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+};
+
+enum class UnOp { kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kVar, kConst, kBinary, kUnary };
+  Kind kind = Kind::kConst;
+  std::string var;            // kVar
+  std::uint64_t value = 0;    // kConst
+  BinOp bin = BinOp::kAdd;    // kBinary
+  UnOp un = UnOp::kNot;       // kUnary
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kAssign, kIf, kWhile };
+  Kind kind = Kind::kAssign;
+  std::string target;          // kAssign
+  ExprPtr value;               // kAssign
+  ExprPtr condition;           // kIf / kWhile
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;  // kIf only
+};
+
+struct VarDecl {
+  std::string name;
+  int width = 8;
+};
+
+struct BehavioralDesign {
+  std::string name;
+  std::vector<VarDecl> inputs;
+  std::vector<VarDecl> outputs;
+  std::vector<VarDecl> vars;
+  std::vector<StmtPtr> body;
+};
+
+/// Parse the behavioral language. Throws ParseError on malformed input.
+BehavioralDesign parse_behavior(const std::string& text);
+
+/// True if the operator produces a 1-bit predicate.
+bool binop_is_compare(BinOp op);
+
+std::string binop_name(BinOp op);
+
+}  // namespace bridge::hls

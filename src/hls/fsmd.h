@@ -1,0 +1,55 @@
+// High-level synthesis: behavioral design -> FSMD (GENUS datapath netlist
+// plus state sequencing table), following Figure 1's phases:
+//
+//   state scheduling      — statements are flattened to three-address
+//                           micro-operations and scheduled one ALU
+//                           operation per state (single shared ALU);
+//   component allocation  — one shared ALU, one shifter when needed,
+//                           one register per variable/temporary;
+//   component binding     — micro-operations bind to the shared units;
+//   connectivity binding  — operand multiplexers are sized from the set
+//                           of sources actually routed to each unit input.
+//
+// Restrictions of this front end (documented for users): all declared
+// widths must match; comparison results may only be used in conditions;
+// shift amounts must be small constants.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "base/bitvec.h"
+#include "hls/ast.h"
+#include "hls/statetable.h"
+#include "netlist/netlist.h"
+
+namespace bridge::hls {
+
+/// The synthesized machine: a datapath netlist of GENUS component
+/// specifications and the state table that drives it.
+struct Fsmd {
+  std::string name;
+  netlist::Design design;      // datapath module is design.top()
+  StateTable control;
+  int data_width = 0;
+  /// Registers by name (variables, temporaries, outputs).
+  std::vector<std::string> registers;
+};
+
+/// Run Figure 1's high-level synthesis phases on a behavioral design.
+Fsmd synthesize_behavior(const BehavioralDesign& design);
+
+/// Co-simulate the FSMD: the datapath netlist runs in the bit-true
+/// simulator while the state table is interpreted as the controller.
+/// Returns the data outputs after reaching the halt state (or after
+/// `max_cycles`, whichever is first) plus the cycle count.
+struct FsmdRun {
+  std::map<std::string, BitVec> outputs;
+  int cycles = 0;
+  bool halted = false;
+};
+FsmdRun run_fsmd(const Fsmd& fsmd,
+                 const std::map<std::string, BitVec>& inputs,
+                 int max_cycles = 10000);
+
+}  // namespace bridge::hls

@@ -1,0 +1,402 @@
+// Recursive-descent parser for the behavioral language.
+#include <cctype>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+#include "hls/ast.h"
+
+namespace bridge::hls {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kPunct,  // one of ; : = ( ) { } and multi-char operators
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::uint64_t value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= text_.size()) return;
+    char c = text_[pos_];
+    if (std::isalpha(uc(c)) || c == '_') {
+      size_t b = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(uc(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = text_.substr(b, pos_ - b);
+      return;
+    }
+    if (std::isdigit(uc(c))) {
+      std::uint64_t v = 0;
+      if (c == '0' && pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        while (pos_ < text_.size() && std::isxdigit(uc(text_[pos_]))) {
+          char d = text_[pos_++];
+          v = v * 16 + (std::isdigit(uc(d)) ? d - '0'
+                                            : std::tolower(uc(d)) - 'a' + 10);
+        }
+      } else {
+        while (pos_ < text_.size() && std::isdigit(uc(text_[pos_]))) {
+          v = v * 10 + (text_[pos_++] - '0');
+        }
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.value = v;
+      return;
+    }
+    // Multi-character operators first.
+    for (const char* op : {"==", "!=", "<=", ">=", "<<", ">>"}) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        current_.kind = Token::Kind::kPunct;
+        current_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = Token::Kind::kPunct;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(uc(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static int uc(char c) { return static_cast<unsigned char>(c); }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  BehavioralDesign parse() {
+    BehavioralDesign d;
+    expect_ident("design");
+    d.name = expect_name();
+    expect_punct(";");
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != Token::Kind::kIdent) break;
+      if (t.text == "input") {
+        lex_.take();
+        d.inputs.push_back(decl());
+      } else if (t.text == "output") {
+        lex_.take();
+        d.outputs.push_back(decl());
+      } else if (t.text == "var") {
+        lex_.take();
+        d.vars.push_back(decl());
+      } else {
+        break;
+      }
+    }
+    expect_ident("begin");
+    while (!(lex_.peek().kind == Token::Kind::kIdent &&
+             lex_.peek().text == "end")) {
+      d.body.push_back(statement());
+    }
+    lex_.take();  // end
+    return d;
+  }
+
+ private:
+  VarDecl decl() {
+    VarDecl v;
+    v.name = expect_name();
+    expect_punct(":");
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kNumber || t.value < 1 || t.value > 512) {
+      throw ParseError("expected a width (1..512)", t.line, 1);
+    }
+    v.width = static_cast<int>(t.value);
+    expect_punct(";");
+    return v;
+  }
+
+  StmtPtr statement() {
+    const Token& t = lex_.peek();
+    if (t.kind == Token::Kind::kIdent && t.text == "if") {
+      lex_.take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kIf;
+      expect_punct("(");
+      s->condition = expression();
+      expect_punct(")");
+      s->then_body = block();
+      if (lex_.peek().kind == Token::Kind::kIdent &&
+          lex_.peek().text == "else") {
+        lex_.take();
+        s->else_body = block();
+      }
+      return s;
+    }
+    if (t.kind == Token::Kind::kIdent && t.text == "while") {
+      lex_.take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kWhile;
+      expect_punct("(");
+      s->condition = expression();
+      expect_punct(")");
+      s->then_body = block();
+      return s;
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kAssign;
+    s->target = expect_name();
+    expect_punct("=");
+    s->value = expression();
+    expect_punct(";");
+    return s;
+  }
+
+  std::vector<StmtPtr> block() {
+    std::vector<StmtPtr> out;
+    expect_punct("{");
+    while (!(lex_.peek().kind == Token::Kind::kPunct &&
+             lex_.peek().text == "}")) {
+      out.push_back(statement());
+    }
+    lex_.take();
+    return out;
+  }
+
+  // expression := comparison; comparison := sum ((==|!=|<|>|<=|>=) sum)?
+  // sum := term ((+|-||||^) term)*; term := shift; shift := unary ((<<|>>) unary)*
+  ExprPtr expression() { return comparison(); }
+
+  ExprPtr comparison() {
+    ExprPtr lhs = sum();
+    const Token& t = lex_.peek();
+    if (t.kind == Token::Kind::kPunct) {
+      BinOp op;
+      if (t.text == "==") {
+        op = BinOp::kEq;
+      } else if (t.text == "!=") {
+        op = BinOp::kNe;
+      } else if (t.text == "<") {
+        op = BinOp::kLt;
+      } else if (t.text == ">") {
+        op = BinOp::kGt;
+      } else if (t.text == "<=") {
+        op = BinOp::kLe;
+      } else if (t.text == ">=") {
+        op = BinOp::kGe;
+      } else {
+        return lhs;
+      }
+      lex_.take();
+      return make_binary(op, std::move(lhs), sum());
+    }
+    return lhs;
+  }
+
+  ExprPtr sum() {
+    ExprPtr lhs = shift();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != Token::Kind::kPunct) return lhs;
+      BinOp op;
+      if (t.text == "+") {
+        op = BinOp::kAdd;
+      } else if (t.text == "-") {
+        op = BinOp::kSub;
+      } else if (t.text == "&") {
+        op = BinOp::kAnd;
+      } else if (t.text == "|") {
+        op = BinOp::kOr;
+      } else if (t.text == "^") {
+        op = BinOp::kXor;
+      } else {
+        return lhs;
+      }
+      lex_.take();
+      lhs = make_binary(op, std::move(lhs), shift());
+    }
+  }
+
+  ExprPtr shift() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != Token::Kind::kPunct) return lhs;
+      BinOp op;
+      if (t.text == "<<") {
+        op = BinOp::kShl;
+      } else if (t.text == ">>") {
+        op = BinOp::kShr;
+      } else {
+        return lhs;
+      }
+      lex_.take();
+      lhs = make_binary(op, std::move(lhs), unary());
+    }
+  }
+
+  ExprPtr unary() {
+    const Token& t = lex_.peek();
+    if (t.kind == Token::Kind::kPunct && t.text == "~") {
+      lex_.take();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->un = UnOp::kNot;
+      e->lhs = unary();
+      return e;
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    Token t = lex_.take();
+    if (t.kind == Token::Kind::kPunct && t.text == "(") {
+      ExprPtr e = expression();
+      expect_punct(")");
+      return e;
+    }
+    if (t.kind == Token::Kind::kNumber) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kConst;
+      e->value = t.value;
+      return e;
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kVar;
+      e->var = t.text;
+      return e;
+    }
+    throw ParseError("expected an expression, got '" + t.text + "'", t.line,
+                     1);
+  }
+
+  static ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::string expect_name() {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::kIdent) {
+      throw ParseError("expected an identifier, got '" + t.text + "'", t.line,
+                       1);
+    }
+    return t.text;
+  }
+
+  void expect_ident(const std::string& word) {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::kIdent || t.text != word) {
+      throw ParseError("expected '" + word + "', got '" + t.text + "'",
+                       t.line, 1);
+    }
+  }
+
+  void expect_punct(const std::string& p) {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::kPunct || t.text != p) {
+      throw ParseError("expected '" + p + "', got '" + t.text + "'", t.line,
+                       1);
+    }
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+BehavioralDesign parse_behavior(const std::string& text) {
+  return Parser(text).parse();
+}
+
+bool binop_is_compare(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kGt:
+    case BinOp::kLe:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kAnd:
+      return "&";
+    case BinOp::kOr:
+      return "|";
+    case BinOp::kXor:
+      return "^";
+    case BinOp::kShl:
+      return "<<";
+    case BinOp::kShr:
+      return ">>";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGe:
+      return ">=";
+  }
+  throw Error("bad BinOp");
+}
+
+}  // namespace bridge::hls

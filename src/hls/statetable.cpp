@@ -1,0 +1,43 @@
+#include "hls/statetable.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+
+namespace bridge::hls {
+
+const StateRow& StateTable::row(const std::string& name) const {
+  for (const StateRow& r : rows) {
+    if (r.name == name) return r;
+  }
+  throw Error("state table has no state '" + name + "'");
+}
+
+std::string StateTable::emit_bif() const {
+  std::ostringstream os;
+  os << "-- state sequencing table (control-based BIF style)\n";
+  os << "SIGNALS:";
+  for (const auto& [name, width] : control_signals) {
+    os << " " << name << "[" << width << "]";
+  }
+  os << "\nSTATUS:";
+  for (const auto& s : status_inputs) os << " " << s;
+  os << "\nINITIAL: " << initial << "\n\n";
+  for (const StateRow& r : rows) {
+    os << "STATE " << r.name << ":\n";
+    for (const auto& [signal, value] : r.asserts) {
+      os << "  assert " << signal << " = " << value << "\n";
+    }
+    for (const Transition& t : r.transitions) {
+      if (t.status.empty()) {
+        os << "  goto " << t.next << "\n";
+      } else {
+        os << "  if " << (t.negate ? "not " : "") << t.status << " goto "
+           << t.next << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bridge::hls

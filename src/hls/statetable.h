@@ -1,0 +1,48 @@
+// State sequencing tables.
+//
+// "The output of high-level synthesis is ... a state sequencing table and
+// a netlist of GENUS components" (paper §3); the table is "in
+// control-based BIF [DuHG90] that controls these GENUS components and that
+// sequences the design" (§7). A StateTable lists the control-signal
+// assertions and the (possibly status-dependent) successor of every state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bridge::hls {
+
+/// One conditional successor: taken when `status` (a 1-bit datapath status
+/// output) is 1 (or 0 when negate). An empty status is the default edge.
+struct Transition {
+  std::string status;
+  bool negate = false;
+  std::string next;
+};
+
+struct StateRow {
+  std::string name;
+  /// Control-signal values asserted in this state; unlisted signals are 0.
+  std::map<std::string, std::uint64_t> asserts;
+  /// Evaluated in order; the first match wins. The last entry must be the
+  /// default (empty status).
+  std::vector<Transition> transitions;
+};
+
+class StateTable {
+ public:
+  std::vector<std::pair<std::string, int>> control_signals;  // name, width
+  std::vector<std::string> status_inputs;
+  std::vector<StateRow> rows;
+  std::string initial;
+
+  const StateRow& row(const std::string& name) const;
+  int state_count() const { return static_cast<int>(rows.size()); }
+
+  /// Emit the table in a BIF-like textual form.
+  std::string emit_bif() const;
+};
+
+}  // namespace bridge::hls

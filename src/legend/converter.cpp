@@ -1,0 +1,260 @@
+// LEGEND semantic analysis (AST -> GeneratorSpec) and the emitter.
+#include <set>
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+#include "legend/legend.h"
+
+namespace bridge::legend {
+
+using genus::GeneratorSpec;
+using genus::GenOperationDecl;
+using genus::GenPortDecl;
+using genus::ParamDecl;
+using genus::PortDir;
+using genus::PortRole;
+
+genus::GeneratorSpec to_generator(const GeneratorAst& ast) {
+  GeneratorSpec gen;
+  gen.name = ast.name;
+  gen.klass = ast.klass;
+  gen.kind = genus::kind_from_name(ast.kind_name.value_or(ast.name));
+  gen.vhdl_model = ast.vhdl_model;
+  gen.op_classes = ast.op_classes;
+
+  if (ast.max_params > 0 &&
+      ast.max_params < static_cast<int>(ast.parameters.size())) {
+    throw Error("generator " + ast.name + ": " +
+                std::to_string(ast.parameters.size()) +
+                " parameters exceed MAX_PARAMS " +
+                std::to_string(ast.max_params));
+  }
+  for (const auto& p : ast.parameters) {
+    gen.params.push_back(ParamDecl{p.name, false, std::nullopt});
+  }
+  for (const auto& s : ast.styles) {
+    gen.styles.push_back(genus::style_from_name(s));
+  }
+
+  std::set<std::string> seen;
+  auto add_port = [&](const GeneratorAst::Port& p, PortDir dir,
+                      PortRole role) {
+    if (!seen.insert(p.name).second) {
+      throw Error("generator " + ast.name + ": duplicate port '" + p.name +
+                  "'");
+    }
+    GenPortDecl decl;
+    decl.name = p.name;
+    decl.dir = dir;
+    decl.role = role;
+    decl.width = p.width_text.empty() ? WidthExpr::constant(1)
+                                      : WidthExpr::parse(p.width_text);
+    gen.ports.push_back(std::move(decl));
+  };
+  for (const auto& p : ast.inputs) add_port(p, PortDir::kIn, PortRole::kData);
+  for (const auto& p : ast.outputs) {
+    add_port(p, PortDir::kOut, PortRole::kData);
+  }
+  for (const auto& n : ast.clocks) {
+    add_port(GeneratorAst::Port{n, ""}, PortDir::kIn, PortRole::kClock);
+  }
+  for (const auto& n : ast.enables) {
+    add_port(GeneratorAst::Port{n, ""}, PortDir::kIn, PortRole::kEnable);
+  }
+  for (const auto& n : ast.controls) {
+    add_port(GeneratorAst::Port{n, ""}, PortDir::kIn, PortRole::kControl);
+  }
+  for (const auto& n : ast.asyncs) {
+    add_port(GeneratorAst::Port{n, ""}, PortDir::kIn, PortRole::kAsync);
+  }
+
+  for (const auto& op : ast.operations) {
+    GenOperationDecl decl;
+    decl.name = op.name;
+    decl.control = op.control;
+    decl.inputs = op.inputs;
+    decl.outputs = op.outputs;
+    decl.semantics = op.semantics;
+    auto require_port = [&](const std::string& port) {
+      if (seen.count(port) == 0) {
+        throw Error("generator " + ast.name + ": operation " + op.name +
+                    " references undeclared port '" + port + "'");
+      }
+    };
+    for (const auto& p : decl.inputs) require_port(p);
+    for (const auto& p : decl.outputs) require_port(p);
+    if (!decl.control.empty()) require_port(decl.control);
+    gen.operations.push_back(std::move(decl));
+  }
+  return gen;
+}
+
+namespace {
+
+std::string port_decl_text(const GenPortDecl& p) {
+  if (p.width.is_constant() && p.width.eval({}) == 1) return p.name;
+  return p.name + "[" + p.width.text() + "]";
+}
+
+void emit_name_list(std::ostringstream& os, const std::string& keyword,
+                    const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  os << "NUM_" << keyword << ": " << names.size() << "\n";
+  os << keyword << ": " << join(names, ", ") << "\n";
+}
+
+}  // namespace
+
+std::string emit_legend(const GeneratorSpec& gen) {
+  std::ostringstream os;
+  os << "NAME: " << gen.name << "\n";
+  if (!gen.klass.empty()) os << "CLASS: " << gen.klass << "\n";
+  if (gen.name != genus::kind_name(gen.kind)) {
+    os << "KIND: " << genus::kind_name(gen.kind) << "\n";
+  }
+  if (!gen.params.empty()) {
+    os << "MAX_PARAMS: " << gen.params.size() << "\n";
+    std::vector<std::string> names;
+    for (const auto& p : gen.params) names.push_back(p.name);
+    os << "PARAMETERS: " << join(names, ", ") << "\n";
+  }
+  if (!gen.styles.empty()) {
+    os << "NUM_STYLES: " << gen.styles.size() << "\n";
+    std::vector<std::string> names;
+    for (const auto& s : gen.styles) names.push_back(genus::style_name(s));
+    os << "STYLES: " << join(names, ", ") << "\n";
+  }
+
+  // Port sections. Builtin generators (no declared ports) emit the ports
+  // of a default-parameter component.
+  std::vector<GenPortDecl> ports = gen.ports;
+  if (ports.empty()) {
+    const auto spec = genus::spec_from_params(gen.kind, genus::ParamMap{});
+    for (const auto& p : genus::spec_ports(spec)) {
+      GenPortDecl decl;
+      decl.name = p.name;
+      decl.dir = p.dir;
+      decl.role = p.role;
+      decl.width = WidthExpr::constant(p.width);
+      ports.push_back(std::move(decl));
+    }
+  }
+  std::vector<std::string> ins;
+  std::vector<std::string> outs;
+  std::vector<std::string> clocks;
+  std::vector<std::string> enables;
+  std::vector<std::string> controls;
+  std::vector<std::string> asyncs;
+  for (const auto& p : ports) {
+    switch (p.role) {
+      case PortRole::kClock:
+        clocks.push_back(p.name);
+        break;
+      case PortRole::kEnable:
+        enables.push_back(p.name);
+        break;
+      case PortRole::kControl:
+        controls.push_back(p.name);
+        break;
+      case PortRole::kAsync:
+        asyncs.push_back(p.name);
+        break;
+      default:
+        (p.dir == PortDir::kIn ? ins : outs).push_back(port_decl_text(p));
+        break;
+    }
+  }
+  if (!ins.empty()) {
+    os << "NUM_INPUTS: " << ins.size() << "\n"
+       << "INPUTS: " << join(ins, ", ") << "\n";
+  }
+  if (!outs.empty()) {
+    os << "NUM_OUTPUTS: " << outs.size() << "\n"
+       << "OUTPUTS: " << join(outs, ", ") << "\n";
+  }
+  if (!clocks.empty()) os << "CLOCK: " << join(clocks, ", ") << "\n";
+  emit_name_list(os, "ENABLE", enables);
+  emit_name_list(os, "CONTROL", controls);
+  emit_name_list(os, "ASYNC", asyncs);
+
+  std::vector<GenOperationDecl> operations = gen.operations;
+  if (operations.empty()) {
+    const auto spec = genus::spec_from_params(gen.kind, genus::ParamMap{});
+    for (const auto& op : genus::default_operations(spec)) {
+      operations.push_back(GenOperationDecl{op.name, op.control, op.inputs,
+                                            op.outputs, op.semantics});
+    }
+  }
+  if (!operations.empty()) {
+    os << "NUM_OPERATIONS: " << operations.size() << "\n";
+    os << "OPERATIONS:\n";
+    for (const auto& op : operations) {
+      os << "  ( (" << op.name << ")\n";
+      if (!op.inputs.empty()) {
+        os << "    (INPUTS: " << join(op.inputs, " ") << ")\n";
+      }
+      if (!op.outputs.empty()) {
+        os << "    (OUTPUTS: " << join(op.outputs, " ") << ")\n";
+      }
+      if (!op.control.empty()) os << "    (CONTROL: " << op.control << ")\n";
+      if (!op.semantics.empty()) {
+        os << "    (OPS: (" << op.name << ": " << op.semantics << "))\n";
+      }
+      os << "  )\n";
+    }
+  }
+  if (!gen.vhdl_model.empty()) os << "VHDL_MODEL: " << gen.vhdl_model << "\n";
+  os << "OP_CLASSES: " << gen.op_classes << "\n";
+  return os.str();
+}
+
+genus::GenusLibrary load_library(const std::string& text,
+                                 const std::string& library_name) {
+  genus::GenusLibrary lib(library_name);
+  for (const GeneratorAst& ast : parse_legend(text)) {
+    lib.add(to_generator(ast));
+  }
+  return lib;
+}
+
+const char* figure2_counter_text() {
+  return R"legend(
+NAME: COUNTER
+CLASS: Clocked
+MAX_PARAMS: 7
+PARAMETERS: GC_COMPILER_NAME, GC_INPUT_WIDTH (w), GC_NUM_FUNCTIONS, GC_FUNCTION_LIST, GC_SET_VALUE, GC_STYLE, GC_ENABLE_FLAG
+NUM_STYLES: 2
+STYLES: SYNCHRONOUS, RIPPLE
+NUM_INPUTS: 1
+INPUTS: I0[w]
+NUM_OUTPUTS: 1
+OUTPUTS: O0[w]
+CLOCK: CLK
+NUM_ENABLE: 1
+ENABLE: CEN
+NUM_CONTROL: 3
+CONTROL: CLOAD, CUP, CDOWN
+NUM_ASYNC: 2
+ASYNC: ASET, ARESET
+NUM_OPERATIONS: 3
+OPERATIONS:
+  ( (LOAD)
+    (INPUTS: I0)
+    (OUTPUTS: O0)
+    (CONTROL: CLOAD)
+    (OPS: (LOAD: O0 = I0)) )
+  ( (COUNT_UP)
+    (OUTPUTS: O0)
+    (CONTROL: CUP)
+    (OPS: (COUNT_UP: O0 = O0 + 1)) )
+  ( (COUNT_DOWN)
+    (OUTPUTS: O0)
+    (CONTROL: CDOWN)
+    (OPS: (COUNT_DOWN: O0 = O0 - 1)) )
+VHDL_MODEL: counter_vhdl.c
+OP_CLASSES: default
+)legend";
+}
+
+}  // namespace bridge::legend

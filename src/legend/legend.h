@@ -1,0 +1,95 @@
+// LEGEND: the generator-specification language.
+//
+// "LEGEND is a generator-specification language for describing the
+// contents of a GENUS library... The LEGEND description can be tailored to
+// a particular generic component library by specifying the necessary
+// component generator types." (paper §4)
+//
+// The concrete syntax follows Figure 2 of the paper: keyword-prefixed
+// attribute lines (NAME:, CLASS:, PARAMETERS:, NUM_STYLES:, INPUTS:, ...)
+// and an OPERATIONS section of s-expressions:
+//
+//   NAME: COUNTER
+//   CLASS: Clocked
+//   MAX_PARAMS: 7
+//   PARAMETERS: GC_COMPILER_NAME, GC_INPUT_WIDTH (w), ...
+//   NUM_STYLES: 2
+//   STYLES: SYNCHRONOUS, RIPPLE
+//   INPUTS: I0[w]
+//   ...
+//   OPERATIONS:
+//     ( (LOAD) (INPUTS: I0) (OUTPUTS: O0) (CONTROL: CLOAD)
+//       (OPS: (LOAD: O0 = I0)) )
+//   VHDL_MODEL: counter_vhdl.c
+//
+// A LEGEND source may contain several generator descriptions; blocks are
+// delimited by their NAME: lines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genus/generator.h"
+#include "genus/library.h"
+
+namespace bridge::legend {
+
+/// One parsed attribute-level generator description (syntax level).
+struct GeneratorAst {
+  std::string name;
+  std::string klass;
+  std::optional<std::string> kind_name;  // optional explicit KIND: line
+  int max_params = 0;
+  struct Param {
+    std::string name;
+    std::string annotation;  // e.g. the "(w)" width-variable binding
+  };
+  std::vector<Param> parameters;
+  std::vector<std::string> styles;
+  struct Port {
+    std::string name;
+    std::string width_text;  // empty means 1 bit
+  };
+  std::vector<Port> inputs;
+  std::vector<Port> outputs;
+  std::vector<std::string> clocks;
+  std::vector<std::string> enables;
+  std::vector<std::string> controls;
+  std::vector<std::string> asyncs;
+  struct Operation {
+    std::string name;
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    std::string control;
+    std::string semantics;  // e.g. "O0 = O0 + 1"
+  };
+  std::vector<Operation> operations;
+  std::string vhdl_model;
+  std::string op_classes = "default";
+};
+
+/// Parse one or more generator descriptions. Throws ParseError on
+/// malformed input (with line numbers).
+std::vector<GeneratorAst> parse_legend(const std::string& text);
+
+/// Validate and lower a parsed description into a GENUS generator.
+/// The generator kind is resolved from the explicit KIND: attribute if
+/// present, else from the NAME. Throws Error on unknown kinds, undeclared
+/// ports referenced by operations, duplicate ports, or bad width
+/// expressions.
+genus::GeneratorSpec to_generator(const GeneratorAst& ast);
+
+/// Emit a generator description in LEGEND concrete syntax (round-trips
+/// through parse_legend + to_generator).
+std::string emit_legend(const genus::GeneratorSpec& gen);
+
+/// Build a GENUS library from LEGEND text (one entry per description).
+genus::GenusLibrary load_library(const std::string& text,
+                                 const std::string& library_name = "GENUS");
+
+/// The paper's Figure 2 counter generator description, verbatim in spirit
+/// (OCR typos in the published scan corrected).
+const char* figure2_counter_text();
+
+}  // namespace bridge::legend

@@ -1,0 +1,344 @@
+// LEGEND parser: line-oriented keyword attributes plus an s-expression
+// OPERATIONS section (the original implementation used Lex/Yacc; this is
+// a recursive-descent equivalent with line-accurate errors).
+#include <cctype>
+#include <sstream>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+#include "legend/legend.h"
+
+namespace bridge::legend {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "NAME",        "CLASS",       "KIND",          "MAX_PARAMS",
+    "PARAMETERS",  "NUM_STYLES",  "STYLES",        "NUM_INPUTS",
+    "INPUTS",      "NUM_OUTPUTS", "OUTPUTS",       "CLOCK",
+    "NUM_ENABLE",  "ENABLE",      "NUM_CONTROL",   "CONTROL",
+    "NUM_ASYNC",   "ASYNC",       "NUM_OPERATIONS", "OPERATIONS",
+    "VHDL_MODEL",  "OP_CLASSES",
+};
+
+bool is_keyword_line(const std::string& line, std::string* keyword,
+                     std::string* value) {
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string head = to_upper(trim(line.substr(0, colon)));
+  for (const char* kw : kKeywords) {
+    if (head == kw) {
+      *keyword = head;
+      *value = trim(line.substr(colon + 1));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Split a comma-separated attribute value, tolerating whitespace.
+std::vector<std::string> comma_list(const std::string& value) {
+  std::vector<std::string> out;
+  for (const std::string& item : split(value, ',')) {
+    const std::string v = trim(item);
+    if (!v.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+/// Parse "GC_INPUT_WIDTH (w)" into name + annotation.
+GeneratorAst::Param parse_param(const std::string& text) {
+  GeneratorAst::Param p;
+  const size_t paren = text.find('(');
+  if (paren == std::string::npos) {
+    p.name = trim(text);
+  } else {
+    p.name = trim(text.substr(0, paren));
+    const size_t close = text.find(')', paren);
+    if (close == std::string::npos) {
+      throw Error("unterminated parameter annotation in '" + text + "'");
+    }
+    p.annotation = trim(text.substr(paren + 1, close - paren - 1));
+  }
+  return p;
+}
+
+/// Parse "I0[w]" or "CLK" into a port declaration.
+GeneratorAst::Port parse_port(const std::string& text) {
+  GeneratorAst::Port p;
+  const size_t bracket = text.find('[');
+  if (bracket == std::string::npos) {
+    p.name = trim(text);
+  } else {
+    p.name = trim(text.substr(0, bracket));
+    const size_t close = text.find(']', bracket);
+    if (close == std::string::npos) {
+      throw Error("unterminated width in port '" + text + "'");
+    }
+    p.width_text = trim(text.substr(bracket + 1, close - bracket - 1));
+  }
+  return p;
+}
+
+/// Minimal s-expression reader for the OPERATIONS section.
+struct Sexp {
+  bool is_list = false;
+  std::string atom;                // includes ':'-suffixed heads
+  std::vector<Sexp> items;
+};
+
+class SexpReader {
+ public:
+  SexpReader(const std::string& text, int base_line)
+      : text_(text), base_line_(base_line) {}
+
+  std::vector<Sexp> read_all() {
+    std::vector<Sexp> out;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) return out;
+      out.push_back(read());
+    }
+  }
+
+ private:
+  Sexp read() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw ParseError("unexpected end of OPERATIONS section", line(), 1);
+    }
+    if (text_[pos_] == '(') {
+      ++pos_;
+      Sexp list;
+      list.is_list = true;
+      for (;;) {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+          throw ParseError("unterminated '(' in OPERATIONS", line(), 1);
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        list.items.push_back(read());
+      }
+    }
+    if (text_[pos_] == ')') {
+      throw ParseError("unbalanced ')' in OPERATIONS", line(), 1);
+    }
+    Sexp atom;
+    size_t b = pos_;
+    while (pos_ < text_.size() && !std::isspace(uc(text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    atom.atom = text_.substr(b, pos_ - b);
+    return atom;
+  }
+
+  static int uc(char c) { return static_cast<unsigned char>(c); }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(uc(text_[pos_]))) ++pos_;
+  }
+
+  int line() const {
+    int l = base_line_;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++l;
+    }
+    return l;
+  }
+
+  const std::string& text_;
+  int base_line_;
+  size_t pos_ = 0;
+};
+
+std::string flatten_atoms(const Sexp& s) {
+  if (!s.is_list) return s.atom;
+  std::vector<std::string> parts;
+  for (const Sexp& item : s.items) parts.push_back(flatten_atoms(item));
+  return "(" + join(parts, " ") + ")";
+}
+
+/// Lower one operation s-expression:
+///   ( (LOAD) (INPUTS: I0) (OUTPUTS: O0) (CONTROL: CLOAD)
+///     (OPS: (LOAD: O0 = I0)) )
+GeneratorAst::Operation lower_operation(const Sexp& s, int line) {
+  if (!s.is_list || s.items.empty()) {
+    throw ParseError("operation must be a non-empty list", line, 1);
+  }
+  GeneratorAst::Operation op;
+  const Sexp& head = s.items[0];
+  if (head.is_list && head.items.size() == 1 && !head.items[0].is_list) {
+    op.name = head.items[0].atom;
+  } else if (!head.is_list) {
+    op.name = head.atom;
+  } else {
+    throw ParseError("operation name must be an atom", line, 1);
+  }
+  for (size_t i = 1; i < s.items.size(); ++i) {
+    const Sexp& attr = s.items[i];
+    if (!attr.is_list || attr.items.empty() || attr.items[0].is_list) {
+      throw ParseError("operation attribute must be (HEAD: ...)", line, 1);
+    }
+    std::string key = to_upper(attr.items[0].atom);
+    if (!key.empty() && key.back() == ':') key.pop_back();
+    auto atoms_after = [&attr]() {
+      std::vector<std::string> out;
+      for (size_t j = 1; j < attr.items.size(); ++j) {
+        std::string a = flatten_atoms(attr.items[j]);
+        if (!a.empty() && a.back() == ',') a.pop_back();
+        out.push_back(a);
+      }
+      return out;
+    };
+    if (key == "INPUTS") {
+      op.inputs = atoms_after();
+    } else if (key == "OUTPUTS") {
+      op.outputs = atoms_after();
+    } else if (key == "CONTROL") {
+      auto v = atoms_after();
+      op.control = v.empty() ? "" : v[0];
+    } else if (key == "OPS") {
+      // (OPS: (LOAD: O0 = I0)) — the semantics string is everything after
+      // the op-name head of the inner list.
+      if (attr.items.size() < 2 || !attr.items[1].is_list ||
+          attr.items[1].items.size() < 2) {
+        throw ParseError("OPS attribute needs (NAME: <rtl>)", line, 1);
+      }
+      const Sexp& body = attr.items[1];
+      std::vector<std::string> parts;
+      for (size_t j = 1; j < body.items.size(); ++j) {
+        parts.push_back(flatten_atoms(body.items[j]));
+      }
+      op.semantics = join(parts, " ");
+    } else {
+      throw ParseError("unknown operation attribute '" + key + "'", line, 1);
+    }
+  }
+  if (op.name.empty()) {
+    throw ParseError("operation has no name", line, 1);
+  }
+  return op;
+}
+
+}  // namespace
+
+std::vector<GeneratorAst> parse_legend(const std::string& text) {
+  std::vector<GeneratorAst> out;
+  GeneratorAst current;
+  bool in_block = false;
+  std::string operations_text;
+  int operations_line = 0;
+  bool in_operations = false;
+
+  auto finish_operations = [&]() {
+    if (!in_operations) return;
+    SexpReader reader(operations_text, operations_line);
+    for (const Sexp& s : reader.read_all()) {
+      current.operations.push_back(lower_operation(s, operations_line));
+    }
+    operations_text.clear();
+    in_operations = false;
+  };
+  auto finish_block = [&]() {
+    finish_operations();
+    if (in_block) {
+      out.push_back(std::move(current));
+      current = GeneratorAst{};
+      in_block = false;
+    }
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const size_t comment = line.find(';');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    if (trim(line).empty()) {
+      if (in_operations) operations_text += "\n";
+      continue;
+    }
+
+    std::string keyword;
+    std::string value;
+    if (!is_keyword_line(line, &keyword, &value)) {
+      if (in_operations) {
+        operations_text += line + "\n";
+        continue;
+      }
+      throw ParseError("expected 'KEYWORD: value', got '" + trim(line) + "'",
+                       line_no, 1);
+    }
+
+    if (keyword != "OPERATIONS") finish_operations();
+
+    if (keyword == "NAME") {
+      finish_block();
+      in_block = true;
+      current.name = to_upper(value);
+    } else if (!in_block) {
+      throw ParseError("attribute before NAME:", line_no, 1);
+    } else if (keyword == "CLASS") {
+      current.klass = value;
+    } else if (keyword == "KIND") {
+      current.kind_name = to_upper(value);
+    } else if (keyword == "MAX_PARAMS") {
+      current.max_params = std::stoi(value);
+    } else if (keyword == "PARAMETERS") {
+      for (const std::string& item : comma_list(value)) {
+        current.parameters.push_back(parse_param(item));
+      }
+    } else if (keyword == "STYLES") {
+      for (const std::string& item : comma_list(value)) {
+        current.styles.push_back(to_upper(item));
+      }
+    } else if (keyword == "INPUTS") {
+      for (const std::string& item : comma_list(value)) {
+        current.inputs.push_back(parse_port(item));
+      }
+    } else if (keyword == "OUTPUTS") {
+      for (const std::string& item : comma_list(value)) {
+        current.outputs.push_back(parse_port(item));
+      }
+    } else if (keyword == "CLOCK") {
+      for (const std::string& item : comma_list(value)) {
+        current.clocks.push_back(item);
+      }
+    } else if (keyword == "ENABLE") {
+      for (const std::string& item : comma_list(value)) {
+        current.enables.push_back(item);
+      }
+    } else if (keyword == "CONTROL") {
+      for (const std::string& item : comma_list(value)) {
+        current.controls.push_back(item);
+      }
+    } else if (keyword == "ASYNC") {
+      for (const std::string& item : comma_list(value)) {
+        current.asyncs.push_back(item);
+      }
+    } else if (keyword == "OPERATIONS") {
+      in_operations = true;
+      operations_line = line_no;
+      operations_text = value.empty() ? "" : value + "\n";
+    } else if (keyword == "VHDL_MODEL") {
+      current.vhdl_model = value;
+    } else if (keyword == "OP_CLASSES") {
+      current.op_classes = value;
+    } else if (starts_with(keyword, "NUM_") || keyword == "MAX_PARAMS") {
+      // Count attributes are validated against the lists in to_generator.
+    }
+  }
+  finish_block();
+  if (out.empty()) {
+    throw ParseError("no generator description found", 1, 1);
+  }
+  return out;
+}
+
+}  // namespace bridge::legend

@@ -1,0 +1,85 @@
+#include "lola/lola.h"
+
+#include <sstream>
+
+#include "genus/spec.h"
+
+namespace bridge::lola {
+
+using genus::Kind;
+
+std::string InductionReport::text() const {
+  std::ostringstream os;
+  os << "LOLA induced " << inductions.size() << " library-specific rules:\n";
+  for (const Induction& i : inductions) {
+    os << "  " << i.rule_name << "  [" << i.principle << "]  from "
+       << i.evidence << "\n";
+  }
+  return os.str();
+}
+
+InductionReport induce_rules(const cells::CellLibrary& library,
+                             dtas::RuleBase& base) {
+  InductionReport report;
+  auto install = [&](std::unique_ptr<dtas::Rule> rule,
+                     const cells::Cell& evidence) {
+    if (base.find(rule->name()) != nullptr) return;  // already known
+    report.inductions.push_back(
+        Induction{rule->name(), rule->principle(), evidence.pretty()});
+    base.add(std::move(rule));
+  };
+
+  for (const cells::Cell& cell : library.all()) {
+    const auto& spec = cell.spec;
+    switch (spec.kind) {
+      case Kind::kAdder:
+        if (spec.width > 1 && spec.carry_in && spec.carry_out) {
+          if (spec.style == genus::Style::kCarryLookahead) {
+            install(dtas::make_fast_adder_ripple_rule(spec.width, true),
+                    cell);
+          } else {
+            install(dtas::make_ripple_adder_rule(spec.width, true), cell);
+          }
+        }
+        break;
+      case Kind::kAddSub:
+        if (spec.width > 1 && spec.carry_in && spec.carry_out) {
+          install(dtas::make_addsub_ripple_rule(spec.width, true), cell);
+        }
+        break;
+      case Kind::kMux:
+        if (spec.width > 1 && spec.size == 2) {
+          install(dtas::make_mux_bitslice_rule(spec.width, true), cell);
+        }
+        if (spec.width == 1 && spec.size > 2) {
+          install(dtas::make_mux_tree_rule(spec.size, true), cell);
+        }
+        break;
+      case Kind::kRegister:
+        if (spec.width > 1) {
+          install(dtas::make_register_pack_rule(spec.width, true), cell);
+        }
+        break;
+      case Kind::kComparator:
+        if (spec.width > 1) {
+          install(dtas::make_comparator_cascade_rule(spec.width, true), cell);
+        }
+        break;
+      case Kind::kDecoder:
+        if (spec.enable && spec.width >= 2) {
+          install(dtas::make_decoder_tree_rule(spec.width, true), cell);
+        }
+        break;
+      case Kind::kAlu:
+        if (spec.width > 1 && spec.carry_in && spec.carry_out) {
+          install(dtas::make_alu_slice_cascade_rule(spec.width, true), cell);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace bridge::lola

@@ -1,0 +1,41 @@
+// LOLA — the Logic Learning Assistant (paper §7, future direction):
+// "The purpose of LOLA is to partially automate the maintenance of DTAS's
+// library-specific rules. LOLA is invoked when DTAS is presented with a
+// new cell library... LOLA applies abstract design principles to generate
+// library-specific rules."
+//
+// The abstract principles are the parameterized rule constructors in
+// src/dtas (ripple composition, bit slicing, select-tree composition,
+// register packing, slice cascading). LOLA scans a data book, recognizes
+// which granularities the library affords, and instantiates the matching
+// rules.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+#include "dtas/rule.h"
+
+namespace bridge::lola {
+
+/// One induced rule plus the evidence that triggered it.
+struct Induction {
+  std::string rule_name;
+  std::string principle;
+  std::string evidence;  // the data-book cell that justified the rule
+};
+
+struct InductionReport {
+  std::vector<Induction> inductions;
+  std::string text() const;
+};
+
+/// Scan `library` and register the library-specific rules its cells
+/// justify into `base` (skipping rules already present). Returns what was
+/// induced and why.
+InductionReport induce_rules(const cells::CellLibrary& library,
+                             dtas::RuleBase& base);
+
+}  // namespace bridge::lola

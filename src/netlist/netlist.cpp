@@ -1,0 +1,268 @@
+#include "netlist/netlist.h"
+
+#include <sstream>
+
+#include "base/diag.h"
+
+namespace bridge::netlist {
+
+using genus::PortDir;
+using genus::PortSpec;
+
+NetIndex Module::add_net(const std::string& name, int width) {
+  BRIDGE_CHECK(width >= 1, "net '" << name << "' width must be >= 1");
+  BRIDGE_CHECK(net_names_.count(name) == 0,
+               "duplicate net '" << name << "' in module " << name_);
+  NetIndex idx = static_cast<NetIndex>(nets_.size());
+  nets_.push_back(Net{name, width});
+  net_names_[name] = idx;
+  return idx;
+}
+
+NetIndex Module::add_port(const std::string& name, PortDir dir, int width) {
+  NetIndex idx = add_net(name, width);
+  ports_.push_back(ModulePort{name, dir, width, idx});
+  return idx;
+}
+
+Instance& Module::add_spec_instance(const std::string& name,
+                                    const genus::ComponentSpec& spec,
+                                    const std::string& ref_name) {
+  Instance inst;
+  inst.name = name;
+  inst.spec = spec;
+  inst.ref = RefKind::kSpec;
+  inst.ref_name = ref_name.empty() ? spec.key() : ref_name;
+  instances_.push_back(std::move(inst));
+  return instances_.back();
+}
+
+Instance& Module::add_cell_instance(const std::string& name,
+                                    const genus::ComponentSpec& cell_spec,
+                                    const std::string& cell_name) {
+  Instance inst;
+  inst.name = name;
+  inst.spec = cell_spec;
+  inst.ref = RefKind::kCell;
+  inst.ref_name = cell_name;
+  instances_.push_back(std::move(inst));
+  return instances_.back();
+}
+
+Instance& Module::add_module_instance(const std::string& name,
+                                      const Module* child,
+                                      const genus::ComponentSpec& spec) {
+  BRIDGE_CHECK(child != nullptr, "null child module for instance " << name);
+  Instance inst;
+  inst.name = name;
+  inst.spec = spec;
+  inst.ref = RefKind::kModule;
+  inst.ref_name = child->name();
+  inst.module = child;
+  instances_.push_back(std::move(inst));
+  return instances_.back();
+}
+
+void Module::connect(Instance& inst, const std::string& port, NetIndex net_idx,
+                     int lo) {
+  const auto ports = instance_ports(inst);
+  const PortSpec& p = genus::find_port(ports, port);
+  const Net& n = net(net_idx);
+  BRIDGE_CHECK(lo >= 0 && lo + p.width <= n.width,
+               "slice [" << lo << ", " << lo + p.width << ") of net '"
+                         << n.name << "' (width " << n.width
+                         << ") out of range for port " << inst.name << "."
+                         << port);
+  inst.connections[port] = PortConn::to_net(net_idx, lo);
+}
+
+void Module::connect_const(Instance& inst, const std::string& port,
+                           std::uint64_t value) {
+  const auto ports = instance_ports(inst);
+  const PortSpec& p = genus::find_port(ports, port);
+  BRIDGE_CHECK(p.dir == PortDir::kIn,
+               "constant on output port " << inst.name << "." << port);
+  inst.connections[port] = PortConn::constant(value);
+}
+
+void Module::connect_replicated(Instance& inst, const std::string& port,
+                                NetIndex net_idx, int bit) {
+  const auto ports = instance_ports(inst);
+  const PortSpec& p = genus::find_port(ports, port);
+  BRIDGE_CHECK(p.dir == PortDir::kIn,
+               "replication on output port " << inst.name << "." << port);
+  BRIDGE_CHECK(bit >= 0 && bit < net(net_idx).width,
+               "replicated bit " << bit << " out of net '"
+                                 << net(net_idx).name << "'");
+  inst.connections[port] = PortConn::replicated(net_idx, bit);
+}
+
+NetIndex Module::find_net(const std::string& name) const {
+  auto it = net_names_.find(name);
+  return it == net_names_.end() ? kNoNet : it->second;
+}
+
+const Net& Module::net(NetIndex idx) const {
+  BRIDGE_CHECK(idx >= 0 && idx < static_cast<NetIndex>(nets_.size()),
+               "bad net index " << idx << " in module " << name_);
+  return nets_[idx];
+}
+
+const ModulePort& Module::module_port(const std::string& name) const {
+  for (const auto& p : ports_) {
+    if (p.name == name) return p;
+  }
+  throw Error("module " + name_ + " has no port '" + name + "'");
+}
+
+std::vector<PortSpec> Module::instance_ports(const Instance& inst) {
+  if (inst.ref == RefKind::kModule) {
+    std::vector<PortSpec> out;
+    for (const ModulePort& p : inst.module->module_ports()) {
+      out.push_back(PortSpec{p.name, p.dir, p.width, genus::PortRole::kData});
+    }
+    return out;
+  }
+  return genus::spec_ports(inst.spec);
+}
+
+Module& Design::add_module(const std::string& name) {
+  BRIDGE_CHECK(find_module(name) == nullptr,
+               "duplicate module '" << name << "' in design " << name_);
+  modules_.emplace_back(name);
+  if (top_ == nullptr) top_ = &modules_.back();
+  return modules_.back();
+}
+
+const Module* Design::find_module(const std::string& name) const {
+  for (const auto& m : modules_) {
+    if (m.name() == name) return &m;
+  }
+  return nullptr;
+}
+
+Module* Design::find_module(const std::string& name) {
+  for (auto& m : modules_) {
+    if (m.name() == name) return &m;
+  }
+  return nullptr;
+}
+
+int Design::count_leaf_instances(const Module& m) {
+  int count = 0;
+  for (const Instance& inst : m.instances()) {
+    if (inst.ref == RefKind::kModule) {
+      count += count_leaf_instances(*inst.module);
+    } else {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> check_module(const Module& m) {
+  std::vector<std::string> issues;
+  auto issue = [&issues](const std::string& text) { issues.push_back(text); };
+
+  // Per-bit driver map for every net.
+  std::vector<std::vector<int>> drivers(m.nets().size());
+  for (size_t n = 0; n < m.nets().size(); ++n) {
+    drivers[n].assign(m.nets()[n].width, 0);
+  }
+  std::vector<std::vector<int>> readers = drivers;  // same shape, zeroed
+
+  // Module input ports drive their nets from outside.
+  for (const ModulePort& p : m.module_ports()) {
+    auto& bits = drivers[p.net];
+    if (p.dir == PortDir::kIn) {
+      for (auto& b : bits) ++b;
+    }
+  }
+
+  for (const Instance& inst : m.instances()) {
+    const auto ports = Module::instance_ports(inst);
+    for (const PortSpec& p : ports) {
+      auto it = inst.connections.find(p.name);
+      if (it == inst.connections.end() ||
+          it->second.kind == PortConn::Kind::kOpen) {
+        if (p.dir == PortDir::kIn) {
+          issue("unconnected input " + inst.name + "." + p.name);
+        }
+        continue;
+      }
+      const PortConn& c = it->second;
+      if (c.kind == PortConn::Kind::kConst) {
+        if (p.dir == PortDir::kOut) {
+          issue("constant bound to output " + inst.name + "." + p.name);
+        }
+        continue;
+      }
+      if (c.net < 0 || c.net >= static_cast<NetIndex>(m.nets().size())) {
+        issue("dangling net reference on " + inst.name + "." + p.name);
+        continue;
+      }
+      const Net& net = m.nets()[c.net];
+      if (c.replicate) {
+        if (p.dir == PortDir::kOut || c.lo < 0 || c.lo >= net.width) {
+          issue("bad replication on " + inst.name + "." + p.name);
+        } else {
+          ++readers[c.net][c.lo];
+        }
+        continue;
+      }
+      if (c.lo < 0 || c.lo + p.width > net.width) {
+        issue("slice overflow: " + inst.name + "." + p.name + " on net '" +
+              net.name + "'");
+        continue;
+      }
+      for (int b = 0; b < p.width; ++b) {
+        if (p.dir == PortDir::kOut) {
+          ++drivers[c.net][c.lo + b];
+        } else {
+          ++readers[c.net][c.lo + b];
+        }
+      }
+    }
+    // Unknown connection names (typos in rules) are library bugs.
+    for (const auto& [port_name, conn] : inst.connections) {
+      (void)conn;
+      bool known = false;
+      for (const PortSpec& p : ports) {
+        if (p.name == port_name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        issue("connection to unknown port " + inst.name + "." + port_name);
+      }
+    }
+  }
+
+  // Module outputs are read from outside.
+  for (const ModulePort& p : m.module_ports()) {
+    if (p.dir == PortDir::kOut) {
+      for (auto& b : readers[p.net]) ++b;
+    }
+  }
+
+  for (size_t n = 0; n < m.nets().size(); ++n) {
+    const Net& net = m.nets()[n];
+    for (int b = 0; b < net.width; ++b) {
+      if (drivers[n][b] > 1) {
+        std::ostringstream os;
+        os << "net '" << net.name << "' bit " << b << " has " << drivers[n][b]
+           << " drivers";
+        issue(os.str());
+      }
+      if (drivers[n][b] == 0 && readers[n][b] > 0) {
+        std::ostringstream os;
+        os << "net '" << net.name << "' bit " << b << " is read but undriven";
+        issue(os.str());
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace bridge::netlist

@@ -1,0 +1,183 @@
+// Hierarchical structural netlists.
+//
+// Netlists appear in three places in the paper's flow (Figure 1):
+//   1. High-level synthesis emits a netlist of GENUS component instances.
+//   2. Each DTAS decomposition step is "a netlist [that] represents one
+//      level of component decomposition; its modules represent connected
+//      subcomponents".
+//   3. DTAS output is "a set of hierarchical, library-specific netlists".
+//
+// One representation serves all three: a Module holds nets and instances;
+// an instance references either a component specification (not yet mapped),
+// a named library cell, or a child Module. Port connections may address a
+// bit-slice of a net, so a 16-bit bus can feed four 4-bit adder slices
+// without adapter components.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genus/spec.h"
+
+namespace bridge::netlist {
+
+/// What an instance refers to.
+enum class RefKind : std::uint8_t {
+  kSpec,    // an unmapped component specification (DTAS input / templates)
+  kCell,    // a technology library cell (leaves of mapped netlists)
+  kModule,  // a child module (hierarchical mapped netlists)
+};
+
+/// Index of a net within its module.
+using NetIndex = int;
+inline constexpr NetIndex kNoNet = -1;
+
+struct Net {
+  std::string name;
+  int width = 1;
+};
+
+/// A port-to-net binding. `lo` selects the low bit of the net slice the
+/// port attaches to; the slice width is the port's width. Constants model
+/// data-book tie-offs (unused carry-in to 0, enable to 1). Open is only
+/// legal for outputs. `replicate` fans a 1-bit net out across a multi-bit
+/// input port (e.g. broadcasting a mode line to a w-wide XOR array).
+struct PortConn {
+  enum class Kind : std::uint8_t { kNet, kConst, kOpen };
+  Kind kind = Kind::kOpen;
+  NetIndex net = kNoNet;
+  int lo = 0;
+  std::uint64_t const_value = 0;
+  bool replicate = false;
+
+  static PortConn to_net(NetIndex n, int lo = 0) {
+    return PortConn{Kind::kNet, n, lo, 0, false};
+  }
+  static PortConn replicated(NetIndex n, int bit = 0) {
+    return PortConn{Kind::kNet, n, bit, 0, true};
+  }
+  static PortConn constant(std::uint64_t v) {
+    return PortConn{Kind::kConst, kNoNet, 0, v, false};
+  }
+  static PortConn open() { return PortConn{}; }
+};
+
+class Module;
+
+/// A component/cell/module instantiation within a module.
+struct Instance {
+  std::string name;
+  /// The functional specification of this instance (always present: it is
+  /// how DTAS recognizes and decomposes the instance).
+  genus::ComponentSpec spec;
+  RefKind ref = RefKind::kSpec;
+  /// Cell or generated-component name for kCell/kSpec (report/VHDL label).
+  std::string ref_name;
+  /// Child module for kModule; owned by the enclosing Design.
+  const Module* module = nullptr;
+  std::map<std::string, PortConn> connections;
+};
+
+/// A module port: externally visible connection point bound to a net.
+struct ModulePort {
+  std::string name;
+  genus::PortDir dir = genus::PortDir::kIn;
+  int width = 1;
+  NetIndex net = kNoNet;
+};
+
+/// One level of structural hierarchy.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Create a net; names must be unique within the module.
+  NetIndex add_net(const std::string& name, int width);
+
+  /// Create a port and its backing net in one step.
+  NetIndex add_port(const std::string& name, genus::PortDir dir, int width);
+
+  /// Add an instance bound to an unmapped specification.
+  Instance& add_spec_instance(const std::string& name,
+                              const genus::ComponentSpec& spec,
+                              const std::string& ref_name = "");
+
+  /// Add an instance of a technology cell.
+  Instance& add_cell_instance(const std::string& name,
+                              const genus::ComponentSpec& cell_spec,
+                              const std::string& cell_name);
+
+  /// Add an instance of a child module (hierarchical netlists).
+  Instance& add_module_instance(const std::string& name, const Module* child,
+                                const genus::ComponentSpec& spec);
+
+  /// Bind `port` of `inst` to a slice of `net` starting at bit `lo`.
+  void connect(Instance& inst, const std::string& port, NetIndex net,
+               int lo = 0);
+  /// Bind `port` of `inst` to a constant value.
+  void connect_const(Instance& inst, const std::string& port,
+                     std::uint64_t value);
+  /// Broadcast one bit of `net` (bit index `bit`) across every bit of a
+  /// multi-bit input port.
+  void connect_replicated(Instance& inst, const std::string& port,
+                          NetIndex net, int bit = 0);
+
+  NetIndex find_net(const std::string& name) const;  // kNoNet when absent
+  const Net& net(NetIndex idx) const;
+  int net_width(NetIndex idx) const { return net(idx).width; }
+
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<ModulePort>& module_ports() const { return ports_; }
+  const ModulePort& module_port(const std::string& name) const;
+  const std::deque<Instance>& instances() const { return instances_; }
+  std::deque<Instance>& instances() { return instances_; }
+
+  /// The port list an instance exposes, derived from its reference:
+  /// child-module ports for kModule, spec_ports(spec) otherwise.
+  static std::vector<genus::PortSpec> instance_ports(const Instance& inst);
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<ModulePort> ports_;
+  std::deque<Instance> instances_;  // deque: stable references on growth
+  std::map<std::string, NetIndex> net_names_;
+};
+
+/// A collection of modules with stable addresses; owns all hierarchy.
+class Design {
+ public:
+  explicit Design(std::string name = "design") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Module& add_module(const std::string& name);
+  const Module* find_module(const std::string& name) const;
+  Module* find_module(const std::string& name);
+
+  void set_top(const Module* m) { top_ = m; }
+  const Module* top() const { return top_; }
+
+  const std::deque<Module>& modules() const { return modules_; }
+
+  /// Count leaf (cell) instances recursively from `m`, following module
+  /// references; each module body is counted once per instantiation.
+  static int count_leaf_instances(const Module& m);
+
+ private:
+  std::string name_;
+  std::deque<Module> modules_;  // deque: stable addresses
+  const Module* top_ = nullptr;
+};
+
+/// Structural design-rule check. Returns human-readable violations:
+/// unconnected inputs, width overflows, multiply-driven net bits,
+/// undriven-but-read net bits, instances reading and writing the same net.
+std::vector<std::string> check_module(const Module& m);
+
+}  // namespace bridge::netlist

@@ -1,0 +1,411 @@
+#include "sim/rtl_expr.h"
+
+#include <cctype>
+#include <vector>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+
+namespace bridge::sim {
+
+namespace {
+
+enum class NodeKind {
+  kName,
+  kConst,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,
+  kSub,
+  kShl,
+  kShr,
+  kRotl,
+  kRotr,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+};
+
+}  // namespace
+
+struct RtlAssignment::Node {
+  NodeKind kind = NodeKind::kConst;
+  std::string name;
+  std::uint64_t value = 0;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const RtlAssignment::Node>;
+
+NodePtr make(NodeKind kind, NodePtr lhs = nullptr, NodePtr rhs = nullptr) {
+  auto n = std::make_shared<RtlAssignment::Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+class RtlParser {
+ public:
+  explicit RtlParser(const std::string& text) : text_(text) {}
+
+  std::pair<std::string, NodePtr> parse_assignment() {
+    std::string target = ident("assignment target");
+    skip_ws();
+    if (!consume('=') || peek() == '=') {
+      throw ParseError("expected '=' in RTL assignment", 1, col());
+    }
+    NodePtr e = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing characters in RTL expression", 1, col());
+    }
+    return {std::move(target), std::move(e)};
+  }
+
+ private:
+  NodePtr expr() { return or_expr(); }
+
+  NodePtr or_expr() {
+    NodePtr lhs = xor_expr();
+    for (;;) {
+      skip_ws();
+      if (peek() == '|' && !consume_word("||")) {
+        ++pos_;
+        lhs = make(NodeKind::kOr, lhs, xor_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr xor_expr() {
+    NodePtr lhs = and_expr();
+    for (;;) {
+      skip_ws();
+      if (peek() == '^') {
+        ++pos_;
+        lhs = make(NodeKind::kXor, lhs, and_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr and_expr() {
+    NodePtr lhs = cmp_expr();
+    for (;;) {
+      skip_ws();
+      if (peek() == '&') {
+        ++pos_;
+        lhs = make(NodeKind::kAnd, lhs, cmp_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr cmp_expr() {
+    NodePtr lhs = shift_expr();
+    skip_ws();
+    static const std::pair<const char*, NodeKind> ops[] = {
+        {"==", NodeKind::kEq}, {"!=", NodeKind::kNe}, {"<=", NodeKind::kLe},
+        {">=", NodeKind::kGe}, {"<", NodeKind::kLt},  {">", NodeKind::kGt},
+    };
+    for (const auto& [tok, kind] : ops) {
+      const size_t len = std::string(tok).size();
+      // Don't confuse "<" with "<<".
+      if (text_.compare(pos_, len, tok) == 0 &&
+          !(len == 1 && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] == text_[pos_])) {
+        pos_ += len;
+        return make(kind, lhs, shift_expr());
+      }
+    }
+    return lhs;
+  }
+
+  NodePtr shift_expr() {
+    NodePtr lhs = add_expr();
+    for (;;) {
+      skip_ws();
+      if (text_.compare(pos_, 2, "<<") == 0) {
+        pos_ += 2;
+        lhs = make(NodeKind::kShl, lhs, add_expr());
+      } else if (text_.compare(pos_, 2, ">>") == 0) {
+        pos_ += 2;
+        lhs = make(NodeKind::kShr, lhs, add_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr add_expr() {
+    NodePtr lhs = unary();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        lhs = make(NodeKind::kAdd, lhs, unary());
+      } else if (peek() == '-') {
+        ++pos_;
+        lhs = make(NodeKind::kSub, lhs, unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr unary() {
+    skip_ws();
+    if (peek() == '~') {
+      ++pos_;
+      return make(NodeKind::kNot, unary());
+    }
+    return primary();
+  }
+
+  NodePtr primary() {
+    skip_ws();
+    if (consume('(')) {
+      NodePtr e = expr();
+      expect(')');
+      return e;
+    }
+    if (std::isdigit(uc(peek()))) {
+      std::uint64_t v = 0;
+      while (std::isdigit(uc(peek()))) v = v * 10 + (text_[pos_++] - '0');
+      auto n = std::make_shared<RtlAssignment::Node>();
+      n->kind = NodeKind::kConst;
+      n->value = v;
+      return n;
+    }
+    std::string id = ident("operand");
+    const std::string lower = to_lower(id);
+    if (lower == "rotl" || lower == "rotr") {
+      expect('(');
+      NodePtr a = expr();
+      expect(',');
+      NodePtr b = expr();
+      expect(')');
+      return make(lower == "rotl" ? NodeKind::kRotl : NodeKind::kRotr, a, b);
+    }
+    auto n = std::make_shared<RtlAssignment::Node>();
+    n->kind = NodeKind::kName;
+    n->name = id;
+    return n;
+  }
+
+  std::string ident(const char* what) {
+    skip_ws();
+    if (!(std::isalpha(uc(peek())) || peek() == '_')) {
+      throw ParseError(std::string("expected ") + what, 1, col());
+    }
+    size_t b = pos_;
+    while (std::isalnum(uc(peek())) || peek() == '_') ++pos_;
+    return text_.substr(b, pos_ - b);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  static int uc(char c) { return static_cast<unsigned char>(c); }
+  int col() const { return static_cast<int>(pos_) + 1; }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(uc(text_[pos_]))) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(const char* w) {
+    return text_.compare(pos_, std::string(w).size(), w) == 0;
+  }
+  void expect(char c) {
+    if (!consume(c)) {
+      throw ParseError(std::string("expected '") + c + "'", 1, col());
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+BitVec eval_node(const RtlAssignment::Node& n, int width,
+                 const std::map<std::string, BitVec>& values) {
+  auto bin = [&](const RtlAssignment::Node& node) {
+    return std::pair{eval_node(*node.lhs, width, values),
+                     eval_node(*node.rhs, width, values)};
+  };
+  auto from_bool = [width](bool b) { return BitVec(width, b ? 1 : 0); };
+  switch (n.kind) {
+    case NodeKind::kName: {
+      auto it = values.find(n.name);
+      if (it == values.end()) {
+        throw Error("RTL expression references unknown name '" + n.name +
+                    "'");
+      }
+      return it->second.zext(width);
+    }
+    case NodeKind::kConst:
+      return BitVec(width, n.value);
+    case NodeKind::kNot:
+      return ~eval_node(*n.lhs, width, values);
+    case NodeKind::kAnd: {
+      auto [a, b] = bin(n);
+      return a & b;
+    }
+    case NodeKind::kOr: {
+      auto [a, b] = bin(n);
+      return a | b;
+    }
+    case NodeKind::kXor: {
+      auto [a, b] = bin(n);
+      return a ^ b;
+    }
+    case NodeKind::kAdd: {
+      auto [a, b] = bin(n);
+      return a + b;
+    }
+    case NodeKind::kSub: {
+      auto [a, b] = bin(n);
+      return a - b;
+    }
+    case NodeKind::kShl: {
+      auto [a, b] = bin(n);
+      return a.shl(static_cast<int>(b.to_uint64() % (2 * width)));
+    }
+    case NodeKind::kShr: {
+      auto [a, b] = bin(n);
+      return a.lshr(static_cast<int>(b.to_uint64() % (2 * width)));
+    }
+    case NodeKind::kRotl: {
+      auto [a, b] = bin(n);
+      return a.rotl(static_cast<int>(b.to_uint64() % width));
+    }
+    case NodeKind::kRotr: {
+      auto [a, b] = bin(n);
+      return a.rotr(static_cast<int>(b.to_uint64() % width));
+    }
+    case NodeKind::kEq: {
+      auto [a, b] = bin(n);
+      return from_bool(a == b);
+    }
+    case NodeKind::kNe: {
+      auto [a, b] = bin(n);
+      return from_bool(a != b);
+    }
+    case NodeKind::kLt: {
+      auto [a, b] = bin(n);
+      return from_bool(a.ult(b));
+    }
+    case NodeKind::kGt: {
+      auto [a, b] = bin(n);
+      return from_bool(a.ugt(b));
+    }
+    case NodeKind::kLe: {
+      auto [a, b] = bin(n);
+      return from_bool(!a.ugt(b));
+    }
+    case NodeKind::kGe: {
+      auto [a, b] = bin(n);
+      return from_bool(!a.ult(b));
+    }
+  }
+  throw Error("corrupt RTL expression node");
+}
+
+}  // namespace
+
+RtlAssignment RtlAssignment::parse(const std::string& text) {
+  RtlAssignment a;
+  auto [target, root] = RtlParser(text).parse_assignment();
+  a.target_ = std::move(target);
+  a.root_ = std::move(root);
+  return a;
+}
+
+BitVec RtlAssignment::eval(int width,
+                           const std::map<std::string, BitVec>& values) const {
+  BRIDGE_CHECK(root_ != nullptr, "evaluating empty RTL assignment");
+  return eval_node(*root_, width, values);
+}
+
+ComponentInterpreter::ComponentInterpreter(genus::ComponentPtr component)
+    : component_(std::move(component)) {
+  BRIDGE_CHECK(component_ != nullptr, "null component");
+  for (const auto& p : component_->ports()) {
+    if (p.dir == genus::PortDir::kOut) {
+      state_[p.name] = BitVec(p.width);
+    }
+  }
+  for (const auto& op : component_->operations()) {
+    if (!op.semantics.empty()) {
+      semantics_.emplace(op.name, RtlAssignment::parse(op.semantics));
+    }
+  }
+}
+
+BitVec ComponentInterpreter::output(const std::string& port) const {
+  auto it = state_.find(port);
+  if (it == state_.end()) {
+    throw Error("component has no output '" + port + "'");
+  }
+  return it->second;
+}
+
+void ComponentInterpreter::step(const std::map<std::string, BitVec>& inputs) {
+  auto bit_of = [&inputs](const std::string& name) {
+    auto it = inputs.find(name);
+    return it != inputs.end() && !it->second.is_zero();
+  };
+  // Async set/reset and enable by conventional port names.
+  for (const auto& p : component_->ports()) {
+    if (p.role != genus::PortRole::kAsync) continue;
+    if ((p.name == "ASET" || p.name == "SET") && bit_of(p.name)) {
+      for (auto& [name, v] : state_) v = BitVec::ones(v.width());
+      return;
+    }
+    if ((p.name == "ARESET" || p.name == "ARST") && bit_of(p.name)) {
+      for (auto& [name, v] : state_) v = BitVec(v.width());
+      return;
+    }
+  }
+  for (const auto& p : component_->ports()) {
+    if (p.role == genus::PortRole::kEnable && inputs.count(p.name) &&
+        inputs.at(p.name).is_zero()) {
+      return;  // disabled: hold
+    }
+  }
+  // First operation whose control line is asserted wins (declaration
+  // order is priority, as in Figure 2).
+  for (const auto& op : component_->operations()) {
+    if (!op.control.empty() && !bit_of(op.control)) continue;
+    auto it = semantics_.find(op.name);
+    if (it == semantics_.end()) return;
+    const RtlAssignment& rtl = it->second;
+    auto target = state_.find(rtl.target());
+    if (target == state_.end()) {
+      throw Error("operation " + op.name + " assigns to unknown output '" +
+                  rtl.target() + "'");
+    }
+    // Name scope: current outputs (pre-edge) then inputs.
+    std::map<std::string, BitVec> scope = state_;
+    for (const auto& [name, value] : inputs) scope.emplace(name, value);
+    target->second = rtl.eval(target->second.width(), scope);
+    return;
+  }
+}
+
+}  // namespace bridge::sim

@@ -1,0 +1,74 @@
+// Executable register-transfer semantics.
+//
+// LEGEND operation declarations carry semantics strings such as
+// "O0 = I0", "O0 = O0 + 1", or "OUT = ~(A & B)" (Figure 2). This module
+// parses and evaluates them, which makes *custom* LEGEND-described
+// components simulatable — the executable counterpart of the paper's
+// "simulatable VHDL behavioral models ... used to verify the behavior of
+// a synthesized design".
+//
+// Grammar (C-like, precedence low to high):
+//   assign := IDENT '=' expr
+//   expr   := or ; or := xor ('|' xor)* ; xor := and ('^' and)*
+//   and    := cmp ('&' cmp)*
+//   cmp    := shift (('=='|'!='|'<'|'>'|'<='|'>=') shift)?
+//   shift  := add (('<<'|'>>') add)*
+//   add    := unary (('+'|'-') unary)*
+//   unary  := '~' unary | primary
+//   primary:= IDENT | NUMBER | '(' expr ')'
+//           | ('rotl'|'rotr') '(' expr ',' expr ')'
+//
+// All operands are resolved to the assignment's target width; comparisons
+// yield 0/1. Unknown identifiers throw at evaluation time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/bitvec.h"
+#include "genus/component.h"
+
+namespace bridge::sim {
+
+/// A parsed "TARGET = expr" register-transfer assignment.
+class RtlAssignment {
+ public:
+  /// Parse; throws ParseError on malformed text.
+  static RtlAssignment parse(const std::string& text);
+
+  const std::string& target() const { return target_; }
+
+  /// Evaluate with the given name bindings; the result has `width` bits.
+  BitVec eval(int width, const std::map<std::string, BitVec>& values) const;
+
+  struct Node;  // implementation detail
+
+ private:
+  std::string target_;
+  std::shared_ptr<const Node> root_;
+};
+
+/// Simulates a generated component from its declared LEGEND operations:
+/// each clock step selects the first operation whose control line is
+/// asserted (declaration order gives priority, matching Figure 2's
+/// LOAD > COUNT_UP > COUNT_DOWN) and applies its semantics to the
+/// component's output state. Enable and async inputs follow the standard
+/// conventions (CEN/EN active high; ASET to ones; ARESET/ARST to zero).
+class ComponentInterpreter {
+ public:
+  explicit ComponentInterpreter(genus::ComponentPtr component);
+
+  /// Current value of an output port.
+  BitVec output(const std::string& port) const;
+
+  /// Advance one clock edge with the given input/control values.
+  void step(const std::map<std::string, BitVec>& inputs);
+
+ private:
+  genus::ComponentPtr component_;
+  std::map<std::string, BitVec> state_;  // output port -> value
+  std::map<std::string, RtlAssignment> semantics_;  // op name -> assignment
+};
+
+}  // namespace bridge::sim

@@ -1,0 +1,612 @@
+#include "sim/semantics.h"
+
+#include <algorithm>
+
+#include "base/diag.h"
+
+namespace bridge::sim {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::PortDir;
+using genus::PortSpec;
+
+namespace {
+
+/// Fetch an input value, defaulting to zero of the port's width and
+/// normalizing any mismatched width (tie-offs provide 64-bit constants).
+BitVec get_in(const ComponentSpec& spec, const PortValues& inputs,
+              const std::string& name) {
+  const auto ports = genus::spec_ports(spec);
+  const PortSpec& p = genus::find_port(ports, name);
+  auto it = inputs.find(name);
+  if (it == inputs.end()) return BitVec(p.width);
+  return it->second.width() == p.width ? it->second
+                                       : it->second.zext(p.width);
+}
+
+bool get_bit(const ComponentSpec& spec, const PortValues& inputs,
+             const std::string& name) {
+  return get_in(spec, inputs, name).bit(0);
+}
+
+BitVec bool_vec(bool b) { return BitVec(1, b ? 1 : 0); }
+
+/// Apply a gate function across a list of operands (bitwise).
+BitVec apply_gate(Op fn, const std::vector<BitVec>& ins) {
+  BRIDGE_CHECK(!ins.empty(), "gate with no inputs");
+  switch (fn) {
+    case Op::kLnot:
+      return ~ins[0];
+    case Op::kBuf:
+      return ins[0];
+    case Op::kLimpl:
+      BRIDGE_CHECK(ins.size() == 2, "LIMPL gate needs 2 inputs");
+      return ~ins[0] | ins[1];
+    default:
+      break;
+  }
+  BitVec acc = ins[0];
+  for (size_t i = 1; i < ins.size(); ++i) {
+    switch (fn) {
+      case Op::kAnd:
+      case Op::kNand:
+        acc = acc & ins[i];
+        break;
+      case Op::kOr:
+      case Op::kNor:
+        acc = acc | ins[i];
+        break;
+      case Op::kXor:
+      case Op::kXnor:
+        acc = acc ^ ins[i];
+        break;
+      default:
+        throw Error("unsupported gate function " + genus::op_name(fn));
+    }
+  }
+  if (fn == Op::kNand || fn == Op::kNor || fn == Op::kXnor) acc = ~acc;
+  return acc;
+}
+
+/// The ALU/LU/shifter operation selected by F (clamped to the last op).
+Op selected_op(const ComponentSpec& spec, const PortValues& inputs) {
+  const auto ops = spec.ops.to_vector();
+  if (ops.size() == 1) return ops[0];
+  std::uint64_t f = get_in(spec, inputs, "F").to_uint64();
+  if (f >= ops.size()) f = ops.size() - 1;
+  return ops[f];
+}
+
+PortValues eval_alu(const ComponentSpec& spec, const PortValues& inputs) {
+  const int w = spec.width;
+  const BitVec a = get_in(spec, inputs, "A");
+  const BitVec b = get_in(spec, inputs, "B");
+  const bool ci = spec.carry_in ? get_bit(spec, inputs, "CI") : false;
+  const Op op = selected_op(spec, inputs);
+
+  // Internal datapath: one adder/subtractor with a B-operand selector.
+  BitVec b_operand(w);
+  bool subtract = false;
+  switch (op) {
+    case Op::kAdd:
+      b_operand = b;
+      break;
+    case Op::kSub:
+    case Op::kEq:
+    case Op::kLt:
+    case Op::kGt:
+      b_operand = b;
+      subtract = true;
+      break;
+    case Op::kInc:
+      b_operand = BitVec(w, 1);
+      break;
+    case Op::kDec:
+      b_operand = BitVec(w, 1);
+      subtract = true;
+      break;
+    case Op::kZerop:
+      b_operand = BitVec(w, 0);
+      subtract = true;
+      break;
+    default:  // logic group: datapath defaults to A + B + CI (74181-style)
+      b_operand = b;
+      break;
+  }
+  bool carry = false;
+  BitVec datapath = a.add_with_carry(subtract ? ~b_operand : b_operand,
+                                     ci, &carry);
+
+  BitVec result(w);
+  if (genus::op_is_logic(op)) {
+    switch (op) {
+      case Op::kAnd:
+        result = a & b;
+        break;
+      case Op::kOr:
+        result = a | b;
+        break;
+      case Op::kNand:
+        result = ~(a & b);
+        break;
+      case Op::kNor:
+        result = ~(a | b);
+        break;
+      case Op::kXor:
+        result = a ^ b;
+        break;
+      case Op::kXnor:
+        result = ~(a ^ b);
+        break;
+      case Op::kLnot:
+        result = ~a;
+        break;
+      case Op::kLimpl:
+        result = ~a | b;
+        break;
+      default:
+        throw Error("unhandled ALU logic op");
+    }
+  } else {
+    result = datapath;
+  }
+
+  PortValues out;
+  out["OUT"] = result;
+  if (spec.carry_out) out["CO"] = bool_vec(carry);
+  for (Op status : spec.ops.to_vector()) {
+    if (!genus::op_is_compare(status)) continue;
+    bool v = false;
+    switch (status) {
+      case Op::kEq:
+        v = a == b;
+        break;
+      case Op::kNe:
+        v = a != b;
+        break;
+      case Op::kLt:
+        v = a.ult(b);
+        break;
+      case Op::kGt:
+        v = a.ugt(b);
+        break;
+      case Op::kLe:
+        v = !a.ugt(b);
+        break;
+      case Op::kGe:
+        v = !a.ult(b);
+        break;
+      case Op::kZerop:
+        v = a.is_zero();
+        break;
+      default:
+        break;
+    }
+    out[genus::op_name(status)] = bool_vec(v);
+  }
+  return out;
+}
+
+BitVec shift_value(Op op, const BitVec& in, int amount) {
+  switch (op) {
+    case Op::kShl:
+      return in.shl(amount);
+    case Op::kShr:
+      return in.lshr(amount);
+    case Op::kAshr:
+      return in.ashr(amount);
+    case Op::kRotl:
+      return in.rotl(amount);
+    case Op::kRotr:
+      return in.rotr(amount);
+    default:
+      throw Error("unsupported shift op " + genus::op_name(op));
+  }
+}
+
+}  // namespace
+
+int op_select_code(const ComponentSpec& spec, Op op) {
+  const auto ops = spec.ops.to_vector();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] == op) return static_cast<int>(i);
+  }
+  throw Error("op " + genus::op_name(op) + " not in spec " + spec.key());
+}
+
+PortValues eval_combinational(const ComponentSpec& spec,
+                              const PortValues& inputs) {
+  const int w = spec.width;
+  PortValues out;
+  switch (spec.kind) {
+    case Kind::kGate: {
+      const Op fn = spec.ops.to_vector().at(0);
+      std::vector<BitVec> ins;
+      const int fanin = spec.size > 0 ? spec.size : 2;
+      for (int i = 0; i < fanin; ++i) {
+        ins.push_back(get_in(spec, inputs, "I" + std::to_string(i)));
+      }
+      out["OUT"] = apply_gate(fn, ins);
+      break;
+    }
+    case Kind::kLogicUnit: {
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      switch (selected_op(spec, inputs)) {
+        case Op::kAnd:
+          out["OUT"] = a & b;
+          break;
+        case Op::kOr:
+          out["OUT"] = a | b;
+          break;
+        case Op::kNand:
+          out["OUT"] = ~(a & b);
+          break;
+        case Op::kNor:
+          out["OUT"] = ~(a | b);
+          break;
+        case Op::kXor:
+          out["OUT"] = a ^ b;
+          break;
+        case Op::kXnor:
+          out["OUT"] = ~(a ^ b);
+          break;
+        case Op::kLnot:
+          out["OUT"] = ~a;
+          break;
+        case Op::kLimpl:
+          out["OUT"] = ~a | b;
+          break;
+        case Op::kBuf:
+          out["OUT"] = a;
+          break;
+        default:
+          throw Error("unsupported LU op");
+      }
+      break;
+    }
+    case Kind::kMux: {
+      std::uint64_t sel = get_in(spec, inputs, "SEL").to_uint64();
+      sel = std::min<std::uint64_t>(sel, spec.size - 1);
+      out["OUT"] = get_in(spec, inputs, "I" + std::to_string(sel));
+      break;
+    }
+    case Kind::kSelector: {
+      // One-hot select: OR of selected inputs (wired-or of enabled buffers).
+      const BitVec sel = get_in(spec, inputs, "SEL");
+      BitVec acc(w);
+      for (int i = 0; i < spec.size; ++i) {
+        if (sel.bit(i)) acc = acc | get_in(spec, inputs, "I" + std::to_string(i));
+      }
+      out["OUT"] = acc;
+      break;
+    }
+    case Kind::kDecoder: {
+      const std::uint64_t v = get_in(spec, inputs, "IN").to_uint64();
+      const bool en = spec.enable ? get_bit(spec, inputs, "EN") : true;
+      BitVec o(spec.size);
+      if (en && v < static_cast<std::uint64_t>(spec.size)) {
+        o.set_bit(static_cast<int>(v), true);
+      }
+      out["OUT"] = o;
+      break;
+    }
+    case Kind::kEncoder: {
+      // Priority encoder: index of the highest asserted input (0 if none).
+      const BitVec in = get_in(spec, inputs, "IN");
+      int idx = 0;
+      for (int i = spec.size - 1; i >= 0; --i) {
+        if (in.bit(i)) {
+          idx = i;
+          break;
+        }
+      }
+      out["OUT"] = BitVec(w, static_cast<std::uint64_t>(idx));
+      break;
+    }
+    case Kind::kComparator: {
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      for (Op op : spec.ops.to_vector()) {
+        bool v = false;
+        switch (op) {
+          case Op::kEq:
+            v = a == b;
+            break;
+          case Op::kNe:
+            v = a != b;
+            break;
+          case Op::kLt:
+            v = a.ult(b);
+            break;
+          case Op::kGt:
+            v = a.ugt(b);
+            break;
+          case Op::kLe:
+            v = !a.ugt(b);
+            break;
+          case Op::kGe:
+            v = !a.ult(b);
+            break;
+          case Op::kZerop:
+            v = a.is_zero();
+            break;
+          default:
+            throw Error("unsupported comparator op");
+        }
+        out[genus::op_name(op)] = bool_vec(v);
+      }
+      break;
+    }
+    case Kind::kAlu:
+      return eval_alu(spec, inputs);
+    case Kind::kShifter: {
+      const BitVec in = get_in(spec, inputs, "IN");
+      out["OUT"] = shift_value(selected_op(spec, inputs), in, 1);
+      break;
+    }
+    case Kind::kBarrelShifter: {
+      const BitVec in = get_in(spec, inputs, "IN");
+      const int amt =
+          static_cast<int>(get_in(spec, inputs, "AMT").to_uint64());
+      out["OUT"] = shift_value(selected_op(spec, inputs), in, amt);
+      break;
+    }
+    case Kind::kMultiplier: {
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      out["P"] = a.mul(b, w + spec.size);
+      break;
+    }
+    case Kind::kDivider: {
+      const BitVec a = get_in(spec, inputs, "A").zext(std::max(w, spec.size));
+      const BitVec b = get_in(spec, inputs, "B").zext(std::max(w, spec.size));
+      if (b.is_zero()) {
+        out["Q"] = BitVec::ones(w);
+        out["R"] = get_in(spec, inputs, "A").zext(spec.size);
+      } else {
+        out["Q"] = a.udiv(b).zext(w);
+        out["R"] = a.urem(b).zext(spec.size);
+      }
+      break;
+    }
+    case Kind::kAdder: {
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      const bool ci = spec.carry_in ? get_bit(spec, inputs, "CI") : false;
+      bool carry = false;
+      out["S"] = a.add_with_carry(b, ci, &carry);
+      if (spec.carry_out) out["CO"] = bool_vec(carry);
+      break;
+    }
+    case Kind::kSubtractor: {
+      // S = A - B - CI (borrow in); CO is the borrow out.
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      const bool bi = spec.carry_in ? get_bit(spec, inputs, "CI") : false;
+      bool carry = false;
+      out["S"] = a.add_with_carry(~b, !bi, &carry);
+      if (spec.carry_out) out["CO"] = bool_vec(!carry);
+      break;
+    }
+    case Kind::kAddSub: {
+      // Raw datapath: S = A + (MODE ? ~B : B) + CI, CO = raw carry.
+      const BitVec a = get_in(spec, inputs, "A");
+      const BitVec b = get_in(spec, inputs, "B");
+      const bool mode = get_bit(spec, inputs, "MODE");
+      const bool ci = spec.carry_in ? get_bit(spec, inputs, "CI") : false;
+      bool carry = false;
+      out["S"] = a.add_with_carry(mode ? ~b : b, ci, &carry);
+      if (spec.carry_out) out["CO"] = bool_vec(carry);
+      break;
+    }
+    case Kind::kCarryLookahead: {
+      const int k = spec.size > 0 ? spec.size : 4;
+      const BitVec pvec = get_in(spec, inputs, "P");
+      const BitVec gvec = get_in(spec, inputs, "G");
+      bool carry = get_bit(spec, inputs, "CI");
+      BitVec c(k);
+      bool gp = true;
+      bool gg = false;
+      for (int i = 0; i < k; ++i) {
+        carry = gvec.bit(i) || (pvec.bit(i) && carry);
+        c.set_bit(i, carry);
+        gg = gvec.bit(i) || (pvec.bit(i) && gg);
+        gp = gp && pvec.bit(i);
+      }
+      out["C"] = c;
+      out["GP"] = bool_vec(gp);
+      out["GG"] = bool_vec(gg);
+      break;
+    }
+    case Kind::kPort:
+    case Kind::kBuffer:
+    case Kind::kClockDriver:
+    case Kind::kSchmittTrigger:
+    case Kind::kDelay:
+      out["OUT"] = get_in(spec, inputs, "IN");
+      break;
+    case Kind::kTristate:
+      out["OUT"] = get_bit(spec, inputs, "OE") ? get_in(spec, inputs, "IN")
+                                               : BitVec(w);
+      break;
+    case Kind::kWiredOr:
+    case Kind::kBus: {
+      BitVec acc(w);
+      const int drivers = spec.size > 0 ? spec.size : 2;
+      for (int i = 0; i < drivers; ++i) {
+        acc = acc | get_in(spec, inputs, "I" + std::to_string(i));
+      }
+      out["OUT"] = acc;
+      break;
+    }
+    case Kind::kConcat:
+      out["OUT"] = BitVec::concat(get_in(spec, inputs, "I0"),
+                                  get_in(spec, inputs, "I1"));
+      break;
+    case Kind::kExtract: {
+      const BitVec in = get_in(spec, inputs, "IN");
+      out["OUT"] = in.slice(0, spec.size > 0 ? spec.size : 1);
+      break;
+    }
+    case Kind::kClockGenerator:
+      out["CLK"] = BitVec(1);
+      break;
+    default:
+      throw Error("eval_combinational on sequential spec " + spec.key());
+  }
+  return out;
+}
+
+SeqState init_state(const ComponentSpec& spec) {
+  SeqState st;
+  switch (spec.kind) {
+    case Kind::kRegister:
+    case Kind::kFlipFlop:
+    case Kind::kCounter:
+      st.value = BitVec(spec.width);
+      break;
+    case Kind::kRegisterFile:
+    case Kind::kMemory:
+    case Kind::kStack:
+    case Kind::kFifo:
+      st.words.assign(spec.size > 0 ? spec.size : 1, BitVec(spec.width));
+      break;
+    default:
+      throw Error("init_state on combinational spec " + spec.key());
+  }
+  return st;
+}
+
+PortValues seq_outputs(const ComponentSpec& spec, const SeqState& state,
+                       const PortValues& inputs) {
+  PortValues out;
+  switch (spec.kind) {
+    case Kind::kRegister:
+    case Kind::kFlipFlop:
+      out["Q"] = state.value;
+      break;
+    case Kind::kCounter:
+      out["O0"] = state.value;
+      break;
+    case Kind::kRegisterFile: {
+      const std::uint64_t ra = get_in(spec, inputs, "RA").to_uint64();
+      out["RD"] = ra < state.words.size() ? state.words[ra]
+                                          : BitVec(spec.width);
+      break;
+    }
+    case Kind::kMemory: {
+      const std::uint64_t addr = get_in(spec, inputs, "ADDR").to_uint64();
+      out["DOUT"] = addr < state.words.size() ? state.words[addr]
+                                              : BitVec(spec.width);
+      break;
+    }
+    case Kind::kStack: {
+      out["DOUT"] = state.count > 0 ? state.words[state.count - 1]
+                                    : BitVec(spec.width);
+      out["EMPTY"] = bool_vec(state.count == 0);
+      out["FULL"] = bool_vec(state.count == static_cast<int>(state.words.size()));
+      break;
+    }
+    case Kind::kFifo: {
+      out["DOUT"] = state.count > 0 ? state.words[state.head]
+                                    : BitVec(spec.width);
+      out["EMPTY"] = bool_vec(state.count == 0);
+      out["FULL"] = bool_vec(state.count == static_cast<int>(state.words.size()));
+      break;
+    }
+    default:
+      throw Error("seq_outputs on combinational spec " + spec.key());
+  }
+  return out;
+}
+
+void seq_step(const ComponentSpec& spec, SeqState& state,
+              const PortValues& inputs) {
+  switch (spec.kind) {
+    case Kind::kRegister:
+    case Kind::kFlipFlop: {
+      if (spec.async_set && get_bit(spec, inputs, "ASET")) {
+        state.value = BitVec::ones(spec.width);
+        return;
+      }
+      if (spec.async_reset && get_bit(spec, inputs, "ARST")) {
+        state.value = BitVec(spec.width);
+        return;
+      }
+      const bool en = spec.enable ? get_bit(spec, inputs, "EN") : true;
+      if (en) state.value = get_in(spec, inputs, "D");
+      break;
+    }
+    case Kind::kCounter: {
+      if (spec.async_set && get_bit(spec, inputs, "ASET")) {
+        state.value = BitVec::ones(spec.width);
+        return;
+      }
+      if (spec.async_reset && get_bit(spec, inputs, "ARESET")) {
+        state.value = BitVec(spec.width);
+        return;
+      }
+      const bool en = spec.enable ? get_bit(spec, inputs, "CEN") : true;
+      if (!en) return;
+      if (spec.ops.contains(Op::kLoad) && get_bit(spec, inputs, "CLOAD")) {
+        state.value = get_in(spec, inputs, "I0");
+      } else if (spec.ops.contains(Op::kCountUp) &&
+                 get_bit(spec, inputs, "CUP")) {
+        state.value = state.value + BitVec(spec.width, 1);
+      } else if (spec.ops.contains(Op::kCountDown) &&
+                 get_bit(spec, inputs, "CDOWN")) {
+        state.value = state.value - BitVec(spec.width, 1);
+      }
+      break;
+    }
+    case Kind::kRegisterFile: {
+      if (get_bit(spec, inputs, "WE")) {
+        const std::uint64_t wa = get_in(spec, inputs, "WA").to_uint64();
+        if (wa < state.words.size()) {
+          state.words[wa] = get_in(spec, inputs, "WD");
+        }
+      }
+      break;
+    }
+    case Kind::kMemory: {
+      if (get_bit(spec, inputs, "WE")) {
+        const std::uint64_t addr = get_in(spec, inputs, "ADDR").to_uint64();
+        if (addr < state.words.size()) {
+          state.words[addr] = get_in(spec, inputs, "DIN");
+        }
+      }
+      break;
+    }
+    case Kind::kStack: {
+      const bool push = get_bit(spec, inputs, "PUSH");
+      const bool pop = get_bit(spec, inputs, "POP");
+      if (push && state.count < static_cast<int>(state.words.size())) {
+        state.words[state.count++] = get_in(spec, inputs, "DIN");
+      } else if (pop && state.count > 0) {
+        --state.count;
+      }
+      break;
+    }
+    case Kind::kFifo: {
+      const bool push = get_bit(spec, inputs, "PUSH");
+      const bool pop = get_bit(spec, inputs, "POP");
+      const int n = static_cast<int>(state.words.size());
+      if (push && state.count < n) {
+        state.words[(state.head + state.count) % n] =
+            get_in(spec, inputs, "DIN");
+        ++state.count;
+      } else if (pop && state.count > 0) {
+        state.head = (state.head + 1) % n;
+        --state.count;
+      }
+      break;
+    }
+    default:
+      throw Error("seq_step on combinational spec " + spec.key());
+  }
+}
+
+}  // namespace bridge::sim

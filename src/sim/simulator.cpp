@@ -1,0 +1,307 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "base/diag.h"
+
+namespace bridge::sim {
+
+using genus::PortDir;
+using genus::PortSpec;
+using netlist::Instance;
+using netlist::Module;
+using netlist::PortConn;
+using netlist::RefKind;
+
+Simulator::Simulator(const Module& top) {
+  // Allocate global bits for the top module's ports and flatten.
+  std::map<std::string, std::vector<BitRef>> port_map;
+  for (const auto& p : top.module_ports()) {
+    std::vector<BitRef> refs(p.width);
+    for (int b = 0; b < p.width; ++b) {
+      refs[b] = BitRef{static_cast<int>(bits_.size()), false};
+      bits_.push_back(0);
+    }
+    port_map[p.name] = refs;
+    top_ports_[p.name] = refs;
+    top_port_width_[p.name] = p.width;
+    top_port_is_input_[p.name] = p.dir == PortDir::kIn;
+  }
+  flatten(top, top.name(), port_map);
+  schedule();
+}
+
+void Simulator::flatten(
+    const Module& m, const std::string& path,
+    const std::map<std::string, std::vector<BitRef>>& port_map) {
+  // Assign global bits to every net. Port nets alias the caller's bits.
+  std::vector<std::vector<BitRef>> net_bits(m.nets().size());
+  for (size_t n = 0; n < m.nets().size(); ++n) {
+    net_bits[n].resize(m.nets()[n].width);
+  }
+  for (const auto& p : m.module_ports()) {
+    auto it = port_map.find(p.name);
+    BRIDGE_CHECK(it != port_map.end(),
+                 "module " << m.name() << " port " << p.name << " unbound");
+    BRIDGE_CHECK(static_cast<int>(it->second.size()) == p.width,
+                 "width mismatch binding " << path << "." << p.name);
+    net_bits[p.net] = it->second;
+  }
+  for (size_t n = 0; n < m.nets().size(); ++n) {
+    for (auto& ref : net_bits[n]) {
+      if (ref.index < 0 && !ref.is_const) {
+        ref = BitRef{static_cast<int>(bits_.size()), false, false};
+        bits_.push_back(0);
+      }
+    }
+  }
+
+  auto resolve = [&](const Instance& inst, const PortSpec& p)
+      -> std::vector<BitRef> {
+    std::vector<BitRef> refs(p.width, BitRef{-1, false});
+    auto it = inst.connections.find(p.name);
+    if (it == inst.connections.end()) return refs;  // open/default zero
+    const PortConn& c = it->second;
+    switch (c.kind) {
+      case PortConn::Kind::kOpen:
+        return refs;
+      case PortConn::Kind::kConst:
+        for (int b = 0; b < p.width; ++b) {
+          refs[b] = BitRef{-1, ((c.const_value >> b) & 1) != 0, true};
+        }
+        return refs;
+      case PortConn::Kind::kNet: {
+        const auto& bits = net_bits[c.net];
+        if (c.replicate) {
+          BRIDGE_CHECK(c.lo >= 0 && c.lo < static_cast<int>(bits.size()),
+                       "replicated bit out of range");
+          for (int b = 0; b < p.width; ++b) refs[b] = bits[c.lo];
+          return refs;
+        }
+        BRIDGE_CHECK(c.lo >= 0 &&
+                         c.lo + p.width <= static_cast<int>(bits.size()),
+                     "slice out of range on " << path << "/" << inst.name
+                                              << "." << p.name);
+        for (int b = 0; b < p.width; ++b) refs[b] = bits[c.lo + b];
+        return refs;
+      }
+    }
+    return refs;
+  };
+
+  for (const Instance& inst : m.instances()) {
+    const auto ports = Module::instance_ports(inst);
+    if (inst.ref == RefKind::kModule) {
+      std::map<std::string, std::vector<BitRef>> child_map;
+      for (const PortSpec& p : ports) {
+        child_map[p.name] = resolve(inst, p);
+      }
+      flatten(*inst.module, path + "/" + inst.name, child_map);
+      continue;
+    }
+    Leaf leaf;
+    leaf.spec = inst.spec;
+    leaf.path = path + "/" + inst.name;
+    leaf.sequential = genus::kind_is_sequential(inst.spec.kind);
+    if (leaf.sequential) leaf.state = init_state(inst.spec);
+    for (const PortSpec& p : ports) {
+      if (p.role == genus::PortRole::kClock && p.dir == PortDir::kIn) {
+        continue;  // single implicit clock domain
+      }
+      if (p.dir == PortDir::kIn) {
+        leaf.in_bits[p.name] = resolve(inst, p);
+      } else {
+        leaf.out_bits[p.name] = resolve(inst, p);
+      }
+    }
+    leaves_.push_back(std::move(leaf));
+  }
+}
+
+void Simulator::schedule() {
+  // Units: one per (combinational leaf, output port).
+  std::vector<std::pair<int, std::string>> units;
+  std::vector<int> driver(bits_.size(), -1);  // driving unit per bit
+  for (size_t li = 0; li < leaves_.size(); ++li) {
+    if (leaves_[li].sequential) {
+      seq_leaves_.push_back(static_cast<int>(li));
+      continue;
+    }
+    for (const auto& [port, refs] : leaves_[li].out_bits) {
+      const int u = static_cast<int>(units.size());
+      units.emplace_back(static_cast<int>(li), port);
+      for (const BitRef& r : refs) {
+        if (r.index >= 0) driver[r.index] = u;
+      }
+    }
+  }
+  // Dependency edges per unit, honoring structural false paths.
+  std::vector<std::vector<int>> succs(units.size());
+  std::vector<int> indegree(units.size(), 0);
+  for (size_t u = 0; u < units.size(); ++u) {
+    const Leaf& leaf = leaves_[units[u].first];
+    std::vector<int> preds;
+    for (const auto& [in_port, refs] : leaf.in_bits) {
+      if (!genus::output_depends_on(leaf.spec, units[u].second, in_port)) {
+        continue;
+      }
+      for (const BitRef& r : refs) {
+        if (r.index >= 0 && driver[r.index] >= 0 &&
+            driver[r.index] != static_cast<int>(u)) {
+          preds.push_back(driver[r.index]);
+        }
+      }
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    for (int p : preds) {
+      succs[p].push_back(static_cast<int>(u));
+      ++indegree[u];
+    }
+  }
+  // Kahn topological order.
+  std::vector<int> ready;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (indegree[u] == 0) ready.push_back(static_cast<int>(u));
+  }
+  size_t emitted = 0;
+  while (!ready.empty()) {
+    int u = ready.back();
+    ready.pop_back();
+    comb_order_.push_back(units[u]);
+    ++emitted;
+    for (int s : succs[u]) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (emitted != units.size()) {
+    throw Error("combinational cycle detected in netlist");
+  }
+}
+
+void Simulator::set_input(const std::string& port, const BitVec& value) {
+  auto it = top_ports_.find(port);
+  BRIDGE_CHECK(it != top_ports_.end(), "no top port '" << port << "'");
+  BRIDGE_CHECK(top_port_is_input_.at(port), "'" << port << "' is an output");
+  BRIDGE_CHECK(value.width() == top_port_width_.at(port),
+               "width mismatch on input '" << port << "'");
+  for (int b = 0; b < value.width(); ++b) {
+    bits_[it->second[b].index] = value.bit(b) ? 1 : 0;
+  }
+}
+
+PortValues Simulator::gather(const Leaf& leaf) const {
+  PortValues values;
+  for (const auto& [port, refs] : leaf.in_bits) {
+    BitVec v(static_cast<int>(refs.size()));
+    for (size_t b = 0; b < refs.size(); ++b) {
+      bool bit = refs[b].index >= 0 ? bits_[refs[b].index] != 0
+                                    : refs[b].const_value;
+      v.set_bit(static_cast<int>(b), bit);
+    }
+    values[port] = v;
+  }
+  return values;
+}
+
+void Simulator::scatter(const Leaf& leaf, const PortValues& outputs) {
+  for (const auto& [port, refs] : leaf.out_bits) {
+    auto it = outputs.find(port);
+    BRIDGE_CHECK(it != outputs.end(),
+                 "semantics produced no value for " << leaf.path << "."
+                                                    << port);
+    for (size_t b = 0; b < refs.size(); ++b) {
+      if (refs[b].index >= 0) {
+        bits_[refs[b].index] = it->second.bit(static_cast<int>(b)) ? 1 : 0;
+      }
+    }
+  }
+}
+
+void Simulator::scatter_port(const Leaf& leaf, const std::string& port,
+                             const PortValues& outputs) {
+  auto rit = leaf.out_bits.find(port);
+  BRIDGE_CHECK(rit != leaf.out_bits.end(), "no out bits for " << port);
+  auto it = outputs.find(port);
+  BRIDGE_CHECK(it != outputs.end(), "semantics produced no value for "
+                                        << leaf.path << "." << port);
+  const auto& refs = rit->second;
+  for (size_t b = 0; b < refs.size(); ++b) {
+    if (refs[b].index >= 0) {
+      bits_[refs[b].index] = it->second.bit(static_cast<int>(b)) ? 1 : 0;
+    }
+  }
+}
+
+void Simulator::eval() {
+  // Sequential outputs first (they are stable within the cycle)...
+  for (int li : seq_leaves_) {
+    Leaf& leaf = leaves_[li];
+    scatter(leaf, seq_outputs(leaf.spec, leaf.state, gather(leaf)));
+  }
+  // ...then combinational logic in topological (leaf, port) order.
+  for (const auto& [li, port] : comb_order_) {
+    Leaf& leaf = leaves_[li];
+    scatter_port(leaf, port, eval_combinational(leaf.spec, gather(leaf)));
+  }
+  // Address-dependent sequential reads (register files, memories) may
+  // depend on combinational outputs; refresh them and re-propagate once.
+  bool any_addressed = false;
+  for (int li : seq_leaves_) {
+    const auto& k = leaves_[li].spec.kind;
+    if (k == genus::Kind::kRegisterFile || k == genus::Kind::kMemory ||
+        k == genus::Kind::kStack || k == genus::Kind::kFifo) {
+      any_addressed = true;
+      break;
+    }
+  }
+  if (any_addressed) {
+    for (int li : seq_leaves_) {
+      Leaf& leaf = leaves_[li];
+      scatter(leaf, seq_outputs(leaf.spec, leaf.state, gather(leaf)));
+    }
+    for (const auto& [li, port] : comb_order_) {
+      Leaf& leaf = leaves_[li];
+      scatter_port(leaf, port, eval_combinational(leaf.spec, gather(leaf)));
+    }
+  }
+}
+
+void Simulator::step() {
+  eval();
+  // Capture inputs first so all leaves update from the same pre-edge view.
+  std::vector<PortValues> captured(seq_leaves_.size());
+  for (size_t i = 0; i < seq_leaves_.size(); ++i) {
+    captured[i] = gather(leaves_[seq_leaves_[i]]);
+  }
+  for (size_t i = 0; i < seq_leaves_.size(); ++i) {
+    Leaf& leaf = leaves_[seq_leaves_[i]];
+    seq_step(leaf.spec, leaf.state, captured[i]);
+  }
+  eval();
+}
+
+BitVec Simulator::get(const std::string& port) const {
+  auto it = top_ports_.find(port);
+  BRIDGE_CHECK(it != top_ports_.end(), "no top port '" << port << "'");
+  BitVec v(top_port_width_.at(port));
+  for (size_t b = 0; b < it->second.size(); ++b) {
+    v.set_bit(static_cast<int>(b), bits_[it->second[b].index] != 0);
+  }
+  return v;
+}
+
+PortValues eval_module(const Module& top, const PortValues& inputs) {
+  Simulator sim(top);
+  for (const auto& [name, value] : inputs) {
+    sim.set_input(name, value);
+  }
+  sim.eval();
+  PortValues out;
+  for (const auto& p : top.module_ports()) {
+    if (p.dir == PortDir::kOut) out[p.name] = sim.get(p.name);
+  }
+  return out;
+}
+
+}  // namespace bridge::sim

@@ -1,0 +1,83 @@
+// Hierarchical netlist simulation.
+//
+// The Simulator flattens a hierarchical netlist (e.g. a DTAS alternative
+// implementation) to leaf instances over a global bit store, computes a
+// topological evaluation order for the combinational logic, and simulates
+// cycle by cycle. Sequential leaves (flip-flops, registers, counters) hold
+// SeqState and update on step().
+//
+// This is the workhorse of the equivalence test suite: for every mapped
+// netlist, Simulator(mapped) must agree with eval_combinational /
+// seq_outputs of the generic component across random stimulus.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "netlist/netlist.h"
+#include "sim/semantics.h"
+
+namespace bridge::sim {
+
+class Simulator {
+ public:
+  /// Flatten `top` and build the evaluation schedule. Throws Error on
+  /// combinational cycles or malformed connectivity.
+  explicit Simulator(const netlist::Module& top);
+
+  /// Set a top-level input port value (width must match).
+  void set_input(const std::string& port, const BitVec& value);
+
+  /// Propagate combinational logic from current inputs and state.
+  void eval();
+
+  /// One rising clock edge: capture next state from current values, update
+  /// every sequential leaf simultaneously, then re-propagate.
+  void step();
+
+  /// Read a top-level output (or input) port after eval().
+  BitVec get(const std::string& port) const;
+
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+
+ private:
+  struct BitRef {
+    int index = -1;           // global bit index; -1 means unassigned/const
+    bool const_value = false;
+    bool is_const = false;    // true: a tie-off, must never be reallocated
+  };
+  /// A flattened leaf instance: spec plus per-port bit bindings.
+  struct Leaf {
+    genus::ComponentSpec spec;
+    std::string path;
+    bool sequential = false;
+    SeqState state;
+    std::map<std::string, std::vector<BitRef>> in_bits;
+    std::map<std::string, std::vector<BitRef>> out_bits;
+  };
+
+  void flatten(const netlist::Module& m, const std::string& path,
+               const std::map<std::string, std::vector<BitRef>>& port_map);
+  void schedule();
+  PortValues gather(const Leaf& leaf) const;
+  void scatter(const Leaf& leaf, const PortValues& outputs);
+  void scatter_port(const Leaf& leaf, const std::string& port,
+                    const PortValues& outputs);
+
+  std::vector<char> bits_;   // global bit store (char: vector<bool> is slow)
+  std::vector<Leaf> leaves_;
+  /// Topological schedule: (leaf index, output port). Per-output-port
+  /// scheduling keeps false paths (e.g. look-ahead GP/GG vs CI) acyclic.
+  std::vector<std::pair<int, std::string>> comb_order_;
+  std::vector<int> seq_leaves_;
+  std::map<std::string, std::vector<BitRef>> top_ports_;
+  std::map<std::string, int> top_port_width_;
+  std::map<std::string, bool> top_port_is_input_;
+};
+
+/// Convenience: simulate a purely combinational module once.
+PortValues eval_module(const netlist::Module& top, const PortValues& inputs);
+
+}  // namespace bridge::sim

@@ -1,0 +1,34 @@
+// VHDL back end.
+//
+// Figure 1: high-level synthesis emits "a netlist of GENUS components
+// described using structural VHDL", and DTAS's hierarchical netlists "can
+// be output in structural VHDL and passed to other tools for analysis,
+// optimization, and layout". GENUS generators additionally "produce
+// simulatable VHDL behavioral models for the generated components".
+#pragma once
+
+#include <string>
+
+#include "genus/component.h"
+#include "netlist/netlist.h"
+
+namespace bridge::vhdl {
+
+/// Emit a hierarchical design as structural VHDL: one entity/architecture
+/// pair per module (leaves referenced through component declarations),
+/// with bit-slice, constant, and replication bindings lowered to
+/// intermediate signals where VHDL requires it.
+std::string emit_structural(const netlist::Design& design);
+
+/// Emit one module (plus component declarations) as structural VHDL.
+std::string emit_structural(const netlist::Module& module);
+
+/// Emit a simulatable behavioral model of a generated GENUS component:
+/// entity from the component's ports, architecture from its operations'
+/// register-transfer semantics.
+std::string emit_behavioral(const genus::Component& component);
+
+/// VHDL-legal identifier derived from an arbitrary name.
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace bridge::vhdl

@@ -1,0 +1,201 @@
+// Unit tests for src/base: bit vectors, width expressions, string helpers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/bitvec.h"
+#include "base/diag.h"
+#include "base/strutil.h"
+#include "base/widthexpr.h"
+
+namespace bridge {
+namespace {
+
+TEST(BitVec, ConstructionAndAccess) {
+  BitVec v(8, 0xA5);
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_EQ(v.to_uint64(), 0xA5u);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  v.set_bit(1, true);
+  EXPECT_EQ(v.to_uint64(), 0xA7u);
+}
+
+TEST(BitVec, ValueIsMaskedToWidth) {
+  BitVec v(4, 0xFF);
+  EXPECT_EQ(v.to_uint64(), 0xFu);
+}
+
+TEST(BitVec, FromBinaryRoundTrip) {
+  BitVec v = BitVec::from_binary("10110");
+  EXPECT_EQ(v.width(), 5);
+  EXPECT_EQ(v.to_uint64(), 0b10110u);
+  EXPECT_EQ(v.to_binary(), "10110");
+}
+
+TEST(BitVec, HexFormatting) {
+  EXPECT_EQ(BitVec(12, 0xABC).to_hex(), "abc");
+  EXPECT_EQ(BitVec(9, 0x1FF).to_hex(), "1ff");
+}
+
+TEST(BitVec, OnesAndZero) {
+  EXPECT_TRUE(BitVec(17).is_zero());
+  BitVec ones = BitVec::ones(17);
+  EXPECT_FALSE(ones.is_zero());
+  for (int i = 0; i < 17; ++i) EXPECT_TRUE(ones.bit(i));
+}
+
+TEST(BitVec, WideArithmeticMatchesUint64OnLowBits) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t a = rng();
+    std::uint64_t b = rng();
+    BitVec va(64, a);
+    BitVec vb(64, b);
+    EXPECT_EQ((va + vb).to_uint64(), a + b);
+    EXPECT_EQ((va - vb).to_uint64(), a - b);
+    EXPECT_EQ((va & vb).to_uint64(), a & b);
+    EXPECT_EQ((va | vb).to_uint64(), a | b);
+    EXPECT_EQ((va ^ vb).to_uint64(), a ^ b);
+    EXPECT_EQ((~va).to_uint64(), ~a);
+    EXPECT_EQ(va.ult(vb), a < b);
+  }
+}
+
+TEST(BitVec, AddWithCarryReportsOverflow) {
+  bool carry = false;
+  BitVec a(4, 0xF);
+  BitVec b(4, 0x1);
+  BitVec s = a.add_with_carry(b, false, &carry);
+  EXPECT_EQ(s.to_uint64(), 0u);
+  EXPECT_TRUE(carry);
+  s = BitVec(4, 3).add_with_carry(BitVec(4, 4), true, &carry);
+  EXPECT_EQ(s.to_uint64(), 8u);
+  EXPECT_FALSE(carry);
+}
+
+TEST(BitVec, ArithmeticCrossesWordBoundary) {
+  BitVec a(100);
+  a.set_bit(63, true);
+  BitVec one(100, 1);
+  BitVec b = a + a;  // 2^64
+  EXPECT_TRUE(b.bit(64));
+  EXPECT_FALSE(b.bit(63));
+  BitVec c = b - one;
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(c.bit(i));
+  EXPECT_FALSE(c.bit(64));
+}
+
+TEST(BitVec, MulDivRem) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::uint64_t a = rng() & 0xFFFFFFFF;
+    std::uint64_t b = (rng() & 0xFFFF) | 1;
+    BitVec va(32, a);
+    BitVec vb(32, b);
+    EXPECT_EQ(va.mul(vb, 64).to_uint64(), a * b);
+    EXPECT_EQ(va.udiv(vb).to_uint64(), a / b);
+    EXPECT_EQ(va.urem(vb).to_uint64(), a % b);
+  }
+}
+
+TEST(BitVec, Shifts) {
+  BitVec v(8, 0b10010110);
+  EXPECT_EQ(v.shl(2).to_uint64(), 0b01011000u);
+  EXPECT_EQ(v.lshr(3).to_uint64(), 0b00010010u);
+  EXPECT_EQ(v.ashr(3).to_uint64(), 0b11110010u);
+  EXPECT_EQ(v.rotl(3).to_uint64(), 0b10110100u);
+  EXPECT_EQ(v.rotr(3).to_uint64(), 0b11010010u);
+}
+
+TEST(BitVec, SliceAndConcat) {
+  BitVec v(12, 0xABC);
+  EXPECT_EQ(v.slice(4, 4).to_uint64(), 0xBu);
+  BitVec joined = BitVec::concat(BitVec(4, 0xA), BitVec(8, 0xBC));
+  EXPECT_EQ(joined.width(), 12);
+  EXPECT_EQ(joined.to_uint64(), 0xABCu);
+}
+
+TEST(BitVec, SignedConversion) {
+  EXPECT_EQ(BitVec(4, 0xF).to_int64(), -1);
+  EXPECT_EQ(BitVec(4, 0x7).to_int64(), 7);
+  EXPECT_EQ(BitVec(8, 0x80).to_int64(), -128);
+}
+
+TEST(BitVec, ExtendTruncate) {
+  BitVec v(4, 0b1010);
+  EXPECT_EQ(v.zext(8).to_uint64(), 0b1010u);
+  EXPECT_EQ(v.sext(8).to_uint64(), 0b11111010u);
+  EXPECT_EQ(v.zext(2).to_uint64(), 0b10u);
+}
+
+TEST(BitVec, DivisionByZeroThrows) {
+  EXPECT_THROW(BitVec(4, 5).udiv(BitVec(4, 0)), Error);
+}
+
+TEST(BitVec, WidthMismatchThrows) {
+  EXPECT_THROW(BitVec(4, 1) + BitVec(5, 1), Error);
+}
+
+TEST(WidthExpr, Constants) {
+  EXPECT_EQ(WidthExpr::parse("8").eval({}), 8);
+  EXPECT_TRUE(WidthExpr::parse("8").is_constant());
+}
+
+TEST(WidthExpr, Parameters) {
+  WidthExpr e = WidthExpr::parse("w");
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_EQ(e.eval({{"w", 16}}), 16);
+}
+
+TEST(WidthExpr, ImplicitMultiply) {
+  // LEGEND allows "2w" to mean 2 * w (Figure 2 uses widths like this).
+  EXPECT_EQ(WidthExpr::parse("2w").eval({{"w", 8}}), 16);
+  EXPECT_EQ(WidthExpr::parse("3 * w + 1").eval({{"w", 4}}), 13);
+}
+
+TEST(WidthExpr, Log2IsCeil) {
+  EXPECT_EQ(WidthExpr::parse("log2(n)").eval({{"n", 8}}), 3);
+  EXPECT_EQ(WidthExpr::parse("log2(n)").eval({{"n", 9}}), 4);
+  EXPECT_EQ(WidthExpr::parse("log2(n)").eval({{"n", 1}}), 1);
+}
+
+TEST(WidthExpr, UnboundParameterThrows) {
+  EXPECT_THROW(WidthExpr::parse("w").eval({}), Error);
+}
+
+TEST(WidthExpr, NonPositiveResultThrows) {
+  EXPECT_THROW(WidthExpr::parse("w - 8").eval({{"w", 8}}), Error);
+}
+
+TEST(WidthExpr, MalformedThrows) {
+  EXPECT_THROW(WidthExpr::parse("w +"), ParseError);
+  EXPECT_THROW(WidthExpr::parse("(w"), ParseError);
+  EXPECT_THROW(WidthExpr::parse("w w"), ParseError);
+}
+
+TEST(StrUtil, TrimSplitJoin) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(split_ws("  a \t b  c ").size(), 3u);
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtil, CaseAndAffixes) {
+  EXPECT_EQ(to_upper("aBc"), "ABC");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("counter", "count"));
+  EXPECT_TRUE(ends_with("counter", "ter"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+}
+
+TEST(StrUtil, FormatDouble) {
+  EXPECT_EQ(format_double(12.5), "12.5");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(0.25), "0.25");
+  EXPECT_EQ(format_double(134.3, 1), "134.3");
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,123 @@
+// Cell library tests: the LSI-30 and TTL books, functional matching, and
+// the data-book text round trip.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "cells/cell.h"
+#include "cells/databook.h"
+
+namespace bridge::cells {
+namespace {
+
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+
+TEST(LsiLibrary, HasExactlyThePaperThirtyCells) {
+  const auto& lib = lsi_library();
+  EXPECT_EQ(lib.size(), 30);
+  // The cells the paper enumerates for the Figure 3 study (§6).
+  for (const char* name :
+       {"MUX21", "MUX41", "MUX81", "ADD1", "ADD2", "ADD4", "CLA4", "ADSU2",
+        "DFF", "REG4", "REG8"}) {
+    EXPECT_NE(lib.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(lib.find("NOPE"), nullptr);
+}
+
+TEST(LsiLibrary, FunctionalMatchingFindsTheAdderCells) {
+  // The paper's example: "after DTAS decomposes a 16-bit adder into four
+  // 4-bit adders, it examines the cell library for a cell of type ADD with
+  // two 4-bit inputs plus carry-in and a 4-bit output plus carry-out."
+  auto matches = lsi_library().matches(genus::make_adder_spec(4));
+  ASSERT_EQ(matches.size(), 2u);  // ADD4 and ADD4F
+  EXPECT_EQ(matches[0]->name, "ADD4");
+  EXPECT_EQ(matches[1]->name, "ADD4F");
+  // No 16-bit adder cell exists: functional match returns nothing.
+  EXPECT_TRUE(lsi_library().matches(genus::make_adder_spec(16)).empty());
+}
+
+TEST(LsiLibrary, PromotionsMatchThroughTieOffs) {
+  // ADSU2 implements a plain 2-bit adder (MODE tied to 0).
+  auto matches = lsi_library().matches(genus::make_adder_spec(2));
+  ASSERT_FALSE(matches.empty());
+  bool found_adsu = false;
+  for (const auto* c : matches) {
+    if (c->name == "ADSU2") found_adsu = true;
+  }
+  EXPECT_TRUE(found_adsu);
+  // DFF cells implement 1-bit registers.
+  auto reg1 = lsi_library().matches(
+      genus::make_register_spec(1, /*enable=*/false, /*async_reset=*/true));
+  ASSERT_FALSE(reg1.empty());
+  EXPECT_EQ(reg1[0]->spec.kind, Kind::kFlipFlop);
+}
+
+TEST(TtlLibrary, HasAluSlice) {
+  const auto* t181 = ttl_library().find("T181");
+  ASSERT_NE(t181, nullptr);
+  EXPECT_EQ(t181->spec.kind, Kind::kAlu);
+  EXPECT_EQ(t181->spec.width, 4);
+  EXPECT_EQ(t181->spec.ops.size(), 10);
+}
+
+TEST(Databook, RoundTripsBothLibraries) {
+  for (const CellLibrary* lib : {&lsi_library(), &ttl_library()}) {
+    CellLibrary reparsed = parse_databook(emit_databook(*lib));
+    EXPECT_EQ(reparsed.name(), lib->name());
+    ASSERT_EQ(reparsed.size(), lib->size());
+    for (const Cell& c : lib->all()) {
+      const Cell* r = reparsed.find(c.name);
+      ASSERT_NE(r, nullptr) << c.name;
+      EXPECT_EQ(r->spec, c.spec) << c.name;
+      EXPECT_DOUBLE_EQ(r->area, c.area) << c.name;
+      EXPECT_DOUBLE_EQ(r->delay_ns, c.delay_ns) << c.name;
+      EXPECT_EQ(r->description, c.description) << c.name;
+    }
+  }
+}
+
+TEST(Databook, ParseErrorsCarryLineNumbers) {
+  EXPECT_THROW(parse_databook("CELL X KIND GATE AREA 1 DELAY 1\n"),
+               ParseError);  // missing LIBRARY line
+  try {
+    parse_databook("LIBRARY L \"x\"\nCELL A KIND GATE AREA 1 DELAY 1\n"
+                   "CELL B KIND NOPE AREA 1 DELAY 1\n");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+  EXPECT_THROW(parse_databook("LIBRARY L\nCELL A KIND GATE AREA 1\n"),
+               ParseError);  // missing DELAY
+  EXPECT_THROW(parse_databook("LIBRARY L\nCELL A KIND GATE OPS ( ADD AREA 1 "
+                              "DELAY 1\n"),
+               ParseError);  // unterminated ops list
+  EXPECT_THROW(
+      parse_databook("LIBRARY L\nCELL A KIND GATE AREA x DELAY 1\n"),
+      ParseError);  // bad number
+}
+
+TEST(Databook, DuplicateCellNamesRejected) {
+  EXPECT_THROW(parse_databook("LIBRARY L \"x\"\n"
+                              "CELL A KIND GATE AREA 1 DELAY 1\n"
+                              "CELL A KIND GATE AREA 2 DELAY 2\n"),
+               Error);
+}
+
+TEST(Databook, CommentsAndFlagsParse) {
+  auto lib = parse_databook(
+      "# a comment line\n"
+      "LIBRARY T \"test\"\n"
+      "CELL R KIND REGISTER WIDTH 4 OPS ( LOAD ) EN ASET ARST TS "
+      "AREA 10 DELAY 2 DESC \"weird register\"  # trailing comment\n");
+  const Cell* r = lib.find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->spec.enable);
+  EXPECT_TRUE(r->spec.async_set);
+  EXPECT_TRUE(r->spec.async_reset);
+  EXPECT_TRUE(r->spec.tristate);
+  EXPECT_EQ(r->description, "weird register");
+}
+
+}  // namespace
+}  // namespace bridge::cells

@@ -1,0 +1,131 @@
+// DTAS end-to-end tests on adders: expansion, filtering, extraction,
+// structural DRC, and bit-true equivalence of every mapped alternative.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cells/cell.h"
+#include "dtas/synthesizer.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+
+namespace bridge {
+namespace {
+
+using dtas::AlternativeDesign;
+using dtas::Synthesizer;
+using genus::ComponentSpec;
+
+std::vector<AlternativeDesign> synth_adder(int width) {
+  Synthesizer synth(cells::lsi_library());
+  return synth.synthesize(genus::make_adder_spec(width));
+}
+
+TEST(DtasAdder, Adder4HasDirectCellAndDecompositions) {
+  auto alts = synth_adder(4);
+  ASSERT_FALSE(alts.empty());
+  // Smallest alternative should be at most the ADD4 cell's area.
+  EXPECT_LE(alts.front().metric.area, 19.0 + 1e-9);
+  // Alternatives are sorted by area and form a Pareto frontier.
+  for (size_t i = 1; i < alts.size(); ++i) {
+    EXPECT_GT(alts[i].metric.area, alts[i - 1].metric.area);
+    EXPECT_LT(alts[i].metric.delay, alts[i - 1].metric.delay);
+  }
+}
+
+TEST(DtasAdder, Adder16YieldsASmallParetoSet) {
+  auto alts = synth_adder(16);
+  ASSERT_GE(alts.size(), 3u);
+  EXPECT_LE(alts.size(), 16u);
+}
+
+TEST(DtasAdder, MappedNetlistsPassDrc) {
+  for (int width : {1, 2, 4, 8, 16}) {
+    auto alts = synth_adder(width);
+    ASSERT_FALSE(alts.empty()) << "width " << width;
+    for (const auto& alt : alts) {
+      for (const auto& mod : alt.design->modules()) {
+        auto issues = netlist::check_module(mod);
+        EXPECT_TRUE(issues.empty())
+            << "width " << width << " design " << alt.description
+            << " module " << mod.name() << ": " << issues.front();
+      }
+    }
+  }
+}
+
+TEST(DtasAdder, EveryAlternativeIsBitTrueEquivalent) {
+  std::mt19937_64 rng(42);
+  for (int width : {1, 2, 4, 8, 16}) {
+    auto alts = synth_adder(width);
+    ASSERT_FALSE(alts.empty());
+    for (const auto& alt : alts) {
+      sim::Simulator s(*alt.design->top());
+      for (int trial = 0; trial < 30; ++trial) {
+        BitVec a(width, rng());
+        BitVec b(width, rng());
+        bool ci = (rng() & 1) != 0;
+        s.set_input("A", a);
+        s.set_input("B", b);
+        s.set_input("CI", BitVec(1, ci));
+        s.eval();
+        bool expect_co = false;
+        BitVec expect_s = a.add_with_carry(b, ci, &expect_co);
+        EXPECT_EQ(s.get("S"), expect_s)
+            << "width " << width << " alt " << alt.description;
+        EXPECT_EQ(s.get("CO").bit(0), expect_co)
+            << "width " << width << " alt " << alt.description;
+      }
+    }
+  }
+}
+
+TEST(DtasAdder, UnrealizableSpecYieldsNoAlternatives) {
+  // A BCD adder has no cells and no rules in this library.
+  Synthesizer synth(cells::lsi_library());
+  ComponentSpec spec = genus::make_adder_spec(8);
+  spec.rep = genus::Representation::kBcd;
+  EXPECT_TRUE(synth.synthesize(spec).empty());
+}
+
+TEST(DtasAdder, DesignSpaceCountsMatchPaperShape) {
+  // §5: raw spaces explode; the two search-control principles tame them.
+  Synthesizer synth(cells::lsi_library());
+  auto* space = &synth.space();
+  auto* node = space->expand(genus::make_adder_spec(16));
+  space->evaluate(node);
+  double unconstrained = space->count_unconstrained(node);
+  double constrained = space->count_constrained(node);
+  EXPECT_GT(unconstrained, 1e5);  // "several hundred thousand to millions"
+  EXPECT_GT(unconstrained, constrained);
+  EXPECT_LE(static_cast<double>(node->alts.size()), 24.0);
+  EXPECT_GE(node->alts.size(), 3u);
+}
+
+TEST(DtasAdder, AddSubRippleIsEquivalent) {
+  Synthesizer synth(cells::lsi_library());
+  auto alts = synth.synthesize(genus::make_addsub_spec(8));
+  ASSERT_FALSE(alts.empty());
+  std::mt19937_64 rng(3);
+  for (const auto& alt : alts) {
+    sim::Simulator s(*alt.design->top());
+    for (int trial = 0; trial < 40; ++trial) {
+      BitVec a(8, rng());
+      BitVec b(8, rng());
+      bool ci = (rng() & 1) != 0;
+      bool mode = (rng() & 1) != 0;
+      s.set_input("A", a);
+      s.set_input("B", b);
+      s.set_input("CI", BitVec(1, ci));
+      s.set_input("MODE", BitVec(1, mode));
+      s.eval();
+      bool expect_co = false;
+      BitVec expect_s = a.add_with_carry(mode ? ~b : b, ci, &expect_co);
+      EXPECT_EQ(s.get("S"), expect_s) << alt.description;
+      EXPECT_EQ(s.get("CO").bit(0), expect_co) << alt.description;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bridge

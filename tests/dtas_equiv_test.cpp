@@ -1,0 +1,328 @@
+// Property-style equivalence sweep: every combinational component class
+// DTAS claims to synthesize (§7: "bitwise logic gates and multiplexers,
+// binary and BCD decoders and encoders, n-bit adders and comparators,
+// n-bit arithmetic logic units, shifters, n-by-m multipliers") is
+// synthesized against the LSI-style library and every surviving
+// alternative is checked bit-true against the generic semantics.
+#include <gtest/gtest.h>
+
+#include "equiv_util.h"
+
+namespace bridge {
+namespace {
+
+using genus::ComponentSpec;
+using genus::Op;
+using genus::OpSet;
+using testutil::check_combinational_equivalence;
+
+struct SpecCase {
+  std::string label;
+  ComponentSpec spec;
+};
+
+class CombEquiv : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(CombEquiv, MappedAlternativesMatchGenericSemantics) {
+  check_combinational_equivalence(GetParam().spec, cells::lsi_library());
+}
+
+std::vector<SpecCase> gate_cases() {
+  std::vector<SpecCase> cases;
+  for (Op fn : {Op::kAnd, Op::kOr, Op::kNand, Op::kNor, Op::kXor, Op::kXnor,
+                Op::kLimpl}) {
+    for (int width : {1, 8}) {
+      cases.push_back({genus::op_name(fn) + std::to_string(width),
+                       genus::make_gate_spec(fn, width, 2)});
+    }
+  }
+  // Inverters, buffers, and wide fan-in reductions.
+  cases.push_back({"NOT8", genus::make_gate_spec(Op::kLnot, 8)});
+  cases.push_back({"BUF4", genus::make_gate_spec(Op::kBuf, 4)});
+  cases.push_back({"AND_FANIN7", genus::make_gate_spec(Op::kAnd, 1, 7)});
+  cases.push_back({"OR_FANIN16", genus::make_gate_spec(Op::kOr, 1, 16)});
+  cases.push_back({"NAND_FANIN3", genus::make_gate_spec(Op::kNand, 1, 3)});
+  cases.push_back({"NAND_FANIN9", genus::make_gate_spec(Op::kNand, 1, 9)});
+  cases.push_back({"NOR_FANIN12", genus::make_gate_spec(Op::kNor, 1, 12)});
+  cases.push_back({"XOR_FANIN5", genus::make_gate_spec(Op::kXor, 1, 5)});
+  cases.push_back({"XNOR_FANIN6", genus::make_gate_spec(Op::kXnor, 1, 6)});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gates, CombEquiv, ::testing::ValuesIn(gate_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> mux_cases() {
+  std::vector<SpecCase> cases;
+  for (int inputs : {2, 3, 4, 5, 8, 11, 16}) {
+    for (int width : {1, 8}) {
+      cases.push_back(
+          {"Mux" + std::to_string(inputs) + "x" + std::to_string(width),
+           genus::make_mux_spec(width, inputs)});
+    }
+  }
+  ComponentSpec sel;
+  sel.kind = genus::Kind::kSelector;
+  sel.width = 8;
+  sel.size = 4;
+  sel.ops = OpSet{Op::kPass};
+  cases.push_back({"Selector4x8", sel});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Muxes, CombEquiv, ::testing::ValuesIn(mux_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> codec_cases() {
+  std::vector<SpecCase> cases;
+  for (int width : {1, 2, 3, 4, 5, 6}) {
+    cases.push_back({"Decoder" + std::to_string(width),
+                     genus::make_decoder_spec(width)});
+  }
+  ComponentSpec den = genus::make_decoder_spec(4);
+  den.enable = true;
+  cases.push_back({"Decoder4WithEnable", den});
+  cases.push_back({"BcdDecoder",
+                   genus::make_decoder_spec(4, genus::Representation::kBcd)});
+  for (int width : {2, 3, 4}) {
+    cases.push_back({"Encoder" + std::to_string(width),
+                     genus::make_encoder_spec(width)});
+  }
+  cases.push_back({"BcdEncoder",
+                   genus::make_encoder_spec(4, genus::Representation::kBcd)});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, CombEquiv, ::testing::ValuesIn(codec_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> arith_cases() {
+  std::vector<SpecCase> cases;
+  for (int width : {1, 3, 6, 8, 12, 16, 24, 32}) {
+    cases.push_back({"Adder" + std::to_string(width),
+                     genus::make_adder_spec(width)});
+  }
+  cases.push_back({"AdderNoCarries",
+                   genus::make_adder_spec(8, false, false)});
+  cases.push_back({"AdderNoCarryIn", genus::make_adder_spec(8, false, true)});
+  for (int width : {2, 8, 16}) {
+    cases.push_back({"AddSub" + std::to_string(width),
+                     genus::make_addsub_spec(width)});
+  }
+  for (int width : {4, 8, 16}) {
+    cases.push_back({"Subtractor" + std::to_string(width),
+                     genus::make_subtractor_spec(width)});
+  }
+  ComponentSpec sub_b = genus::make_subtractor_spec(8);
+  sub_b.carry_in = true;
+  sub_b.carry_out = true;
+  cases.push_back({"SubtractorWithBorrow", sub_b});
+  for (auto [a, b] : {std::pair{4, 4}, std::pair{8, 4}, std::pair{8, 8},
+                      std::pair{3, 5}, std::pair{6, 1}}) {
+    cases.push_back(
+        {"Mul" + std::to_string(a) + "x" + std::to_string(b),
+         genus::make_multiplier_spec(a, b)});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, CombEquiv, ::testing::ValuesIn(arith_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> comparator_cases() {
+  std::vector<SpecCase> cases;
+  const OpSet full{Op::kEq, Op::kLt, Op::kGt};
+  for (int width : {1, 4, 8, 16}) {
+    cases.push_back({"Cmp" + std::to_string(width),
+                     genus::make_comparator_spec(width, full)});
+  }
+  cases.push_back({"CmpEqOnly8",
+                   genus::make_comparator_spec(8, OpSet{Op::kEq})});
+  cases.push_back(
+      {"CmpSixWay8", genus::make_comparator_spec(
+                         8, OpSet{Op::kEq, Op::kNe, Op::kLt, Op::kGt,
+                                  Op::kLe, Op::kGe})});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparators, CombEquiv, ::testing::ValuesIn(comparator_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> shifter_cases() {
+  std::vector<SpecCase> cases;
+  cases.push_back({"ShlShr8", genus::make_shifter_spec(
+                                  8, OpSet{Op::kShl, Op::kShr})});
+  cases.push_back({"FiveOp8",
+                   genus::make_shifter_spec(
+                       8, OpSet{Op::kShl, Op::kShr, Op::kAshr, Op::kRotl,
+                                Op::kRotr})});
+  cases.push_back({"RotlOnly16", genus::make_shifter_spec(
+                                     16, OpSet{Op::kRotl})});
+  cases.push_back({"BarrelShl8", genus::make_barrel_shifter_spec(
+                                     8, OpSet{Op::kShl})});
+  cases.push_back({"BarrelRot16", genus::make_barrel_shifter_spec(
+                                      16, OpSet{Op::kRotl})});
+  cases.push_back({"BarrelMultiOp8",
+                   genus::make_barrel_shifter_spec(
+                       8, OpSet{Op::kShl, Op::kShr, Op::kAshr, Op::kRotr})});
+  cases.push_back({"BarrelNonPow2w6", genus::make_barrel_shifter_spec(
+                                          6, OpSet{Op::kShr})});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifters, CombEquiv, ::testing::ValuesIn(shifter_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> lu_cases() {
+  std::vector<SpecCase> cases;
+  cases.push_back({"Lu8Full",
+                   genus::make_logic_unit_spec(8, genus::alu16_logic_ops())});
+  cases.push_back({"Lu4Pair", genus::make_logic_unit_spec(
+                                  4, OpSet{Op::kAnd, Op::kXor})});
+  cases.push_back({"Lu1Single", genus::make_logic_unit_spec(
+                                    1, OpSet{Op::kNand})});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LogicUnits, CombEquiv, ::testing::ValuesIn(lu_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> alu_cases() {
+  std::vector<SpecCase> cases;
+  cases.push_back({"Alu8Full16Fn", genus::make_alu_spec(8, genus::alu16_ops())});
+  cases.push_back({"Alu16Full16Fn",
+                   genus::make_alu_spec(16, genus::alu16_ops())});
+  cases.push_back({"Alu8ArithOnly",
+                   genus::make_alu_spec(8, genus::alu16_arith_ops())});
+  cases.push_back({"Alu8LogicOnly",
+                   genus::make_alu_spec(8, genus::alu16_logic_ops())});
+  cases.push_back({"Alu8AddSubOnly",
+                   genus::make_alu_spec(8, OpSet{Op::kAdd, Op::kSub})});
+  ComponentSpec noci = genus::make_alu_spec(8, genus::alu16_ops());
+  noci.carry_in = false;
+  cases.push_back({"Alu8NoCarryIn", noci});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alus, CombEquiv, ::testing::ValuesIn(alu_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+std::vector<SpecCase> interface_cases() {
+  std::vector<SpecCase> cases;
+  ComponentSpec tri;
+  tri.kind = genus::Kind::kTristate;
+  tri.width = 8;
+  tri.ops = OpSet{Op::kPass};
+  tri.tristate = true;
+  cases.push_back({"Tristate8", tri});
+  ComponentSpec wor;
+  wor.kind = genus::Kind::kWiredOr;
+  wor.width = 4;
+  wor.size = 3;
+  wor.ops = OpSet{Op::kPass};
+  cases.push_back({"WiredOr3x4", wor});
+  ComponentSpec buf;
+  buf.kind = genus::Kind::kBuffer;
+  buf.width = 8;
+  buf.ops = OpSet{Op::kPass};
+  cases.push_back({"Buffer8", buf});
+  ComponentSpec cc;
+  cc.kind = genus::Kind::kConcat;
+  cc.width = 4;
+  cc.size = 3;
+  cc.ops = OpSet{Op::kPass};
+  cases.push_back({"Concat4_3", cc});
+  ComponentSpec ex;
+  ex.kind = genus::Kind::kExtract;
+  ex.width = 8;
+  ex.size = 3;
+  ex.ops = OpSet{Op::kPass};
+  cases.push_back({"Extract8to3", ex});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Interface, CombEquiv, ::testing::ValuesIn(interface_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+// The TTL retarget library must also produce equivalent designs,
+// including the 74181-style ALU slice cascade.
+class TtlEquiv : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(TtlEquiv, MappedAlternativesMatchGenericSemantics) {
+  dtas::RuleBase rules;
+  dtas::register_standard_rules(rules);
+  rules.add(dtas::make_ripple_adder_rule(4, true));
+  rules.add(dtas::make_alu_slice_cascade_rule(4, true));
+  rules.add(dtas::make_mux_bitslice_rule(4, true));
+  rules.add(dtas::make_mux_tree_rule(4, true));
+  dtas::Synthesizer synth(std::move(rules), cells::ttl_library());
+  auto alts = synth.synthesize(GetParam().spec);
+  ASSERT_FALSE(alts.empty());
+  std::mt19937_64 rng(99);
+  const auto ports = genus::spec_ports(GetParam().spec);
+  for (const auto& alt : alts) {
+    testutil::expect_clean_drc(alt, GetParam().label);
+    sim::Simulator s(*alt.design->top());
+    for (int trial = 0; trial < 25; ++trial) {
+      sim::PortValues inputs;
+      for (const auto& p : ports) {
+        if (p.dir != genus::PortDir::kIn) continue;
+        inputs[p.name] = testutil::random_vec(rng, p.width);
+        s.set_input(p.name, inputs[p.name]);
+      }
+      s.eval();
+      sim::PortValues expected =
+          sim::eval_combinational(GetParam().spec, inputs);
+      for (const auto& p : ports) {
+        if (p.dir != genus::PortDir::kOut) continue;
+        EXPECT_EQ(s.get(p.name), expected.at(p.name))
+            << GetParam().label << " [" << alt.description << "] " << p.name;
+      }
+    }
+  }
+}
+
+std::vector<SpecCase> ttl_cases() {
+  std::vector<SpecCase> cases;
+  OpSet sliceable = OpSet{Op::kAdd, Op::kSub} | genus::alu16_logic_ops();
+  cases.push_back({"Alu16Sliceable", genus::make_alu_spec(16, sliceable)});
+  cases.push_back({"Adder16", genus::make_adder_spec(16)});
+  cases.push_back({"Mux8x8", genus::make_mux_spec(8, 8)});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Retarget, TtlEquiv, ::testing::ValuesIn(ttl_cases()),
+    [](const ::testing::TestParamInfo<SpecCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,76 @@
+// Shared helpers for DTAS equivalence tests: synthesize a specification,
+// DRC every module of every alternative, and check bit-true equivalence
+// between each mapped netlist and the generic component's behavioral
+// semantics on random stimulus.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cells/cell.h"
+#include "dtas/synthesizer.h"
+#include "netlist/netlist.h"
+#include "sim/semantics.h"
+#include "sim/simulator.h"
+
+namespace bridge::testutil {
+
+inline BitVec random_vec(std::mt19937_64& rng, int width) {
+  BitVec v(width);
+  for (int b = 0; b < width; b += 64) {
+    std::uint64_t word = rng();
+    for (int i = b; i < std::min(width, b + 64); ++i) {
+      v.set_bit(i, (word >> (i - b)) & 1);
+    }
+  }
+  return v;
+}
+
+/// DRC every module of a design; reports the first violation per module.
+inline void expect_clean_drc(const dtas::AlternativeDesign& alt,
+                             const std::string& context) {
+  for (const auto& mod : alt.design->modules()) {
+    auto issues = netlist::check_module(mod);
+    EXPECT_TRUE(issues.empty()) << context << " [" << alt.description
+                                << "] module " << mod.name() << ": "
+                                << (issues.empty() ? "" : issues.front());
+  }
+}
+
+/// Synthesize `spec` against `lib` and check every alternative for DRC
+/// cleanliness and combinational equivalence on `trials` random vectors.
+inline void check_combinational_equivalence(
+    const genus::ComponentSpec& spec, const cells::CellLibrary& lib,
+    int trials = 25, unsigned seed = 1234,
+    bool require_nonempty = true) {
+  dtas::Synthesizer synth(lib);
+  auto alts = synth.synthesize(spec);
+  if (require_nonempty) {
+    ASSERT_FALSE(alts.empty()) << "no implementation for " << spec.key();
+  }
+  std::mt19937_64 rng(seed);
+  const auto ports = genus::spec_ports(spec);
+  for (const auto& alt : alts) {
+    expect_clean_drc(alt, spec.key());
+    sim::Simulator s(*alt.design->top());
+    for (int trial = 0; trial < trials; ++trial) {
+      sim::PortValues inputs;
+      for (const auto& p : ports) {
+        if (p.dir != genus::PortDir::kIn) continue;
+        inputs[p.name] = random_vec(rng, p.width);
+        s.set_input(p.name, inputs[p.name]);
+      }
+      s.eval();
+      sim::PortValues expected = sim::eval_combinational(spec, inputs);
+      for (const auto& p : ports) {
+        if (p.dir != genus::PortDir::kOut) continue;
+        EXPECT_EQ(s.get(p.name), expected.at(p.name))
+            << spec.key() << " [" << alt.description << "] output " << p.name
+            << " trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace bridge::testutil

@@ -1,0 +1,193 @@
+// GENUS unit tests: op sets, kinds, specs/ports, generators, components,
+// instances, library, taxonomy.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "genus/library.h"
+#include "genus/taxonomy.h"
+
+namespace bridge::genus {
+namespace {
+
+TEST(OpSet, BasicSetAlgebra) {
+  OpSet s{Op::kAdd, Op::kSub};
+  EXPECT_TRUE(s.contains(Op::kAdd));
+  EXPECT_FALSE(s.contains(Op::kMul));
+  EXPECT_EQ(s.size(), 2);
+  OpSet t{Op::kAdd};
+  EXPECT_TRUE(s.contains_all(t));
+  EXPECT_FALSE(t.contains_all(s));
+  EXPECT_EQ((s - t).size(), 1);
+  EXPECT_TRUE((s & t).contains(Op::kAdd));
+  EXPECT_TRUE(s.intersects(t));
+}
+
+TEST(OpSet, RoundTripsThroughText) {
+  OpSet s = alu16_ops();
+  EXPECT_EQ(s.size(), 16);
+  OpSet parsed = OpSet::parse(s.to_string());
+  EXPECT_EQ(parsed, s);
+}
+
+TEST(OpSet, Alu16OrderMatchesPaper) {
+  // The F-code assignment depends on this order (ADD=0 ... LIMPL=15).
+  auto v = alu16_ops().to_vector();
+  ASSERT_EQ(v.size(), 16u);
+  EXPECT_EQ(v[0], Op::kAdd);
+  EXPECT_EQ(v[1], Op::kSub);
+  EXPECT_EQ(v[7], Op::kZerop);
+  EXPECT_EQ(v[8], Op::kAnd);
+  EXPECT_EQ(v[15], Op::kLimpl);
+}
+
+TEST(OpNames, ParseIsCaseInsensitiveAndTotal) {
+  EXPECT_EQ(op_from_name("count_up"), Op::kCountUp);
+  EXPECT_EQ(op_from_name("ZEROP"), Op::kZerop);
+  EXPECT_THROW(op_from_name("FROB"), Error);
+  for (int i = 0; i < kNumOps; ++i) {
+    Op op = static_cast<Op>(i);
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+}
+
+TEST(Kinds, TableOneTypeClasses) {
+  EXPECT_EQ(kind_type_class(Kind::kAlu), TypeClass::kCombinational);
+  EXPECT_EQ(kind_type_class(Kind::kCounter), TypeClass::kSequential);
+  EXPECT_EQ(kind_type_class(Kind::kTristate), TypeClass::kInterface);
+  EXPECT_EQ(kind_type_class(Kind::kBus), TypeClass::kMiscellaneous);
+  EXPECT_TRUE(kind_is_sequential(Kind::kRegister));
+  EXPECT_FALSE(kind_is_sequential(Kind::kMux));
+}
+
+TEST(Spec, KeyIsCanonicalAndHashable) {
+  ComponentSpec a = make_adder_spec(16);
+  ComponentSpec b = make_adder_spec(16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(std::hash<ComponentSpec>()(a), std::hash<ComponentSpec>()(b));
+  b.carry_in = false;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Spec, AluPortsIncludeStatusPins) {
+  ComponentSpec alu = make_alu_spec(64, alu16_ops());
+  auto ports = spec_ports(alu);
+  EXPECT_EQ(find_port(ports, "A").width, 64);
+  EXPECT_EQ(find_port(ports, "F").width, 4);  // the paper's "S-4"
+  EXPECT_EQ(find_port(ports, "EQ").width, 1);
+  EXPECT_EQ(find_port(ports, "ZEROP").width, 1);
+  EXPECT_THROW(find_port(ports, "NOPE"), Error);
+}
+
+TEST(Spec, SelectWidths) {
+  EXPECT_EQ(make_alu_spec(8, alu16_ops()).select_width(), 4);
+  EXPECT_EQ(make_mux_spec(8, 8).size, 8);
+  EXPECT_EQ(find_port(spec_ports(make_mux_spec(8, 8)), "SEL").width, 3);
+  EXPECT_EQ(find_port(spec_ports(make_mux_spec(8, 5)), "SEL").width, 3);
+}
+
+TEST(Spec, ImplementsChecksGeometryOpsAndFlags) {
+  ComponentSpec add4 = make_adder_spec(4);
+  EXPECT_TRUE(spec_implements(add4, add4));
+  EXPECT_FALSE(spec_implements(add4, make_adder_spec(8)));
+  // Cell with extra capability implements a need without it...
+  ComponentSpec no_ci = make_adder_spec(4, false, false);
+  EXPECT_TRUE(spec_implements(add4, no_ci));
+  // ...but not the other way around.
+  EXPECT_FALSE(spec_implements(no_ci, add4));
+  // AddSub promotes to Adder; to Subtractor only without borrow pins.
+  ComponentSpec addsub = make_addsub_spec(4);
+  EXPECT_TRUE(spec_implements(addsub, add4));
+  EXPECT_TRUE(spec_implements(addsub, make_subtractor_spec(4)));
+  ComponentSpec sub_borrow = make_subtractor_spec(4);
+  sub_borrow.carry_in = true;
+  EXPECT_FALSE(spec_implements(addsub, sub_borrow));
+}
+
+TEST(Spec, FSelectKindsRequireExactOpsEquality) {
+  ComponentSpec alu16 = make_alu_spec(4, alu16_ops());
+  ComponentSpec alu_sub = make_alu_spec(4, alu16_arith_ops());
+  // Superset ops would scramble the F coding.
+  EXPECT_FALSE(spec_implements(alu16, alu_sub));
+  EXPECT_TRUE(spec_implements(alu16, alu16));
+  // Counters are per-op control lines: superset is fine.
+  ComponentSpec full_ctr = make_counter_spec(
+      4, OpSet{Op::kLoad, Op::kCountUp, Op::kCountDown});
+  ComponentSpec up_ctr = make_counter_spec(4, OpSet{Op::kCountUp});
+  up_ctr.style = Style::kSynchronous;
+  full_ctr.style = Style::kSynchronous;
+  EXPECT_TRUE(spec_implements(full_ctr, up_ctr));
+}
+
+TEST(Spec, ClaFalsePathKnowledge) {
+  ComponentSpec cla;
+  cla.kind = Kind::kCarryLookahead;
+  cla.size = 4;
+  EXPECT_FALSE(output_depends_on(cla, "GP", "CI"));
+  EXPECT_FALSE(output_depends_on(cla, "GG", "CI"));
+  EXPECT_TRUE(output_depends_on(cla, "C", "CI"));
+  EXPECT_TRUE(output_depends_on(cla, "GP", "P"));
+}
+
+TEST(Generator, ObligatoryParametersAndStyles) {
+  GeneratorSpec gen;
+  gen.name = "COUNTER";
+  gen.kind = Kind::kCounter;
+  gen.params.push_back(ParamDecl{"GC_INPUT_WIDTH", true, std::nullopt});
+  gen.styles = {Style::kSynchronous, Style::kRipple};
+  ParamMap empty;
+  EXPECT_THROW(gen.generate(empty), Error);  // missing obligatory parameter
+  ParamMap ok;
+  ok.set("GC_INPUT_WIDTH", 8L);
+  ok.set(kParamStyle, Style::kCarryLookahead);
+  EXPECT_THROW(gen.generate(ok), Error);  // style not offered
+  ParamMap good;
+  good.set("GC_INPUT_WIDTH", 8L);
+  good.set(kParamStyle, Style::kRipple);
+  auto comp = gen.generate(good);
+  EXPECT_EQ(comp->spec().width, 8);
+  EXPECT_EQ(comp->spec().style, Style::kRipple);
+}
+
+TEST(Generator, DefaultOperationsCarryFigure2Semantics) {
+  auto comp = builtin_library().instantiate(Kind::kCounter, ParamMap{});
+  bool found_up = false;
+  for (const auto& op : comp->operations()) {
+    if (op.name == "COUNT_UP") {
+      found_up = true;
+      EXPECT_EQ(op.control, "CUP");
+      EXPECT_EQ(op.semantics, "O0 = O0 + 1");
+    }
+  }
+  EXPECT_TRUE(found_up);
+}
+
+TEST(Library, CachesComponentsAndNamesInstances) {
+  const auto& lib = builtin_library();
+  ParamMap p;
+  p.set(kParamInputWidth, 12L);
+  auto c1 = lib.instantiate(Kind::kAdder, p);
+  auto c2 = lib.instantiate(Kind::kAdder, p);
+  EXPECT_EQ(c1.get(), c2.get());  // carbon copies share the component
+  auto inst = GenusLibrary::make_instance("u0", c1);
+  inst.connect("A", "net_a");
+  EXPECT_EQ(inst.connections.at("A"), "net_a");
+  EXPECT_THROW(inst.connect("NOPE", "x"), Error);
+  EXPECT_THROW(lib.find("NOT_A_GENERATOR"), Error);
+}
+
+TEST(Taxonomy, CoversAllFourClassesAndInstantiates) {
+  int classes_seen[4] = {0, 0, 0, 0};
+  for (const auto& entry : table1_taxonomy()) {
+    ++classes_seen[static_cast<int>(entry.type_class)];
+    for (Kind kind : entry.kinds) {
+      auto comp = builtin_library().instantiate(kind, ParamMap{});
+      EXPECT_GE(comp->ports().size(), 1u) << kind_name(kind);
+    }
+  }
+  for (int c : classes_seen) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace bridge::genus

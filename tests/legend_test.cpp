@@ -1,0 +1,123 @@
+// LEGEND tests: the Figure 2 counter description, round trips, semantic
+// validation, and multi-generator libraries.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "legend/legend.h"
+
+namespace bridge::legend {
+namespace {
+
+using genus::Kind;
+using genus::ParamMap;
+
+TEST(Legend, ParsesFigure2Counter) {
+  auto asts = parse_legend(figure2_counter_text());
+  ASSERT_EQ(asts.size(), 1u);
+  const auto& ast = asts[0];
+  EXPECT_EQ(ast.name, "COUNTER");
+  EXPECT_EQ(ast.klass, "Clocked");
+  EXPECT_EQ(ast.max_params, 7);
+  EXPECT_EQ(ast.parameters.size(), 7u);
+  EXPECT_EQ(ast.parameters[1].name, "GC_INPUT_WIDTH");
+  EXPECT_EQ(ast.parameters[1].annotation, "w");
+  ASSERT_EQ(ast.styles.size(), 2u);
+  EXPECT_EQ(ast.styles[0], "SYNCHRONOUS");
+  ASSERT_EQ(ast.inputs.size(), 1u);
+  EXPECT_EQ(ast.inputs[0].name, "I0");
+  EXPECT_EQ(ast.inputs[0].width_text, "w");
+  ASSERT_EQ(ast.controls.size(), 3u);
+  EXPECT_EQ(ast.controls[1], "CUP");
+  ASSERT_EQ(ast.operations.size(), 3u);
+  EXPECT_EQ(ast.operations[0].name, "LOAD");
+  EXPECT_EQ(ast.operations[0].control, "CLOAD");
+  EXPECT_EQ(ast.operations[0].semantics, "O0 = I0");
+  EXPECT_EQ(ast.operations[1].semantics, "O0 = O0 + 1");
+  EXPECT_EQ(ast.vhdl_model, "counter_vhdl.c");
+}
+
+TEST(Legend, Figure2GeneratesWorkingCounter) {
+  auto gen = to_generator(parse_legend(figure2_counter_text())[0]);
+  EXPECT_EQ(gen.kind, Kind::kCounter);
+  ParamMap p;
+  p.set(genus::kParamInputWidth, 16L);
+  auto comp = gen.generate(p);
+  EXPECT_EQ(comp->port("I0").width, 16);  // symbolic width "w" resolved
+  EXPECT_EQ(comp->port("O0").width, 16);
+  EXPECT_EQ(comp->port("CLK").width, 1);
+  EXPECT_EQ(comp->operations().size(), 3u);
+}
+
+TEST(Legend, RoundTripPreservesStructure) {
+  auto gen = to_generator(parse_legend(figure2_counter_text())[0]);
+  const std::string emitted = emit_legend(gen);
+  auto gen2 = to_generator(parse_legend(emitted)[0]);
+  EXPECT_EQ(gen2.name, gen.name);
+  EXPECT_EQ(gen2.kind, gen.kind);
+  EXPECT_EQ(gen2.styles, gen.styles);
+  ASSERT_EQ(gen2.ports.size(), gen.ports.size());
+  for (size_t i = 0; i < gen.ports.size(); ++i) {
+    EXPECT_EQ(gen2.ports[i].name, gen.ports[i].name);
+    EXPECT_EQ(gen2.ports[i].role, gen.ports[i].role);
+  }
+  ASSERT_EQ(gen2.operations.size(), gen.operations.size());
+  for (size_t i = 0; i < gen.operations.size(); ++i) {
+    EXPECT_EQ(gen2.operations[i].name, gen.operations[i].name);
+    EXPECT_EQ(gen2.operations[i].control, gen.operations[i].control);
+    EXPECT_EQ(gen2.operations[i].semantics, gen.operations[i].semantics);
+  }
+}
+
+TEST(Legend, ValidatesOperationsAgainstPorts) {
+  const char* bad = R"(
+NAME: COUNTER
+CLASS: Clocked
+INPUTS: I0[w]
+OUTPUTS: O0[w]
+OPERATIONS:
+  ( (LOAD) (INPUTS: NOPE) (OPS: (LOAD: O0 = NOPE)) )
+)";
+  EXPECT_THROW(to_generator(parse_legend(bad)[0]), Error);
+}
+
+TEST(Legend, RejectsDuplicatePortsAndBadSyntax) {
+  EXPECT_THROW(to_generator(parse_legend(
+                   "NAME: MUX\nINPUTS: A[w], A[w]\n")[0]),
+               Error);
+  EXPECT_THROW(parse_legend("CLASS: Clocked\n"), ParseError);  // before NAME
+  EXPECT_THROW(parse_legend("NAME: COUNTER\nOPERATIONS:\n  ( (LOAD\n"),
+               ParseError);  // unbalanced s-expression
+  EXPECT_THROW(parse_legend("garbage here\n"), ParseError);
+  EXPECT_THROW(parse_legend(""), ParseError);
+}
+
+TEST(Legend, CustomGeneratorWithExplicitKind) {
+  const char* text = R"(
+NAME: BYTE_LATCH
+KIND: REGISTER
+CLASS: Clocked
+INPUTS: D[w]
+OUTPUTS: Q[w]
+CLOCK: CLK
+ENABLE: EN
+)";
+  auto gen = to_generator(parse_legend(text)[0]);
+  EXPECT_EQ(gen.kind, Kind::kRegister);
+  EXPECT_EQ(gen.name, "BYTE_LATCH");
+}
+
+TEST(Legend, MultiGeneratorLibrary) {
+  std::string text = std::string(figure2_counter_text()) + R"(
+NAME: MUX
+CLASS: Combinational
+INPUTS: I0[w], I1[w]
+OUTPUTS: OUT[w]
+)";
+  auto lib = load_library(text, "CUSTOM");
+  EXPECT_EQ(lib.size(), 2);
+  EXPECT_TRUE(lib.has("COUNTER"));
+  EXPECT_TRUE(lib.has("MUX"));
+}
+
+}  // namespace
+}  // namespace bridge::legend

@@ -1,0 +1,80 @@
+// LOLA tests: rule induction from data books and retargeting parity with
+// the hand-written LSI rule set.
+#include <gtest/gtest.h>
+
+#include "cells/cell.h"
+#include "dtas/synthesizer.h"
+#include "lola/lola.h"
+
+namespace bridge {
+namespace {
+
+TEST(Lola, InducesTheNineLsiRules) {
+  dtas::RuleBase base;
+  dtas::register_standard_rules(base);
+  const int before = base.total_count();
+  auto report = lola::induce_rules(cells::lsi_library(), base);
+  EXPECT_EQ(base.total_count() - before, 9);  // the paper's count
+  EXPECT_EQ(report.inductions.size(), 9u);
+  // Every induced rule matches one of the hand-written LSI rules by name.
+  dtas::RuleBase hand;
+  dtas::register_standard_rules(hand);
+  dtas::register_lsi_rules(hand);
+  for (const auto& i : report.inductions) {
+    EXPECT_NE(hand.find(i.rule_name), nullptr) << i.rule_name;
+  }
+  EXPECT_NE(report.text().find("adder-ripple-by-4"), std::string::npos);
+}
+
+TEST(Lola, InductionIsIdempotent) {
+  dtas::RuleBase base;
+  dtas::register_standard_rules(base);
+  lola::induce_rules(cells::lsi_library(), base);
+  const int count = base.total_count();
+  auto again = lola::induce_rules(cells::lsi_library(), base);
+  EXPECT_EQ(base.total_count(), count);
+  EXPECT_TRUE(again.inductions.empty());
+}
+
+TEST(Lola, InducedRulesMatchHandWrittenResults) {
+  auto spec = genus::make_alu_spec(32, genus::alu16_ops());
+  dtas::RuleBase hand;
+  dtas::register_standard_rules(hand);
+  dtas::register_lsi_rules(hand);
+  dtas::Synthesizer hand_synth(std::move(hand), cells::lsi_library());
+  auto hand_alts = hand_synth.synthesize(spec);
+
+  dtas::RuleBase induced;
+  dtas::register_standard_rules(induced);
+  lola::induce_rules(cells::lsi_library(), induced);
+  dtas::Synthesizer lola_synth(std::move(induced), cells::lsi_library());
+  auto lola_alts = lola_synth.synthesize(spec);
+
+  ASSERT_EQ(hand_alts.size(), lola_alts.size());
+  for (size_t i = 0; i < hand_alts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hand_alts[i].metric.area, lola_alts[i].metric.area);
+    EXPECT_DOUBLE_EQ(hand_alts[i].metric.delay, lola_alts[i].metric.delay);
+  }
+}
+
+TEST(Lola, TtlInductionEnablesAluSlices) {
+  dtas::RuleBase base;
+  dtas::register_standard_rules(base);
+  auto report = lola::induce_rules(cells::ttl_library(), base);
+  EXPECT_GE(report.inductions.size(), 5u);
+  EXPECT_NE(base.find("alu-slice-cascade-4"), nullptr);
+
+  genus::OpSet sliceable = genus::OpSet{genus::Op::kAdd, genus::Op::kSub} |
+                           genus::alu16_logic_ops();
+  dtas::Synthesizer synth(std::move(base), cells::ttl_library());
+  auto alts = synth.synthesize(genus::make_alu_spec(16, sliceable));
+  ASSERT_FALSE(alts.empty());
+  bool uses_t181 = false;
+  for (const auto& alt : alts) {
+    if (alt.description.find("T181") != std::string::npos) uses_t181 = true;
+  }
+  EXPECT_TRUE(uses_t181);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,135 @@
+// Netlist unit tests: construction, slicing, DRC violations, hierarchy.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "netlist/netlist.h"
+
+namespace bridge::netlist {
+namespace {
+
+using genus::PortDir;
+
+TEST(Netlist, PortsCreateNets) {
+  Module m("top");
+  NetIndex a = m.add_port("A", PortDir::kIn, 8);
+  EXPECT_EQ(m.find_net("A"), a);
+  EXPECT_EQ(m.net_width(a), 8);
+  EXPECT_EQ(m.module_port("A").dir, PortDir::kIn);
+  EXPECT_THROW(m.module_port("B"), Error);
+  EXPECT_EQ(m.find_net("B"), kNoNet);
+}
+
+TEST(Netlist, DuplicateNetNameThrows) {
+  Module m("top");
+  m.add_net("x", 1);
+  EXPECT_THROW(m.add_net("x", 2), Error);
+}
+
+TEST(Netlist, SliceConnectionBoundsChecked) {
+  Module m("top");
+  NetIndex a = m.add_port("A", PortDir::kIn, 8);
+  NetIndex o = m.add_port("O", PortDir::kOut, 4);
+  Instance& g = m.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kBuf, 4));
+  m.connect(g, "I0", a, 4);  // A[7:4]
+  m.connect(g, "OUT", o);
+  EXPECT_TRUE(check_module(m).empty());
+  EXPECT_THROW(m.connect(g, "I0", a, 5), Error);  // [5,9) overflows
+}
+
+TEST(NetlistDrc, CatchesUnconnectedInput) {
+  Module m("top");
+  m.add_port("O", PortDir::kOut, 1);
+  Instance& g = m.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kLnot, 1));
+  m.connect(g, "OUT", m.find_net("O"));
+  auto issues = check_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("unconnected input"), std::string::npos);
+}
+
+TEST(NetlistDrc, CatchesMultipleDrivers) {
+  Module m("top");
+  NetIndex a = m.add_port("A", PortDir::kIn, 1);
+  NetIndex o = m.add_port("O", PortDir::kOut, 1);
+  for (int i = 0; i < 2; ++i) {
+    Instance& g = m.add_spec_instance(
+        "g" + std::to_string(i), genus::make_gate_spec(genus::Op::kLnot, 1));
+    m.connect(g, "I0", a);
+    m.connect(g, "OUT", o);
+  }
+  auto issues = check_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("drivers"), std::string::npos);
+}
+
+TEST(NetlistDrc, CatchesUndrivenReadNet) {
+  Module m("top");
+  NetIndex x = m.add_net("x", 1);
+  NetIndex o = m.add_port("O", PortDir::kOut, 1);
+  Instance& g = m.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kLnot, 1));
+  m.connect(g, "I0", x);
+  m.connect(g, "OUT", o);
+  auto issues = check_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("undriven"), std::string::npos);
+}
+
+TEST(NetlistDrc, CatchesConstantOnOutput) {
+  Module m("top");
+  m.add_port("A", PortDir::kIn, 1);
+  Instance& g = m.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kLnot, 1));
+  m.connect(g, "I0", m.find_net("A"));
+  g.connections["OUT"] = PortConn::constant(1);
+  auto issues = check_module(m);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(NetlistDrc, CatchesUnknownPortName) {
+  Module m("top");
+  m.add_port("A", PortDir::kIn, 1);
+  Instance& g = m.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kLnot, 1));
+  m.connect(g, "I0", m.find_net("A"));
+  g.connections["BOGUS"] = PortConn::to_net(m.find_net("A"));
+  auto issues = check_module(m);
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.find("unknown port") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetlistDesign, HierarchyAndLeafCount) {
+  Design d("d");
+  Module& child = d.add_module("child");
+  child.add_port("I", PortDir::kIn, 1);
+  child.add_port("O", PortDir::kOut, 1);
+  Instance& g = child.add_spec_instance(
+      "g", genus::make_gate_spec(genus::Op::kLnot, 1));
+  child.connect(g, "I0", child.find_net("I"));
+  child.connect(g, "OUT", child.find_net("O"));
+
+  Module& top = d.add_module("top");
+  NetIndex a = top.add_port("A", PortDir::kIn, 1);
+  NetIndex o = top.add_port("O", PortDir::kOut, 1);
+  NetIndex mid = top.add_net("mid", 1);
+  genus::ComponentSpec spec = genus::make_gate_spec(genus::Op::kLnot, 1);
+  Instance& u0 = top.add_module_instance("u0", &child, spec);
+  top.connect(u0, "I", a);
+  top.connect(u0, "O", mid);
+  Instance& u1 = top.add_module_instance("u1", &child, spec);
+  top.connect(u1, "I", mid);
+  top.connect(u1, "O", o);
+  d.set_top(&top);
+
+  EXPECT_TRUE(check_module(top).empty());
+  EXPECT_EQ(Design::count_leaf_instances(top), 2);
+  EXPECT_THROW(d.add_module("top"), Error);
+  EXPECT_EQ(d.find_module("child"), &child);
+}
+
+}  // namespace
+}  // namespace bridge::netlist

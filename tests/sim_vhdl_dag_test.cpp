@@ -1,0 +1,210 @@
+// Tests for the simulator semantics corners, the VHDL emitters, and the
+// DAGON-style baseline mapper.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "cells/cell.h"
+#include "dag/dagon.h"
+#include "dtas/synthesizer.h"
+#include "genus/library.h"
+#include "sim/semantics.h"
+#include "sim/simulator.h"
+#include "vhdl/vhdl.h"
+
+namespace bridge {
+namespace {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+using sim::PortValues;
+
+TEST(SimSemantics, AluRawCarryConvention) {
+  ComponentSpec alu = genus::make_alu_spec(8, genus::alu16_ops());
+  PortValues in;
+  in["A"] = BitVec(8, 100);
+  in["B"] = BitVec(8, 30);
+  in["CI"] = BitVec(1, 1);
+  in["F"] = BitVec(4, 1);  // SUB: A + ~B + CI = A - B when CI = 1
+  auto out = sim::eval_combinational(alu, in);
+  EXPECT_EQ(out.at("OUT").to_uint64(), 70u);
+  in["CI"] = BitVec(1, 0);
+  out = sim::eval_combinational(alu, in);
+  EXPECT_EQ(out.at("OUT").to_uint64(), 69u);  // A - B - 1
+  // Status pins are F-independent.
+  EXPECT_EQ(out.at("GT").bit(0), true);
+  EXPECT_EQ(out.at("EQ").bit(0), false);
+  EXPECT_EQ(out.at("ZEROP").bit(0), false);
+  in["F"] = BitVec(4, 8);  // AND
+  out = sim::eval_combinational(alu, in);
+  EXPECT_EQ(out.at("OUT").to_uint64(), 100u & 30u);
+  EXPECT_EQ(out.at("GT").bit(0), true);
+}
+
+TEST(SimSemantics, ClaGroupSignals) {
+  ComponentSpec cla;
+  cla.kind = Kind::kCarryLookahead;
+  cla.width = 1;
+  cla.size = 4;
+  PortValues in;
+  in["P"] = BitVec(4, 0b1111);
+  in["G"] = BitVec(4, 0b0000);
+  in["CI"] = BitVec(1, 1);
+  auto out = sim::eval_combinational(cla, in);
+  EXPECT_EQ(out.at("C").to_uint64(), 0b1111u);  // carry propagates through
+  EXPECT_TRUE(out.at("GP").bit(0));
+  EXPECT_FALSE(out.at("GG").bit(0));
+  in["G"] = BitVec(4, 0b0100);
+  in["CI"] = BitVec(1, 0);
+  out = sim::eval_combinational(cla, in);
+  EXPECT_EQ(out.at("C").to_uint64(), 0b1100u);
+  EXPECT_TRUE(out.at("GG").bit(0));
+}
+
+TEST(SimSemantics, MuxClampAndDecoderEnable) {
+  ComponentSpec mux = genus::make_mux_spec(4, 3);
+  PortValues in;
+  in["I0"] = BitVec(4, 1);
+  in["I1"] = BitVec(4, 2);
+  in["I2"] = BitVec(4, 3);
+  in["SEL"] = BitVec(2, 3);  // out of range: clamps to last input
+  EXPECT_EQ(sim::eval_combinational(mux, in).at("OUT").to_uint64(), 3u);
+
+  ComponentSpec dec = genus::make_decoder_spec(2);
+  dec.enable = true;
+  PortValues din;
+  din["IN"] = BitVec(2, 2);
+  din["EN"] = BitVec(1, 0);
+  EXPECT_TRUE(sim::eval_combinational(dec, din).at("OUT").is_zero());
+  din["EN"] = BitVec(1, 1);
+  EXPECT_EQ(sim::eval_combinational(dec, din).at("OUT").to_uint64(), 4u);
+}
+
+TEST(SimSemantics, StackAndFifoDiffer) {
+  ComponentSpec stack;
+  stack.kind = Kind::kStack;
+  stack.width = 8;
+  stack.size = 4;
+  stack.ops = OpSet{Op::kPush, Op::kPop};
+  auto st = sim::init_state(stack);
+  PortValues push;
+  push["PUSH"] = BitVec(1, 1);
+  push["POP"] = BitVec(1, 0);
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) {
+    push["DIN"] = BitVec(8, v);
+    sim::seq_step(stack, st, push);
+  }
+  EXPECT_EQ(sim::seq_outputs(stack, st, {}).at("DOUT").to_uint64(), 3u);
+
+  ComponentSpec fifo = stack;
+  fifo.kind = Kind::kFifo;
+  auto ff = sim::init_state(fifo);
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) {
+    push["DIN"] = BitVec(8, v);
+    sim::seq_step(fifo, ff, push);
+  }
+  EXPECT_EQ(sim::seq_outputs(fifo, ff, {}).at("DOUT").to_uint64(), 1u);
+  // Pop both and compare ordering.
+  PortValues pop;
+  pop["PUSH"] = BitVec(1, 0);
+  pop["POP"] = BitVec(1, 1);
+  sim::seq_step(stack, st, pop);
+  sim::seq_step(fifo, ff, pop);
+  EXPECT_EQ(sim::seq_outputs(stack, st, {}).at("DOUT").to_uint64(), 2u);
+  EXPECT_EQ(sim::seq_outputs(fifo, ff, {}).at("DOUT").to_uint64(), 2u);
+}
+
+TEST(Simulator, DetectsCombinationalCycles) {
+  netlist::Module m("loop");
+  netlist::NetIndex a = m.add_net("a", 1);
+  netlist::NetIndex b = m.add_net("b", 1);
+  auto& g1 = m.add_spec_instance("g1",
+                                 genus::make_gate_spec(Op::kLnot, 1));
+  m.connect(g1, "I0", a);
+  m.connect(g1, "OUT", b);
+  auto& g2 = m.add_spec_instance("g2",
+                                 genus::make_gate_spec(Op::kLnot, 1));
+  m.connect(g2, "I0", b);
+  m.connect(g2, "OUT", a);
+  EXPECT_THROW(sim::Simulator s(m), Error);
+}
+
+TEST(Vhdl, StructuralOutputIsWellFormed) {
+  dtas::Synthesizer synth(cells::lsi_library());
+  auto alts = synth.synthesize(genus::make_adder_spec(8));
+  ASSERT_FALSE(alts.empty());
+  const std::string text = vhdl::emit_structural(*alts.front().design);
+  EXPECT_NE(text.find("library ieee;"), std::string::npos);
+  EXPECT_NE(text.find("entity "), std::string::npos);
+  EXPECT_NE(text.find("architecture structural"), std::string::npos);
+  EXPECT_NE(text.find("port map"), std::string::npos);
+  // Every 'entity' has a matching 'end entity'.
+  size_t entities = 0;
+  size_t ends = 0;
+  for (size_t p = text.find("entity "); p != std::string::npos;
+       p = text.find("entity ", p + 1)) {
+    ++entities;
+  }
+  for (size_t p = text.find("end entity "); p != std::string::npos;
+       p = text.find("end entity ", p + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(entities, ends * 2);  // "entity X" appears in decl + end line
+}
+
+TEST(Vhdl, SanitizesIdentifiers) {
+  EXPECT_EQ(vhdl::sanitize_identifier("ADDER.w16.ci.co[ADD]"),
+            "ADDER_w16_ci_co_ADD");
+  EXPECT_EQ(vhdl::sanitize_identifier("3bad"), "u_3bad");
+  EXPECT_EQ(vhdl::sanitize_identifier("__x__"), "x");
+}
+
+TEST(Vhdl, BehavioralModelMentionsOperations) {
+  auto comp = genus::builtin_library().instantiate(Kind::kCounter,
+                                                   genus::ParamMap{});
+  const std::string text = vhdl::emit_behavioral(*comp);
+  EXPECT_NE(text.find("rising_edge"), std::string::npos);
+  EXPECT_NE(text.find("COUNT_UP"), std::string::npos);
+  EXPECT_NE(text.find("O0 = O0 + 1"), std::string::npos);
+}
+
+TEST(Dagon, CoversAdderWithSsiGates) {
+  auto patterns = dag::build_patterns(cells::lsi_library());
+  EXPECT_GE(patterns.size(), 8u);
+  auto net = dag::GateNetwork::ripple_adder(4);
+  auto cover = dag::map_network(net, patterns);
+  EXPECT_GT(cover.area, 0);
+  EXPECT_GT(cover.cells_used, 0);
+  // No MSI cells can appear: the histogram contains only SSI gate names.
+  for (const auto& [cell, count] : cover.cell_histogram) {
+    EXPECT_EQ(cells::lsi_library().find(cell)->spec.kind, Kind::kGate)
+        << cell;
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST(Dagon, XorPatternMatchesWhenTreeAllowsIt) {
+  // A free-standing XOR (no fanout on the inner NAND) maps to one XOR2.
+  dag::GateNetwork net;
+  int a = net.add_input();
+  int b = net.add_input();
+  int n1 = net.add_nand(a, b);
+  int n2 = net.add_nand(a, n1);
+  int n3 = net.add_nand(b, n1);
+  int x = net.add_nand(n2, n3);
+  net.mark_output(x);
+  auto cover = dag::map_network(net, dag::build_patterns(cells::lsi_library()));
+  EXPECT_EQ(cover.cells_used, 1);
+  EXPECT_EQ(cover.cell_histogram.count("XOR2"), 1u);
+}
+
+TEST(Dagon, ScalesLinearly) {
+  auto patterns = dag::build_patterns(cells::lsi_library());
+  auto c8 = dag::map_network(dag::GateNetwork::ripple_adder(8), patterns);
+  auto c64 = dag::map_network(dag::GateNetwork::ripple_adder(64), patterns);
+  EXPECT_NEAR(c64.area / c8.area, 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace bridge

@@ -1,0 +1,20 @@
+#include "base/fileio.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/diag.h"
+
+namespace bridge {
+
+std::string read_text_file(const std::string& path, std::string_view what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open " + std::string(what) + ": " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace bridge

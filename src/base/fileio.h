@@ -1,0 +1,15 @@
+// Tiny file helpers shared by the loaders.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bridge {
+
+/// Slurp a whole file (binary mode). Throws Error
+/// ("cannot open <what>: <path>") when the file cannot be read; `what`
+/// names the kind of file for the message.
+std::string read_text_file(const std::string& path,
+                           std::string_view what = "file");
+
+}  // namespace bridge

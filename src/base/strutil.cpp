@@ -1,5 +1,7 @@
 #include "base/strutil.h"
 
+#include "base/diag.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -89,6 +91,17 @@ std::string format_double(double v, int max_decimals) {
   }
   if (s == "-0") s = "0";
   return s;
+}
+
+double parse_double_token(const std::string& token, int line) {
+  try {
+    size_t used = 0;
+    double v = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("expected a number, got '" + token + "'", line, 1);
+  }
 }
 
 }  // namespace bridge

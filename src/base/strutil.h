@@ -30,4 +30,9 @@ bool ends_with(std::string_view s, std::string_view suffix);
 /// Render a double with trailing-zero trimming ("12.5", "3", "0.25").
 std::string format_double(double v, int max_decimals = 3);
 
+/// Parse a token that must be entirely a number; throws ParseError
+/// ("expected a number, got '...'") carrying `line` on anything else.
+/// Shared by the data-book and Liberty loaders.
+double parse_double_token(const std::string& token, int line);
+
 }  // namespace bridge

@@ -1,5 +1,6 @@
 #include "cells/databook.h"
 
+#include <cctype>
 #include <sstream>
 
 #include "base/diag.h"
@@ -12,11 +13,16 @@ namespace {
 /// Tokenize one logical line. Quoted strings become single tokens with the
 /// quotes retained; parentheses are standalone tokens.
 std::vector<std::string> tokenize_line(const std::string& line, int line_no) {
+  // All character classification goes through unsigned char: plain char is
+  // signed on this platform and negative values passed to <cctype> are UB.
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
   std::vector<std::string> tokens;
   size_t i = 0;
   while (i < line.size()) {
-    char c = line[i];
-    if (std::isspace(static_cast<unsigned char>(c))) {
+    const char c = line[i];
+    if (is_space(c)) {
       ++i;
       continue;
     }
@@ -37,8 +43,8 @@ std::vector<std::string> tokenize_line(const std::string& line, int line_no) {
       continue;
     }
     size_t b = i;
-    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
-           line[i] != '(' && line[i] != ')' && line[i] != '"') {
+    while (i < line.size() && !is_space(line[i]) && line[i] != '(' &&
+           line[i] != ')' && line[i] != '"') {
       ++i;
     }
     tokens.push_back(line.substr(b, i - b));
@@ -51,17 +57,6 @@ std::string unquote(const std::string& tok) {
     return tok.substr(1, tok.size() - 2);
   }
   return tok;
-}
-
-double parse_number(const std::string& tok, int line_no) {
-  try {
-    size_t used = 0;
-    double v = std::stod(tok, &used);
-    if (used != tok.size()) throw std::invalid_argument(tok);
-    return v;
-  } catch (const std::exception&) {
-    throw ParseError("expected a number, got '" + tok + "'", line_no, 1);
-  }
 }
 
 }  // namespace
@@ -115,25 +110,33 @@ CellLibrary parse_databook(const std::string& text) {
         cell.spec.kind = genus::kind_from_name(next_token("KIND"));
       } else if (attr == "WIDTH") {
         cell.spec.width =
-            static_cast<int>(parse_number(next_token("WIDTH"), line_no));
+            static_cast<int>(parse_double_token(next_token("WIDTH"), line_no));
       } else if (attr == "SIZE") {
         cell.spec.size =
-            static_cast<int>(parse_number(next_token("SIZE"), line_no));
+            static_cast<int>(parse_double_token(next_token("SIZE"), line_no));
       } else if (attr == "OPS") {
         if (next_token("OPS") != "(") {
           throw ParseError("OPS expects a parenthesized list", line_no, 1);
         }
         genus::OpSet ops;
-        for (;;) {
-          std::string tok = next_token("OPS list");
-          if (tok == ")") break;
+        bool closed = false;
+        while (i < tokens.size()) {
+          const std::string tok = tokens[i++];
+          if (tok == ")") {
+            closed = true;
+            break;
+          }
           try {
             ops.insert(genus::op_from_name(tok));
           } catch (const Error&) {
-            throw ParseError("bad operation '" + tok +
-                                 "' in OPS list (unterminated list?)",
+            throw ParseError("bad operation '" + tok + "' in OPS list",
                              line_no, 1);
           }
+        }
+        if (!closed) {
+          throw ParseError("unterminated '(' group in OPS list of cell " +
+                               cell.name,
+                           line_no, 1);
         }
         cell.spec.ops = ops;
       } else if (attr == "STYLE") {
@@ -155,10 +158,10 @@ CellLibrary parse_databook(const std::string& text) {
       } else if (attr == "TS") {
         cell.spec.tristate = true;
       } else if (attr == "AREA") {
-        cell.area = parse_number(next_token("AREA"), line_no);
+        cell.area = parse_double_token(next_token("AREA"), line_no);
         saw_area = true;
       } else if (attr == "DELAY") {
-        cell.delay_ns = parse_number(next_token("DELAY"), line_no);
+        cell.delay_ns = parse_double_token(next_token("DELAY"), line_no);
         saw_delay = true;
       } else if (attr == "DESC") {
         cell.description = unquote(next_token("DESC"));

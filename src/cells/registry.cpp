@@ -1,0 +1,121 @@
+#include "cells/registry.h"
+
+#include <cctype>
+
+#include "base/diag.h"
+#include "base/fileio.h"
+#include "base/strutil.h"
+#include "cells/databook.h"
+#include "liberty/liberty.h"
+
+namespace bridge::cells {
+
+namespace {
+
+/// A Liberty file's first meaningful token is `library` followed by `(`;
+/// a data book opens with a `LIBRARY <name>` line. Comments differ too
+/// (`/* */` vs `#`), so sniff past both.
+bool looks_like_liberty(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '#') {
+      i = text.find('\n', i);
+      if (i == std::string::npos) return false;
+    } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      i = text.find("*/", i + 2);
+      if (i == std::string::npos) return false;
+      i += 2;
+    } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      i = text.find('\n', i);
+      if (i == std::string::npos) return false;
+    } else {
+      break;
+    }
+  }
+  size_t b = i;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) ||
+          text[i] == '_')) {
+    ++i;
+  }
+  if (to_lower(text.substr(b, i - b)) != "library") return false;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return i < text.size() && text[i] == '(';
+}
+
+}  // namespace
+
+LibraryRegistry LibraryRegistry::with_builtins() {
+  LibraryRegistry reg;
+  reg.add(lsi_library());
+  reg.add(ttl_library());
+  return reg;
+}
+
+const CellLibrary& LibraryRegistry::add(CellLibrary lib) {
+  if (lib.name().empty()) {
+    throw Error("cannot register a library without a name");
+  }
+  if (by_name_.count(lib.name()) != 0) {
+    throw Error("library '" + lib.name() + "' is already registered");
+  }
+  libraries_.push_back(std::move(lib));
+  const CellLibrary& stored = libraries_.back();
+  by_name_[stored.name()] = &stored;
+  return stored;
+}
+
+const CellLibrary* LibraryRegistry::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const CellLibrary& LibraryRegistry::at(const std::string& name) const {
+  const CellLibrary* lib = find(name);
+  if (lib == nullptr) {
+    throw Error("no library named '" + name + "' (registered: " +
+                join(names(), ", ") + ")");
+  }
+  return *lib;
+}
+
+std::vector<const CellLibrary*> LibraryRegistry::all() const {
+  std::vector<const CellLibrary*> out;
+  out.reserve(libraries_.size());
+  for (const CellLibrary& lib : libraries_) out.push_back(&lib);
+  return out;
+}
+
+std::vector<std::string> LibraryRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(libraries_.size());
+  for (const CellLibrary& lib : libraries_) out.push_back(lib.name());
+  return out;
+}
+
+const CellLibrary& LibraryRegistry::load_databook_file(
+    const std::string& path) {
+  return add(parse_databook(read_text_file(path, "library file")));
+}
+
+const CellLibrary& LibraryRegistry::load_liberty_file(
+    const std::string& path, liberty::LoadReport* report) {
+  return add(liberty::load_liberty_file(path, report));
+}
+
+const CellLibrary& LibraryRegistry::load_file(const std::string& path,
+                                              liberty::LoadReport* report) {
+  const std::string text = read_text_file(path, "library file");
+  if (looks_like_liberty(text)) {
+    return add(liberty::load_liberty(text, report));
+  }
+  return add(parse_databook(text));
+}
+
+}  // namespace bridge::cells

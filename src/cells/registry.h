@@ -1,0 +1,76 @@
+// Runtime registry of technology libraries.
+//
+// The seed could only target the two libraries baked into the binary;
+// the registry makes retargeting (paper §7) an open workload: it owns
+// named CellLibrary instances from any source — the built-in data books,
+// data-book text files, or Liberty (.lib) files ingested through
+// src/liberty — and DTAS synthesizes against any of them by name.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+
+namespace bridge::liberty {
+struct LoadReport;
+}  // namespace bridge::liberty
+
+namespace bridge::cells {
+
+class LibraryRegistry {
+ public:
+  LibraryRegistry() = default;
+
+  // Not copyable: by_name_ holds pointers into libraries_, and library
+  // addresses are promised stable for the registry's lifetime. Moves are
+  // fine — deque elements keep their addresses across a move.
+  LibraryRegistry(const LibraryRegistry&) = delete;
+  LibraryRegistry& operator=(const LibraryRegistry&) = delete;
+  LibraryRegistry(LibraryRegistry&&) = default;
+  LibraryRegistry& operator=(LibraryRegistry&&) = default;
+
+  /// A registry pre-populated with the built-in LSI and TTL data books.
+  static LibraryRegistry with_builtins();
+
+  /// Register a library under its own name. Returns the stored instance
+  /// (stable address for the registry's lifetime). Throws Error when a
+  /// library of that name is already registered or the name is empty.
+  const CellLibrary& add(CellLibrary lib);
+
+  /// Find by library name; nullptr when absent.
+  const CellLibrary* find(const std::string& name) const;
+
+  /// Find by library name; throws Error (listing known names) when absent.
+  const CellLibrary& at(const std::string& name) const;
+
+  /// All libraries, in registration order.
+  std::vector<const CellLibrary*> all() const;
+
+  std::vector<std::string> names() const;
+  int size() const { return static_cast<int>(libraries_.size()); }
+
+  /// Parse a data-book text file and register it.
+  const CellLibrary& load_databook_file(const std::string& path);
+
+  /// Ingest a Liberty (.lib) file through the spec-inference pass and
+  /// register it. When `report` is non-null it receives the per-cell
+  /// recognition diagnostics.
+  const CellLibrary& load_liberty_file(const std::string& path,
+                                       liberty::LoadReport* report = nullptr);
+
+  /// Load either format, sniffing the content: a Liberty file opens with
+  /// `library (NAME) {`, a data book with a `LIBRARY` line. For Liberty
+  /// content a non-null `report` receives the skip diagnostics; it is
+  /// left untouched for data books.
+  const CellLibrary& load_file(const std::string& path,
+                               liberty::LoadReport* report = nullptr);
+
+ private:
+  std::deque<CellLibrary> libraries_;  // deque: stable addresses
+  std::map<std::string, const CellLibrary*> by_name_;
+};
+
+}  // namespace bridge::cells

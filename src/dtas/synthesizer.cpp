@@ -6,6 +6,7 @@
 
 #include "base/diag.h"
 #include "base/strutil.h"
+#include "lola/lola.h"
 
 namespace bridge::dtas {
 
@@ -188,7 +189,17 @@ RuleBase default_rules_for(const cells::CellLibrary& library) {
   RuleBase base;
   register_standard_rules(base);
   if (library.name() == "LSI_LGC15") {
+    // The paper's nine hand-written library-specific rules (§5).
     register_lsi_rules(base);
+  } else {
+    // Any other data book — built-in TTL, parsed text, or a Liberty
+    // import — gets its library-specific rules induced by LOLA (§7), so
+    // retargeting needs no per-library code. The call direction follows
+    // the paper: "LOLA is invoked when DTAS is presented with a new cell
+    // library." (lola also uses dtas rule constructors; both live in the
+    // one bridge library, so the mutual use is a deliberate pairing, not
+    // a link cycle.)
+    lola::induce_rules(library, base);
   }
   return base;
 }

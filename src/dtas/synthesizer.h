@@ -24,8 +24,9 @@ struct AlternativeDesign {
 };
 
 /// Assemble the rule base DTAS uses for a given data book: the standard
-/// generic rules plus the library-specific rules (hand-written for the
-/// LSI-style book; LOLA-induced sets can be added by the caller).
+/// generic rules plus the library-specific rules — the paper's nine
+/// hand-written rules for the LSI-style book, LOLA-induced rules for any
+/// other library (built-in TTL, parsed data-book text, Liberty imports).
 RuleBase default_rules_for(const cells::CellLibrary& library);
 
 class Synthesizer {

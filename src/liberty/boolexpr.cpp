@@ -1,0 +1,243 @@
+#include "liberty/boolexpr.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/diag.h"
+
+namespace bridge::liberty {
+
+struct BoolExpr::Node {
+  enum class Kind { kVar, kConst, kNot, kAnd, kOr, kXor };
+  Kind kind = Kind::kConst;
+  bool value = false;             // kConst
+  std::string name;               // kVar
+  std::shared_ptr<const Node> a;  // kNot, and left of binary ops
+  std::shared_ptr<const Node> b;  // right of binary ops
+};
+
+namespace {
+
+using Node = BoolExpr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr make_var(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kVar;
+  n->name = std::move(name);
+  return n;
+}
+
+NodePtr make_const(bool v) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kConst;
+  n->value = v;
+  return n;
+}
+
+NodePtr make_unary(NodePtr a) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kNot;
+  n->a = std::move(a);
+  return n;
+}
+
+NodePtr make_binary(Node::Kind kind, NodePtr a, NodePtr b) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->a = std::move(a);
+  n->b = std::move(b);
+  return n;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '[' || c == ']';
+}
+
+/// Recursive-descent parser over the raw expression text. Liberty function
+/// strings are one line, so ParseError carries line 1 and the column.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  NodePtr parse() {
+    NodePtr e = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected '" + std::string(1, text_[pos_]) + "'");
+    }
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " in function \"" + text_ + "\"", 1,
+                     static_cast<int>(pos_) + 1);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// True when the upcoming token can start a primary expression — which,
+  /// directly after one, means juxtaposition (implicit AND).
+  bool at_primary() {
+    char c = peek();
+    return c == '(' || c == '!' || is_ident_char(c);
+  }
+
+  NodePtr parse_or() {
+    NodePtr lhs = parse_and();
+    while (peek() == '|' || peek() == '+') {
+      ++pos_;
+      lhs = make_binary(Node::Kind::kOr, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  NodePtr parse_and() {
+    NodePtr lhs = parse_xor();
+    for (;;) {
+      char c = peek();
+      if (c == '&' || c == '*') {
+        ++pos_;
+        lhs = make_binary(Node::Kind::kAnd, lhs, parse_xor());
+      } else if (at_primary()) {  // juxtaposition
+        lhs = make_binary(Node::Kind::kAnd, lhs, parse_xor());
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  NodePtr parse_xor() {
+    NodePtr lhs = parse_unary();
+    while (peek() == '^') {
+      ++pos_;
+      lhs = make_binary(Node::Kind::kXor, lhs, parse_unary());
+    }
+    return lhs;
+  }
+
+  NodePtr parse_unary() {
+    if (peek() == '!') {
+      ++pos_;
+      return make_unary(parse_unary());
+    }
+    NodePtr e = parse_primary();
+    while (peek() == '\'') {  // postfix negation
+      ++pos_;
+      e = make_unary(e);
+    }
+    return e;
+  }
+
+  NodePtr parse_primary() {
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      NodePtr e = parse_or();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+      return e;
+    }
+    if (is_ident_char(c)) {
+      size_t b = pos_;
+      while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+      std::string name = text_.substr(b, pos_ - b);
+      if (name == "0") return make_const(false);
+      if (name == "1") return make_const(true);
+      return make_var(std::move(name));
+    }
+    if (c == '\0') fail("unexpected end of expression");
+    fail("unexpected '" + std::string(1, c) + "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void collect_vars(const Node* n, std::vector<std::string>& out) {
+  if (n == nullptr) return;
+  if (n->kind == Node::Kind::kVar) out.push_back(n->name);
+  collect_vars(n->a.get(), out);
+  collect_vars(n->b.get(), out);
+}
+
+bool eval_node(const Node* n, const std::map<std::string, bool>& env) {
+  switch (n->kind) {
+    case Node::Kind::kConst:
+      return n->value;
+    case Node::Kind::kVar: {
+      auto it = env.find(n->name);
+      if (it == env.end()) {
+        throw Error("unbound variable '" + n->name +
+                    "' in boolean expression");
+      }
+      return it->second;
+    }
+    case Node::Kind::kNot:
+      return !eval_node(n->a.get(), env);
+    case Node::Kind::kAnd:
+      return eval_node(n->a.get(), env) && eval_node(n->b.get(), env);
+    case Node::Kind::kOr:
+      return eval_node(n->a.get(), env) || eval_node(n->b.get(), env);
+    case Node::Kind::kXor:
+      return eval_node(n->a.get(), env) != eval_node(n->b.get(), env);
+  }
+  throw Error("corrupt boolean expression node");
+}
+
+}  // namespace
+
+BoolExpr BoolExpr::parse(const std::string& text) {
+  BoolExpr e;
+  e.text_ = text;
+  e.root_ = Parser(text).parse();
+  return e;
+}
+
+std::vector<std::string> BoolExpr::variables() const {
+  std::vector<std::string> vars;
+  collect_vars(root_.get(), vars);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+bool BoolExpr::eval(const std::map<std::string, bool>& env) const {
+  return eval_node(root_.get(), env);
+}
+
+std::uint64_t BoolExpr::truth_table(
+    const std::vector<std::string>& inputs) const {
+  BRIDGE_CHECK(inputs.size() <= 6,
+               "truth_table limited to 6 inputs, got " << inputs.size());
+  std::uint64_t table = 0;
+  const int rows = 1 << inputs.size();
+  std::map<std::string, bool> env;
+  for (int j = 0; j < rows; ++j) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      env[inputs[i]] = ((j >> i) & 1) != 0;
+    }
+    if (eval(env)) table |= std::uint64_t{1} << j;
+  }
+  return table;
+}
+
+bool BoolExpr::is_variable(const std::string& name) const {
+  return root_ != nullptr && root_->kind == Node::Kind::kVar &&
+         root_->name == name;
+}
+
+}  // namespace bridge::liberty

@@ -1,0 +1,63 @@
+// Boolean function expressions as written in Liberty `function` attributes.
+//
+// Liberty describes each combinational output pin with a boolean expression
+// over the cell's input pins, e.g.
+//
+//   function : "(A0 & !S) | (A1 & S)";
+//   function : "(A & B) | (A & CIN) | (B & CIN)";
+//
+// The spec-inference pass (liberty.h) evaluates these expressions into
+// truth tables and recognizes them as GENUS component specifications —
+// the same "functional specification, not Boolean DAG" idea the paper
+// applies to data-book cells (§5), extended to Liberty ingestion.
+//
+// Supported grammar (Liberty operator precedence, descending):
+//   '  postfix negation          !  prefix negation
+//   ^  exclusive or
+//   &  *  and juxtaposition: AND
+//   |  +  : OR
+//   0 / 1 constants, parenthesized subexpressions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bridge::liberty {
+
+class BoolExpr {
+ public:
+  /// Parse an expression. Throws ParseError (column within the expression;
+  /// callers add the Liberty line number) on malformed input.
+  static BoolExpr parse(const std::string& text);
+
+  /// All variable names referenced, sorted and de-duplicated.
+  std::vector<std::string> variables() const;
+
+  /// Evaluate under an assignment. Throws Error on an unbound variable.
+  bool eval(const std::map<std::string, bool>& env) const;
+
+  /// Truth table over an explicit input ordering: bit j of the result is
+  /// the expression's value when input i takes bit i of j. Inputs the
+  /// expression does not reference are don't-cares that still widen the
+  /// table; inputs.size() must be <= 6 (64-row table).
+  std::uint64_t truth_table(const std::vector<std::string>& inputs) const;
+
+  /// True when the expression is a bare variable reference to `name`.
+  bool is_variable(const std::string& name) const;
+
+  /// The normalized source text.
+  const std::string& text() const { return text_; }
+
+  struct Node;  // defined in boolexpr.cpp
+
+ private:
+  BoolExpr() = default;
+
+  std::string text_;
+  std::shared_ptr<const Node> root_;  // shared: BoolExpr is a cheap value
+};
+
+}  // namespace bridge::liberty

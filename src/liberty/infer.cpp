@@ -1,0 +1,401 @@
+// Spec inference: recognize each Liberty cell's boolean function / ff
+// group as a GENUS ComponentSpec.
+//
+// This is the paper's pivotal representation choice (§5) applied to
+// Liberty ingestion: instead of matching Boolean DAGs, every cell is
+// lifted to a functional specification (kind, width, fan-in, operation
+// set, structural flags) and from then on participates in DTAS's
+// functional matching and LOLA's rule induction exactly like a data-book
+// cell. Recognition is semantic — truth tables over the input pins — so
+// syntactically different functions ("(A&B)" vs "!(!A|!B)") infer the
+// same spec. Cells outside the subset (latches, AOI shapes, wide
+// fan-in) are skipped with a diagnostic, never a crash.
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "base/diag.h"
+#include "base/fileio.h"
+#include "base/strutil.h"
+#include "liberty/boolexpr.h"
+#include "liberty/liberty.h"
+
+namespace bridge::liberty {
+
+namespace {
+
+using genus::ComponentSpec;
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+
+/// Truth table of an n-ary op over the canonical input ordering: bit j is
+/// the result when input i takes bit i of j.
+std::uint64_t op_table(Op op, int n) {
+  std::uint64_t table = 0;
+  const int rows = 1 << n;
+  for (int j = 0; j < rows; ++j) {
+    const int ones = __builtin_popcount(static_cast<unsigned>(j));
+    bool v = false;
+    switch (op) {
+      case Op::kAnd:  v = ones == n; break;
+      case Op::kOr:   v = ones > 0; break;
+      case Op::kNand: v = ones != n; break;
+      case Op::kNor:  v = ones == 0; break;
+      case Op::kXor:  v = (ones & 1) != 0; break;
+      case Op::kXnor: v = (ones & 1) == 0; break;
+      case Op::kBuf:  v = (j & 1) != 0; break;
+      case Op::kLnot: v = (j & 1) == 0; break;
+      default:
+        BRIDGE_CHECK(false, "op_table: not a gate op");
+    }
+    if (v) table |= std::uint64_t{1} << j;
+  }
+  return table;
+}
+
+/// Majority-of-3 (the full-adder carry function).
+std::uint64_t majority3_table() {
+  std::uint64_t table = 0;
+  for (int j = 0; j < 8; ++j) {
+    if (__builtin_popcount(static_cast<unsigned>(j)) >= 2) {
+      table |= std::uint64_t{1} << j;
+    }
+  }
+  return table;
+}
+
+/// out = inputs[s] ? inputs[b] : inputs[a].
+std::uint64_t mux2_table(int n, int s, int a, int b) {
+  std::uint64_t table = 0;
+  const int rows = 1 << n;
+  for (int j = 0; j < rows; ++j) {
+    const bool sel = ((j >> s) & 1) != 0;
+    const bool v = ((j >> (sel ? b : a)) & 1) != 0;
+    if (v) table |= std::uint64_t{1} << j;
+  }
+  return table;
+}
+
+/// out = inputs[d[2*s1 + s0]] for the 4-to-1 multiplexer.
+std::uint64_t mux4_table(int n, int s1, int s0, const int d[4]) {
+  std::uint64_t table = 0;
+  const int rows = 1 << n;
+  for (int j = 0; j < rows; ++j) {
+    const int sel = (((j >> s1) & 1) << 1) | ((j >> s0) & 1);
+    if (((j >> d[sel]) & 1) != 0) table |= std::uint64_t{1} << j;
+  }
+  return table;
+}
+
+bool is_constant_table(std::uint64_t table, int n) {
+  const int rows = 1 << n;
+  const std::uint64_t mask =
+      rows == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rows) - 1;
+  return (table & mask) == 0 || (table & mask) == mask;
+}
+
+/// Try to classify a single-output truth table over n inputs as a gate,
+/// buffer/inverter, or multiplexer specification.
+std::optional<ComponentSpec> classify_single_output(std::uint64_t table,
+                                                    int n) {
+  if (n == 1) {
+    if (table == op_table(Op::kBuf, 1)) return genus::make_gate_spec(Op::kBuf, 1);
+    if (table == op_table(Op::kLnot, 1)) {
+      return genus::make_gate_spec(Op::kLnot, 1);
+    }
+    return std::nullopt;
+  }
+  for (Op op : {Op::kAnd, Op::kOr, Op::kNand, Op::kNor, Op::kXor, Op::kXnor}) {
+    if (table == op_table(op, n)) return genus::make_gate_spec(op, 1, n);
+  }
+  if (n == 3) {
+    for (int s = 0; s < 3; ++s) {
+      const int a = s == 0 ? 1 : 0;
+      const int b = s == 2 ? 1 : 2;
+      if (table == mux2_table(3, s, a, b) ||
+          table == mux2_table(3, s, b, a)) {
+        return genus::make_mux_spec(1, 2);
+      }
+    }
+  }
+  if (n == 6) {
+    // 4-to-1 multiplexer: try every ordered select pair and every
+    // assignment of the remaining inputs to the data positions.
+    for (int s1 = 0; s1 < 6; ++s1) {
+      for (int s0 = 0; s0 < 6; ++s0) {
+        if (s0 == s1) continue;
+        int rest[4];
+        int k = 0;
+        for (int i = 0; i < 6; ++i) {
+          if (i != s0 && i != s1) rest[k++] = i;
+        }
+        std::sort(rest, rest + 4);
+        do {
+          if (table == mux4_table(6, s1, s0, rest)) {
+            return genus::make_mux_spec(1, 4);
+          }
+        } while (std::next_permutation(rest, rest + 4));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Recognize an active-high enable-mux next_state `E ? D : IQ` (either
+/// non-state pin may be the enable) as a clock-enable flip-flop. The
+/// active-low form `E ? IQ : D` is NOT accepted: the spec model carries
+/// no enable polarity and DTAS ties unmatched enables to 1 (active
+/// high), which would leave an active-low cell permanently holding.
+bool next_state_is_enable_mux(const BoolExpr& expr, const std::string& state) {
+  std::vector<std::string> vars = expr.variables();
+  if (vars.size() != 3) return false;
+  auto it = std::find(vars.begin(), vars.end(), state);
+  if (it == vars.end()) return false;
+  const std::uint64_t table = expr.truth_table(vars);
+  const int state_idx = static_cast<int>(it - vars.begin());
+  const int a = state_idx == 0 ? 1 : 0;
+  const int b = state_idx == 2 ? 1 : 2;
+  // The held state must sit on the select-low leg: select high loads
+  // the data pin.
+  return table == mux2_table(3, a, state_idx, b) ||
+         table == mux2_table(3, b, state_idx, a);
+}
+
+std::optional<ComponentSpec> infer_ff(const Cell& cell, std::string* reason) {
+  const FlipFlop& ff = *cell.ff;
+  if (ff.clocked_on.empty() || ff.next_state.empty()) {
+    *reason = "ff group lacks clocked_on/next_state";
+    return std::nullopt;
+  }
+  // Every variable in the ff expressions must name an input pin (or, for
+  // next_state, the held state) — mirroring the combinational path's
+  // check, so a typo'd Liberty file skips instead of loading silently.
+  for (const auto& [attr, text, allow_state] :
+       {std::tuple<const char*, const std::string&, bool>{
+            "clocked_on", ff.clocked_on, false},
+        {"next_state", ff.next_state, true},
+        {"clear", ff.clear, false},
+        {"preset", ff.preset, false}}) {
+    if (text.empty()) continue;
+    for (const std::string& v : BoolExpr::parse(text).variables()) {
+      if (allow_state && (v == ff.state || v == ff.state_inv)) continue;
+      const Pin* pin = cell.find_pin(v);
+      if (pin == nullptr || pin->dir != PinDir::kInput) {
+        *reason = std::string(attr) + " references '" + v +
+                  "', which is not an input pin";
+        return std::nullopt;
+      }
+    }
+  }
+  ComponentSpec spec;
+  spec.kind = Kind::kFlipFlop;
+  spec.width = 1;
+  spec.ops = OpSet{Op::kLoad};
+  spec.async_set = !ff.preset.empty();
+  spec.async_reset = !ff.clear.empty();
+
+  BoolExpr next = BoolExpr::parse(ff.next_state);
+  const std::vector<std::string> next_vars = next.variables();
+  if (next_vars.size() == 1 && next.is_variable(next_vars[0]) &&
+      next_vars[0] != ff.state && next_vars[0] != ff.state_inv) {
+    // Plain D input (possibly parenthesized). An inverted input ("!D")
+    // stores the complement — the spec model cannot express that
+    // polarity, so such cells fall through to the skip diagnostic.
+    return spec;
+  }
+  if (next_state_is_enable_mux(next, ff.state)) {
+    spec.enable = true;
+    return spec;
+  }
+  *reason = "unsupported next_state function \"" + ff.next_state + "\"";
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ComponentSpec> infer_spec(const Cell& cell,
+                                        std::string* reason) {
+  std::string local;
+  if (reason == nullptr) reason = &local;
+  if (cell.is_latch) {
+    *reason = "latch cells are not representable as GENUS specs";
+    return std::nullopt;
+  }
+  if (cell.has_bus) {
+    *reason = "bus/bundle pins unsupported";
+    return std::nullopt;
+  }
+  if (cell.ff.has_value()) return infer_ff(cell, reason);
+
+  std::vector<std::string> inputs;
+  std::vector<const Pin*> outputs;
+  for (const Pin& p : cell.pins) {
+    if (p.dir == PinDir::kInput) {
+      inputs.push_back(p.name);
+    } else if (p.dir == PinDir::kOutput && !p.function.empty()) {
+      outputs.push_back(&p);
+    }
+  }
+  if (outputs.empty()) {
+    *reason = "no output pin with a function";
+    return std::nullopt;
+  }
+  if (inputs.size() > 6) {
+    *reason = "more than 6 input pins (" + std::to_string(inputs.size()) +
+              ") exceeds the recognition subset";
+    return std::nullopt;
+  }
+
+  std::vector<BoolExpr> exprs;
+  std::vector<std::uint64_t> tables;
+  for (const Pin* out : outputs) {
+    BoolExpr expr = BoolExpr::parse(out->function);
+    for (const std::string& v : expr.variables()) {
+      if (std::find(inputs.begin(), inputs.end(), v) == inputs.end()) {
+        *reason = "function of pin " + out->name +
+                  " references non-input '" + v + "'";
+        return std::nullopt;
+      }
+    }
+    tables.push_back(expr.truth_table(inputs));
+    exprs.push_back(std::move(expr));
+  }
+  const int n = static_cast<int>(inputs.size());
+
+  if (outputs.size() == 1) {
+    if (inputs.empty() || is_constant_table(tables[0], n)) {
+      *reason = "constant function (tie cell)";
+      return std::nullopt;
+    }
+    if (outputs[0]->three_state) {
+      // A tristate buffer's function is the bare data pin; the enable
+      // appears only in the (unmodeled) three_state condition, so
+      // classify over the referenced variable, not all inputs.
+      const BoolExpr& fn = exprs[0];
+      const std::vector<std::string> vars = fn.variables();
+      if (vars.size() == 1 && fn.is_variable(vars[0])) {
+        ComponentSpec ts;
+        ts.kind = Kind::kTristate;
+        ts.width = 1;
+        ts.ops = OpSet{Op::kPass};
+        ts.tristate = true;
+        return ts;
+      }
+      *reason = "three_state output with a non-buffer function";
+      return std::nullopt;
+    }
+    std::optional<ComponentSpec> spec = classify_single_output(tables[0], n);
+    if (!spec.has_value()) {
+      *reason = "unrecognized function \"" + outputs[0]->function + "\"";
+      return std::nullopt;
+    }
+    return spec;
+  }
+
+  if (outputs.size() == 2 && n == 3) {
+    // Full adder: one output is the 3-input parity (SUM), the other the
+    // majority (COUT). Input order is irrelevant — both are symmetric.
+    const std::uint64_t parity = op_table(Op::kXor, 3);
+    const std::uint64_t major = majority3_table();
+    if ((tables[0] == parity && tables[1] == major) ||
+        (tables[0] == major && tables[1] == parity)) {
+      return genus::make_adder_spec(1, /*carry_in=*/true, /*carry_out=*/true);
+    }
+  }
+  if (outputs.size() == 2 && n == 2) {
+    // Half adder: XOR (SUM) plus AND (COUT).
+    const std::uint64_t x = op_table(Op::kXor, 2);
+    const std::uint64_t a = op_table(Op::kAnd, 2);
+    if ((tables[0] == x && tables[1] == a) ||
+        (tables[0] == a && tables[1] == x)) {
+      return genus::make_adder_spec(1, /*carry_in=*/false, /*carry_out=*/true);
+    }
+  }
+  *reason = "unrecognized multi-output function shape (" +
+            std::to_string(outputs.size()) + " outputs, " +
+            std::to_string(n) + " inputs)";
+  return std::nullopt;
+}
+
+std::string LoadReport::text() const {
+  std::ostringstream os;
+  os << "liberty load: " << recognized << " cells recognized, "
+     << skipped.size() << " skipped\n";
+  for (const SkippedCell& s : skipped) {
+    os << "  skipped " << s.cell << ": " << s.reason << "\n";
+  }
+  return os.str();
+}
+
+cells::CellLibrary to_cell_library(const Library& lib, LoadReport* report,
+                                   const LoadOptions& options) {
+  LoadReport local;
+  if (report == nullptr) report = &local;
+  *report = LoadReport{};
+
+  cells::CellLibrary out(lib.name, "Liberty import (" +
+                                       std::to_string(lib.cells.size()) +
+                                       " source cells)");
+  std::vector<cells::Cell> converted;
+  for (const Cell& c : lib.cells) {
+    std::string reason;
+    std::optional<ComponentSpec> spec;
+    try {
+      spec = infer_spec(c, &reason);
+    } catch (const Error& e) {
+      // A malformed function expression inside one cell skips that cell,
+      // it does not abort the whole library.
+      reason = e.what();
+    }
+    if (!spec.has_value()) {
+      report->skipped.push_back(SkippedCell{c.name, reason});
+      continue;
+    }
+    cells::Cell cell;
+    cell.name = c.name;
+    cell.spec = *spec;
+    cell.area = c.area;
+    double delay = 0.0;
+    for (const Pin& p : c.pins) {
+      if (p.dir == PinDir::kOutput) delay = std::max(delay, p.max_delay());
+    }
+    cell.delay_ns = delay * lib.time_scale_ns;
+    cell.description = "liberty cell (line " + std::to_string(c.line) + ")";
+    converted.push_back(std::move(cell));
+    ++report->recognized;
+  }
+
+  if (options.normalize_area) {
+    // Normalize to NAND2-equivalents when the library offers a 2-input
+    // NAND, so areas are comparable with the built-in data books. With
+    // several drive strengths of the same function, the smallest is the
+    // nominal gate — file order must not change the base.
+    const ComponentSpec nand2 = genus::make_gate_spec(Op::kNand, 1, 2);
+    double nand2_area = 0.0;
+    for (const cells::Cell& c : converted) {
+      if (c.spec == nand2 && c.area > 0.0 &&
+          (nand2_area == 0.0 || c.area < nand2_area)) {
+        nand2_area = c.area;
+      }
+    }
+    if (nand2_area > 0.0) {
+      for (cells::Cell& c : converted) c.area /= nand2_area;
+    }
+  }
+  for (cells::Cell& c : converted) out.add(std::move(c));
+  return out;
+}
+
+cells::CellLibrary load_liberty(const std::string& text, LoadReport* report,
+                                const LoadOptions& options) {
+  return to_cell_library(parse_liberty(text), report, options);
+}
+
+cells::CellLibrary load_liberty_file(const std::string& path,
+                                     LoadReport* report,
+                                     const LoadOptions& options) {
+  return load_liberty(read_text_file(path, "liberty file"), report, options);
+}
+
+}  // namespace bridge::liberty

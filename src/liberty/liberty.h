@@ -1,0 +1,133 @@
+// Liberty-subset technology library ingestion.
+//
+// The paper demonstrates retargeting DTAS by hand-writing a second data
+// book (§7, the LOLA experiments). This subsystem opens that path to real
+// RTL technology libraries: a Liberty (.lib) subset is parsed into a
+// liberty::Library, a spec-inference pass recognizes each cell's boolean
+// function / ff group as a GENUS ComponentSpec (the paper's "functional
+// specification of library cells", §5), and the result is an ordinary
+// cells::CellLibrary that DTAS synthesizes against — so any Liberty file
+// becomes a retargeting workload, not just the two built-in books.
+//
+// Supported Liberty subset:
+//   library (NAME) { time_unit : "1ns";
+//     cell (NAME) { area : A;
+//       pin (P) { direction : ...; function : "..."; three_state ...;
+//                 timing () { related_pin : "..."; intrinsic_rise : d;
+//                             cell_rise (tpl) { values ("...", ...); } } }
+//       ff (IQ, IQN) { clocked_on : "CK"; next_state : "D";
+//                      clear : "!R"; preset : "!S"; } } }
+// Unrecognized attributes/groups are skipped; cells whose function the
+// inference pass cannot express as a ComponentSpec are skipped with a
+// diagnostic (never a crash).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+
+namespace bridge::liberty {
+
+enum class PinDir : std::uint8_t { kInput, kOutput, kInout, kInternal };
+
+/// One timing() group of an output pin, reduced to its worst-case delay
+/// (max over intrinsic_rise/fall and cell_rise/cell_fall table values),
+/// in library time units.
+struct TimingArc {
+  std::string related_pin;
+  double max_delay = 0.0;
+};
+
+struct Pin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  std::string function;  // boolean function text; empty when absent
+  bool three_state = false;
+  std::vector<TimingArc> timings;
+  int line = 0;  // source line of the pin group (diagnostics)
+
+  /// Worst delay over all timing arcs, in library time units.
+  double max_delay() const;
+};
+
+/// The ff (state, state_inv) group of a sequential cell.
+struct FlipFlop {
+  std::string state;      // e.g. "IQ"
+  std::string state_inv;  // e.g. "IQN"
+  std::string clocked_on;
+  std::string next_state;
+  std::string clear;   // async clear expression; empty when absent
+  std::string preset;  // async preset expression; empty when absent
+};
+
+struct Cell {
+  std::string name;
+  double area = 0.0;
+  bool is_latch = false;  // latch group seen (unsupported downstream)
+  bool has_bus = false;   // bus/bundle group seen (unsupported downstream)
+  std::optional<FlipFlop> ff;
+  std::vector<Pin> pins;
+  int line = 0;  // source line of the cell group (diagnostics)
+
+  const Pin* find_pin(const std::string& name) const;
+};
+
+struct Library {
+  std::string name;
+  /// Multiply pin delays by this to get nanoseconds (from time_unit).
+  double time_scale_ns = 1.0;
+  std::vector<Cell> cells;
+};
+
+/// Parse the Liberty subset. Throws ParseError with line/column on
+/// malformed input (unbalanced groups, missing ';', bad numbers).
+Library parse_liberty(const std::string& text);
+
+// --- spec inference -------------------------------------------------------
+
+/// One cell the inference pass could not convert, and why.
+struct SkippedCell {
+  std::string cell;
+  std::string reason;
+};
+
+struct LoadReport {
+  int recognized = 0;
+  std::vector<SkippedCell> skipped;
+  std::string text() const;
+};
+
+struct LoadOptions {
+  /// Liberty areas are usually um^2, not the equivalent-NAND-gate unit of
+  /// the built-in data books. When true and the library contains a 2-input
+  /// NAND cell, all areas are divided by its area so results are
+  /// comparable across libraries (Figure-3 units).
+  bool normalize_area = true;
+};
+
+/// Infer a GENUS ComponentSpec for one combinational/ff cell. Returns
+/// nullopt (with *reason set) when the cell is outside the recognizable
+/// subset: latches, bus pins, >6 inputs, tristate non-buffers, or boolean
+/// functions that are not a gate / mux / adder shape.
+std::optional<genus::ComponentSpec> infer_spec(const Cell& cell,
+                                               std::string* reason);
+
+/// Convert a parsed Liberty library into a DTAS cell library. Cells that
+/// fail inference are recorded in `report` and skipped.
+cells::CellLibrary to_cell_library(const Library& lib,
+                                   LoadReport* report = nullptr,
+                                   const LoadOptions& options = {});
+
+/// parse_liberty + to_cell_library.
+cells::CellLibrary load_liberty(const std::string& text,
+                                LoadReport* report = nullptr,
+                                const LoadOptions& options = {});
+
+/// Read a .lib file from disk. Throws Error when unreadable.
+cells::CellLibrary load_liberty_file(const std::string& path,
+                                     LoadReport* report = nullptr,
+                                     const LoadOptions& options = {});
+
+}  // namespace bridge::liberty

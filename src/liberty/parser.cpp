@@ -1,0 +1,459 @@
+// Liberty-subset parser: tokenizer, generic group reader, and the
+// interpretation of library / cell / pin / ff / timing groups into the
+// typed AST of liberty.h. Attributes and groups outside the subset are
+// skipped so real vendor files (which carry power, leakage, templates,
+// operating conditions, ...) parse without special cases.
+#include <algorithm>
+#include <cctype>
+
+#include "base/diag.h"
+#include "base/strutil.h"
+#include "liberty/liberty.h"
+
+namespace bridge::liberty {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kString, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '[' || c == ']' || c == '-' || c == '+';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    tok_.line = line_;
+    tok_.col = col();
+    if (pos_ >= text_.size()) {
+      tok_.kind = Token::Kind::kEnd;
+      tok_.text.clear();
+      return;
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      size_t end = text_.find('"', pos_ + 1);
+      if (end == std::string::npos) {
+        throw ParseError("unterminated string", line_, col());
+      }
+      tok_.kind = Token::Kind::kString;
+      tok_.text = text_.substr(pos_ + 1, end - pos_ - 1);
+      // Keep the line counter honest even if the string spans lines
+      // (e.g. a missing closing quote swallowing text up to the next
+      // one): later errors must still point near the real defect.
+      for (size_t i = pos_; i < end; ++i) {
+        if (text_[i] == '\n') {
+          line_ += 1;
+          line_start_ = i + 1;
+        }
+      }
+      pos_ = end + 1;
+      return;
+    }
+    if (c == '{' || c == '}' || c == '(' || c == ')' || c == ':' ||
+        c == ';' || c == ',') {
+      tok_.kind = Token::Kind::kPunct;
+      tok_.text.assign(1, c);
+      ++pos_;
+      return;
+    }
+    if (is_ident_char(c)) {
+      size_t b = pos_;
+      while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+      tok_.kind = Token::Kind::kIdent;
+      tok_.text = text_.substr(b, pos_ - b);
+      return;
+    }
+    throw ParseError("unexpected character '" + std::string(1, c) + "'",
+                     line_, col());
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (c == '\n') {
+          ++line_;
+          line_start_ = ++pos_;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+          ++pos_;
+        } else if (c == '\\' && pos_ + 1 < text_.size() &&
+                   (text_[pos_ + 1] == '\n' ||
+                    (text_[pos_ + 1] == '\r' && pos_ + 2 < text_.size() &&
+                     text_[pos_ + 2] == '\n'))) {
+          // Liberty line continuation.
+          pos_ += text_[pos_ + 1] == '\n' ? 2 : 3;
+          ++line_;
+          line_start_ = pos_;
+        } else {
+          break;
+        }
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          throw ParseError("unterminated comment", line_, col());
+        }
+        for (size_t i = pos_; i < end; ++i) {
+          if (text_[i] == '\n') {
+            ++line_;
+            line_start_ = i + 1;
+          }
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        pos_ = text_.find('\n', pos_);
+        if (pos_ == std::string::npos) pos_ = text_.size();
+        continue;
+      }
+      break;
+    }
+  }
+
+  int col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_start_ = 0;
+  int line_ = 1;
+  Token tok_;
+};
+
+/// Generic Liberty group: `name (args) { attributes and subgroups }`.
+struct GenAttr {
+  std::string name;
+  std::vector<std::string> values;
+  int line = 1;
+};
+
+struct GenGroup {
+  std::string name;
+  std::vector<std::string> args;
+  std::vector<GenAttr> attrs;
+  std::vector<GenGroup> groups;
+  int line = 1;
+};
+
+class GroupParser {
+ public:
+  explicit GroupParser(const std::string& text) : lex_(text) {}
+
+  GenGroup parse_top() {
+    Token head = expect_ident("a group name");
+    GenGroup top = parse_group(std::move(head));
+    if (lex_.peek().kind != Token::Kind::kEnd) {
+      const Token& t = lex_.peek();
+      throw ParseError("trailing input after top-level group", t.line, t.col);
+    }
+    return top;
+  }
+
+ private:
+  Token expect_ident(const std::string& what) {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::kIdent) {
+      throw ParseError("expected " + what, t.line, t.col);
+    }
+    return t;
+  }
+
+  void expect_punct(char c) {
+    Token t = lex_.take();
+    if (t.kind != Token::Kind::kPunct || t.text[0] != c) {
+      throw ParseError("expected '" + std::string(1, c) + "', got '" +
+                           t.text + "'",
+                       t.line, t.col);
+    }
+  }
+
+  bool peek_punct(char c) const {
+    return lex_.peek().kind == Token::Kind::kPunct &&
+           lex_.peek().text[0] == c;
+  }
+
+  std::vector<std::string> parse_args() {
+    expect_punct('(');
+    std::vector<std::string> args;
+    while (!peek_punct(')')) {
+      Token t = lex_.take();
+      if (t.kind == Token::Kind::kEnd) {
+        throw ParseError("unterminated '(' argument list", t.line, t.col);
+      }
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text[0] == ',') continue;
+        throw ParseError("unexpected '" + t.text + "' in argument list",
+                         t.line, t.col);
+      }
+      args.push_back(t.text);
+    }
+    expect_punct(')');
+    return args;
+  }
+
+  /// `head` is the group name; the '(' has not been consumed yet.
+  GenGroup parse_group(Token head) {
+    GenGroup g;
+    g.name = head.text;
+    g.line = head.line;
+    g.args = parse_args();
+    expect_punct('{');
+    return parse_body(std::move(g));
+  }
+
+  /// Body loop for a group whose header (name, args, '{') is consumed.
+  GenGroup parse_body(GenGroup g) {
+    while (!peek_punct('}')) {
+      if (lex_.peek().kind == Token::Kind::kEnd) {
+        throw ParseError("unterminated group '" + g.name + "'", g.line, 1);
+      }
+      if (peek_punct(';')) {
+        lex_.take();
+        continue;
+      }
+      Token name = expect_ident("an attribute or group name");
+      if (peek_punct(':')) {
+        lex_.take();
+        GenAttr attr;
+        attr.name = name.text;
+        attr.line = name.line;
+        Token v = lex_.take();
+        if (v.kind != Token::Kind::kIdent && v.kind != Token::Kind::kString) {
+          throw ParseError("expected a value for attribute '" + name.text +
+                               "'",
+                           v.line, v.col);
+        }
+        attr.values.push_back(v.text);
+        expect_punct(';');
+        g.attrs.push_back(std::move(attr));
+      } else if (peek_punct('(')) {
+        std::vector<std::string> args = parse_args();
+        if (peek_punct('{')) {
+          GenGroup sub;
+          sub.name = name.text;
+          sub.line = name.line;
+          sub.args = std::move(args);
+          expect_punct('{');
+          g.groups.push_back(parse_body(std::move(sub)));
+        } else {
+          expect_punct(';');
+          GenAttr attr;
+          attr.name = name.text;
+          attr.line = name.line;
+          attr.values = std::move(args);
+          g.attrs.push_back(std::move(attr));
+        }
+      } else {
+        const Token& t = lex_.peek();
+        throw ParseError("expected ':' or '(' after '" + name.text + "'",
+                         t.line, t.col);
+      }
+    }
+    expect_punct('}');
+    return g;
+  }
+
+  Lexer lex_;
+};
+
+/// "1ns" -> 1.0, "10ps" -> 0.01, "1us" -> 1000.
+double time_unit_scale_ns(const std::string& unit, int line) {
+  size_t used = 0;
+  double mag = 1.0;
+  try {
+    mag = std::stod(unit, &used);
+  } catch (const std::exception&) {
+    throw ParseError("bad time_unit '" + unit + "'", line, 1);
+  }
+  const std::string suffix = to_lower(trim(unit.substr(used)));
+  if (suffix == "ns") return mag;
+  if (suffix == "ps") return mag * 1e-3;
+  if (suffix == "us") return mag * 1e3;
+  throw ParseError("unsupported time_unit '" + unit + "'", line, 1);
+}
+
+/// Collect every number inside a Liberty `values` table string, e.g.
+/// "0.011, 0.016, 0.025".
+void collect_values(const std::string& text, int line, double* max_out) {
+  for (const std::string& field : split(text, ',')) {
+    const std::string t = trim(field);
+    if (t.empty()) continue;
+    for (const std::string& num : split_ws(t)) {
+      *max_out = std::max(*max_out, parse_double_token(num, line));
+    }
+  }
+}
+
+TimingArc interpret_timing(const GenGroup& g) {
+  TimingArc arc;
+  for (const GenAttr& a : g.attrs) {
+    const std::string name = to_lower(a.name);
+    if (name == "related_pin" && !a.values.empty()) {
+      arc.related_pin = a.values[0];
+    } else if (name == "intrinsic_rise" || name == "intrinsic_fall" ||
+               name == "cell_rise" || name == "cell_fall") {
+      if (!a.values.empty()) {
+        arc.max_delay = std::max(arc.max_delay, parse_double_token(a.values[0], a.line));
+      }
+    }
+  }
+  for (const GenGroup& sub : g.groups) {
+    const std::string name = to_lower(sub.name);
+    if (name != "cell_rise" && name != "cell_fall" &&
+        name != "rise_propagation" && name != "fall_propagation") {
+      continue;  // transitions, constraints, power: not propagation delay
+    }
+    for (const GenAttr& a : sub.attrs) {
+      if (to_lower(a.name) != "values") continue;
+      for (const std::string& v : a.values) {
+        collect_values(v, a.line, &arc.max_delay);
+      }
+    }
+  }
+  return arc;
+}
+
+Pin interpret_pin(const GenGroup& g) {
+  Pin pin;
+  pin.line = g.line;
+  if (!g.args.empty()) pin.name = g.args[0];
+  for (const GenAttr& a : g.attrs) {
+    const std::string name = to_lower(a.name);
+    if (a.values.empty()) continue;
+    if (name == "direction") {
+      const std::string d = to_lower(a.values[0]);
+      if (d == "input") {
+        pin.dir = PinDir::kInput;
+      } else if (d == "output") {
+        pin.dir = PinDir::kOutput;
+      } else if (d == "inout") {
+        pin.dir = PinDir::kInout;
+      } else if (d == "internal") {
+        pin.dir = PinDir::kInternal;
+      } else {
+        throw ParseError("unknown pin direction '" + a.values[0] + "'",
+                         a.line, 1);
+      }
+    } else if (name == "function") {
+      pin.function = a.values[0];
+    } else if (name == "three_state") {
+      // A constant-false condition means the output is never high-Z.
+      const std::string cond = to_lower(trim(a.values[0]));
+      pin.three_state = cond != "0" && cond != "false";
+    }
+  }
+  for (const GenGroup& sub : g.groups) {
+    if (to_lower(sub.name) == "timing") {
+      pin.timings.push_back(interpret_timing(sub));
+    }
+  }
+  return pin;
+}
+
+FlipFlop interpret_ff(const GenGroup& g) {
+  FlipFlop ff;
+  if (!g.args.empty()) ff.state = g.args[0];
+  if (g.args.size() > 1) ff.state_inv = g.args[1];
+  for (const GenAttr& a : g.attrs) {
+    const std::string name = to_lower(a.name);
+    if (a.values.empty()) continue;
+    if (name == "clocked_on") {
+      ff.clocked_on = a.values[0];
+    } else if (name == "next_state") {
+      ff.next_state = a.values[0];
+    } else if (name == "clear") {
+      ff.clear = a.values[0];
+    } else if (name == "preset") {
+      ff.preset = a.values[0];
+    }
+  }
+  return ff;
+}
+
+Cell interpret_cell(const GenGroup& g) {
+  Cell cell;
+  cell.line = g.line;
+  if (g.args.empty()) {
+    throw ParseError("cell group needs a name argument", g.line, 1);
+  }
+  cell.name = g.args[0];
+  for (const GenAttr& a : g.attrs) {
+    if (to_lower(a.name) == "area" && !a.values.empty()) {
+      cell.area = parse_double_token(a.values[0], a.line);
+    }
+  }
+  for (const GenGroup& sub : g.groups) {
+    const std::string name = to_lower(sub.name);
+    if (name == "pin") {
+      cell.pins.push_back(interpret_pin(sub));
+    } else if (name == "ff") {
+      cell.ff = interpret_ff(sub);
+    } else if (name == "latch") {
+      cell.is_latch = true;
+    } else if (name == "bus" || name == "bundle") {
+      cell.has_bus = true;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+double Pin::max_delay() const {
+  double d = 0.0;
+  for (const TimingArc& arc : timings) d = std::max(d, arc.max_delay);
+  return d;
+}
+
+const Pin* Cell::find_pin(const std::string& pin_name) const {
+  for (const Pin& p : pins) {
+    if (p.name == pin_name) return &p;
+  }
+  return nullptr;
+}
+
+Library parse_liberty(const std::string& text) {
+  GenGroup top = GroupParser(text).parse_top();
+  if (to_lower(top.name) != "library") {
+    throw ParseError("expected a top-level library group, got '" + top.name +
+                         "'",
+                     top.line, 1);
+  }
+  Library lib;
+  lib.name = top.args.empty() ? "liberty" : top.args[0];
+  for (const GenAttr& a : top.attrs) {
+    if (to_lower(a.name) == "time_unit" && !a.values.empty()) {
+      lib.time_scale_ns = time_unit_scale_ns(a.values[0], a.line);
+    }
+  }
+  for (const GenGroup& g : top.groups) {
+    if (to_lower(g.name) == "cell") {
+      lib.cells.push_back(interpret_cell(g));
+    }
+  }
+  return lib;
+}
+
+}  // namespace bridge::liberty

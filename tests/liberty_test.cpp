@@ -1,0 +1,452 @@
+// Liberty-subset loader tests: boolean expressions, the group parser
+// (with line-carrying errors), spec inference, skip diagnostics, and the
+// bundled sky130-style library as a full retargeting workload.
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "dtas/synthesizer.h"
+#include "liberty/boolexpr.h"
+#include "liberty/liberty.h"
+
+namespace bridge::liberty {
+namespace {
+
+using genus::Kind;
+using genus::Op;
+using genus::OpSet;
+
+// --- boolean expressions --------------------------------------------------
+
+TEST(BoolExpr, OperatorsAndPrecedence) {
+  // OR is weakest: a & b | c  ==  (a & b) | c.
+  auto e = BoolExpr::parse("a & b | c");
+  EXPECT_TRUE(e.eval({{"a", false}, {"b", false}, {"c", true}}));
+  EXPECT_FALSE(e.eval({{"a", true}, {"b", false}, {"c", false}}));
+  // Postfix ' and prefix ! both negate.
+  EXPECT_TRUE(BoolExpr::parse("a'").eval({{"a", false}}));
+  EXPECT_TRUE(BoolExpr::parse("!a").eval({{"a", false}}));
+  // Juxtaposition is AND; * and + are alternates for & and |.
+  EXPECT_TRUE(BoolExpr::parse("a b").eval({{"a", true}, {"b", true}}));
+  EXPECT_FALSE(BoolExpr::parse("a*b").eval({{"a", true}, {"b", false}}));
+  EXPECT_TRUE(BoolExpr::parse("a+b").eval({{"a", false}, {"b", true}}));
+  // Constants.
+  EXPECT_TRUE(BoolExpr::parse("1").eval({}));
+  EXPECT_FALSE(BoolExpr::parse("0 | 0").eval({}));
+}
+
+TEST(BoolExpr, VariablesAndTruthTable) {
+  auto e = BoolExpr::parse("(A0 & !S) | (A1 & S)");
+  EXPECT_EQ(e.variables(), (std::vector<std::string>{"A0", "A1", "S"}));
+  // Truth table over {A, B}: AND is rows where both bits are set -> 0b1000.
+  EXPECT_EQ(BoolExpr::parse("A & B").truth_table({"A", "B"}), 0b1000u);
+  EXPECT_EQ(BoolExpr::parse("A ^ B").truth_table({"A", "B"}), 0b0110u);
+}
+
+TEST(BoolExpr, ParseErrors) {
+  EXPECT_THROW(BoolExpr::parse("a &"), ParseError);
+  EXPECT_THROW(BoolExpr::parse("(a | b"), ParseError);
+  EXPECT_THROW(BoolExpr::parse("a ? b"), ParseError);
+  EXPECT_THROW(BoolExpr::parse(""), ParseError);
+}
+
+// --- the Liberty group parser --------------------------------------------
+
+constexpr const char* kTinyLib = R"(
+/* block comment
+   spanning lines */
+library (tiny) {
+  time_unit : "10ps";
+  cell (INVX1) {
+    area : 4.0;
+    pin (A) { direction : input; }
+    pin (Y) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : "A";
+        intrinsic_rise : 12.0;
+        intrinsic_fall : 8.0;
+      }
+    }
+  }
+}
+)";
+
+TEST(LibertyParser, ParsesStructureAndTimeUnit) {
+  Library lib = parse_liberty(kTinyLib);
+  EXPECT_EQ(lib.name, "tiny");
+  EXPECT_DOUBLE_EQ(lib.time_scale_ns, 0.01);  // 10ps
+  ASSERT_EQ(lib.cells.size(), 1u);
+  const Cell& inv = lib.cells[0];
+  EXPECT_EQ(inv.name, "INVX1");
+  EXPECT_DOUBLE_EQ(inv.area, 4.0);
+  const Pin* y = inv.find_pin("Y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->dir, PinDir::kOutput);
+  EXPECT_EQ(y->function, "!A");
+  EXPECT_DOUBLE_EQ(y->max_delay(), 12.0);
+}
+
+TEST(LibertyParser, ErrorsCarryLineNumbers) {
+  // Missing ';' after the area attribute (line 3 of this text).
+  const char* missing_semi =
+      "library (l) {\n"
+      "  cell (c) {\n"
+      "    area : 1.0\n"
+      "  }\n"
+      "}\n";
+  try {
+    parse_liberty(missing_semi);
+    FAIL() << "expected a throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);  // the '}' where the ';' was expected
+  }
+
+  // Unterminated group.
+  EXPECT_THROW(parse_liberty("library (l) { cell (c) {"), ParseError);
+  // Bad number in area.
+  EXPECT_THROW(
+      parse_liberty("library (l) { cell (c) { area : abc; } }"),
+      ParseError);
+  // Not a library at top level.
+  EXPECT_THROW(parse_liberty("wibble (l) { }"), ParseError);
+  // Unterminated string.
+  EXPECT_THROW(parse_liberty("library (l) { time_unit : \"1ns"), ParseError);
+}
+
+TEST(LibertyParser, LineNumbersSurviveMultiLineStrings) {
+  // A string that swallows a newline (e.g. a lost closing quote) must not
+  // desynchronize the line counter for later diagnostics.
+  const char* text =
+      "library (l) {\n"           // line 1
+      "  cell (c) {\n"            // line 2
+      "    comment : \"spans\n"   // lines 3-4
+      "two lines\";\n"
+      "    pin (A) { direction : bogus; }\n"  // line 5
+      "  }\n"
+      "}\n";
+  try {
+    parse_liberty(text);
+    FAIL() << "expected a throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 5);
+  }
+}
+
+TEST(LibertyParser, SkipsUnknownAttributesAndGroups) {
+  Library lib = parse_liberty(
+      "library (l) {\n"
+      "  delay_model : table_lookup;\n"
+      "  operating_conditions (fast) { process : 1; }\n"
+      "  lu_table_template (t) { variable_1 : input_net_transition; }\n"
+      "  cell (c) {\n"
+      "    area : 2.0;\n"
+      "    cell_leakage_power : 0.3;\n"
+      "    pin (A) { direction : input; capacitance : 0.001; }\n"
+      "    pin (X) { direction : output; function : \"A\"; }\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(lib.cells.size(), 1u);
+  EXPECT_EQ(lib.cells[0].pins.size(), 2u);
+}
+
+// --- spec inference -------------------------------------------------------
+
+Cell comb_cell(const std::string& name,
+               const std::vector<std::string>& inputs,
+               const std::vector<std::string>& functions) {
+  Cell c;
+  c.name = name;
+  for (const std::string& in : inputs) {
+    Pin p;
+    p.name = in;
+    p.dir = PinDir::kInput;
+    c.pins.push_back(p);
+  }
+  int i = 0;
+  for (const std::string& fn : functions) {
+    Pin p;
+    p.name = "X" + std::to_string(i++);
+    p.dir = PinDir::kOutput;
+    p.function = fn;
+    c.pins.push_back(p);
+  }
+  return c;
+}
+
+TEST(SpecInference, RecognizesTheCoreGates) {
+  std::string why;
+  auto inv = infer_spec(comb_cell("inv", {"A"}, {"!A"}), &why);
+  ASSERT_TRUE(inv.has_value()) << why;
+  EXPECT_EQ(*inv, genus::make_gate_spec(Op::kLnot, 1));
+
+  auto nand2 = infer_spec(comb_cell("nand2", {"A", "B"}, {"!(A & B)"}), &why);
+  ASSERT_TRUE(nand2.has_value()) << why;
+  EXPECT_EQ(*nand2, genus::make_gate_spec(Op::kNand, 1, 2));
+
+  // Recognition is semantic, not syntactic: De Morgan'd NAND still infers.
+  auto demorgan = infer_spec(comb_cell("n", {"A", "B"}, {"!A | !B"}), &why);
+  ASSERT_TRUE(demorgan.has_value()) << why;
+  EXPECT_EQ(*demorgan, genus::make_gate_spec(Op::kNand, 1, 2));
+
+  auto nand4 = infer_spec(
+      comb_cell("nand4", {"A", "B", "C", "D"}, {"!(A & B & C & D)"}), &why);
+  ASSERT_TRUE(nand4.has_value()) << why;
+  EXPECT_EQ(*nand4, genus::make_gate_spec(Op::kNand, 1, 4));
+}
+
+TEST(SpecInference, RecognizesMuxesWhateverThePinOrder) {
+  std::string why;
+  auto mux = infer_spec(
+      comb_cell("mux2", {"A0", "A1", "S"}, {"(A0 & !S) | (A1 & S)"}), &why);
+  ASSERT_TRUE(mux.has_value()) << why;
+  EXPECT_EQ(*mux, genus::make_mux_spec(1, 2));
+
+  // Select pin declared first: still a mux.
+  auto mux_s_first = infer_spec(
+      comb_cell("mux2b", {"S", "D0", "D1"}, {"(D0 & !S) | (D1 & S)"}), &why);
+  ASSERT_TRUE(mux_s_first.has_value()) << why;
+  EXPECT_EQ(*mux_s_first, genus::make_mux_spec(1, 2));
+
+  auto mux4 = infer_spec(
+      comb_cell("mux4", {"A", "B", "C", "D", "S0", "S1"},
+                {"(A & !S0 & !S1) | (B & S0 & !S1) | (C & !S0 & S1) | "
+                 "(D & S0 & S1)"}),
+      &why);
+  ASSERT_TRUE(mux4.has_value()) << why;
+  EXPECT_EQ(*mux4, genus::make_mux_spec(1, 4));
+}
+
+TEST(SpecInference, RecognizesAdders) {
+  std::string why;
+  auto fa = infer_spec(
+      comb_cell("fa", {"A", "B", "CIN"},
+                {"A ^ B ^ CIN", "(A & B) | (A & CIN) | (B & CIN)"}),
+      &why);
+  ASSERT_TRUE(fa.has_value()) << why;
+  EXPECT_EQ(*fa, genus::make_adder_spec(1, true, true));
+
+  auto ha = infer_spec(comb_cell("ha", {"A", "B"}, {"A ^ B", "A & B"}), &why);
+  ASSERT_TRUE(ha.has_value()) << why;
+  EXPECT_EQ(*ha, genus::make_adder_spec(1, false, true));
+}
+
+TEST(SpecInference, RecognizesTristateBuffers) {
+  // A realistic tristate buffer: the enable pin appears only in the
+  // three_state condition, not in the data function.
+  Cell ts = comb_cell("tbuf", {"A", "OE"}, {"A"});
+  ts.pins.back().three_state = true;
+  std::string why;
+  auto spec = infer_spec(ts, &why);
+  ASSERT_TRUE(spec.has_value()) << why;
+  EXPECT_EQ(spec->kind, Kind::kTristate);
+  EXPECT_TRUE(spec->tristate);
+
+  // A tristate with a non-buffer data function stays outside the subset.
+  Cell tsnand = comb_cell("tnand", {"A", "B", "OE"}, {"!(A & B)"});
+  tsnand.pins.back().three_state = true;
+  EXPECT_FALSE(infer_spec(tsnand, &why).has_value());
+  EXPECT_NE(why.find("three_state"), std::string::npos);
+
+  // A constant-false three_state condition is not a tristate output:
+  // the cell loads as a plain buffer.
+  Library parsed = parse_liberty(
+      "library (l) { cell (b) { area : 1;\n"
+      "  pin (A) { direction : input; }\n"
+      "  pin (X) { direction : output; function : \"A\";\n"
+      "            three_state : \"0\"; } } }\n");
+  auto buf = infer_spec(parsed.cells[0], &why);
+  ASSERT_TRUE(buf.has_value()) << why;
+  EXPECT_EQ(*buf, genus::make_gate_spec(Op::kBuf, 1));
+}
+
+Cell ff_cell(const std::string& name, const std::vector<std::string>& inputs,
+             const FlipFlop& ff) {
+  Cell c;
+  c.name = name;
+  c.ff = ff;
+  for (const std::string& in : inputs) {
+    Pin p;
+    p.name = in;
+    p.dir = PinDir::kInput;
+    c.pins.push_back(p);
+  }
+  Pin q;
+  q.name = "Q";
+  q.dir = PinDir::kOutput;
+  q.function = ff.state;
+  c.pins.push_back(q);
+  return c;
+}
+
+TEST(SpecInference, RecognizesFlipFlops) {
+  std::string why;
+  auto spec = infer_spec(
+      ff_cell("dff", {"CLK", "D", "RST"},
+              FlipFlop{"IQ", "IQN", "CLK", "D", /*clear=*/"!RST",
+                       /*preset=*/""}),
+      &why);
+  ASSERT_TRUE(spec.has_value()) << why;
+  EXPECT_EQ(spec->kind, Kind::kFlipFlop);
+  EXPECT_TRUE(spec->async_reset);
+  EXPECT_FALSE(spec->async_set);
+  EXPECT_EQ(spec->ops, OpSet{Op::kLoad});
+
+  // Clock-enable FF: next_state muxes between D and the held state.
+  auto espec = infer_spec(
+      ff_cell("edff", {"CLK", "D", "DE"},
+              FlipFlop{"IQ", "IQN", "CLK", "(DE & D) | (!DE & IQ)", "", ""}),
+      &why);
+  ASSERT_TRUE(espec.has_value()) << why;
+  EXPECT_TRUE(espec->enable);
+
+  // The ACTIVE-LOW enable form (state held while the pin is high) is
+  // skipped: the spec model cannot express enable polarity.
+  EXPECT_FALSE(
+      infer_spec(ff_cell("nedff", {"CLK", "D", "EN"},
+                         FlipFlop{"IQ", "IQN", "CLK",
+                                  "(!EN & D) | (EN & IQ)", "", ""}),
+                 &why)
+          .has_value());
+
+  // A toggle FF's next_state depends only on the state: not a load FF.
+  EXPECT_FALSE(infer_spec(ff_cell("tff", {"CLK"},
+                                  FlipFlop{"IQ", "IQN", "CLK", "!IQ", "", ""}),
+                          &why)
+                   .has_value());
+
+  // An inverted data input stores the complement — the spec model cannot
+  // express that polarity, so the cell is skipped, not mis-loaded.
+  EXPECT_FALSE(infer_spec(ff_cell("ndff", {"CLK", "D"},
+                                  FlipFlop{"IQ", "IQN", "CLK", "!D", "", ""}),
+                          &why)
+                   .has_value());
+  EXPECT_NE(why.find("next_state"), std::string::npos);
+
+  // A typo'd next_state referencing a pin the cell does not have is a
+  // skip diagnostic, not a silently-loaded DFF.
+  EXPECT_FALSE(infer_spec(ff_cell("typo", {"CLK", "D"},
+                                  FlipFlop{"IQ", "IQN", "CLK", "DT", "", ""}),
+                          &why)
+                   .has_value());
+  EXPECT_NE(why.find("DT"), std::string::npos);
+}
+
+TEST(SpecInference, SkipsUnsupportedCellsWithDiagnostics) {
+  std::string why;
+  // AOI gate: no GENUS spec.
+  EXPECT_FALSE(infer_spec(
+                   comb_cell("aoi21", {"A1", "A2", "B1"},
+                             {"!((A1 & A2) | B1)"}),
+                   &why)
+                   .has_value());
+  EXPECT_NE(why.find("unrecognized"), std::string::npos);
+
+  // Latch.
+  Cell latch;
+  latch.name = "dlatch";
+  latch.is_latch = true;
+  EXPECT_FALSE(infer_spec(latch, &why).has_value());
+  EXPECT_NE(why.find("latch"), std::string::npos);
+
+  // Constant tie cell.
+  EXPECT_FALSE(infer_spec(comb_cell("tiehi", {"A"}, {"1"}), &why).has_value());
+
+  // Wide fan-in beyond the 6-input recognition subset.
+  EXPECT_FALSE(infer_spec(comb_cell("nand8",
+                                    {"A", "B", "C", "D", "E", "F", "G", "H"},
+                                    {"!(A & B & C & D & E & F & G & H)"}),
+                          &why)
+                   .has_value());
+  EXPECT_NE(why.find("6 input"), std::string::npos);
+}
+
+TEST(SpecInference, ConversionSkipsDoesNotCrash) {
+  LoadReport report;
+  cells::CellLibrary lib = load_liberty(
+      "library (l) {\n"
+      "  cell (good) { area : 2; pin (A) { direction : input; }\n"
+      "    pin (X) { direction : output; function : \"!A\"; } }\n"
+      "  cell (bad) { area : 3; pin (A) { direction : input; }\n"
+      "    pin (B) { direction : input; }\n"
+      "    pin (C) { direction : input; }\n"
+      "    pin (X) { direction : output; function : \"(A & B) | !C\"; } }\n"
+      "}\n",
+      &report);
+  EXPECT_EQ(report.recognized, 1);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].cell, "bad");
+  EXPECT_EQ(lib.size(), 1);
+  EXPECT_NE(lib.find("good"), nullptr);
+  EXPECT_NE(report.text().find("bad"), std::string::npos);
+}
+
+TEST(SpecInference, NormalizesAreaToNand2Equivalents) {
+  // The 4x-drive NAND2 is listed first: normalization must still use the
+  // smallest NAND2 as the base, independent of file order.
+  const char* text =
+      "library (l) {\n"
+      "  cell (nand_4) { area : 12.0; pin (A) { direction : input; }\n"
+      "    pin (B) { direction : input; }\n"
+      "    pin (Y) { direction : output; function : \"!(A & B)\"; } }\n"
+      "  cell (nand) { area : 5.0; pin (A) { direction : input; }\n"
+      "    pin (B) { direction : input; }\n"
+      "    pin (Y) { direction : output; function : \"!(A & B)\"; } }\n"
+      "  cell (inv) { area : 2.5; pin (A) { direction : input; }\n"
+      "    pin (Y) { direction : output; function : \"!A\"; } }\n"
+      "}\n";
+  cells::CellLibrary norm = load_liberty(text);
+  EXPECT_DOUBLE_EQ(norm.find("nand")->area, 1.0);
+  EXPECT_DOUBLE_EQ(norm.find("nand_4")->area, 2.4);
+  EXPECT_DOUBLE_EQ(norm.find("inv")->area, 0.5);
+
+  LoadOptions raw;
+  raw.normalize_area = false;
+  cells::CellLibrary unnorm = load_liberty(text, nullptr, raw);
+  EXPECT_DOUBLE_EQ(unnorm.find("nand")->area, 5.0);
+}
+
+// --- the bundled library as a retargeting workload ------------------------
+
+std::string bundled_lib_path() {
+  return std::string(BRIDGE_LIBS_DIR) + "/sample_sky130_subset.lib";
+}
+
+TEST(BundledLibrary, LoadsWithExpectedCells) {
+  LoadReport report;
+  cells::CellLibrary lib = load_liberty_file(bundled_lib_path(), &report);
+  EXPECT_EQ(lib.name(), "sample_sky130_subset");
+  EXPECT_EQ(report.recognized, 16);
+  EXPECT_EQ(report.skipped.size(), 3u);  // tie cell, AOI, latch
+
+  const cells::Cell* fa = lib.find("sky_fa_1");
+  ASSERT_NE(fa, nullptr);
+  EXPECT_EQ(fa->spec, genus::make_adder_spec(1, true, true));
+  // time_unit is 1ns and the worst output arc of the adder is 0.35.
+  EXPECT_DOUBLE_EQ(fa->delay_ns, 0.35);
+  // Areas are normalized: NAND2 is 1.0 equivalent gates.
+  EXPECT_DOUBLE_EQ(lib.find("sky_nand2_1")->area, 1.0);
+
+  const cells::Cell* dff = lib.find("sky_dfrtp_1");
+  ASSERT_NE(dff, nullptr);
+  EXPECT_EQ(dff->spec.kind, Kind::kFlipFlop);
+  EXPECT_TRUE(dff->spec.async_reset);
+}
+
+TEST(BundledLibrary, SynthesizesAnEightBitAdderPareto) {
+  cells::CellLibrary lib = load_liberty_file(bundled_lib_path());
+  dtas::Synthesizer synth(lib);
+  auto alts = synth.synthesize(genus::make_adder_spec(8));
+  ASSERT_FALSE(alts.empty());
+  for (const auto& a : alts) {
+    EXPECT_GT(a.metric.area, 0.0);
+    EXPECT_GT(a.metric.delay, 0.0);
+  }
+  // The library's 1-bit registers ripple into an 8-bit register too.
+  auto regs = synth.synthesize(
+      genus::make_register_spec(8, /*enable=*/false, /*async_reset=*/true));
+  EXPECT_FALSE(regs.empty());
+}
+
+}  // namespace
+}  // namespace bridge::liberty

@@ -1,0 +1,145 @@
+// LibraryRegistry tests: built-ins, name lookup, duplicate rejection,
+// file loading for both text formats (with content sniffing), and the
+// emit -> file -> load data-book round trip for both built-in libraries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/diag.h"
+#include "cells/databook.h"
+#include "cells/registry.h"
+#include "dtas/synthesizer.h"
+#include "liberty/liberty.h"
+
+namespace bridge::cells {
+namespace {
+
+/// Write `text` to a fresh file under the test's temp directory.
+std::string write_temp(const std::string& name, const std::string& text) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string path =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/bridge_" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.close();
+  return path;
+}
+
+TEST(LibraryRegistry, BuiltinsAreRegisteredInOrder) {
+  auto reg = LibraryRegistry::with_builtins();
+  EXPECT_EQ(reg.size(), 2);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"LSI_LGC15", "TTL74"}));
+  ASSERT_NE(reg.find("LSI_LGC15"), nullptr);
+  EXPECT_EQ(reg.find("LSI_LGC15")->size(), 30);
+  EXPECT_EQ(reg.find("NOPE"), nullptr);
+  EXPECT_EQ(reg.at("TTL74").size(), 18);
+}
+
+TEST(LibraryRegistry, RejectsDuplicatesAndUnknownNames) {
+  auto reg = LibraryRegistry::with_builtins();
+  EXPECT_THROW(reg.add(lsi_library()), Error);
+  EXPECT_THROW(reg.add(CellLibrary()), Error);  // unnamed
+  try {
+    reg.at("missing");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    // The error lists what *is* registered.
+    EXPECT_NE(std::string(e.what()).find("LSI_LGC15"), std::string::npos);
+  }
+}
+
+TEST(LibraryRegistry, StoredLibrariesHaveStableAddresses) {
+  LibraryRegistry reg;
+  const CellLibrary& first = reg.add(lsi_library());
+  for (int i = 0; i < 16; ++i) {
+    CellLibrary lib("lib" + std::to_string(i));
+    reg.add(std::move(lib));
+  }
+  // The first library's address (and its cells') survived the growth;
+  // DTAS design spaces hold `const Cell*` into these.
+  EXPECT_EQ(&reg.at("LSI_LGC15"), &first);
+  EXPECT_EQ(reg.at("LSI_LGC15").find("ADD4"), first.find("ADD4"));
+}
+
+TEST(LibraryRegistry, DatabookFileRoundTripsBothBuiltins) {
+  // emit_databook -> file -> load_databook_file preserves every cell's
+  // name, spec, and metrics for both built-in libraries.
+  for (const CellLibrary* lib : {&lsi_library(), &ttl_library()}) {
+    const std::string path =
+        write_temp("registry_roundtrip_" + lib->name() + ".book",
+                   emit_databook(*lib));
+    LibraryRegistry reg;
+    const CellLibrary& loaded = reg.load_databook_file(path);
+    EXPECT_EQ(loaded.name(), lib->name());
+    ASSERT_EQ(loaded.size(), lib->size());
+    for (const Cell& c : lib->all()) {
+      const Cell* r = loaded.find(c.name);
+      ASSERT_NE(r, nullptr) << c.name;
+      EXPECT_EQ(r->spec, c.spec) << c.name;
+      EXPECT_DOUBLE_EQ(r->area, c.area) << c.name;
+      EXPECT_DOUBLE_EQ(r->delay_ns, c.delay_ns) << c.name;
+      EXPECT_EQ(r->description, c.description) << c.name;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(LibraryRegistry, LoadFileSniffsBothFormats) {
+  const std::string book = write_temp(
+      "sniff.book",
+      "# comment first\nLIBRARY SNIFFED \"desc\"\n"
+      "CELL X KIND GATE WIDTH 1 SIZE 1 OPS ( LNOT ) AREA 1 DELAY 1\n");
+  const std::string lib = write_temp(
+      "sniff.lib",
+      "/* comment first */\n"
+      "library (sniffed_liberty) {\n"
+      "  cell (inv) { area : 1; pin (A) { direction : input; }\n"
+      "    pin (Y) { direction : output; function : \"!A\"; } }\n"
+      "}\n");
+  LibraryRegistry reg;
+  EXPECT_EQ(reg.load_file(book).name(), "SNIFFED");
+  EXPECT_EQ(reg.load_file(lib).name(), "sniffed_liberty");
+  EXPECT_EQ(reg.size(), 2);
+  std::remove(book.c_str());
+  std::remove(lib.c_str());
+
+  EXPECT_THROW(LibraryRegistry().load_file("/nonexistent/path.lib"), Error);
+}
+
+TEST(LibraryRegistry, LibertyFileRegistersAndSynthesizes) {
+  LibraryRegistry reg = LibraryRegistry::with_builtins();
+  liberty::LoadReport report;
+  const CellLibrary& sky = reg.load_liberty_file(
+      std::string(BRIDGE_LIBS_DIR) + "/sample_sky130_subset.lib", &report);
+  EXPECT_EQ(reg.size(), 3);
+  EXPECT_GT(report.recognized, 0);
+
+  // The acceptance path: a registry-held Liberty library drives DTAS to a
+  // non-empty Pareto set for an 8-bit adder.
+  dtas::Synthesizer synth(sky);
+  auto alts = synth.synthesize(genus::make_adder_spec(8));
+  ASSERT_FALSE(alts.empty());
+  // Pareto order: ascending area, descending delay.
+  for (size_t i = 1; i < alts.size(); ++i) {
+    EXPECT_LE(alts[i - 1].metric.area, alts[i].metric.area);
+    EXPECT_GE(alts[i - 1].metric.delay, alts[i].metric.delay);
+  }
+}
+
+TEST(Databook, UnterminatedOpsGroupCarriesLineNumber) {
+  try {
+    parse_databook(
+        "LIBRARY L \"x\"\n"
+        "CELL OK KIND GATE WIDTH 1 SIZE 1 OPS ( LNOT ) AREA 1 DELAY 1\n"
+        "CELL BAD KIND GATE OPS ( ADD\n");
+    FAIL() << "expected a throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("unterminated"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("BAD"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bridge::cells

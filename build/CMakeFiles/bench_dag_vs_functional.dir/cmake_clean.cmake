@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_vs_functional.dir/bench/bench_dag_vs_functional.cpp.o"
+  "CMakeFiles/bench_dag_vs_functional.dir/bench/bench_dag_vs_functional.cpp.o.d"
+  "bench_dag_vs_functional"
+  "bench_dag_vs_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_vs_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_legend.dir/bench/bench_fig2_legend.cpp.o"
+  "CMakeFiles/bench_fig2_legend.dir/bench/bench_fig2_legend.cpp.o.d"
+  "bench_fig2_legend"
+  "bench_fig2_legend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_legend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

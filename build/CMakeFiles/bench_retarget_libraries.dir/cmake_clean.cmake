@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retarget_libraries.dir/bench/bench_retarget_libraries.cpp.o"
+  "CMakeFiles/bench_retarget_libraries.dir/bench/bench_retarget_libraries.cpp.o.d"
+  "bench_retarget_libraries"
+  "bench_retarget_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retarget_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_retarget_libraries.
+# This may be replaced when dependencies are built.

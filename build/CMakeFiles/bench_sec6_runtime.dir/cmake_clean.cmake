@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_runtime.dir/bench/bench_sec6_runtime.cpp.o"
+  "CMakeFiles/bench_sec6_runtime.dir/bench/bench_sec6_runtime.cpp.o.d"
+  "bench_sec6_runtime"
+  "bench_sec6_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_coverage.dir/bench/bench_sec7_coverage.cpp.o"
+  "CMakeFiles/bench_sec7_coverage.dir/bench/bench_sec7_coverage.cpp.o.d"
+  "bench_sec7_coverage"
+  "bench_sec7_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_components.dir/bench/bench_tab1_components.cpp.o"
+  "CMakeFiles/bench_tab1_components.dir/bench/bench_tab1_components.cpp.o.d"
+  "bench_tab1_components"
+  "bench_tab1_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

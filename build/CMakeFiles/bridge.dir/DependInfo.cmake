@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bitvec.cpp" "CMakeFiles/bridge.dir/src/base/bitvec.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/base/bitvec.cpp.o.d"
+  "/root/repo/src/base/diag.cpp" "CMakeFiles/bridge.dir/src/base/diag.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/base/diag.cpp.o.d"
+  "/root/repo/src/base/fileio.cpp" "CMakeFiles/bridge.dir/src/base/fileio.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/base/fileio.cpp.o.d"
+  "/root/repo/src/base/strutil.cpp" "CMakeFiles/bridge.dir/src/base/strutil.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/base/strutil.cpp.o.d"
+  "/root/repo/src/base/widthexpr.cpp" "CMakeFiles/bridge.dir/src/base/widthexpr.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/base/widthexpr.cpp.o.d"
+  "/root/repo/src/cells/cell.cpp" "CMakeFiles/bridge.dir/src/cells/cell.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/cells/cell.cpp.o.d"
+  "/root/repo/src/cells/databook.cpp" "CMakeFiles/bridge.dir/src/cells/databook.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/cells/databook.cpp.o.d"
+  "/root/repo/src/cells/lsi_library.cpp" "CMakeFiles/bridge.dir/src/cells/lsi_library.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/cells/lsi_library.cpp.o.d"
+  "/root/repo/src/cells/registry.cpp" "CMakeFiles/bridge.dir/src/cells/registry.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/cells/registry.cpp.o.d"
+  "/root/repo/src/cells/ttl_library.cpp" "CMakeFiles/bridge.dir/src/cells/ttl_library.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/cells/ttl_library.cpp.o.d"
+  "/root/repo/src/ctrl/control_compiler.cpp" "CMakeFiles/bridge.dir/src/ctrl/control_compiler.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/ctrl/control_compiler.cpp.o.d"
+  "/root/repo/src/ctrl/qm.cpp" "CMakeFiles/bridge.dir/src/ctrl/qm.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/ctrl/qm.cpp.o.d"
+  "/root/repo/src/dag/dagon.cpp" "CMakeFiles/bridge.dir/src/dag/dagon.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dag/dagon.cpp.o.d"
+  "/root/repo/src/dtas/design_space.cpp" "CMakeFiles/bridge.dir/src/dtas/design_space.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/design_space.cpp.o.d"
+  "/root/repo/src/dtas/rule.cpp" "CMakeFiles/bridge.dir/src/dtas/rule.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rule.cpp.o.d"
+  "/root/repo/src/dtas/rules_alu.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_alu.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_alu.cpp.o.d"
+  "/root/repo/src/dtas/rules_arith.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_arith.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_arith.cpp.o.d"
+  "/root/repo/src/dtas/rules_codec.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_codec.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_codec.cpp.o.d"
+  "/root/repo/src/dtas/rules_compare_shift.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_compare_shift.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_compare_shift.cpp.o.d"
+  "/root/repo/src/dtas/rules_gate.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_gate.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_gate.cpp.o.d"
+  "/root/repo/src/dtas/rules_library.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_library.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_library.cpp.o.d"
+  "/root/repo/src/dtas/rules_mux.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_mux.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_mux.cpp.o.d"
+  "/root/repo/src/dtas/rules_seq.cpp" "CMakeFiles/bridge.dir/src/dtas/rules_seq.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/rules_seq.cpp.o.d"
+  "/root/repo/src/dtas/synthesizer.cpp" "CMakeFiles/bridge.dir/src/dtas/synthesizer.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/dtas/synthesizer.cpp.o.d"
+  "/root/repo/src/genus/component.cpp" "CMakeFiles/bridge.dir/src/genus/component.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/component.cpp.o.d"
+  "/root/repo/src/genus/generator.cpp" "CMakeFiles/bridge.dir/src/genus/generator.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/generator.cpp.o.d"
+  "/root/repo/src/genus/kind.cpp" "CMakeFiles/bridge.dir/src/genus/kind.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/kind.cpp.o.d"
+  "/root/repo/src/genus/library.cpp" "CMakeFiles/bridge.dir/src/genus/library.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/library.cpp.o.d"
+  "/root/repo/src/genus/optype.cpp" "CMakeFiles/bridge.dir/src/genus/optype.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/optype.cpp.o.d"
+  "/root/repo/src/genus/param.cpp" "CMakeFiles/bridge.dir/src/genus/param.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/param.cpp.o.d"
+  "/root/repo/src/genus/spec.cpp" "CMakeFiles/bridge.dir/src/genus/spec.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/spec.cpp.o.d"
+  "/root/repo/src/genus/taxonomy.cpp" "CMakeFiles/bridge.dir/src/genus/taxonomy.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/genus/taxonomy.cpp.o.d"
+  "/root/repo/src/hls/fsmd.cpp" "CMakeFiles/bridge.dir/src/hls/fsmd.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/hls/fsmd.cpp.o.d"
+  "/root/repo/src/hls/parser.cpp" "CMakeFiles/bridge.dir/src/hls/parser.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/hls/parser.cpp.o.d"
+  "/root/repo/src/hls/statetable.cpp" "CMakeFiles/bridge.dir/src/hls/statetable.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/hls/statetable.cpp.o.d"
+  "/root/repo/src/legend/converter.cpp" "CMakeFiles/bridge.dir/src/legend/converter.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/legend/converter.cpp.o.d"
+  "/root/repo/src/legend/parser.cpp" "CMakeFiles/bridge.dir/src/legend/parser.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/legend/parser.cpp.o.d"
+  "/root/repo/src/liberty/boolexpr.cpp" "CMakeFiles/bridge.dir/src/liberty/boolexpr.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/liberty/boolexpr.cpp.o.d"
+  "/root/repo/src/liberty/infer.cpp" "CMakeFiles/bridge.dir/src/liberty/infer.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/liberty/infer.cpp.o.d"
+  "/root/repo/src/liberty/parser.cpp" "CMakeFiles/bridge.dir/src/liberty/parser.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/liberty/parser.cpp.o.d"
+  "/root/repo/src/lola/lola.cpp" "CMakeFiles/bridge.dir/src/lola/lola.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/lola/lola.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "CMakeFiles/bridge.dir/src/netlist/netlist.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/sim/rtl_expr.cpp" "CMakeFiles/bridge.dir/src/sim/rtl_expr.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/sim/rtl_expr.cpp.o.d"
+  "/root/repo/src/sim/semantics.cpp" "CMakeFiles/bridge.dir/src/sim/semantics.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/sim/semantics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/bridge.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/vhdl/vhdl.cpp" "CMakeFiles/bridge.dir/src/vhdl/vhdl.cpp.o" "gcc" "CMakeFiles/bridge.dir/src/vhdl/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_design.dir/examples/counter_design.cpp.o"
+  "CMakeFiles/counter_design.dir/examples/counter_design.cpp.o.d"
+  "counter_design"
+  "counter_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_test.dir/tests/ctrl_test.cpp.o"
+  "CMakeFiles/ctrl_test.dir/tests/ctrl_test.cpp.o.d"
+  "ctrl_test"
+  "ctrl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtas_adder_test.dir/tests/dtas_adder_test.cpp.o"
+  "CMakeFiles/dtas_adder_test.dir/tests/dtas_adder_test.cpp.o.d"
+  "dtas_adder_test"
+  "dtas_adder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtas_adder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtas_equiv_test.dir/tests/dtas_equiv_test.cpp.o"
+  "CMakeFiles/dtas_equiv_test.dir/tests/dtas_equiv_test.cpp.o.d"
+  "dtas_equiv_test"
+  "dtas_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtas_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

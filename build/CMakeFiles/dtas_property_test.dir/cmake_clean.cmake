@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtas_property_test.dir/tests/dtas_property_test.cpp.o"
+  "CMakeFiles/dtas_property_test.dir/tests/dtas_property_test.cpp.o.d"
+  "dtas_property_test"
+  "dtas_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtas_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtas_seq_test.dir/tests/dtas_seq_test.cpp.o"
+  "CMakeFiles/dtas_seq_test.dir/tests/dtas_seq_test.cpp.o.d"
+  "dtas_seq_test"
+  "dtas_seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtas_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genus_test.dir/tests/genus_test.cpp.o"
+  "CMakeFiles/genus_test.dir/tests/genus_test.cpp.o.d"
+  "genus_test"
+  "genus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

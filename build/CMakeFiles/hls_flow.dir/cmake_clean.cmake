@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_flow.dir/examples/hls_flow.cpp.o"
+  "CMakeFiles/hls_flow.dir/examples/hls_flow.cpp.o.d"
+  "hls_flow"
+  "hls_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

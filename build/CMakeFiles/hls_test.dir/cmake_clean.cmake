@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_test.dir/tests/hls_test.cpp.o"
+  "CMakeFiles/hls_test.dir/tests/hls_test.cpp.o.d"
+  "hls_test"
+  "hls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

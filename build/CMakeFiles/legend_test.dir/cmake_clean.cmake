@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legend_test.dir/tests/legend_test.cpp.o"
+  "CMakeFiles/legend_test.dir/tests/legend_test.cpp.o.d"
+  "legend_test"
+  "legend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

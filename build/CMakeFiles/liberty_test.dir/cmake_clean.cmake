@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_test.dir/tests/liberty_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/tests/liberty_test.cpp.o.d"
+  "liberty_test"
+  "liberty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

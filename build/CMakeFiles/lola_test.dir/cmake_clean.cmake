@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lola_test.dir/tests/lola_test.cpp.o"
+  "CMakeFiles/lola_test.dir/tests/lola_test.cpp.o.d"
+  "lola_test"
+  "lola_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lola_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

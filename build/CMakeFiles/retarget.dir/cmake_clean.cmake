@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget.dir/examples/retarget.cpp.o"
+  "CMakeFiles/retarget.dir/examples/retarget.cpp.o.d"
+  "retarget"
+  "retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

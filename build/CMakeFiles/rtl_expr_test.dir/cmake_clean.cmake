@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_expr_test.dir/tests/rtl_expr_test.cpp.o"
+  "CMakeFiles/rtl_expr_test.dir/tests/rtl_expr_test.cpp.o.d"
+  "rtl_expr_test"
+  "rtl_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vhdl_dag_test.dir/tests/sim_vhdl_dag_test.cpp.o"
+  "CMakeFiles/sim_vhdl_dag_test.dir/tests/sim_vhdl_dag_test.cpp.o.d"
+  "sim_vhdl_dag_test"
+  "sim_vhdl_dag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vhdl_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

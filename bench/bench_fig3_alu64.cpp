@@ -11,14 +11,57 @@
 // but reduces delay by 81 percent." (§6). Absolute numbers depend on the
 // proprietary data book; the shape (a small Pareto set spanning a few
 // percent-tens of area for a factor-~5 delay reduction) is the target.
+//
+// Besides the Figure-3 table, this bench times each synthesis phase
+// (expand / evaluate / extract) under the compiled TimingPlan evaluator
+// and under the reference functional evaluator, checks the two produce
+// identical alternatives, and records both wall times in
+// BENCH_synthesis.json.
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "cells/cell.h"
 #include "dtas/synthesizer.h"
 #include "netlist/netlist.h"
 
 using namespace bridge;
+
+namespace {
+
+struct PhaseTimes {
+  double expand_ms = 0.0;
+  double evaluate_ms = 0.0;
+  double extract_ms = 0.0;
+  double total() const { return expand_ms + evaluate_ms + extract_ms; }
+  std::vector<dtas::AlternativeDesign> alts;
+};
+
+PhaseTimes run_phases(bool compiled) {
+  using clock = std::chrono::steady_clock;
+  auto ms = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  dtas::SpaceOptions opt;
+  opt.use_compiled_plan = compiled;
+  opt.bound_prune = compiled;
+  PhaseTimes pt;
+  const genus::ComponentSpec alu = genus::make_alu_spec(64, genus::alu16_ops());
+  const auto t0 = clock::now();
+  dtas::Synthesizer synth(cells::lsi_library(), opt);
+  auto* node = synth.space().expand(alu);
+  const auto t1 = clock::now();
+  synth.space().evaluate(node);
+  const auto t2 = clock::now();
+  pt.alts = synth.synthesize(alu);  // re-uses the expanded+evaluated space
+  const auto t3 = clock::now();
+  pt.expand_ms = ms(t0, t1);
+  pt.evaluate_ms = ms(t1, t2);
+  pt.extract_ms = ms(t2, t3);
+  return pt;
+}
+
+}  // namespace
 
 int main() {
   const auto t0 = std::chrono::steady_clock::now();
@@ -60,5 +103,64 @@ int main() {
               netlist::Design::count_leaf_instances(*alts.back().design->top()));
   std::printf("design-space generation + extraction: %.1f ms "
               "(paper: <15 min on a SUN-3)\n", ms);
-  return 0;
+
+  // Perf trajectory: compiled TimingPlan evaluator vs the reference
+  // functional evaluator. Every phase figure is the median of 5 runs,
+  // taken per phase (so the rows need not sum to the total row exactly).
+  struct PhaseMedians {
+    double expand_ms, evaluate_ms, extract_ms, total_ms;
+    std::vector<dtas::AlternativeDesign> alts;  // from the last run
+  };
+  auto measure = [](bool use_plan) {
+    std::vector<double> expand, evaluate, extract, total;
+    PhaseMedians m;
+    for (int r = 0; r < 5; ++r) {
+      PhaseTimes pt = run_phases(use_plan);
+      expand.push_back(pt.expand_ms);
+      evaluate.push_back(pt.evaluate_ms);
+      extract.push_back(pt.extract_ms);
+      total.push_back(pt.total());
+      m.alts = std::move(pt.alts);
+    }
+    m.expand_ms = benchjson::median(std::move(expand));
+    m.evaluate_ms = benchjson::median(std::move(evaluate));
+    m.extract_ms = benchjson::median(std::move(extract));
+    m.total_ms = benchjson::median(std::move(total));
+    return m;
+  };
+  const PhaseMedians compiled = measure(true);
+  const PhaseMedians reference = measure(false);
+  const double compiled_total = compiled.total_ms;
+  const double reference_total = reference.total_ms;
+  const bool identical =
+      benchjson::identical_fronts(compiled.alts, reference.alts);
+  std::printf("\nphase timings, compiled vs reference evaluator "
+              "(identical fronts: %s)\n", identical ? "yes" : "NO");
+  std::printf("  %-10s %12s %12s %8s\n", "phase", "compiled(ms)",
+              "reference(ms)", "speedup");
+  auto row = [](const char* name, double c, double r) {
+    std::printf("  %-10s %12.2f %12.2f %7.2fx\n", name, c, r,
+                c > 0.0 ? r / c : 0.0);
+  };
+  row("expand", compiled.expand_ms, reference.expand_ms);
+  row("evaluate", compiled.evaluate_ms, reference.evaluate_ms);
+  row("extract", compiled.extract_ms, reference.extract_ms);
+  row("total", compiled_total, reference_total);
+
+  benchjson::Entry e;
+  e.name = "fig3_alu64/alu64_lsi";
+  e.num("wall_ms_compiled", compiled_total)
+      .num("wall_ms_reference", reference_total)
+      .num("speedup", compiled_total > 0.0 ? reference_total / compiled_total
+                                           : 0.0)
+      .num("evaluate_ms_compiled", compiled.evaluate_ms)
+      .num("evaluate_ms_reference", reference.evaluate_ms)
+      .num("evaluate_speedup",
+           compiled.evaluate_ms > 0.0
+               ? reference.evaluate_ms / compiled.evaluate_ms
+               : 0.0)
+      .num("alternatives", static_cast<double>(alts.size()))
+      .str("fronts_identical", identical ? "yes" : "NO");
+  benchjson::write({e});
+  return identical ? 0 : 1;
 }

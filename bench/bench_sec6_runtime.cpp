@@ -1,52 +1,277 @@
 // §6 runtime claim: "DTAS generated this design space in less than 15
-// minutes of real time on a SUN-3 workstation." google-benchmark timing of
-// full design-space generation + evaluation + extraction on modern
-// hardware, across component sizes, plus the memoization ablation
-// (DESIGN.md ablation 5: shared spec nodes are what keep expansion linear).
-#include <benchmark/benchmark.h>
+// minutes of real time on a SUN-3 workstation."
+//
+// This bench records the repo's synthesis-runtime trajectory. Every
+// workload runs twice — once on the compiled TimingPlan evaluator
+// (default) and once on the reference functional evaluator, i.e. the
+// pre-compiled-plan code path preserved behind
+// SpaceOptions::use_compiled_plan — and both total synthesis wall times
+// land in BENCH_synthesis.json, together with odometer statistics
+// (combinations evaluated / pruned) and design-space sizes. The two
+// evaluators must produce identical alternative fronts (same metrics,
+// same descriptions); any divergence fails the bench.
+//
+// Workloads:
+//  - spec synthesis of the Figure-3 ALU family and wide adders (these are
+//    expansion-dominated: the odometer is small once the Pareto filter
+//    has trimmed every child, so the plan matters less);
+//  - whole-netlist synthesis of a 16-bit datapath under a dense
+//    design-space sweep (min_delay_gain = 0), where the odometer explores
+//    the §5 "several hundred thousand" combination regime and the
+//    per-combination evaluator dominates everything else.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "cells/cell.h"
 #include "dtas/synthesizer.h"
+#include "netlist/netlist.h"
 
 using namespace bridge;
 
-static void BM_AluFullSynthesis(benchmark::State& state) {
-  const int width = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    dtas::Synthesizer synth(cells::lsi_library());
-    auto alts = synth.synthesize(genus::make_alu_spec(width,
-                                                      genus::alu16_ops()));
-    benchmark::DoNotOptimize(alts);
-  }
-  state.SetLabel("paper: <15 min on a SUN-3 for width 64");
-}
-BENCHMARK(BM_AluFullSynthesis)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+namespace {
 
-static void BM_AdderDesignSpace(benchmark::State& state) {
-  const int width = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    dtas::Synthesizer synth(cells::lsi_library());
-    auto* node = synth.space().expand(genus::make_adder_spec(width));
-    synth.space().evaluate(node);
-    benchmark::DoNotOptimize(node->alts);
-  }
-}
-BENCHMARK(BM_AdderDesignSpace)->Arg(16)->Arg(64)->Arg(128);
+struct RunResult {
+  double wall_ms = 0.0;
+  long evaluated = 0;
+  long pruned = 0;
+  int spec_nodes = 0;
+  int impl_nodes = 0;
+  std::vector<dtas::AlternativeDesign> alts;
+};
 
-static void BM_ExpansionStats(benchmark::State& state) {
-  // Reports how large the memoized AND-OR graph is for the 64-bit ALU.
-  for (auto _ : state) {
-    dtas::Synthesizer synth(cells::lsi_library());
-    auto* node =
-        synth.space().expand(genus::make_alu_spec(64, genus::alu16_ops()));
-    synth.space().evaluate(node);
-    const auto& stats = synth.space().stats();
-    state.counters["spec_nodes"] = stats.spec_nodes;
-    state.counters["impl_nodes"] = stats.impl_nodes;
-    state.counters["leaf_impls"] = stats.leaf_impls;
-    state.counters["rule_apps"] = stats.rule_applications;
-  }
-}
-BENCHMARK(BM_ExpansionStats);
+/// A 16-bit datapath of twelve distinct component specifications:
+/// registered operand -> 16-bit ALU -> adder -> subtractor -> shifter ->
+/// add/sub, with a byte-slice 8-bit ALU feeding an 8x8 multiplier, an XOR
+/// merge, a comparator, a 4:1 result mux, and an output register. Every
+/// instance spec is distinct, so the whole-netlist odometer has twelve
+/// independent choice digits — enough for the §5 combination counts once
+/// the per-spec filters keep more than one alternative each.
+netlist::Module make_datapath(int w) {
+  using genus::Op;
+  using genus::OpSet;
+  netlist::Module m("datapath" + std::to_string(w));
+  const auto A = m.add_port("A", genus::PortDir::kIn, w);
+  const auto B = m.add_port("B", genus::PortDir::kIn, w);
+  const auto C = m.add_port("C", genus::PortDir::kIn, w);
+  const auto D = m.add_port("D", genus::PortDir::kIn, w);
+  const auto F = m.add_port("F", genus::PortDir::kIn, 4);
+  const auto SHF = m.add_port("SHF", genus::PortDir::kIn, 1);
+  const auto SEL = m.add_port("SEL", genus::PortDir::kIn, 2);
+  const auto CI = m.add_port("CI", genus::PortDir::kIn, 1);
+  const auto CLK = m.add_port("CLK", genus::PortDir::kIn, 1);
+  const auto EN = m.add_port("EN", genus::PortDir::kIn, 1);
+  const auto ARST = m.add_port("ARST", genus::PortDir::kIn, 1);
+  const auto OUT = m.add_port("OUT", genus::PortDir::kOut, w);
+  const auto EQ = m.add_port("FLAG_EQ", genus::PortDir::kOut, 1);
+  const auto LT = m.add_port("FLAG_LT", genus::PortDir::kOut, 1);
 
-BENCHMARK_MAIN();
+  const auto ra = m.add_net("ra", w);
+  const auto alu_out = m.add_net("alu_out", w);
+  const auto sum = m.add_net("sum", w);
+  const auto diff = m.add_net("diff", w);
+  const auto shifted = m.add_net("shifted", w);
+  const auto as_out = m.add_net("as_out", w);
+  const auto alu8_out = m.add_net("alu8_out", w / 2);
+  const auto mul_out = m.add_net("mul_out", w);
+  const auto xr = m.add_net("xr", w);
+  const auto muxed = m.add_net("muxed", w);
+
+  auto& rin = m.add_spec_instance("rin", genus::make_register_spec(w));
+  m.connect(rin, "D", A);
+  m.connect(rin, "CLK", CLK);
+  m.connect(rin, "EN", EN);
+  m.connect(rin, "ARST", ARST);
+  m.connect(rin, "Q", ra);
+
+  auto& alu =
+      m.add_spec_instance("alu0", genus::make_alu_spec(w, genus::alu16_ops()));
+  m.connect(alu, "A", ra);
+  m.connect(alu, "B", B);
+  m.connect(alu, "CI", CI);
+  m.connect(alu, "F", F);
+  m.connect(alu, "OUT", alu_out);
+
+  auto& add =
+      m.add_spec_instance("add0", genus::make_adder_spec(w, false, false));
+  m.connect(add, "A", alu_out);
+  m.connect(add, "B", C);
+  m.connect(add, "S", sum);
+
+  auto& sub = m.add_spec_instance("sub0", genus::make_subtractor_spec(w));
+  m.connect(sub, "A", sum);
+  m.connect(sub, "B", D);
+  m.connect(sub, "S", diff);
+
+  auto& sh = m.add_spec_instance(
+      "sh0", genus::make_shifter_spec(w, OpSet{Op::kShl, Op::kShr}));
+  m.connect(sh, "IN", diff);
+  m.connect(sh, "F", SHF);
+  m.connect(sh, "OUT", shifted);
+
+  auto& cmp = m.add_spec_instance(
+      "cmp0", genus::make_comparator_spec(w, OpSet{Op::kEq, Op::kLt}));
+  m.connect(cmp, "A", sum);
+  m.connect(cmp, "B", D);
+  m.connect(cmp, "EQ", EQ);
+  m.connect(cmp, "LT", LT);
+
+  auto& as = m.add_spec_instance("as0", genus::make_addsub_spec(w));
+  m.connect(as, "A", shifted);
+  m.connect(as, "B", C);
+  m.connect(as, "CI", CI);
+  m.connect(as, "MODE", SHF);
+  m.connect(as, "S", as_out);
+
+  auto& alu8 = m.add_spec_instance(
+      "alu8", genus::make_alu_spec(w / 2, genus::alu16_ops()));
+  m.connect(alu8, "A", sum, 0);
+  m.connect(alu8, "B", sum, w / 2);
+  m.connect(alu8, "CI", CI);
+  m.connect(alu8, "F", F);
+  m.connect(alu8, "OUT", alu8_out);
+
+  auto& mul = m.add_spec_instance(
+      "mul0", genus::make_multiplier_spec(w / 2, w / 2));
+  m.connect(mul, "A", alu8_out);
+  m.connect(mul, "B", diff, w / 2);
+  m.connect(mul, "P", mul_out);
+
+  auto& xg = m.add_spec_instance(
+      "xor0", genus::make_gate_spec(Op::kXor, w, 2));
+  m.connect(xg, "I0", as_out);
+  m.connect(xg, "I1", mul_out);
+  m.connect(xg, "OUT", xr);
+
+  auto& mux = m.add_spec_instance("mux0", genus::make_mux_spec(w, 4));
+  m.connect(mux, "I0", alu_out);
+  m.connect(mux, "I1", sum);
+  m.connect(mux, "I2", xr);
+  m.connect(mux, "I3", shifted);
+  m.connect(mux, "SEL", SEL);
+  m.connect(mux, "OUT", muxed);
+
+  auto& rout =
+      m.add_spec_instance("rout", genus::make_register_spec(w, false, true));
+  m.connect(rout, "D", muxed);
+  m.connect(rout, "CLK", CLK);
+  m.connect(rout, "ARST", ARST);
+  m.connect(rout, "Q", OUT);
+  return m;
+}
+
+dtas::SpaceOptions with_evaluator(dtas::SpaceOptions opt, bool compiled) {
+  opt.use_compiled_plan = compiled;
+  opt.bound_prune = compiled;  // pruning belongs to the new evaluator
+  return opt;
+}
+
+template <class SynthFn>
+RunResult run(const dtas::SpaceOptions& opt, SynthFn&& synth_fn, int repeats) {
+  RunResult r;
+  r.wall_ms = benchjson::time_ms(
+      [&] {
+        dtas::Synthesizer synth(cells::lsi_library(), opt);
+        r.alts = synth_fn(synth);
+        r.evaluated = synth.space().stats().combinations_evaluated;
+        r.pruned = synth.space().stats().combinations_pruned;
+        r.spec_nodes = synth.space().stats().spec_nodes;
+        r.impl_nodes = synth.space().stats().impl_nodes;
+      },
+      repeats);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  struct Workload {
+    std::string name;
+    dtas::SpaceOptions options;
+    std::function<std::vector<dtas::AlternativeDesign>(dtas::Synthesizer&)> fn;
+  };
+  std::vector<Workload> workloads;
+
+  for (int width : {16, 32, 64}) {
+    workloads.push_back(
+        {"sec6_runtime/alu" + std::to_string(width) + "_lsi",
+         dtas::SpaceOptions{},
+         [width](dtas::Synthesizer& s) {
+           return s.synthesize(genus::make_alu_spec(width, genus::alu16_ops()));
+         }});
+  }
+  workloads.push_back({"sec6_runtime/adder128_lsi", dtas::SpaceOptions{},
+                       [](dtas::Synthesizer& s) {
+                         return s.synthesize(genus::make_adder_spec(128));
+                       }});
+  // The dense sweep: strict Pareto (no favorable-tradeoff threshold) keeps
+  // every non-dominated child alternative, so the whole-netlist odometer
+  // runs against max_combinations_per_impl — the "several hundred thousand
+  // ... alternative designs" regime §5 describes.
+  {
+    dtas::SpaceOptions sweep;
+    sweep.min_delay_gain = 0.0;
+    sweep.max_combinations_per_impl = 200000;
+    workloads.push_back({"sec6_runtime/datapath16_sweep", sweep,
+                         [](dtas::Synthesizer& s) {
+                           const netlist::Module input = make_datapath(16);
+                           return s.synthesize_netlist(input);
+                         }});
+  }
+  workloads.push_back({"sec6_runtime/datapath16_default", dtas::SpaceOptions{},
+                       [](dtas::Synthesizer& s) {
+                         const netlist::Module input = make_datapath(16);
+                         return s.synthesize_netlist(input);
+                       }});
+
+  std::printf("%-32s %12s %12s %8s %10s %9s %5s\n", "workload", "compiled(ms)",
+              "reference(ms)", "speedup", "evaluated", "pruned", "alts");
+  std::vector<benchjson::Entry> entries;
+  double total_compiled = 0.0, total_reference = 0.0;
+  bool all_identical = true;
+  for (const Workload& w : workloads) {
+    const RunResult compiled = run(with_evaluator(w.options, true), w.fn, 3);
+    const RunResult reference = run(with_evaluator(w.options, false), w.fn, 3);
+    const bool same = benchjson::identical_fronts(compiled.alts,
+                                                  reference.alts);
+    all_identical = all_identical && same;
+    total_compiled += compiled.wall_ms;
+    total_reference += reference.wall_ms;
+    const double speedup = compiled.wall_ms > 0.0
+                               ? reference.wall_ms / compiled.wall_ms
+                               : 0.0;
+    std::printf("%-32s %12.2f %12.2f %7.2fx %10ld %9ld %5zu%s\n",
+                w.name.c_str(), compiled.wall_ms, reference.wall_ms, speedup,
+                compiled.evaluated, compiled.pruned, compiled.alts.size(),
+                same ? "" : "  FRONT MISMATCH");
+    benchjson::Entry e;
+    e.name = w.name;
+    e.num("wall_ms_compiled", compiled.wall_ms)
+        .num("wall_ms_reference", reference.wall_ms)
+        .num("speedup", speedup)
+        .num("combinations_evaluated", static_cast<double>(compiled.evaluated))
+        .num("combinations_pruned", static_cast<double>(compiled.pruned))
+        .num("combinations_reference",
+             static_cast<double>(reference.evaluated))
+        .num("spec_nodes", compiled.spec_nodes)
+        .num("impl_nodes", compiled.impl_nodes)
+        .num("alternatives", static_cast<double>(compiled.alts.size()))
+        .str("fronts_identical", same ? "yes" : "NO");
+    entries.push_back(std::move(e));
+  }
+  const double total_speedup =
+      total_compiled > 0.0 ? total_reference / total_compiled : 0.0;
+  std::printf("%-32s %12.2f %12.2f %7.2fx\n", "TOTAL", total_compiled,
+              total_reference, total_speedup);
+  benchjson::Entry total;
+  total.name = "sec6_runtime/total";
+  total.num("wall_ms_compiled", total_compiled)
+      .num("wall_ms_reference", total_reference)
+      .num("speedup", total_speedup)
+      .str("fronts_identical", all_identical ? "yes" : "NO");
+  entries.push_back(std::move(total));
+  benchjson::write(entries);
+  return all_identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "cells/cell.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/diag.h"
@@ -14,27 +15,57 @@ std::string Cell::pretty() const {
   return os.str();
 }
 
+CellLibrary::CellLibrary(const CellLibrary& other)
+    : name_(other.name_), description_(other.description_) {
+  for (const Cell& c : other.cells_) add(c);
+}
+
+CellLibrary& CellLibrary::operator=(const CellLibrary& other) {
+  if (this == &other) return *this;
+  CellLibrary copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 const Cell& CellLibrary::add(Cell cell) {
   if (find(cell.name) != nullptr) {
     throw Error("library " + name_ + ": duplicate cell '" + cell.name + "'");
   }
+  const int index = static_cast<int>(cells_.size());
   cells_.push_back(std::move(cell));
-  return cells_.back();
+  const Cell& stored = cells_.back();
+  by_name_.emplace(stored.name, &stored);
+  by_kind_width_[bucket_key(stored.spec.kind, stored.spec.width)]
+      .emplace_back(index, &stored);
+  return stored;
 }
 
 const Cell* CellLibrary::find(const std::string& name) const {
-  for (const Cell& c : cells_) {
-    if (c.name == name) return &c;
-  }
-  return nullptr;
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 std::vector<const Cell*> CellLibrary::matches(
     const genus::ComponentSpec& need) const {
+  // Candidate buckets: the need's own (kind, width) plus every promotable
+  // cell kind at that width. Candidates from several buckets are merged by
+  // insertion index to preserve the order a full scan would produce.
+  std::vector<std::pair<int, const Cell*>> candidates;
+  auto gather = [&](genus::Kind kind) {
+    auto it = by_kind_width_.find(bucket_key(kind, need.width));
+    if (it == by_kind_width_.end()) return;
+    for (const auto& [index, cell] : it->second) {
+      if (genus::spec_implements(cell->spec, need)) {
+        candidates.emplace_back(index, cell);
+      }
+    }
+  };
+  gather(need.kind);
+  for (genus::Kind kind : genus::promoting_kinds(need.kind)) gather(kind);
+  std::sort(candidates.begin(), candidates.end());
   std::vector<const Cell*> out;
-  for (const Cell& c : cells_) {
-    if (genus::spec_implements(c.spec, need)) out.push_back(&c);
-  }
+  out.reserve(candidates.size());
+  for (const auto& [index, cell] : candidates) out.push_back(cell);
   return out;
 }
 

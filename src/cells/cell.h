@@ -13,6 +13,7 @@
 
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "genus/spec.h"
@@ -37,6 +38,15 @@ class CellLibrary {
   explicit CellLibrary(std::string name = "", std::string description = "")
       : name_(std::move(name)), description_(std::move(description)) {}
 
+  // The match index holds pointers into cells_, so copies must rebuild it
+  // rather than copy it (a memberwise copy would leave the index aimed at
+  // the source library). Moves are fine as-is — deque elements keep their
+  // addresses across a move.
+  CellLibrary(const CellLibrary& other);
+  CellLibrary& operator=(const CellLibrary& other);
+  CellLibrary(CellLibrary&&) = default;
+  CellLibrary& operator=(CellLibrary&&) = default;
+
   const std::string& name() const { return name_; }
   const std::string& description() const { return description_; }
   void set_description(std::string d) { description_ = std::move(d); }
@@ -48,17 +58,35 @@ class CellLibrary {
   const Cell* find(const std::string& name) const;
 
   /// All cells whose functional specification can implement `need`
-  /// (see genus::spec_implements). This is the paper's functional match:
-  /// no DAG/subgraph isomorphism is involved.
+  /// (see genus::spec_implements), in library insertion order. This is the
+  /// paper's functional match: no DAG/subgraph isomorphism is involved.
+  ///
+  /// Implemented as a (kind, width) bucket lookup rather than a scan over
+  /// every cell: spec_implements requires exact width equality and accepts
+  /// only the need's own kind plus genus::promoting_kinds(need.kind), so
+  /// at most a few buckets can contain candidates. Design-space expansion
+  /// calls this once per specification node, which made the linear scan a
+  /// measurable share of expansion time on large libraries.
   std::vector<const Cell*> matches(const genus::ComponentSpec& need) const;
 
   const std::deque<Cell>& all() const { return cells_; }
   int size() const { return static_cast<int>(cells_.size()); }
 
  private:
+  /// (insertion index, cell) pairs so multi-bucket results can be merged
+  /// back into insertion order — alternative ordering downstream (impl
+  /// indices, descriptions) depends on it.
+  using Bucket = std::vector<std::pair<int, const Cell*>>;
+
+  static long long bucket_key(genus::Kind kind, int width) {
+    return (static_cast<long long>(kind) << 32) | static_cast<unsigned>(width);
+  }
+
   std::string name_;
   std::string description_;
   std::deque<Cell> cells_;  // deque: stable addresses
+  std::unordered_map<long long, Bucket> by_kind_width_;
+  std::unordered_map<std::string, const Cell*> by_name_;
 };
 
 /// The LSI Logic-style 1.5-micron macrocell data-book subset: exactly the

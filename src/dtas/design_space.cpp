@@ -23,6 +23,42 @@ bool dominates(const Metric& a, const Metric& b) {
          (a.area < b.area - kEps || a.delay < b.delay - kEps);
 }
 
+namespace {
+/// Pruning margin. With points separated by at least 2·kEps on both axes,
+/// a pruned candidate provably fails every epsilon-tolerant filter sweep:
+/// it sorts strictly after the dominating point and its delay can never
+/// undercut the favorable-tradeoff threshold that point implies.
+constexpr double kPruneMargin = 2.0 * kEps;
+}  // namespace
+
+void ParetoFront::add(double area, double delay) {
+  // Find the insertion position by area.
+  auto pos = std::lower_bound(
+      points_.begin(), points_.end(), area,
+      [](const std::pair<double, double>& p, double a) { return p.first < a; });
+  // Dominated by (or equal to) a point at or before `pos`: nothing to add.
+  if (pos != points_.begin() && std::prev(pos)->second <= delay) return;
+  if (pos != points_.end() && pos->first == area && pos->second <= delay) {
+    return;
+  }
+  // Remove points the new one dominates (same or larger area, same or
+  // larger delay) — they start at `pos` and are contiguous.
+  auto last = pos;
+  while (last != points_.end() && last->second >= delay) ++last;
+  pos = points_.erase(pos, last);
+  points_.insert(pos, {area, delay});
+}
+
+bool ParetoFront::dominates_bound(double area, double delay_lower_bound) const {
+  // Best (lowest) delay among points with point.area + margin <= `area`:
+  // the staircase is delay-descending, so it is the last qualifying point.
+  auto pos = std::upper_bound(
+      points_.begin(), points_.end(), area - kPruneMargin,
+      [](double a, const std::pair<double, double>& p) { return a < p.first; });
+  if (pos == points_.begin()) return false;
+  return std::prev(pos)->second + kPruneMargin <= delay_lower_bound;
+}
+
 DesignSpace::DesignSpace(const RuleBase& rules,
                          const cells::CellLibrary& library,
                          SpaceOptions options)
@@ -91,6 +127,12 @@ void DesignSpace::expand_node(SpecNode* node) {
         ++stats_.rejected_templates;
         continue;
       }
+      // Compile the template once; every odometer combination and every
+      // extraction of this implementation runs on the plan.
+      std::vector<const ComponentSpec*> child_specs;
+      child_specs.reserve(children.size());
+      for (const SpecNode* child : children) child_specs.push_back(&child->spec);
+      impl->plan = TimingPlan::compile(tmpl, topo, child_specs);
       impl->tmpl = std::move(tmpl);
       impl->children = std::move(children);
       impl->topo = std::move(topo);
@@ -284,14 +326,18 @@ Metric DesignSpace::eval_template(
 
 std::vector<Alternative> DesignSpace::filter_alternatives(
     std::vector<Alternative> candidates) const {
-  // Deduplicate identical metrics (keep the first).
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Alternative& a, const Alternative& b) {
-              if (std::abs(a.metric.area - b.metric.area) > kEps) {
-                return a.metric.area < b.metric.area;
-              }
-              return a.metric.delay < b.metric.delay;
-            });
+  // Deduplicate identical metrics (keep the first). stable_sort so that
+  // ties between equal-metric candidates resolve to enumeration order:
+  // bound-and-prune never discards the first-enumerated candidate of an
+  // equal-metric group (the margins are strict), so the pruned and
+  // unpruned sweeps keep the same representative.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Alternative& a, const Alternative& b) {
+                     if (std::abs(a.metric.area - b.metric.area) > kEps) {
+                       return a.metric.area < b.metric.area;
+                     }
+                     return a.metric.delay < b.metric.delay;
+                   });
   std::vector<Alternative> kept;
   switch (options_.filter) {
     case FilterKind::kPareto: {
@@ -341,9 +387,112 @@ std::vector<Alternative> DesignSpace::filter_alternatives(
   return kept;
 }
 
+void DesignSpace::trim_limits(std::vector<int>& limit, long cap) {
+  auto product = [&]() {
+    double p = 1;
+    for (int l : limit) p *= l;
+    return p;
+  };
+  while (product() > static_cast<double>(cap)) {
+    auto it = std::max_element(limit.begin(), limit.end());
+    if (*it <= 1) break;
+    --*it;
+  }
+}
+
+void DesignSpace::run_plan_odometer(const TimingPlan& plan,
+                                    const std::vector<SpecNode*>& children,
+                                    const std::vector<int>& limit,
+                                    int impl_index, ParetoFront& front,
+                                    std::vector<Alternative>& candidates) {
+  // Compiled path: per-child metric arrays feed the timing plan; each
+  // combination is pure array arithmetic, and bound-and-prune skips delay
+  // propagation — or discards the combination unstored — when an
+  // evaluated candidate already dominates it.
+  const bool prune = prune_enabled();
+  const int n = static_cast<int>(children.size());
+  child_area_scratch_.resize(n);
+  child_delay_scratch_.resize(n);
+  std::vector<int> choice(n, 0);
+  for (;;) {
+    for (int c = 0; c < n; ++c) {
+      const Metric& m = children[c]->alts[choice[c]].metric;
+      child_area_scratch_[c] = m.area;
+      child_delay_scratch_[c] = m.delay;
+    }
+    const double area = plan.area(child_area_scratch_.data());
+    if (prune &&
+        front.dominates_bound(
+            area, plan.delay_lower_bound(child_delay_scratch_.data()))) {
+      ++stats_.combinations_pruned;
+    } else {
+      const double delay =
+          plan.delay(child_delay_scratch_.data(), times_scratch_);
+      if (prune && front.dominates_bound(area, delay)) {
+        // Exact metrics dominated with margin: the candidate can never be
+        // kept, so don't store it.
+        ++stats_.combinations_pruned;
+      } else {
+        Alternative alt;
+        alt.impl_index = impl_index;
+        alt.child_alt = choice;
+        alt.metric = Metric{area, delay};
+        ++stats_.combinations_evaluated;
+        front.add(area, delay);
+        candidates.push_back(std::move(alt));
+      }
+    }
+    int c = 0;
+    while (c < n && ++choice[c] >= limit[c]) {
+      choice[c] = 0;
+      ++c;
+    }
+    if (c == n) break;
+  }
+}
+
+void DesignSpace::run_reference_odometer(const Module& tmpl,
+                                         const EvalSchedule& topo,
+                                         const std::vector<SpecNode*>& children,
+                                         const std::vector<int>& limit,
+                                         int impl_index,
+                                         std::vector<Alternative>& candidates) {
+  // Reference path: the original functional evaluator, kept verbatim for
+  // equivalence testing and as the bench baseline.
+  const int n = static_cast<int>(children.size());
+  std::vector<int> choice(n, 0);
+  for (;;) {
+    auto metric_of = [&](const ComponentSpec& spec) -> Metric {
+      for (int c = 0; c < n; ++c) {
+        if (children[c]->spec == spec) {
+          return children[c]->alts[choice[c]].metric;
+        }
+      }
+      throw Error("template child spec not found: " + spec.key());
+    };
+    Alternative alt;
+    alt.impl_index = impl_index;
+    alt.child_alt = choice;
+    alt.metric = eval_template(tmpl, topo, metric_of);
+    ++stats_.combinations_evaluated;
+    candidates.push_back(std::move(alt));
+
+    int c = 0;
+    while (c < n && ++choice[c] >= limit[c]) {
+      choice[c] = 0;
+      ++c;
+    }
+    if (c == n) break;
+  }
+}
+
 void DesignSpace::evaluate(SpecNode* node) {
   if (node->evaluated) return;
   node->evaluated = true;  // set first: graph is acyclic by construction
+
+  // Evaluated candidates of this node, across all implementations — the
+  // prune front a combination must beat to be worth timing.
+  ParetoFront front;
 
   std::vector<Alternative> candidates;
   for (size_t ii = 0; ii < node->impls.size(); ++ii) {
@@ -352,6 +501,7 @@ void DesignSpace::evaluate(SpecNode* node) {
       Alternative alt;
       alt.impl_index = static_cast<int>(ii);
       alt.metric = Metric{impl->cell->area, impl->cell->delay_ns};
+      front.add(alt.metric.area, alt.metric.delay);
       candidates.push_back(std::move(alt));
       continue;
     }
@@ -375,46 +525,16 @@ void DesignSpace::evaluate(SpecNode* node) {
     for (int c = 0; c < nchildren; ++c) {
       limit[c] = static_cast<int>(impl->children[c]->alts.size());
     }
-    auto product = [&]() {
-      double p = 1;
-      for (int c = 0; c < nchildren; ++c) p *= limit[c];
-      return p;
-    };
-    while (product() > static_cast<double>(options_.max_combinations_per_impl)) {
-      auto it = std::max_element(limit.begin(), limit.end());
-      if (*it <= 1) break;
-      --*it;
-    }
+    trim_limits(limit, options_.max_combinations_per_impl);
 
     // Odometer over child alternative choices (uniform-implementation
     // constraint: one choice per *distinct* child spec).
-    std::vector<int> choice(nchildren, 0);
-    for (;;) {
-      auto metric_of = [&](const ComponentSpec& spec) -> Metric {
-        for (int c = 0; c < nchildren; ++c) {
-          if (impl->children[c]->spec == spec) {
-            return impl->children[c]->alts[choice[c]].metric;
-          }
-        }
-        throw Error("template child spec not found: " + spec.key());
-      };
-      Alternative alt;
-      alt.impl_index = static_cast<int>(ii);
-      alt.child_alt = choice;
-      alt.metric = eval_template(*impl->tmpl, impl->topo, metric_of);
-      candidates.push_back(std::move(alt));
-
-      int c = 0;
-      while (c < nchildren && ++choice[c] >= limit[c]) {
-        choice[c] = 0;
-        ++c;
-      }
-      if (c == nchildren) break;
-      if (nchildren == 0) break;
-    }
-    if (nchildren == 0 && impl->tmpl.has_value()) {
-      // Template with no spec instances at all: constant metrics already
-      // pushed by the loop body above (single iteration).
+    if (options_.use_compiled_plan) {
+      run_plan_odometer(impl->plan, impl->children, limit,
+                        static_cast<int>(ii), front, candidates);
+    } else {
+      run_reference_odometer(*impl->tmpl, impl->topo, impl->children, limit,
+                             static_cast<int>(ii), candidates);
     }
   }
   node->alts = filter_alternatives(std::move(candidates));

@@ -31,6 +31,7 @@
 
 #include "cells/cell.h"
 #include "dtas/rule.h"
+#include "dtas/timing_plan.h"
 #include "genus/spec.h"
 #include "netlist/netlist.h"
 
@@ -47,16 +48,6 @@ bool dominates(const Metric& a, const Metric& b);
 
 struct SpecNode;
 
-/// One scheduled evaluation step: an instance and one of its output ports.
-/// Scheduling is per output port (not per instance) so that false paths —
-/// e.g. a look-ahead generator's GP/GG outputs, which do not depend on its
-/// carry input — do not create spurious combinational cycles.
-struct EvalStep {
-  int instance = -1;
-  std::string port;
-};
-using EvalSchedule = std::vector<EvalStep>;
-
 /// One alternative implementation of a specification.
 struct ImplNode {
   /// Leaf: the matched library cell (functional match). Null for decomps.
@@ -68,6 +59,10 @@ struct ImplNode {
   std::vector<SpecNode*> children;
   /// Topological evaluation schedule of the template (combinational only).
   EvalSchedule topo;
+  /// Compiled evaluation program for the template (see timing_plan.h).
+  /// Built once at creation; drives both the per-combination evaluator and
+  /// extraction's instance→child resolution. Empty for leaves.
+  TimingPlan plan;
   bool dead = false;
 
   bool is_leaf() const { return cell != nullptr; }
@@ -107,6 +102,18 @@ struct SpaceOptions {
   /// what keeps the paper's alternative sets small (5 designs for the
   /// 64-bit ALU) instead of full of near-duplicates.
   double min_delay_gain = 0.10;
+  /// Evaluate odometer combinations through the compiled TimingPlan
+  /// (default) or through the original functional evaluator. The reference
+  /// path exists for equivalence testing and as the bench baseline; both
+  /// produce bit-identical metrics.
+  bool use_compiled_plan = true;
+  /// Bound-and-prune the odometer: skip a combination when its exact area
+  /// plus its delay lower bound is already dominated (with margin) by an
+  /// evaluated candidate, and discard it without storing when its exact
+  /// metrics are. Never changes the filtered front; automatically off
+  /// under FilterKind::kNone (which keeps dominated candidates) and on the
+  /// reference path.
+  bool bound_prune = true;
 };
 
 struct SpaceStats {
@@ -116,6 +123,28 @@ struct SpaceStats {
   int rule_applications = 0;
   int dead_specs = 0;        // specs with no viable implementation
   int rejected_templates = 0;  // cyclic or malformed rule output
+  long combinations_evaluated = 0;  // odometer combinations kept as candidates
+  long combinations_pruned = 0;     // skipped or discarded by bound-and-prune
+};
+
+/// Incremental (area, delay) Pareto staircase over evaluated candidates,
+/// used by bound-and-prune. A combination dominated with margin by an
+/// evaluated point — on its delay lower bound before propagation, or on
+/// its exact metrics before storage — can never survive any of the
+/// dominance-respecting filters, so it is skipped or discarded. The margin
+/// (2 × the filter epsilon) keeps the claim true under the filters'
+/// epsilon-tolerant comparisons.
+class ParetoFront {
+ public:
+  /// Record an evaluated candidate.
+  void add(double area, double delay);
+  /// True when some recorded point has area + margin <= `area` and
+  /// delay + margin <= `delay_lower_bound`.
+  bool dominates_bound(double area, double delay_lower_bound) const;
+
+ private:
+  /// Non-dominated points, area ascending (hence delay descending).
+  std::vector<std::pair<double, double>> points_;
 };
 
 class DesignSpace {
@@ -164,14 +193,47 @@ class DesignSpace {
   std::vector<Alternative> filter_alternatives(
       std::vector<Alternative> candidates) const;
 
+  /// Run the compiled-plan odometer over one child-alternative choice per
+  /// entry of `children` (bounded by `limit`), bound-and-pruning against
+  /// `front`, and append the surviving candidates with the given impl
+  /// index. Shared by per-implementation evaluation and whole-netlist
+  /// synthesis — the same hot loop, one level apart.
+  void run_plan_odometer(const TimingPlan& plan,
+                         const std::vector<SpecNode*>& children,
+                         const std::vector<int>& limit, int impl_index,
+                         ParetoFront& front,
+                         std::vector<Alternative>& candidates);
+
+  /// The same odometer on the reference functional evaluator (the
+  /// pre-plan code path, kept verbatim for equivalence testing).
+  void run_reference_odometer(const netlist::Module& tmpl,
+                              const EvalSchedule& topo,
+                              const std::vector<SpecNode*>& children,
+                              const std::vector<int>& limit, int impl_index,
+                              std::vector<Alternative>& candidates);
+
+  /// Shrink per-child alternative limits until their product fits `cap`
+  /// (largest limit first).
+  static void trim_limits(std::vector<int>& limit, long cap);
+
  private:
   void expand_node(SpecNode* node);
+
+  /// Whether bound-and-prune applies under the current options (it must
+  /// stay off when the filter keeps dominated candidates).
+  bool prune_enabled() const {
+    return options_.bound_prune && options_.filter != FilterKind::kNone;
+  }
 
   const RuleBase& rules_;
   const cells::CellLibrary& library_;
   SpaceOptions options_;
   SpaceStats stats_;
   std::unordered_map<genus::ComponentSpec, std::unique_ptr<SpecNode>> memo_;
+  // Reused per-combination scratch (see TimingPlan::delay).
+  std::vector<double> times_scratch_;
+  std::vector<double> child_area_scratch_;
+  std::vector<double> child_delay_scratch_;
 };
 
 }  // namespace bridge::dtas

@@ -61,20 +61,15 @@ class Extractor {
         mod.add_net(n.name, n.width);
       }
     }
+    // Which distinct child (and which of its alternatives) implements each
+    // template instance is pre-resolved in the compiled plan.
+    const std::vector<int>& inst_child = impl->plan.instance_child();
+    int ti_index = 0;
     for (const Instance& ti : tmpl.instances()) {
-      // Which distinct child and which of its alternatives was chosen?
-      int child_index = -1;
-      for (size_t c = 0; c < impl->children.size(); ++c) {
-        if (impl->children[c]->spec == ti.spec) {
-          child_index = static_cast<int>(c);
-          break;
-        }
-      }
-      BRIDGE_CHECK(child_index >= 0, "template instance spec not a child");
+      const int child_index = inst_child.at(ti_index++);
       const SpecNode* child = impl->children[child_index];
       const int child_alt = alt.child_alt.at(child_index);
-      Instance& ni = bind_instance(mod, ti, child, child_alt);
-      (void)ni;
+      bind_instance(mod, ti, child, child_alt);
     }
     memo_[key] = &mod;
     return &mod;
@@ -277,46 +272,31 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   }
   const EvalSchedule topo = DesignSpace::topo_order(input);
 
-  // Odometer over per-spec choices (uniform across the whole netlist).
+  // Compile the input netlist once; the plan's instance→child map also
+  // drives materialization below.
+  std::vector<const ComponentSpec*> child_specs;
+  child_specs.reserve(children.size());
+  for (const SpecNode* c : children) child_specs.push_back(&c->spec);
+  const TimingPlan plan = TimingPlan::compile(input, topo, child_specs);
+
+  // Odometer over per-spec choices (uniform across the whole netlist) —
+  // the same hot loop as per-implementation evaluation, one level up.
   const int n = static_cast<int>(children.size());
   std::vector<int> limit(n);
   for (int c = 0; c < n; ++c) {
     limit[c] = static_cast<int>(children[c]->alts.size());
   }
-  auto product = [&]() {
-    double p = 1;
-    for (int c = 0; c < n; ++c) p *= limit[c];
-    return p;
-  };
-  while (product() >
-         static_cast<double>(space_.options().max_combinations_per_impl)) {
-    auto it = std::max_element(limit.begin(), limit.end());
-    if (*it <= 1) break;
-    --*it;
-  }
+  DesignSpace::trim_limits(limit,
+                           space_.options().max_combinations_per_impl);
 
   std::vector<Alternative> candidates;
-  std::vector<int> choice(n, 0);
-  for (;;) {
-    auto metric_of = [&](const ComponentSpec& spec) -> Metric {
-      for (int c = 0; c < n; ++c) {
-        if (children[c]->spec == spec) {
-          return children[c]->alts[choice[c]].metric;
-        }
-      }
-      throw Error("netlist instance spec not expanded: " + spec.key());
-    };
-    Alternative alt;
-    alt.impl_index = 0;
-    alt.child_alt = choice;
-    alt.metric = DesignSpace::eval_template(input, topo, metric_of);
-    candidates.push_back(std::move(alt));
-    int c = 0;
-    while (c < n && ++choice[c] >= limit[c]) {
-      choice[c] = 0;
-      ++c;
-    }
-    if (c == n) break;
+  if (space_.options().use_compiled_plan) {
+    ParetoFront front;
+    space_.run_plan_odometer(plan, children, limit, /*impl_index=*/0, front,
+                             candidates);
+  } else {
+    space_.run_reference_odometer(input, topo, children, limit,
+                                  /*impl_index=*/0, candidates);
   }
   std::vector<Alternative> kept =
       space_.filter_alternatives(std::move(candidates));
@@ -341,14 +321,9 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
     }
     Extractor ex(*d.design, space_);
     std::vector<std::string> parts;
+    int ti_index = 0;
     for (const Instance& ti : input.instances()) {
-      int ci = -1;
-      for (int c = 0; c < n; ++c) {
-        if (children[c]->spec == ti.spec) {
-          ci = c;
-          break;
-        }
-      }
+      const int ci = plan.instance_child().at(ti_index++);
       ex.bind_instance(top, ti, children[ci], alt.child_alt[ci]);
     }
     for (int c = 0; c < n; ++c) {

@@ -239,6 +239,10 @@ ComponentSpec make_logic_unit_spec(int width, OpSet ops) {
 
 std::vector<PortSpec> spec_ports(const ComponentSpec& spec) {
   std::vector<PortSpec> p;
+  // Most kinds have a handful of ports; fan-in-shaped kinds (gates, muxes)
+  // have size+2. One reservation avoids the realloc churn that made this
+  // function the top allocation site in synthesis profiles.
+  p.reserve(static_cast<size_t>(spec.size > 0 ? spec.size + 4 : 8));
   const int w = spec.width;
   const int n = spec.size;
   switch (spec.kind) {
@@ -469,6 +473,23 @@ bool kind_promotes(const ComponentSpec& cell, const ComponentSpec& need) {
 }
 
 }  // namespace
+
+std::vector<Kind> promoting_kinds(Kind need_kind) {
+  // Keep in sync with kind_promotes above: every (cell.kind, need.kind)
+  // pair it can accept must be listed here, or the bucketed library index
+  // would hide legal matches from spec_implements.
+  switch (need_kind) {
+    case Kind::kAdder:
+    case Kind::kSubtractor:
+      return {Kind::kAddSub};
+    case Kind::kFlipFlop:
+      return {Kind::kRegister};
+    case Kind::kRegister:
+      return {Kind::kFlipFlop};
+    default:
+      return {};
+  }
+}
 
 bool spec_implements(const ComponentSpec& cell, const ComponentSpec& need) {
   if (cell.kind != need.kind && !kind_promotes(cell, need)) {

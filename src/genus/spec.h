@@ -142,6 +142,15 @@ const PortSpec& find_port(const std::vector<PortSpec>& ports,
 /// provided by `cell`. Extra cell capabilities are allowed (tie-offs).
 bool spec_implements(const ComponentSpec& cell, const ComponentSpec& need);
 
+/// Cell kinds other than `need_kind` itself whose cells may implement a
+/// need of kind `need_kind` (a superset of what spec_implements accepts;
+/// the precise check still runs per cell). This is the index contract of
+/// cells::CellLibrary::matches: a (kind, width) bucket lookup over
+/// `need_kind` plus these kinds must see every possible match, because
+/// spec_implements requires exact width equality and rejects every other
+/// kind pairing.
+std::vector<Kind> promoting_kinds(Kind need_kind);
+
 /// Structural false-path knowledge: whether `out_port` combinationally
 /// depends on `in_port`. Almost always true; the notable exception is the
 /// carry-look-ahead generator, whose group propagate/generate outputs do

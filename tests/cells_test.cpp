@@ -53,6 +53,58 @@ TEST(LsiLibrary, PromotionsMatchThroughTieOffs) {
   EXPECT_EQ(reg1[0]->spec.kind, Kind::kFlipFlop);
 }
 
+TEST(MatchIndex, AgreesWithFullScanAcrossLibraries) {
+  // matches() is a (kind, width) bucket lookup; it must return exactly
+  // what a brute-force spec_implements scan over every cell returns, in
+  // library insertion order — including the promotion pairings (AddSub
+  // standing in for adders/subtractors, registers for flip-flops).
+  std::vector<genus::ComponentSpec> needs = {
+      genus::make_adder_spec(4),
+      genus::make_adder_spec(2, false, false),
+      genus::make_adder_spec(16),
+      genus::make_subtractor_spec(2),
+      genus::make_addsub_spec(2),
+      genus::make_mux_spec(1, 4),
+      genus::make_register_spec(4, false, false),
+      genus::make_register_spec(1, false, false),
+      genus::make_gate_spec(Op::kNand, 1, 2),
+      genus::make_gate_spec(Op::kXor, 1, 2),
+      genus::make_comparator_spec(4, OpSet{Op::kEq}),
+      genus::make_alu_spec(4, genus::alu16_ops()),
+  };
+  {
+    genus::ComponentSpec ff;
+    ff.kind = Kind::kFlipFlop;
+    ff.width = 1;
+    ff.ops = OpSet{Op::kLoad};
+    needs.push_back(ff);
+  }
+  for (const CellLibrary* lib : {&lsi_library(), &ttl_library()}) {
+    for (const auto& need : needs) {
+      std::vector<const Cell*> brute;
+      for (const Cell& c : lib->all()) {
+        if (genus::spec_implements(c.spec, need)) brute.push_back(&c);
+      }
+      EXPECT_EQ(lib->matches(need), brute)
+          << lib->name() << " need " << need.key();
+    }
+  }
+}
+
+TEST(MatchIndex, SurvivesCopyAndMove) {
+  // The index holds pointers into the cell store; copies must rebuild it.
+  CellLibrary copy(lsi_library());
+  EXPECT_EQ(copy.size(), lsi_library().size());
+  const Cell* found = copy.find("ADD4");
+  ASSERT_NE(found, nullptr);
+  EXPECT_NE(found, lsi_library().find("ADD4"));  // the copy's own cell
+  EXPECT_EQ(copy.matches(genus::make_adder_spec(4)).size(), 2u);
+
+  CellLibrary moved(std::move(copy));
+  EXPECT_EQ(moved.find("ADD4"), found);  // addresses stable across moves
+  EXPECT_EQ(moved.matches(genus::make_adder_spec(4)).size(), 2u);
+}
+
 TEST(TtlLibrary, HasAluSlice) {
   const auto* t181 = ttl_library().find("T181");
   ASSERT_NE(t181, nullptr);

@@ -37,7 +37,7 @@ struct PhaseTimes {
   std::vector<dtas::AlternativeDesign> alts;
 };
 
-PhaseTimes run_phases(bool compiled) {
+PhaseTimes run_phases(bool compiled, int threads = 1) {
   using clock = std::chrono::steady_clock;
   auto ms = [](clock::time_point a, clock::time_point b) {
     return std::chrono::duration<double, std::milli>(b - a).count();
@@ -45,6 +45,7 @@ PhaseTimes run_phases(bool compiled) {
   dtas::SpaceOptions opt;
   opt.use_compiled_plan = compiled;
   opt.bound_prune = compiled;
+  opt.threads = threads;
   PhaseTimes pt;
   const genus::ComponentSpec alu = genus::make_alu_spec(64, genus::alu16_ops());
   const auto t0 = clock::now();
@@ -111,11 +112,11 @@ int main() {
     double expand_ms, evaluate_ms, extract_ms, total_ms;
     std::vector<dtas::AlternativeDesign> alts;  // from the last run
   };
-  auto measure = [](bool use_plan) {
+  auto measure = [](bool use_plan, int threads = 1) {
     std::vector<double> expand, evaluate, extract, total;
     PhaseMedians m;
     for (int r = 0; r < 5; ++r) {
-      PhaseTimes pt = run_phases(use_plan);
+      PhaseTimes pt = run_phases(use_plan, threads);
       expand.push_back(pt.expand_ms);
       evaluate.push_back(pt.evaluate_ms);
       extract.push_back(pt.extract_ms);
@@ -147,6 +148,20 @@ int main() {
   row("extract", compiled.extract_ms, reference.extract_ms);
   row("total", compiled_total, reference_total);
 
+  // Threads-vs-speedup datapoint: single-spec synthesis is dominated by
+  // rule expansion, and the Pareto-trimmed odometer sits far below the
+  // shard threshold, so the sharded evaluator (correctly) stays serial
+  // here — the recorded ~1x documents where the remaining single-spec
+  // lever is (expansion), not a parallelization failure.
+  const PhaseMedians threaded = measure(true, 8);
+  const bool threaded_identical =
+      benchjson::identical_fronts(threaded.alts, compiled.alts);
+  std::printf("  %-10s %12.2f %12s %7.2fx (8 threads vs 1, identical: %s)\n",
+              "total/t8", threaded.total_ms, "",
+              threaded.total_ms > 0.0 ? compiled_total / threaded.total_ms
+                                      : 0.0,
+              threaded_identical ? "yes" : "NO");
+
   benchjson::Entry e;
   e.name = "fig3_alu64/alu64_lsi";
   e.num("wall_ms_compiled", compiled_total)
@@ -160,7 +175,11 @@ int main() {
                ? reference.evaluate_ms / compiled.evaluate_ms
                : 0.0)
       .num("alternatives", static_cast<double>(alts.size()))
-      .str("fronts_identical", identical ? "yes" : "NO");
+      .num("wall_ms_threads8", threaded.total_ms)
+      .num("threads8_speedup_vs_1thread",
+           threaded.total_ms > 0.0 ? compiled_total / threaded.total_ms : 0.0)
+      .str("fronts_identical",
+           identical && threaded_identical ? "yes" : "NO");
   benchjson::write({e});
-  return identical ? 0 : 1;
+  return identical && threaded_identical ? 0 : 1;
 }

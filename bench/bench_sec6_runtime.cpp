@@ -7,21 +7,33 @@
 // pre-compiled-plan code path preserved behind
 // SpaceOptions::use_compiled_plan — and both total synthesis wall times
 // land in BENCH_synthesis.json, together with odometer statistics
-// (combinations evaluated / pruned) and design-space sizes. The two
-// evaluators must produce identical alternative fronts (same metrics,
+// (combinations evaluated / pruned) and design-space sizes. On top of
+// that, every workload is re-run on the sharded parallel odometer at
+// threads ∈ {2, 4, 8}, recording one <workload>/t<N> entry each plus
+// suite-level sec6_runtime/suite_t<N> entries whose speedup_vs_1thread is
+// the threads-vs-speedup headline. All runs — both evaluators and every
+// thread count — must produce identical alternative fronts (same metrics,
 // same descriptions); any divergence fails the bench.
 //
 // Workloads:
 //  - spec synthesis of the Figure-3 ALU family and wide adders (these are
 //    expansion-dominated: the odometer is small once the Pareto filter
-//    has trimmed every child, so the plan matters less);
+//    has trimmed every child, so neither the plan nor threads matter
+//    much);
 //  - whole-netlist synthesis of a 16-bit datapath under a dense
 //    design-space sweep (min_delay_gain = 0), where the odometer explores
 //    the §5 "several hundred thousand" combination regime and the
-//    per-combination evaluator dominates everything else.
+//    per-combination evaluator dominates everything else;
+//  - the same sweep with the combination cap lifted to one million — the
+//    top of the §5 "several hundred thousand to several million" range —
+//    which is where the sharded odometer earns its keep.
+//
+// BRIDGE_BENCH_QUICK=1 drops the repeat count to one (sanitizer CI runs).
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.h"
@@ -37,6 +49,8 @@ struct RunResult {
   double wall_ms = 0.0;
   long evaluated = 0;
   long pruned = 0;
+  long parallel_odometers = 0;
+  long odometer_shards = 0;
   int spec_nodes = 0;
   int impl_nodes = 0;
   std::vector<dtas::AlternativeDesign> alts;
@@ -162,9 +176,11 @@ netlist::Module make_datapath(int w) {
   return m;
 }
 
-dtas::SpaceOptions with_evaluator(dtas::SpaceOptions opt, bool compiled) {
+dtas::SpaceOptions with_evaluator(dtas::SpaceOptions opt, bool compiled,
+                                  int threads = 1) {
   opt.use_compiled_plan = compiled;
   opt.bound_prune = compiled;  // pruning belongs to the new evaluator
+  opt.threads = threads;       // 1 = the serial baseline path
   return opt;
 }
 
@@ -177,6 +193,8 @@ RunResult run(const dtas::SpaceOptions& opt, SynthFn&& synth_fn, int repeats) {
         r.alts = synth_fn(synth);
         r.evaluated = synth.space().stats().combinations_evaluated;
         r.pruned = synth.space().stats().combinations_pruned;
+        r.parallel_odometers = synth.space().stats().parallel_odometers;
+        r.odometer_shards = synth.space().stats().odometer_shards;
         r.spec_nodes = synth.space().stats().spec_nodes;
         r.impl_nodes = synth.space().stats().impl_nodes;
       },
@@ -220,20 +238,47 @@ int main() {
                            return s.synthesize_netlist(input);
                          }});
   }
+  // The same sweep at the top of the §5 range ("to several million"):
+  // a deeper alternative cap and a one-million combination budget. This
+  // is the workload the sharded parallel odometer is for.
+  {
+    dtas::SpaceOptions sweep1m;
+    sweep1m.min_delay_gain = 0.0;
+    sweep1m.max_alternatives_per_node = 48;
+    sweep1m.max_combinations_per_impl = 1000000;
+    workloads.push_back({"sec6_runtime/datapath16_sweep1m", sweep1m,
+                         [](dtas::Synthesizer& s) {
+                           const netlist::Module input = make_datapath(16);
+                           return s.synthesize_netlist(input);
+                         }});
+  }
   workloads.push_back({"sec6_runtime/datapath16_default", dtas::SpaceOptions{},
                        [](dtas::Synthesizer& s) {
                          const netlist::Module input = make_datapath(16);
                          return s.synthesize_netlist(input);
                        }});
 
-  std::printf("%-32s %12s %12s %8s %10s %9s %5s\n", "workload", "compiled(ms)",
+  const char* quick_env = std::getenv("BRIDGE_BENCH_QUICK");
+  const bool quick = quick_env != nullptr && quick_env[0] != '\0' &&
+                     quick_env[0] != '0';
+  const int repeats = quick ? 1 : 3;
+  const std::vector<int> kThreadCounts = {2, 4, 8};
+  const int hw_threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::printf("%-34s %12s %12s %8s %10s %9s %5s\n", "workload", "compiled(ms)",
               "reference(ms)", "speedup", "evaluated", "pruned", "alts");
   std::vector<benchjson::Entry> entries;
   double total_compiled = 0.0, total_reference = 0.0;
+  std::vector<double> total_threaded(kThreadCounts.size(), 0.0);
   bool all_identical = true;
   for (const Workload& w : workloads) {
-    const RunResult compiled = run(with_evaluator(w.options, true), w.fn, 3);
-    const RunResult reference = run(with_evaluator(w.options, false), w.fn, 3);
+    // Serial baseline (threads = 1, the PR 2 code path) vs the reference
+    // functional evaluator.
+    const RunResult compiled =
+        run(with_evaluator(w.options, true), w.fn, repeats);
+    const RunResult reference =
+        run(with_evaluator(w.options, false), w.fn, repeats);
     const bool same = benchjson::identical_fronts(compiled.alts,
                                                   reference.alts);
     all_identical = all_identical && same;
@@ -242,7 +287,7 @@ int main() {
     const double speedup = compiled.wall_ms > 0.0
                                ? reference.wall_ms / compiled.wall_ms
                                : 0.0;
-    std::printf("%-32s %12.2f %12.2f %7.2fx %10ld %9ld %5zu%s\n",
+    std::printf("%-34s %12.2f %12.2f %7.2fx %10ld %9ld %5zu%s\n",
                 w.name.c_str(), compiled.wall_ms, reference.wall_ms, speedup,
                 compiled.evaluated, compiled.pruned, compiled.alts.size(),
                 same ? "" : "  FRONT MISMATCH");
@@ -260,10 +305,45 @@ int main() {
         .num("alternatives", static_cast<double>(compiled.alts.size()))
         .str("fronts_identical", same ? "yes" : "NO");
     entries.push_back(std::move(e));
+
+    // The sharded parallel odometer at each thread count. Fronts must be
+    // bit-identical to the serial baseline — that is the determinism
+    // contract, enforced here on every bench run.
+    for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+      const int threads = kThreadCounts[t];
+      const RunResult threaded =
+          run(with_evaluator(w.options, true, threads), w.fn, repeats);
+      const bool tsame =
+          benchjson::identical_fronts(threaded.alts, compiled.alts);
+      all_identical = all_identical && tsame;
+      total_threaded[t] += threaded.wall_ms;
+      const double tspeedup = threaded.wall_ms > 0.0
+                                  ? compiled.wall_ms / threaded.wall_ms
+                                  : 0.0;
+      std::printf("%-34s %12.2f %12s %7.2fx %10ld %9ld %5zu%s\n",
+                  (w.name + "/t" + std::to_string(threads)).c_str(),
+                  threaded.wall_ms, "", tspeedup, threaded.evaluated,
+                  threaded.pruned, threaded.alts.size(),
+                  tsame ? "" : "  FRONT MISMATCH vs 1 thread");
+      benchjson::Entry te;
+      te.name = w.name + "/t" + std::to_string(threads);
+      te.num("wall_ms_compiled", threaded.wall_ms)
+          .num("threads", threads)
+          .num("speedup_vs_1thread", tspeedup)
+          .num("parallel_odometers",
+               static_cast<double>(threaded.parallel_odometers))
+          .num("odometer_shards",
+               static_cast<double>(threaded.odometer_shards))
+          .num("combinations_evaluated",
+               static_cast<double>(threaded.evaluated))
+          .num("combinations_pruned", static_cast<double>(threaded.pruned))
+          .str("fronts_identical", tsame ? "yes" : "NO");
+      entries.push_back(std::move(te));
+    }
   }
   const double total_speedup =
       total_compiled > 0.0 ? total_reference / total_compiled : 0.0;
-  std::printf("%-32s %12.2f %12.2f %7.2fx\n", "TOTAL", total_compiled,
+  std::printf("%-34s %12.2f %12.2f %7.2fx\n", "TOTAL", total_compiled,
               total_reference, total_speedup);
   benchjson::Entry total;
   total.name = "sec6_runtime/total";
@@ -272,6 +352,26 @@ int main() {
       .num("speedup", total_speedup)
       .str("fronts_identical", all_identical ? "yes" : "NO");
   entries.push_back(std::move(total));
+  // Suite-level threads-vs-speedup trajectory: the whole suite re-run on
+  // N threads against the 1-thread compiled baseline. Interpret against
+  // hardware_concurrency — on fewer physical cores than threads, the
+  // extra threads time-slice and the speedup tops out at the core count.
+  for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+    const double suite_speedup = total_threaded[t] > 0.0
+                                     ? total_compiled / total_threaded[t]
+                                     : 0.0;
+    std::printf("%-34s %12.2f %12s %7.2fx (vs 1 thread, %d cores)\n",
+                ("TOTAL/t" + std::to_string(kThreadCounts[t])).c_str(),
+                total_threaded[t], "", suite_speedup, hw_threads);
+    benchjson::Entry st;
+    st.name = "sec6_runtime/suite_t" + std::to_string(kThreadCounts[t]);
+    st.num("wall_ms_compiled", total_threaded[t])
+        .num("threads", kThreadCounts[t])
+        .num("speedup_vs_1thread", suite_speedup)
+        .num("hardware_concurrency", hw_threads)
+        .str("fronts_identical", all_identical ? "yes" : "NO");
+    entries.push_back(std::move(st));
+  }
   benchjson::write(entries);
   return all_identical ? 0 : 1;
 }

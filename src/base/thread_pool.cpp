@@ -1,0 +1,92 @@
+#include "base/thread_pool.h"
+
+namespace bridge::base {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) workers = 0;
+  threads_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    // Slot 0 is the caller inside run(); workers take 1..workers().
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
+                        int slot) {
+  try {
+    fn(task, slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_ == nullptr) error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
+  if (num_tasks <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    error_ = nullptr;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    pending_ = num_tasks;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a compute thread too: claim tasks until none are left.
+  for (;;) {
+    int task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_task_ >= num_tasks_) break;
+      task = next_task_++;
+    }
+    invoke(fn, task, /*slot=*/0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+  }
+  // Wait until every claimed task has finished (workers included) before
+  // letting fn — and anything it captures — go out of scope.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(int slot) {
+  long seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen && next_task_ < num_tasks_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    while (next_task_ < num_tasks_) {
+      const int task = next_task_++;
+      const std::function<void(int, int)>* fn = fn_;
+      lock.unlock();
+      invoke(*fn, task, slot);
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace bridge::base

@@ -1,0 +1,78 @@
+// A persistent pool of worker threads for blocking fork-join loops.
+//
+// The design-space odometer (see dtas/design_space.cpp) is the motivating
+// user: it repeatedly fans a contiguous combination range out into shards,
+// and spawning std::threads per odometer call would cost more than a small
+// shard is worth. The pool keeps its workers parked on a condition
+// variable between runs, so the steady-state cost of a fork-join is two
+// lock acquisitions per task.
+//
+// run(n, fn) executes fn(i) for every i in [0, n) across the workers *and
+// the calling thread*, returning only when every call has finished — a
+// pool constructed with W workers therefore applies W+1 threads of
+// compute. Tasks are claimed dynamically from a shared counter, so uneven
+// shards self-level. All coordination is mutex/condition-variable based
+// (no lock-free tricks), which keeps the pool trivially clean under
+// ThreadSanitizer.
+//
+// run() is not reentrant and must only be called from one thread at a
+// time; the odometer evaluates one node at a time, so this never
+// constrains it.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bridge::base {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` parked threads (0 is valid: run() then executes
+  /// everything on the calling thread).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Run fn(task, slot) for every task in [0, num_tasks); blocks until all
+  /// calls have returned. The caller participates as one of the compute
+  /// threads. `slot` identifies the executing thread — 0 for the caller,
+  /// 1..workers() for pool threads — so callers can keep one reusable
+  /// scratch state per thread rather than per task. If any fn call throws,
+  /// the remaining tasks still run to completion and the first exception
+  /// is rethrown from run() once every task has finished — workers never
+  /// outlive the fn object or the caller's captured state.
+  void run(int num_tasks, const std::function<void(int, int)>& fn);
+
+  /// Convenience overload for callers that don't need the thread slot.
+  void run(int num_tasks, const std::function<void(int)>& fn) {
+    run(num_tasks, [&fn](int task, int) { fn(task); });
+  }
+
+ private:
+  void worker_loop(int slot);
+
+  /// Invoke fn, capturing the first exception instead of letting it
+  /// escape (worker threads must never throw; the caller rethrows late).
+  void invoke(const std::function<void(int, int)>& fn, int task, int slot);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // run() waits for completion
+  // All guarded by mu_. fn_ is only non-null while a run is in flight.
+  const std::function<void(int, int)>* fn_ = nullptr;
+  std::exception_ptr error_;  // first exception thrown by an fn call
+  int num_tasks_ = 0;
+  int next_task_ = 0;
+  int pending_ = 0;  // tasks not yet finished (claimed or unclaimed)
+  long generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bridge::base

@@ -1,7 +1,11 @@
 #include "dtas/design_space.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <thread>
 
 #include "base/diag.h"
 
@@ -31,15 +35,15 @@ namespace {
 constexpr double kPruneMargin = 2.0 * kEps;
 }  // namespace
 
-void ParetoFront::add(double area, double delay) {
+bool ParetoFront::add(double area, double delay) {
   // Find the insertion position by area.
   auto pos = std::lower_bound(
       points_.begin(), points_.end(), area,
       [](const std::pair<double, double>& p, double a) { return p.first < a; });
   // Dominated by (or equal to) a point at or before `pos`: nothing to add.
-  if (pos != points_.begin() && std::prev(pos)->second <= delay) return;
+  if (pos != points_.begin() && std::prev(pos)->second <= delay) return false;
   if (pos != points_.end() && pos->first == area && pos->second <= delay) {
-    return;
+    return false;
   }
   // Remove points the new one dominates (same or larger area, same or
   // larger delay) — they start at `pos` and are contiguous.
@@ -47,6 +51,15 @@ void ParetoFront::add(double area, double delay) {
   while (last != points_.end() && last->second >= delay) ++last;
   pos = points_.erase(pos, last);
   points_.insert(pos, {area, delay});
+  return true;
+}
+
+bool ParetoFront::merge(const ParetoFront& other) {
+  bool changed = false;
+  for (const auto& [area, delay] : other.points_) {
+    changed = add(area, delay) || changed;
+  }
+  return changed;
 }
 
 bool ParetoFront::dominates_bound(double area, double delay_lower_bound) const {
@@ -62,7 +75,20 @@ bool ParetoFront::dominates_bound(double area, double delay_lower_bound) const {
 DesignSpace::DesignSpace(const RuleBase& rules,
                          const cells::CellLibrary& library,
                          SpaceOptions options)
-    : rules_(rules), library_(library), options_(options) {}
+    : rules_(rules), library_(library), options_(options) {
+  threads_ = options_.threads;
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+}
+
+base::ThreadPool* DesignSpace::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<base::ThreadPool>(threads_ - 1);
+  }
+  return pool_.get();
+}
 
 SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
   auto it = memo_.find(spec);
@@ -400,6 +426,118 @@ void DesignSpace::trim_limits(std::vector<int>& limit, long cap) {
   }
 }
 
+namespace {
+
+/// Cross-shard exchange of the evaluated-candidate Pareto front: the
+/// shared best-bound parallel shards use to tighten their private
+/// bound-and-prune fronts. Shards exchange periodically (not per
+/// combination); the atomic stamp lets a shard skip the lock entirely
+/// when neither side has learned anything new since its last visit.
+/// Sharing is a pure pruning accelerator — correctness and determinism
+/// never depend on which points a shard happens to have seen, because a
+/// candidate strictly dominated with margin by *any* evaluated candidate
+/// of the node can survive no dominance-respecting filter.
+class BoundExchange {
+ public:
+  explicit BoundExchange(const ParetoFront& seed) : front_(seed) {}
+
+  std::uint64_t stamp() const {
+    return stamp_.load(std::memory_order_relaxed);
+  }
+
+  /// Merge `local` into the shared front, refresh `local` to the union,
+  /// and return the stamp of the refreshed state.
+  std::uint64_t exchange(ParetoFront& local) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (front_.merge(local)) {
+      stamp_.fetch_add(1, std::memory_order_relaxed);
+    }
+    local = front_;
+    return stamp_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  ParetoFront front_;
+  std::atomic<std::uint64_t> stamp_{0};
+};
+
+/// Combinations between bound exchanges of a parallel shard.
+constexpr long kBoundExchangePeriod = 1024;
+
+struct OdometerCounters {
+  long evaluated = 0;
+  long pruned = 0;
+};
+
+/// Evaluate the contiguous combination index range [begin, end) of the
+/// odometer — the body of both the serial path (one range covering
+/// everything, shared == nullptr) and each parallel shard. Index i
+/// decodes little-endian into child choices: digit c is
+/// (i / prod(limit[0..c))) % limit[c], matching the serial odometer's
+/// increment-with-carry order, so concatenating shard outputs in shard
+/// order reproduces the serial candidate sequence exactly.
+void run_odometer_range(const TimingPlan& plan,
+                        const std::vector<SpecNode*>& children,
+                        const std::vector<int>& limit, int impl_index,
+                        long begin, long end, bool prune, ParetoFront& front,
+                        BoundExchange* shared, std::uint64_t shared_stamp,
+                        EvalScratch& scratch,
+                        std::vector<Alternative>& candidates,
+                        OdometerCounters& counters) {
+  const int n = static_cast<int>(children.size());
+  scratch.child_area.resize(n);
+  scratch.child_delay.resize(n);
+  std::vector<int> choice(n, 0);
+  long rest = begin;
+  for (int c = 0; c < n; ++c) {
+    choice[c] = static_cast<int>(rest % limit[c]);
+    rest /= limit[c];
+  }
+  bool local_news = false;  // front points other shards haven't seen
+  for (long idx = begin; idx < end; ++idx) {
+    if (shared != nullptr && idx != begin &&
+        (idx - begin) % kBoundExchangePeriod == 0 &&
+        (local_news || shared->stamp() != shared_stamp)) {
+      shared_stamp = shared->exchange(front);
+      local_news = false;
+    }
+    for (int c = 0; c < n; ++c) {
+      const Metric& m = children[c]->alts[choice[c]].metric;
+      scratch.child_area[c] = m.area;
+      scratch.child_delay[c] = m.delay;
+    }
+    const double area = plan.area(scratch.child_area.data());
+    if (prune &&
+        front.dominates_bound(
+            area, plan.delay_lower_bound(scratch.child_delay.data()))) {
+      ++counters.pruned;
+    } else {
+      const double delay = plan.delay(scratch.child_delay.data(), scratch);
+      if (prune && front.dominates_bound(area, delay)) {
+        // Exact metrics dominated with margin: the candidate can never be
+        // kept, so don't store it.
+        ++counters.pruned;
+      } else {
+        Alternative alt;
+        alt.impl_index = impl_index;
+        alt.child_alt = choice;
+        alt.metric = Metric{area, delay};
+        ++counters.evaluated;
+        local_news = front.add(area, delay) || local_news;
+        candidates.push_back(std::move(alt));
+      }
+    }
+    int c = 0;
+    while (c < n && ++choice[c] >= limit[c]) {
+      choice[c] = 0;
+      ++c;
+    }
+  }
+}
+
+}  // namespace
+
 void DesignSpace::run_plan_odometer(const TimingPlan& plan,
                                     const std::vector<SpecNode*>& children,
                                     const std::vector<int>& limit,
@@ -410,45 +548,66 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
   // propagation — or discards the combination unstored — when an
   // evaluated candidate already dominates it.
   const bool prune = prune_enabled();
-  const int n = static_cast<int>(children.size());
-  child_area_scratch_.resize(n);
-  child_delay_scratch_.resize(n);
-  std::vector<int> choice(n, 0);
-  for (;;) {
-    for (int c = 0; c < n; ++c) {
-      const Metric& m = children[c]->alts[choice[c]].metric;
-      child_area_scratch_[c] = m.area;
-      child_delay_scratch_[c] = m.delay;
-    }
-    const double area = plan.area(child_area_scratch_.data());
-    if (prune &&
-        front.dominates_bound(
-            area, plan.delay_lower_bound(child_delay_scratch_.data()))) {
-      ++stats_.combinations_pruned;
-    } else {
-      const double delay =
-          plan.delay(child_delay_scratch_.data(), times_scratch_);
-      if (prune && front.dominates_bound(area, delay)) {
-        // Exact metrics dominated with margin: the candidate can never be
-        // kept, so don't store it.
-        ++stats_.combinations_pruned;
-      } else {
-        Alternative alt;
-        alt.impl_index = impl_index;
-        alt.child_alt = choice;
-        alt.metric = Metric{area, delay};
-        ++stats_.combinations_evaluated;
-        front.add(area, delay);
-        candidates.push_back(std::move(alt));
-      }
-    }
-    int c = 0;
-    while (c < n && ++choice[c] >= limit[c]) {
-      choice[c] = 0;
-      ++c;
-    }
-    if (c == n) break;
+  long total = 1;
+  for (int l : limit) total *= l;  // callers capped the product (trim_limits)
+
+  long num_shards = 1;
+  const long min_shard = std::max<long>(1, options_.min_combinations_per_shard);
+  if (threads_ > 1 && total >= 2 * min_shard) {
+    num_shards =
+        std::min(static_cast<long>(threads_) *
+                     std::max(1, options_.shards_per_thread),
+                 total / min_shard);
   }
+
+  if (num_shards <= 1) {
+    OdometerCounters counters;
+    run_odometer_range(plan, children, limit, impl_index, 0, total, prune,
+                       front, nullptr, 0, scratch_, candidates, counters);
+    stats_.combinations_evaluated += counters.evaluated;
+    stats_.combinations_pruned += counters.pruned;
+    return;
+  }
+
+  // Sharded run: contiguous index ranges in enumeration order. Every shard
+  // evaluates against its executing thread's EvalScratch and a private
+  // ParetoFront (seeded from the candidates evaluated so far and
+  // refreshed through the shared bound), and stores into its own slot; no
+  // odometer state is ever written concurrently. Merging slot-by-slot in
+  // shard order makes the surviving candidate sequence exactly the serial
+  // one, so the filtered front — stable sort, tie rules and all — is
+  // bit-identical at every thread count.
+  BoundExchange shared(front);
+  struct Shard {
+    std::vector<Alternative> candidates;
+    OdometerCounters counters;
+  };
+  std::vector<Shard> shards(static_cast<size_t>(num_shards));
+  // One scratch per pool thread slot (caller + workers), reused across
+  // the shards that thread happens to claim.
+  std::vector<EvalScratch> scratches(static_cast<size_t>(threads_));
+  const long chunk = (total + num_shards - 1) / num_shards;
+  pool()->run(static_cast<int>(num_shards), [&](int s, int slot) {
+    const long begin = s * chunk;
+    const long end = std::min(total, begin + chunk);
+    if (begin >= end) return;
+    ParetoFront local;
+    const std::uint64_t stamp = shared.exchange(local);
+    run_odometer_range(plan, children, limit, impl_index, begin, end, prune,
+                       local, prune ? &shared : nullptr, stamp,
+                       scratches[slot], shards[s].candidates,
+                       shards[s].counters);
+  });
+  for (Shard& s : shards) {
+    for (Alternative& alt : s.candidates) {
+      front.add(alt.metric.area, alt.metric.delay);
+      candidates.push_back(std::move(alt));
+    }
+    stats_.combinations_evaluated += s.counters.evaluated;
+    stats_.combinations_pruned += s.counters.pruned;
+  }
+  ++stats_.parallel_odometers;
+  stats_.odometer_shards += num_shards;
 }
 
 void DesignSpace::run_reference_odometer(const Module& tmpl,

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "cells/cell.h"
 #include "dtas/rule.h"
 #include "dtas/timing_plan.h"
@@ -114,6 +115,22 @@ struct SpaceOptions {
   /// under FilterKind::kNone (which keeps dominated candidates) and on the
   /// reference path.
   bool bound_prune = true;
+  /// Threads applied to the sharded plan odometer. 0 means
+  /// hardware_concurrency; 1 preserves the fully serial pre-shard code
+  /// path (no pool is ever created). The parallel result is bit-identical
+  /// to the serial one at every thread count: shards cover contiguous
+  /// index ranges of the enumeration, keep private fronts, and are merged
+  /// back in shard order, so the candidate sequence the filter sees is
+  /// exactly the serial sequence (minus pruned candidates, which are
+  /// front-preserving by the bound-and-prune margin argument).
+  int threads = 0;
+  /// Shard granularity: an odometer is sharded only when it holds at
+  /// least two shards of this many combinations; below that the serial
+  /// path runs (thread fork-join would cost more than it saves).
+  long min_combinations_per_shard = 2048;
+  /// Shards per thread above the minimum shard size — more shards than
+  /// threads lets dynamic task claiming level uneven prune rates.
+  int shards_per_thread = 4;
 };
 
 struct SpaceStats {
@@ -125,6 +142,8 @@ struct SpaceStats {
   int rejected_templates = 0;  // cyclic or malformed rule output
   long combinations_evaluated = 0;  // odometer combinations kept as candidates
   long combinations_pruned = 0;     // skipped or discarded by bound-and-prune
+  long parallel_odometers = 0;      // odometer runs that went multi-threaded
+  long odometer_shards = 0;         // shards executed across those runs
 };
 
 /// Incremental (area, delay) Pareto staircase over evaluated candidates,
@@ -136,11 +155,14 @@ struct SpaceStats {
 /// epsilon-tolerant comparisons.
 class ParetoFront {
  public:
-  /// Record an evaluated candidate.
-  void add(double area, double delay);
+  /// Record an evaluated candidate. Returns true when the front changed
+  /// (the point was non-dominated and actually inserted).
+  bool add(double area, double delay);
   /// True when some recorded point has area + margin <= `area` and
   /// delay + margin <= `delay_lower_bound`.
   bool dominates_bound(double area, double delay_lower_bound) const;
+  /// Fold every point of `other` into this front; true when it changed.
+  bool merge(const ParetoFront& other);
 
  private:
   /// Non-dominated points, area ascending (hence delay descending).
@@ -194,10 +216,13 @@ class DesignSpace {
       std::vector<Alternative> candidates) const;
 
   /// Run the compiled-plan odometer over one child-alternative choice per
-  /// entry of `children` (bounded by `limit`), bound-and-pruning against
+  /// entry of `children` (bounded by `limit`, whose product callers must
+  /// already have capped via trim_limits), bound-and-pruning against
   /// `front`, and append the surviving candidates with the given impl
   /// index. Shared by per-implementation evaluation and whole-netlist
-  /// synthesis — the same hot loop, one level apart.
+  /// synthesis — the same hot loop, one level apart. Large odometers are
+  /// sharded across SpaceOptions::threads worker threads; the result is
+  /// bit-identical to the serial run (see SpaceOptions::threads).
   void run_plan_odometer(const TimingPlan& plan,
                          const std::vector<SpecNode*>& children,
                          const std::vector<int>& limit, int impl_index,
@@ -225,15 +250,20 @@ class DesignSpace {
     return options_.bound_prune && options_.filter != FilterKind::kNone;
   }
 
+  /// The lazily created odometer pool (threads_ - 1 workers; the calling
+  /// thread is the remaining one). Never created when threads_ == 1.
+  base::ThreadPool* pool();
+
   const RuleBase& rules_;
   const cells::CellLibrary& library_;
   SpaceOptions options_;
   SpaceStats stats_;
+  int threads_ = 1;  // resolved from options_.threads at construction
+  std::unique_ptr<base::ThreadPool> pool_;
   std::unordered_map<genus::ComponentSpec, std::unique_ptr<SpecNode>> memo_;
-  // Reused per-combination scratch (see TimingPlan::delay).
-  std::vector<double> times_scratch_;
-  std::vector<double> child_area_scratch_;
-  std::vector<double> child_delay_scratch_;
+  // Serial-path evaluation scratch, reused across odometer runs. Parallel
+  // shards own one EvalScratch per shard instead (see run_plan_odometer).
+  EvalScratch scratch_;
 };
 
 }  // namespace bridge::dtas

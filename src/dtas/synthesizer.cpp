@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "base/diag.h"
 #include "base/strutil.h"
@@ -117,25 +118,45 @@ class Extractor {
   std::map<std::pair<const SpecNode*, int>, const Module*> memo_;
 };
 
-/// Short human-readable trace of the chosen implementation.
-std::string describe(const SpecNode* node, int alt_index, int depth) {
-  const Alternative& alt = node->alts.at(alt_index);
-  const ImplNode* impl = node->impls.at(alt.impl_index).get();
-  if (impl->is_leaf()) return impl->cell->name;
-  std::string s = impl->rule_name;
-  if (depth > 0 && !impl->children.empty()) {
-    std::vector<std::string> parts;
-    for (size_t c = 0; c < impl->children.size(); ++c) {
-      const SpecNode* child = impl->children[c];
-      // Only describe "interesting" children (skip SSI gate fodder).
-      if (child->spec.kind == Kind::kGate) continue;
-      parts.push_back(genus::kind_name(child->spec.kind) + ":" +
-                      describe(child, alt.child_alt[c], depth - 1));
+/// Short human-readable traces of chosen implementations, memoized per
+/// (node, alternative, depth). The alternatives of one front share most
+/// of their child subtrees, so recomputing the joins per alternative —
+/// ~20% of single-spec wall before memoization — repeats the same string
+/// assembly over and over; one Describer spans every alternative of a
+/// synthesize call and builds each subtree trace once.
+class Describer {
+ public:
+  const std::string& describe(const SpecNode* node, int alt_index,
+                              int depth) {
+    const Key key{node, alt_index, depth};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const Alternative& alt = node->alts.at(alt_index);
+    const ImplNode* impl = node->impls.at(alt.impl_index).get();
+    std::string s;
+    if (impl->is_leaf()) {
+      s = impl->cell->name;
+    } else {
+      s = impl->rule_name;
+      if (depth > 0 && !impl->children.empty()) {
+        std::vector<std::string> parts;
+        for (size_t c = 0; c < impl->children.size(); ++c) {
+          const SpecNode* child = impl->children[c];
+          // Only describe "interesting" children (skip SSI gate fodder).
+          if (child->spec.kind == Kind::kGate) continue;
+          parts.push_back(genus::kind_name(child->spec.kind) + ":" +
+                          describe(child, alt.child_alt[c], depth - 1));
+        }
+        if (!parts.empty()) s += " (" + join(parts, ", ") + ")";
+      }
     }
-    if (!parts.empty()) s += " (" + join(parts, ", ") + ")";
+    return memo_.emplace(key, std::move(s)).first->second;
   }
-  return s;
-}
+
+ private:
+  using Key = std::tuple<const SpecNode*, int, int>;
+  std::map<Key, std::string> memo_;
+};
 
 }  // namespace
 
@@ -212,12 +233,13 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
   SpecNode* node = space_.expand(spec);
   space_.evaluate(node);
   std::vector<AlternativeDesign> out;
+  Describer describer;
   for (size_t a = 0; a < node->alts.size(); ++a) {
     const Alternative& alt = node->alts[a];
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     AlternativeDesign d;
     d.metric = alt.metric;
-    d.description = describe(node, static_cast<int>(a), 2);
+    d.description = describer.describe(node, static_cast<int>(a), 2);
     d.design = std::make_shared<Design>(sanitize(spec.key()) + "__alt" +
                                         std::to_string(a));
     if (impl->is_leaf()) {
@@ -301,8 +323,11 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   std::vector<Alternative> kept =
       space_.filter_alternatives(std::move(candidates));
 
-  // Materialize each surviving combination.
+  // Materialize each surviving combination. One Describer spans every
+  // combination: their per-spec choices overlap heavily, so child traces
+  // are built once instead of once per alternative.
   std::vector<AlternativeDesign> out;
+  Describer describer;
   for (size_t a = 0; a < kept.size(); ++a) {
     const Alternative& alt = kept[a];
     AlternativeDesign d;
@@ -328,7 +353,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
     }
     for (int c = 0; c < n; ++c) {
       parts.push_back(genus::kind_name(children[c]->spec.kind) + ":" +
-                      describe(children[c], alt.child_alt[c], 1));
+                      describer.describe(children[c], alt.child_alt[c], 1));
     }
     d.description = join(parts, "; ");
     d.design->set_top(&top);

@@ -171,8 +171,9 @@ TimingPlan TimingPlan::compile(
 }
 
 double TimingPlan::delay(const double* child_delay,
-                         std::vector<double>& times) const {
+                         EvalScratch& scratch) const {
   BRIDGE_CHECK(compiled_, "delay() on an uncompiled timing plan");
+  std::vector<double>& times = scratch.times;
   const size_t num_nodes = seq_.size() + steps_.size();
   if (times.size() < num_nodes) times.resize(num_nodes);
   double worst = 0.0;

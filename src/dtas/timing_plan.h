@@ -45,6 +45,18 @@ struct EvalStep {
 };
 using EvalSchedule = std::vector<EvalStep>;
 
+/// Reusable mutable state of one plan evaluation. A TimingPlan is
+/// immutable after compile() and freely shared across threads; everything
+/// a combination evaluation writes lives here instead. The sharded
+/// odometer owns one EvalScratch per worker thread (never per plan and
+/// never shared), which is what makes concurrent shard evaluation
+/// race-free by construction.
+struct EvalScratch {
+  std::vector<double> times;        // per-plan-node completion times
+  std::vector<double> child_area;   // per-distinct-child metrics of the
+  std::vector<double> child_delay;  //   combination being evaluated
+};
+
 class TimingPlan {
  public:
   TimingPlan() = default;
@@ -75,10 +87,10 @@ class TimingPlan {
   }
 
   /// Longest structural path for one combination. `child_delay` holds one
-  /// delay per distinct child; `times` is a caller-owned scratch buffer of
-  /// per-node completion times, resized here so repeated calls never
+  /// delay per distinct child; `scratch` is the calling thread's scratch
+  /// state, whose `times` buffer is resized here so repeated calls never
   /// allocate once it has grown to the plan's node count.
-  double delay(const double* child_delay, std::vector<double>& times) const;
+  double delay(const double* child_delay, EvalScratch& scratch) const;
 
   /// Cheap lower bound on delay(): the worst delay among children with at
   /// least one instance on a timing path (every such instance pins the

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_synthesis.json against the committed baseline.
+
+Fails (exit 1) when the sweep headline regressed by more than the allowed
+slowdown. The headline metrics are *ratios measured within one run on one
+machine* — `speedup` (reference evaluator wall / compiled evaluator wall)
+for the dense-sweep workloads — because absolute milliseconds are not
+comparable between the machine that committed the baseline and the CI
+runner, while the compiled-vs-reference ratio is: both evaluators run the
+same workload in the same process minutes apart.
+
+Thread-scaling entries (suite_t*) are reported but never gate: their
+speedup is bounded by the runner's core count, which the baseline machine
+does not share.
+
+Usage:
+  check_bench_regression.py FRESH BASELINE [--max-slowdown 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# Workload entries whose `speedup` ratio gates the build. The first is the
+# README headline (the 180k-combination sweep).
+GATED = [
+    "sec6_runtime/datapath16_sweep",
+    "sec6_runtime/datapath16_sweep1m",
+    "sec6_runtime/total",
+]
+
+# The 8-thread entries of the sweep workloads gate parallel health (see
+# check_parallel_health): the sharded odometer must actually engage, and
+# on multi-core runners its speedup must clear a core-count-aware floor.
+PARALLEL_GATED = [
+    "sec6_runtime/datapath16_sweep/t8",
+    "sec6_runtime/datapath16_sweep1m/t8",
+]
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {e["name"]: e for e in doc.get("entries", [])}
+
+
+def check_parallel_health(fresh, failures):
+    """Guard the parallel evaluator against silently regressing to serial.
+
+    Thread-scaling *ratios* cannot be compared against the committed
+    baseline (it may have been measured on a different core count — the
+    shipped one comes from a 1-core container), so this gate is absolute
+    and within-run instead:
+
+    - the sweep workloads' 8-thread runs must have sharded at least one
+      odometer (machine-independent: sharding depends only on combination
+      counts, not on cores), and
+    - on runners with >= 4 cores, the most odometer-bound workload must
+      show real scaling: speedup_vs_1thread >= 0.35 x min(8, cores). That
+      is ~1.4x at 4 cores and ~2.8x at 8 — far below ideal scaling, far
+      above a hot-path lock or a serial fallback. On 1-2 cores only a
+      no-severe-slowdown floor (0.7x) applies.
+    """
+    suite = fresh.get("sec6_runtime/suite_t8", {})
+    cores = int(suite.get("hardware_concurrency", 0))
+    for name in PARALLEL_GATED:
+        e = fresh.get(name)
+        if e is None:
+            failures.append(f"{name}: parallel-gated entry missing")
+            continue
+        if e.get("parallel_odometers", 0) < 1:
+            failures.append(
+                f"{name}: the sharded odometer never engaged "
+                "(parallel_odometers = 0) — sweep fell back to serial")
+        speedup = e.get("speedup_vs_1thread", 0.0)
+        floor = 0.35 * min(8, cores) if cores >= 4 else 0.7
+        if speedup < floor:
+            failures.append(
+                f"{name}: 8-thread speedup {speedup:.2f}x below the "
+                f"{floor:.2f}x floor for {cores} cores")
+    if cores >= 4 and suite:
+        print(f"suite_t8 speedup on {cores} cores: "
+              f"{suite.get('speedup_vs_1thread', 0.0):.2f}x vs 1 thread")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-slowdown", type=float, default=0.25,
+                    help="maximum allowed fractional drop of a gated "
+                         "speedup ratio (default 0.25)")
+    args = ap.parse_args()
+
+    fresh = load_entries(args.fresh)
+    base = load_entries(args.baseline)
+
+    failures = []
+    print(f"{'entry':40s} {'base':>9s} {'fresh':>9s} {'ratio':>7s}  gate")
+    for name in sorted(set(fresh) | set(base)):
+        f, b = fresh.get(name), base.get(name)
+        if f is None or b is None:
+            status = "missing-in-fresh" if f is None else "new"
+            print(f"{name:40s} {'-':>9s} {'-':>9s} {'-':>7s}  {status}")
+            if name in GATED:
+                # A gated headline must exist on *both* sides: missing in
+                # fresh means the bench broke; missing in baseline means a
+                # rename/GATED edit without regenerating the baseline —
+                # either way the gate would be vacuous, so fail loudly.
+                side = "fresh run" if f is None else "committed baseline"
+                failures.append(f"{name}: gated entry missing from {side}")
+            continue
+        fs, bs = f.get("speedup"), b.get("speedup")
+        if fs is None or bs is None or bs <= 0:
+            continue
+        ratio = fs / bs
+        gated = name in GATED
+        verdict = ""
+        if gated:
+            verdict = "ok"
+            if ratio < 1.0 - args.max_slowdown:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: speedup {fs:.2f}x vs baseline {bs:.2f}x "
+                    f"({(1.0 - ratio) * 100:.0f}% slowdown > "
+                    f"{args.max_slowdown * 100:.0f}% allowed)")
+        print(f"{name:40s} {bs:8.2f}x {fs:8.2f}x {ratio:6.2f}x  {verdict}")
+
+    check_parallel_health(fresh, failures)
+
+    if any(f.get("fronts_identical") == "NO" for f in fresh.values()):
+        failures.append("a fresh entry reports fronts_identical = NO")
+
+    if failures:
+        print("\nBench regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nBench regression check passed "
+          f"(allowed slowdown {args.max_slowdown * 100:.0f}%).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+#include "base/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace bridge::base {
+
+namespace {
+
+/// The process-wide pool. Leaked deliberately (never destroyed): Symbols
+/// must stay dereferenceable through static destruction, and the pool's
+/// lifetime must not depend on translation-unit destruction order.
+struct Pool {
+  std::mutex mu;
+  std::deque<std::string> strings;  // deque: stable addresses on growth
+  std::unordered_map<std::string_view, const std::string*> index;
+};
+
+Pool& pool() {
+  static Pool* p = new Pool;
+  return *p;
+}
+
+}  // namespace
+
+const std::string* Symbol::intern(std::string_view s) {
+  Pool& p = pool();
+  std::lock_guard<std::mutex> lock(p.mu);
+  auto it = p.index.find(s);
+  if (it != p.index.end()) return it->second;
+  p.strings.emplace_back(s);
+  const std::string* stored = &p.strings.back();
+  p.index.emplace(std::string_view(*stored), stored);
+  return stored;
+}
+
+const std::string* Symbol::empty_string() {
+  static const std::string* empty = intern(std::string_view());
+  return empty;
+}
+
+std::size_t symbol_pool_size() {
+  Pool& p = pool();
+  std::lock_guard<std::mutex> lock(p.mu);
+  return p.strings.size();
+}
+
+std::ostream& operator<<(std::ostream& os, Symbol s) { return os << s.str(); }
+
+}  // namespace bridge::base

@@ -1,0 +1,86 @@
+// Interned strings for hot identifier paths.
+//
+// Net names, module-port names, and instance connection keys are compared,
+// hashed, and copied far more often than they are created: every template
+// clone, every connection lookup, and every port-direction resolution in
+// the synthesis hot path used to pay std::string allocation and
+// character-wise comparison. A Symbol is a pointer into a process-wide
+// intern pool, so:
+//   - construction from the same text always yields the same pointer,
+//   - equality and hashing are single pointer operations,
+//   - copies are trivial (no allocation), and
+//   - the text is available for free via str() (no lock on the read path).
+//
+// Ordering (operator<) compares the underlying *text*, not the pointer:
+// everything that iterates name-sorted containers (connection maps, DRC
+// reports, VHDL emission) must stay deterministic and bit-identical to the
+// std::string-keyed behavior it replaces. Pointer order would vary from
+// run to run; text order cannot.
+//
+// The pool is append-only and immortal (it is never destroyed, so Symbols
+// remain valid during static destruction). Interning takes a mutex; all
+// reads are lock-free. The pool grows with the number of *distinct* names
+// in the process — bounded in practice by the distinct rule templates and
+// specification port lists, both of which the template / spec_ports caches
+// already bound.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace bridge::base {
+
+class Symbol {
+ public:
+  /// The empty string.
+  Symbol() : s_(empty_string()) {}
+  /// Intern `s` (implicit: string-literal call sites read naturally).
+  Symbol(std::string_view s) : s_(intern(s)) {}
+  Symbol(const char* s) : s_(intern(s)) {}
+  Symbol(const std::string& s) : s_(intern(s)) {}
+
+  const std::string& str() const { return *s_; }
+  const char* c_str() const { return s_->c_str(); }
+  bool empty() const { return s_->empty(); }
+  std::size_t size() const { return s_->size(); }
+
+  /// Implicit read conversion: lets Symbols flow into APIs that take
+  /// `const std::string&` (map keys, sanitizers, error text) unchanged.
+  operator const std::string&() const { return *s_; }
+
+  /// Identity comparison: one pointer compare.
+  friend bool operator==(Symbol a, Symbol b) { return a.s_ == b.s_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.s_ != b.s_; }
+
+  /// Text order (see file comment — determinism, not speed).
+  friend bool operator<(Symbol a, Symbol b) {
+    return a.s_ != b.s_ && *a.s_ < *b.s_;
+  }
+
+  /// Stable within a process run; NOT stable across runs. Never use it to
+  /// order user-visible output.
+  std::size_t hash() const { return std::hash<const void*>()(s_); }
+
+ private:
+  static const std::string* intern(std::string_view s);
+  static const std::string* empty_string();
+
+  const std::string* s_;  // never null; points into the immortal pool
+};
+
+std::ostream& operator<<(std::ostream& os, Symbol s);
+
+/// Number of distinct strings interned so far (diagnostics / tests).
+std::size_t symbol_pool_size();
+
+}  // namespace bridge::base
+
+namespace std {
+template <>
+struct hash<bridge::base::Symbol> {
+  size_t operator()(bridge::base::Symbol s) const noexcept { return s.hash(); }
+};
+}  // namespace std

@@ -72,6 +72,39 @@ bool ParetoFront::dominates_bound(double area, double delay_lower_bound) const {
   return std::prev(pos)->second + kPruneMargin <= delay_lower_bound;
 }
 
+TemplateCache& TemplateCache::global() {
+  // Leaked deliberately: compiled templates are shared by shared_ptr into
+  // design spaces whose lifetime the cache cannot see, and the pool must
+  // survive static destruction.
+  static TemplateCache* cache = new TemplateCache;
+  return *cache;
+}
+
+const std::vector<CompiledTemplate>* TemplateCache::find(
+    const std::string& rule_name, const genus::ComponentSpec& spec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{rule_name, spec});
+  return it == map_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<CompiledTemplate>& TemplateCache::insert(
+    const std::string& rule_name, const genus::ComponentSpec& spec,
+    std::vector<CompiledTemplate> templates) {
+  auto owned =
+      std::make_unique<std::vector<CompiledTemplate>>(std::move(templates));
+  std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins on a publish race; both sides compiled identical
+  // content (expand is pure in the key), so returning the survivor is
+  // correct either way.
+  auto [it, inserted] = map_.emplace(Key{rule_name, spec}, std::move(owned));
+  return *it->second;
+}
+
+std::size_t TemplateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 DesignSpace::DesignSpace(const RuleBase& rules,
                          const cells::CellLibrary& library,
                          SpaceOptions options)
@@ -102,6 +135,53 @@ SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
   return node;
 }
 
+namespace {
+
+/// Run one rule's expand() and compile every produced template into its
+/// immutable shared form: distinct child specs (first-occurrence instance
+/// order), evaluation schedule, and timing plan. Pure in (rule name,
+/// spec) by the Rule::expand contract, so the result is what the global
+/// TemplateCache stores. Combinational-cycle rejection is a property of
+/// the template and is recorded here; cyclic-*graph* rejection depends on
+/// the expansion path and stays in expand_node.
+std::vector<CompiledTemplate> compile_rule_templates(
+    const Rule& rule, const ComponentSpec& spec, const RuleContext& ctx) {
+  std::vector<CompiledTemplate> out;
+  for (Module& tmpl : rule.expand(spec, ctx)) {
+    CompiledTemplate ct;
+    for (const Instance& inst : tmpl.instances()) {
+      BRIDGE_CHECK(inst.ref == RefKind::kSpec,
+                   "rule " << rule.name() << " emitted a non-spec instance");
+      if (std::find(ct.child_specs.begin(), ct.child_specs.end(),
+                    inst.spec) == ct.child_specs.end()) {
+        ct.child_specs.push_back(inst.spec);
+      }
+    }
+    EvalSchedule topo;
+    try {
+      topo = DesignSpace::topo_order(tmpl);
+    } catch (const Error&) {
+      ct.rejected = true;
+      ct.tmpl = std::make_shared<const Module>(std::move(tmpl));
+      out.push_back(std::move(ct));
+      continue;
+    }
+    std::vector<const ComponentSpec*> child_spec_ptrs;
+    child_spec_ptrs.reserve(ct.child_specs.size());
+    for (const ComponentSpec& cs : ct.child_specs) {
+      child_spec_ptrs.push_back(&cs);
+    }
+    TimingPlan plan = TimingPlan::compile(tmpl, topo, child_spec_ptrs);
+    ct.tmpl = std::make_shared<const Module>(std::move(tmpl));
+    ct.topo = std::make_shared<const EvalSchedule>(std::move(topo));
+    ct.plan = std::make_shared<const TimingPlan>(std::move(plan));
+    out.push_back(std::move(ct));
+  }
+  return out;
+}
+
+}  // namespace
+
 void DesignSpace::expand_node(SpecNode* node) {
   node->in_progress = true;
   const ComponentSpec& spec = node->spec;
@@ -116,52 +196,55 @@ void DesignSpace::expand_node(SpecNode* node) {
   }
 
   // Decomposition implementations: every applicable rule contributes.
+  // Applicability is probed per library (rules routinely ask the data book
+  // which granularities exist); the *templates* of an applicable rule are
+  // pure in (rule name, spec) and come from the shared cache.
   RuleContext ctx{library_};
   for (const auto& rule : rules_.rules()) {
     if (!rule->applies(spec, ctx)) continue;
     ++stats_.rule_applications;
-    for (Module& tmpl : rule->expand(spec, ctx)) {
-      auto impl = std::make_unique<ImplNode>();
-      impl->rule_name = rule->name();
 
+    const std::vector<CompiledTemplate>* compiled = nullptr;
+    std::vector<CompiledTemplate> local;  // cache-off / uncacheable rules
+    if (options_.use_template_cache && rule->cacheable()) {
+      TemplateCache& cache = TemplateCache::global();
+      compiled = cache.find(rule->name(), spec);
+      if (compiled != nullptr) {
+        ++stats_.template_cache_hits;
+      } else {
+        ++stats_.template_cache_misses;
+        compiled = &cache.insert(rule->name(), spec,
+                                 compile_rule_templates(*rule, spec, ctx));
+      }
+    } else {
+      local = compile_rule_templates(*rule, spec, ctx);
+      compiled = &local;
+    }
+
+    for (const CompiledTemplate& ct : *compiled) {
       // Recursively expand children; reject templates that reference a
       // specification still being expanded (would make the graph cyclic).
       bool cyclic = false;
       std::vector<SpecNode*> children;
-      for (const Instance& inst : tmpl.instances()) {
-        BRIDGE_CHECK(inst.ref == RefKind::kSpec,
-                     "rule " << rule->name()
-                             << " emitted a non-spec instance");
-        SpecNode* child = expand(inst.spec);
+      children.reserve(ct.child_specs.size());
+      for (const ComponentSpec& cs : ct.child_specs) {
+        SpecNode* child = expand(cs);
         if (child->in_progress) {
           cyclic = true;
           break;
         }
-        if (std::find(children.begin(), children.end(), child) ==
-            children.end()) {
-          children.push_back(child);
-        }
+        children.push_back(child);
       }
-      if (cyclic) {
+      if (cyclic || ct.rejected) {
         ++stats_.rejected_templates;
         continue;
       }
-      EvalSchedule topo;
-      try {
-        topo = topo_order(tmpl);
-      } catch (const Error&) {
-        ++stats_.rejected_templates;
-        continue;
-      }
-      // Compile the template once; every odometer combination and every
-      // extraction of this implementation runs on the plan.
-      std::vector<const ComponentSpec*> child_specs;
-      child_specs.reserve(children.size());
-      for (const SpecNode* child : children) child_specs.push_back(&child->spec);
-      impl->plan = TimingPlan::compile(tmpl, topo, child_specs);
-      impl->tmpl = std::move(tmpl);
+      auto impl = std::make_unique<ImplNode>();
+      impl->rule_name = rule->name();
+      impl->tmpl = ct.tmpl;
+      impl->topo = ct.topo;
+      impl->plan = ct.plan;
       impl->children = std::move(children);
-      impl->topo = std::move(topo);
       node->impls.push_back(std::move(impl));
       ++stats_.impl_nodes;
     }
@@ -179,17 +262,18 @@ namespace {
 struct InstView {
   bool sequential = false;
   // (port name, conn, width) split by direction.
-  std::vector<std::tuple<std::string, PortConn, int>> ins;
-  std::vector<std::tuple<std::string, PortConn, int>> outs;
+  std::vector<std::tuple<base::Symbol, PortConn, int>> ins;
+  std::vector<std::tuple<base::Symbol, PortConn, int>> outs;
 };
 
 std::vector<InstView> make_views(const Module& tmpl) {
   std::vector<InstView> views;
   views.reserve(tmpl.instances().size());
+  std::vector<genus::PortSpec> storage;
   for (const Instance& inst : tmpl.instances()) {
     InstView v;
     v.sequential = genus::kind_is_sequential(inst.spec.kind);
-    const auto ports = Module::instance_ports(inst);
+    const auto& ports = Module::instance_ports_ref(inst, storage);
     for (const auto& [port_name, conn] : inst.connections) {
       const genus::PortSpec& p = genus::find_port(ports, port_name);
       if (p.dir == genus::PortDir::kIn) {
@@ -294,7 +378,7 @@ Metric DesignSpace::eval_template(
     arrival[nn].assign(tmpl.nets()[nn].width, 0.0);
   }
 
-  auto write_port = [&](int i, const std::string& port, double t) {
+  auto write_port = [&](int i, base::Symbol port, double t) {
     for (const auto& [pname, conn, width] : views[i].outs) {
       if (pname != port || conn.kind != PortConn::Kind::kNet) continue;
       for (int b = 0; b < width; ++b) {
@@ -303,7 +387,7 @@ Metric DesignSpace::eval_template(
       }
     }
   };
-  auto in_arrival = [&](int i, const std::string* out_port) {
+  auto in_arrival = [&](int i, const base::Symbol* out_port) {
     double a = 0.0;
     for (const auto& [in_port, conn, width] : views[i].ins) {
       if (conn.kind != PortConn::Kind::kNet) continue;
@@ -689,10 +773,10 @@ void DesignSpace::evaluate(SpecNode* node) {
     // Odometer over child alternative choices (uniform-implementation
     // constraint: one choice per *distinct* child spec).
     if (options_.use_compiled_plan) {
-      run_plan_odometer(impl->plan, impl->children, limit,
+      run_plan_odometer(*impl->plan, impl->children, limit,
                         static_cast<int>(ii), front, candidates);
     } else {
-      run_reference_odometer(*impl->tmpl, impl->topo, impl->children, limit,
+      run_reference_odometer(*impl->tmpl, *impl->topo, impl->children, limit,
                              static_cast<int>(ii), candidates);
     }
   }

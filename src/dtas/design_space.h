@@ -24,7 +24,7 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,23 +50,89 @@ bool dominates(const Metric& a, const Metric& b);
 struct SpecNode;
 
 /// One alternative implementation of a specification.
+///
+/// Decomposition products (template, schedule, plan) are immutable after
+/// creation and shared: every design space expanding the same (rule, spec)
+/// points at one copy served by the global TemplateCache, so a cache hit
+/// costs three refcount bumps instead of re-running TemplateBuilder string
+/// assembly and plan compilation.
 struct ImplNode {
   /// Leaf: the matched library cell (functional match). Null for decomps.
   const cells::Cell* cell = nullptr;
   /// Decomposition: the rule that produced it and its template netlist.
   std::string rule_name;
-  std::optional<netlist::Module> tmpl;
-  /// Distinct child specification nodes, in deterministic order.
+  std::shared_ptr<const netlist::Module> tmpl;
+  /// Distinct child specification nodes, in deterministic order (parallel
+  /// to the plan's distinct-child indices).
   std::vector<SpecNode*> children;
   /// Topological evaluation schedule of the template (combinational only).
-  EvalSchedule topo;
+  std::shared_ptr<const EvalSchedule> topo;
   /// Compiled evaluation program for the template (see timing_plan.h).
-  /// Built once at creation; drives both the per-combination evaluator and
-  /// extraction's instance→child resolution. Empty for leaves.
-  TimingPlan plan;
+  /// Drives both the per-combination evaluator and extraction's
+  /// instance→child resolution. Null for leaves.
+  std::shared_ptr<const TimingPlan> plan;
   bool dead = false;
 
   bool is_leaf() const { return cell != nullptr; }
+};
+
+/// The immutable product of one template of one Rule::expand application,
+/// compiled once and shared across design spaces: the template module, its
+/// distinct child specifications (first-occurrence instance order — the
+/// order child metrics are indexed in), and the evaluation schedule + plan
+/// (absent when the template was rejected for a combinational cycle, which
+/// is a property of the template itself).
+struct CompiledTemplate {
+  std::shared_ptr<const netlist::Module> tmpl;
+  std::vector<genus::ComponentSpec> child_specs;
+  std::shared_ptr<const EvalSchedule> topo;
+  std::shared_ptr<const TimingPlan> plan;
+  bool rejected = false;  // combinational cycle in the template
+};
+
+/// Process-wide cache of compiled rule templates, keyed by
+/// (rule name, spec). Sound because Rule::expand is contractually a pure
+/// function of that key (see Rule::cacheable): rule names encode their
+/// parameters, and the rule context only ever gates applicability. Entries
+/// are append-only and immortal; returned references stay valid for the
+/// process lifetime. DesignSpace consults it per (applicable rule, spec) —
+/// a miss compiles and publishes, a hit skips TemplateBuilder, topo
+/// scheduling, and TimingPlan compilation entirely.
+class TemplateCache {
+ public:
+  static TemplateCache& global();
+
+  /// nullptr when absent.
+  const std::vector<CompiledTemplate>* find(
+      const std::string& rule_name, const genus::ComponentSpec& spec) const;
+
+  /// Publish (first writer wins on a race); returns the stored entry.
+  const std::vector<CompiledTemplate>& insert(
+      const std::string& rule_name, const genus::ComponentSpec& spec,
+      std::vector<CompiledTemplate> templates);
+
+  /// Entries currently cached (diagnostics / tests).
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    std::string rule;
+    genus::ComponentSpec spec;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = std::hash<std::string>()(k.rule);
+      h ^= std::hash<genus::ComponentSpec>()(k.spec) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::unique_ptr<std::vector<CompiledTemplate>>,
+                     KeyHash>
+      map_;
 };
 
 /// A surviving alternative after evaluation: which implementation, which
@@ -131,6 +197,11 @@ struct SpaceOptions {
   /// Shards per thread above the minimum shard size — more shards than
   /// threads lets dynamic task claiming level uneven prune rates.
   int shards_per_thread = 4;
+  /// Serve rule expansions from the process-wide TemplateCache (and
+  /// publish misses into it). Off, every expansion re-runs TemplateBuilder
+  /// and plan compilation — kept for equivalence testing; the resulting
+  /// design space is bit-identical either way.
+  bool use_template_cache = true;
 };
 
 struct SpaceStats {
@@ -144,6 +215,8 @@ struct SpaceStats {
   long combinations_pruned = 0;     // skipped or discarded by bound-and-prune
   long parallel_odometers = 0;      // odometer runs that went multi-threaded
   long odometer_shards = 0;         // shards executed across those runs
+  long template_cache_hits = 0;     // rule applications served from the cache
+  long template_cache_misses = 0;   // rule applications compiled (+published)
 };
 
 /// Incremental (area, delay) Pareto staircase over evaluated candidates,

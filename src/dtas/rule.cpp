@@ -1,5 +1,7 @@
 #include "dtas/rule.h"
 
+#include <algorithm>
+
 #include "base/diag.h"
 
 namespace bridge::dtas {
@@ -11,8 +13,9 @@ using netlist::NetIndex;
 
 void RuleBase::add(std::unique_ptr<Rule> rule) {
   BRIDGE_CHECK(rule != nullptr, "null rule");
-  BRIDGE_CHECK(find(rule->name()) == nullptr,
+  BRIDGE_CHECK(by_name_.count(rule->name()) == 0,
                "duplicate rule '" << rule->name() << "'");
+  by_name_.emplace(rule->name(), rule.get());
   rules_.push_back(std::move(rule));
 }
 
@@ -29,10 +32,8 @@ int RuleBase::library_specific_count() const {
 }
 
 const Rule* RuleBase::find(const std::string& name) const {
-  for (const auto& r : rules_) {
-    if (r->name() == name) return r.get();
-  }
-  return nullptr;
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 TemplateBuilder::TemplateBuilder(const ComponentSpec& spec,
@@ -43,7 +44,7 @@ TemplateBuilder::TemplateBuilder(const ComponentSpec& spec,
   }
 }
 
-NetIndex TemplateBuilder::port(const std::string& name) const {
+NetIndex TemplateBuilder::port(base::Symbol name) const {
   NetIndex idx = mod_.find_net(name);
   BRIDGE_CHECK(idx != netlist::kNoNet,
                "template " << mod_.name() << " has no port net '" << name
@@ -81,9 +82,19 @@ NetIndex TemplateBuilder::inv(NetIndex a, int a_lo) {
 
 NetIndex TemplateBuilder::gate_many(
     Op fn, const std::vector<std::pair<NetIndex, int>>& picks) {
-  BRIDGE_CHECK(picks.size() >= 1, "gate_many needs at least one input");
-  if (picks.size() == 1 && fn != Op::kLnot) {
-    // Degenerate gate: a single-input AND/OR is a buffer.
+  BRIDGE_CHECK(!picks.empty(),
+               "gate_many(" << genus::op_name(fn) << ") needs at least one "
+                            << "pick");
+  if (picks.size() == 1) {
+    // The single code path for k == 1: only ops with a sound one-input
+    // reading are accepted. AND/OR of one operand are that operand (a
+    // buffer); LNOT is an inverter. NOR/NAND/XNOR/... of one operand are
+    // NOT the operand, so quietly emitting a buffer would change the
+    // logic — refuse loudly instead.
+    if (fn == Op::kLnot) return inv(picks[0].first, picks[0].second);
+    BRIDGE_CHECK(fn == Op::kAnd || fn == Op::kOr,
+                 "gate_many(" << genus::op_name(fn) << ") with a single pick "
+                              << "has no identity reading; use inv()/gate2()");
     Instance& g = add("b", genus::make_gate_spec(Op::kBuf, 1));
     connect(g, "I0", picks[0].first, picks[0].second);
     NetIndex out = fresh("t", 1);
@@ -111,10 +122,15 @@ void TemplateBuilder::buf_slice(NetIndex src, int src_lo, NetIndex dst,
 void TemplateBuilder::const_slice(NetIndex dst, int dst_lo, int width,
                                   bool value) {
   // A gate with constant inputs is the structural form of a GND/VDD tie.
-  Instance& g = add("k", genus::make_gate_spec(Op::kBuf, width));
-  std::uint64_t v = value ? ~0ULL : 0ULL;
-  connect_const(g, "I0", v);
-  connect(g, "OUT", dst, dst_lo);
+  // A PortConn carries at most 64 constant bits (connect_const masks to
+  // the port width and rejects wider ports), so wider fills — e.g. the
+  // zero half of a >128-bit logarithmic shift stage — tie in chunks of 64.
+  for (int off = 0; off < width; off += 64) {
+    const int w = std::min(64, width - off);
+    Instance& g = add("k", genus::make_gate_spec(Op::kBuf, w));
+    connect_const(g, "I0", value ? ~0ULL : 0ULL);
+    connect(g, "OUT", dst, dst_lo + off);
+  }
 }
 
 }  // namespace bridge::dtas

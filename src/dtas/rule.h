@@ -21,8 +21,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "base/symbol.h"
 #include "cells/cell.h"
 #include "genus/spec.h"
 #include "netlist/netlist.h"
@@ -54,8 +56,20 @@ class Rule {
   /// Produce alternative one-level decompositions of `spec`. Only called
   /// when applies() is true. Each returned module's ports must be exactly
   /// spec_ports(spec).
+  ///
+  /// Contract: expand() must be a pure function of (rule name, spec) — the
+  /// context may gate applicability (applies() routinely probes the
+  /// library) but must not shape the templates themselves. Every built-in
+  /// and LOLA-induced rule satisfies this (their names encode their
+  /// parameters), which is what lets the engine cache compiled templates
+  /// per (rule name, spec) across design spaces and libraries. A custom
+  /// rule that cannot promise this must override cacheable().
   virtual std::vector<netlist::Module> expand(const genus::ComponentSpec& spec,
                                               const RuleContext& ctx) const = 0;
+
+  /// Whether expand() honors the purity contract above and may be served
+  /// from the global template cache.
+  virtual bool cacheable() const { return true; }
 
   const std::string& name() const { return name_; }
   /// The abstract design principle the rule instantiates
@@ -81,14 +95,23 @@ class RuleBase {
   int generic_count() const;
   int library_specific_count() const;
 
-  /// Rule lookup by name; nullptr when absent.
+  /// Rule lookup by name; nullptr when absent. O(1) through the name
+  /// index (add() used to run a linear find() per insertion, making bulk
+  /// registration quadratic as LOLA-induced rule sets grow).
   const Rule* find(const std::string& name) const;
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::unordered_map<std::string, const Rule*> by_name_;
 };
 
-/// Convenience rule built from two lambdas.
+/// Convenience rule built from two lambdas. The global template cache is
+/// keyed by rule *name*, and lambda rules are exactly where same-named
+/// rules with different expansions could otherwise sneak in (per-library
+/// tweaks sharing a name across rule bases) — so a lambda whose expand is
+/// not a pure function of (name, spec) must be constructed with
+/// `cacheable = false`; LambdaRule is final, making the constructor flag
+/// the only escape hatch.
 class LambdaRule final : public Rule {
  public:
   using AppliesFn = std::function<bool(const genus::ComponentSpec&,
@@ -97,10 +120,11 @@ class LambdaRule final : public Rule {
       const genus::ComponentSpec&, const RuleContext&)>;
 
   LambdaRule(std::string name, std::string principle, bool library_specific,
-             AppliesFn applies, ExpandFn expand)
+             AppliesFn applies, ExpandFn expand, bool cacheable = true)
       : Rule(std::move(name), std::move(principle), library_specific),
         applies_(std::move(applies)),
-        expand_(std::move(expand)) {}
+        expand_(std::move(expand)),
+        cacheable_(cacheable) {}
 
   bool applies(const genus::ComponentSpec& spec,
                const RuleContext& ctx) const override {
@@ -110,10 +134,12 @@ class LambdaRule final : public Rule {
                                       const RuleContext& ctx) const override {
     return expand_(spec, ctx);
   }
+  bool cacheable() const override { return cacheable_; }
 
  private:
   AppliesFn applies_;
   ExpandFn expand_;
+  bool cacheable_;
 };
 
 /// Helper for authoring decomposition templates. Wraps a Module whose
@@ -129,7 +155,7 @@ class TemplateBuilder {
   netlist::Module& module() { return mod_; }
 
   /// Net index of a parent port.
-  netlist::NetIndex port(const std::string& name) const;
+  netlist::NetIndex port(base::Symbol name) const;
 
   /// Create a fresh internal net (unique suffix added automatically).
   netlist::NetIndex fresh(const std::string& base, int width);
@@ -144,7 +170,12 @@ class TemplateBuilder {
                           netlist::NetIndex b, int b_lo);
   /// 1-bit inverter.
   netlist::NetIndex inv(netlist::NetIndex a, int a_lo);
-  /// Fanin-k 1-bit gate over bit picks; k>=2 (k taken from picks.size()).
+  /// Fanin-k 1-bit gate over bit picks; k is taken from picks.size() and
+  /// must be >= 1. A single pick is accepted only where it has a sound
+  /// 1-input reading: AND/OR collapse to a buffer of the pick, LNOT to an
+  /// inverter. Any other op with one pick (NOR, NAND, XNOR, ... — whose
+  /// 1-input forms are not the identity) throws instead of silently
+  /// degrading to a buffer.
   netlist::NetIndex gate_many(genus::Op fn,
                               const std::vector<std::pair<netlist::NetIndex,
                                                           int>>& picks);
@@ -157,15 +188,15 @@ class TemplateBuilder {
                    bool value = false);
 
   /// Connect helpers forwarding to the module.
-  void connect(netlist::Instance& inst, const std::string& port,
+  void connect(netlist::Instance& inst, base::Symbol port,
                netlist::NetIndex net, int lo = 0) {
     mod_.connect(inst, port, net, lo);
   }
-  void connect_const(netlist::Instance& inst, const std::string& port,
+  void connect_const(netlist::Instance& inst, base::Symbol port,
                      std::uint64_t v) {
     mod_.connect_const(inst, port, v);
   }
-  void connect_replicated(netlist::Instance& inst, const std::string& port,
+  void connect_replicated(netlist::Instance& inst, base::Symbol port,
                           netlist::NetIndex net, int bit = 0) {
     mod_.connect_replicated(inst, port, net, bit);
   }

@@ -64,7 +64,7 @@ class Extractor {
     }
     // Which distinct child (and which of its alternatives) implements each
     // template instance is pre-resolved in the compiled plan.
-    const std::vector<int>& inst_child = impl->plan.instance_child();
+    const std::vector<int>& inst_child = impl->plan->instance_child();
     int ti_index = 0;
     for (const Instance& ti : tmpl.instances()) {
       const int child_index = inst_child.at(ti_index++);
@@ -160,14 +160,14 @@ class Describer {
 
 }  // namespace
 
-std::vector<std::pair<std::string, PortBinding>> cell_binding(
+std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
     const ComponentSpec& cell_spec, const ComponentSpec& need) {
   BRIDGE_CHECK(genus::spec_implements(cell_spec, need),
                "cell_binding: " << cell_spec.key() << " does not implement "
                                 << need.key());
-  const auto cell_ports = genus::spec_ports(cell_spec);
-  const auto need_ports = genus::spec_ports(need);
-  std::vector<std::pair<std::string, PortBinding>> out;
+  const auto& cell_ports = genus::spec_ports(cell_spec);
+  const auto& need_ports = genus::spec_ports(need);
+  std::vector<std::pair<base::Symbol, PortBinding>> out;
   for (const PortSpec& cp : cell_ports) {
     PortBinding b;
     bool matched = false;
@@ -180,16 +180,18 @@ std::vector<std::pair<std::string, PortBinding>> cell_binding(
       }
     }
     if (!matched) {
+      static const base::Symbol kEN("EN"), kCEN("CEN"), kMODE("MODE"),
+          kCI("CI");
       if (cp.dir == PortDir::kOut) {
         b.kind = PortBinding::Kind::kOpen;
       } else {
         // Data-book tie-offs for extra cell inputs.
         b.kind = PortBinding::Kind::kConst;
-        if (cp.name == "EN" || cp.name == "CEN") {
+        if (cp.name == kEN || cp.name == kCEN) {
           b.value = 1;  // enables are active high
-        } else if (cp.name == "MODE") {
+        } else if (cp.name == kMODE) {
           b.value = need.kind == Kind::kSubtractor ? 1 : 0;
-        } else if (cp.name == "CI" && need.kind == Kind::kSubtractor) {
+        } else if (cp.name == kCI && need.kind == Kind::kSubtractor) {
           b.value = 1;  // raw carry-in of 1 completes two's complement
         } else {
           b.value = 0;  // CI, ASET, ARST, spare data inputs

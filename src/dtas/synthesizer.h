@@ -65,10 +65,10 @@ class Synthesizer {
 struct PortBinding {
   enum class Kind { kPort, kConst, kOpen };
   Kind kind = Kind::kOpen;
-  std::string need_port;  // kPort
+  base::Symbol need_port;   // kPort
   std::uint64_t value = 0;  // kConst
 };
-std::vector<std::pair<std::string, PortBinding>> cell_binding(
+std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
     const genus::ComponentSpec& cell_spec, const genus::ComponentSpec& need);
 
 }  // namespace bridge::dtas

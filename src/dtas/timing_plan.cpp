@@ -42,7 +42,7 @@ TimingPlan TimingPlan::compile(
   // computed once here — the whole point is that evaluation never touches
   // port names again.
   struct Conn {
-    const std::string* port;
+    base::Symbol port;
     PortConn conn;
     int width;
   };
@@ -64,10 +64,11 @@ TimingPlan TimingPlan::compile(
                   inst.spec.key());
     }
     plan.inst_child_[i] = child;
-    const auto ports = Module::instance_ports(inst);
+    std::vector<genus::PortSpec> storage;
+    const auto& ports = Module::instance_ports_ref(inst, storage);
     for (const auto& [port_name, conn] : inst.connections) {
       const genus::PortSpec& p = genus::find_port(ports, port_name);
-      Conn c{&port_name, conn, p.width};
+      Conn c{port_name, conn, p.width};
       (p.dir == genus::PortDir::kIn ? ins[i] : outs[i]).push_back(c);
     }
   }
@@ -94,7 +95,7 @@ TimingPlan TimingPlan::compile(
     const EvalStep& step = topo[u];
     const int node = num_seq + static_cast<int>(u);
     for (const Conn& c : outs[step.instance]) {
-      if (*c.port != step.port || c.conn.kind != PortConn::Kind::kNet) {
+      if (c.port != step.port || c.conn.kind != PortConn::Kind::kNet) {
         continue;
       }
       for (int b = 0; b < c.width; ++b) {
@@ -145,7 +146,7 @@ TimingPlan TimingPlan::compile(
     selected.clear();
     for (const Conn& c : ins[step.instance]) {
       if (c.conn.kind != PortConn::Kind::kNet) continue;
-      if (!genus::output_depends_on(inst.spec, step.port, *c.port)) continue;
+      if (!genus::output_depends_on(inst.spec, step.port, c.port)) continue;
       selected.push_back(&c);
     }
     const int node = num_seq + static_cast<int>(u);

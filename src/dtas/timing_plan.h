@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/symbol.h"
 #include "genus/spec.h"
 #include "netlist/netlist.h"
 
@@ -41,7 +42,7 @@ namespace bridge::dtas {
 /// carry input — do not create spurious combinational cycles.
 struct EvalStep {
   int instance = -1;
-  std::string port;
+  base::Symbol port;
 };
 using EvalSchedule = std::vector<EvalStep>;
 

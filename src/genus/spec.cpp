@@ -1,6 +1,9 @@
 #include "genus/spec.h"
 
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/diag.h"
 #include "base/strutil.h"
@@ -20,12 +23,12 @@ int clog2(int n) {
   return bits < 1 ? 1 : bits;
 }
 
-PortSpec in(std::string name, int width, PortRole role = PortRole::kData) {
-  return PortSpec{std::move(name), PortDir::kIn, width, role};
+PortSpec in(base::Symbol name, int width, PortRole role = PortRole::kData) {
+  return PortSpec{name, PortDir::kIn, width, role};
 }
 
-PortSpec out(std::string name, int width, PortRole role = PortRole::kData) {
-  return PortSpec{std::move(name), PortDir::kOut, width, role};
+PortSpec out(base::Symbol name, int width, PortRole role = PortRole::kData) {
+  return PortSpec{name, PortDir::kOut, width, role};
 }
 
 }  // namespace
@@ -237,7 +240,9 @@ ComponentSpec make_logic_unit_spec(int width, OpSet ops) {
   return s;
 }
 
-std::vector<PortSpec> spec_ports(const ComponentSpec& spec) {
+namespace {
+
+std::vector<PortSpec> build_spec_ports(const ComponentSpec& spec) {
   std::vector<PortSpec> p;
   // Most kinds have a handful of ports; fan-in-shaped kinds (gates, muxes)
   // have size+2. One reservation avoids the realloc churn that made this
@@ -447,12 +452,40 @@ std::vector<PortSpec> spec_ports(const ComponentSpec& spec) {
   return p;
 }
 
+}  // namespace
+
+const std::vector<PortSpec>& spec_ports(const ComponentSpec& spec) {
+  // Append-only memo: entries are heap-allocated and never removed, so the
+  // returned reference stays valid for the process lifetime. The lock only
+  // covers the map probe; port-list construction for a miss runs outside
+  // critical use (single-threaded expansion) and rarely enough not to
+  // matter.
+  struct Cache {
+    std::mutex mu;
+    std::unordered_map<ComponentSpec,
+                       std::unique_ptr<const std::vector<PortSpec>>>
+        map;
+  };
+  static Cache* cache = new Cache;
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto it = cache->map.find(spec);
+    if (it != cache->map.end()) return *it->second;
+  }
+  auto built =
+      std::make_unique<const std::vector<PortSpec>>(build_spec_ports(spec));
+  std::lock_guard<std::mutex> lock(cache->mu);
+  // emplace keeps the first entry on a lost race; return whichever stayed.
+  auto [it, inserted] = cache->map.emplace(spec, std::move(built));
+  return *it->second;
+}
+
 const PortSpec& find_port(const std::vector<PortSpec>& ports,
-                          const std::string& name) {
+                          base::Symbol name) {
   for (const auto& port : ports) {
     if (port.name == name) return port;
   }
-  throw Error("no port named '" + name + "'");
+  throw Error("no port named '" + name.str() + "'");
 }
 
 namespace {
@@ -525,11 +558,12 @@ bool spec_implements(const ComponentSpec& cell, const ComponentSpec& need) {
   return true;
 }
 
-bool output_depends_on(const ComponentSpec& spec, const std::string& out_port,
-                       const std::string& in_port) {
+bool output_depends_on(const ComponentSpec& spec, base::Symbol out_port,
+                       base::Symbol in_port) {
+  static const base::Symbol kGP("GP"), kGG("GG"), kCI("CI");
   if (spec.kind == Kind::kCarryLookahead &&
-      (out_port == "GP" || out_port == "GG")) {
-    return in_port != "CI";
+      (out_port == kGP || out_port == kGG)) {
+    return in_port != kCI;
   }
   return true;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/symbol.h"
 #include "genus/kind.h"
 #include "genus/optype.h"
 
@@ -60,9 +61,12 @@ enum class PortRole : std::uint8_t {
 
 enum class PortDir : std::uint8_t { kIn, kOut };
 
-/// A resolved (concrete-width) port of a component or cell.
+/// A resolved (concrete-width) port of a component or cell. The name is an
+/// interned symbol: port lists are built once per distinct specification
+/// (see spec_ports) and then compared/copied everywhere, so lookups are
+/// pointer compares and copies never allocate.
 struct PortSpec {
-  std::string name;
+  base::Symbol name;
   PortDir dir = PortDir::kIn;
   int width = 1;
   PortRole role = PortRole::kData;
@@ -130,11 +134,15 @@ ComponentSpec make_logic_unit_spec(int width, OpSet ops);
 
 /// Derive the full port list of a specification. This is the single source
 /// of truth used by netlist construction, simulation, and VHDL emission.
-std::vector<PortSpec> spec_ports(const ComponentSpec& spec);
+/// Memoized per distinct specification: the returned reference points into
+/// a process-wide, append-only cache (stable for the process lifetime), so
+/// hot paths iterate it without copying and repeated calls never re-run
+/// the port-name string assembly.
+const std::vector<PortSpec>& spec_ports(const ComponentSpec& spec);
 
 /// Find a port by name; throws Error if absent.
 const PortSpec& find_port(const std::vector<PortSpec>& ports,
-                          const std::string& name);
+                          base::Symbol name);
 
 /// True if `cell` can directly implement `need`: same kind family and
 /// geometry, cell's operation set covers the needed one, and every
@@ -156,8 +164,8 @@ std::vector<Kind> promoting_kinds(Kind need_kind);
 /// carry-look-ahead generator, whose group propagate/generate outputs do
 /// not depend on the carry input — which is precisely what makes
 /// multi-level look-ahead trees acyclic.
-bool output_depends_on(const ComponentSpec& spec, const std::string& out_port,
-                       const std::string& in_port);
+bool output_depends_on(const ComponentSpec& spec, base::Symbol out_port,
+                       base::Symbol in_port);
 
 }  // namespace bridge::genus
 

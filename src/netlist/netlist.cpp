@@ -9,7 +9,7 @@ namespace bridge::netlist {
 using genus::PortDir;
 using genus::PortSpec;
 
-NetIndex Module::add_net(const std::string& name, int width) {
+NetIndex Module::add_net(base::Symbol name, int width) {
   BRIDGE_CHECK(width >= 1, "net '" << name << "' width must be >= 1");
   BRIDGE_CHECK(net_names_.count(name) == 0,
                "duplicate net '" << name << "' in module " << name_);
@@ -19,7 +19,7 @@ NetIndex Module::add_net(const std::string& name, int width) {
   return idx;
 }
 
-NetIndex Module::add_port(const std::string& name, PortDir dir, int width) {
+NetIndex Module::add_port(base::Symbol name, PortDir dir, int width) {
   NetIndex idx = add_net(name, width);
   ports_.push_back(ModulePort{name, dir, width, idx});
   return idx;
@@ -63,9 +63,10 @@ Instance& Module::add_module_instance(const std::string& name,
   return instances_.back();
 }
 
-void Module::connect(Instance& inst, const std::string& port, NetIndex net_idx,
+void Module::connect(Instance& inst, base::Symbol port, NetIndex net_idx,
                      int lo) {
-  const auto ports = instance_ports(inst);
+  std::vector<PortSpec> storage;
+  const auto& ports = instance_ports_ref(inst, storage);
   const PortSpec& p = genus::find_port(ports, port);
   const Net& n = net(net_idx);
   BRIDGE_CHECK(lo >= 0 && lo + p.width <= n.width,
@@ -76,18 +77,31 @@ void Module::connect(Instance& inst, const std::string& port, NetIndex net_idx,
   inst.connections[port] = PortConn::to_net(net_idx, lo);
 }
 
-void Module::connect_const(Instance& inst, const std::string& port,
+void Module::connect_const(Instance& inst, base::Symbol port,
                            std::uint64_t value) {
-  const auto ports = instance_ports(inst);
+  std::vector<PortSpec> storage;
+  const auto& ports = instance_ports_ref(inst, storage);
   const PortSpec& p = genus::find_port(ports, port);
   BRIDGE_CHECK(p.dir == PortDir::kIn,
                "constant on output port " << inst.name << "." << port);
-  inst.connections[port] = PortConn::constant(value);
+  // Consumers read exactly `width` low bits of const_value (the simulator
+  // shifts `const_value >> b` per port bit), so a stored value must not
+  // carry bits past the port width, and ports past 64 bits cannot be
+  // constant-driven at all — a raw store of e.g. ~0ULL onto a 4-bit port
+  // used to leak the un-maskable high bits into width checks and reports.
+  BRIDGE_CHECK(p.width <= 64, "constant on " << inst.name << "." << port
+                                             << " (width " << p.width
+                                             << "): ports wider than 64 bits "
+                                                "cannot take a constant");
+  const std::uint64_t mask =
+      p.width >= 64 ? ~0ULL : ((1ULL << p.width) - 1ULL);
+  inst.connections[port] = PortConn::constant(value & mask);
 }
 
-void Module::connect_replicated(Instance& inst, const std::string& port,
+void Module::connect_replicated(Instance& inst, base::Symbol port,
                                 NetIndex net_idx, int bit) {
-  const auto ports = instance_ports(inst);
+  std::vector<PortSpec> storage;
+  const auto& ports = instance_ports_ref(inst, storage);
   const PortSpec& p = genus::find_port(ports, port);
   BRIDGE_CHECK(p.dir == PortDir::kIn,
                "replication on output port " << inst.name << "." << port);
@@ -97,7 +111,7 @@ void Module::connect_replicated(Instance& inst, const std::string& port,
   inst.connections[port] = PortConn::replicated(net_idx, bit);
 }
 
-NetIndex Module::find_net(const std::string& name) const {
+NetIndex Module::find_net(base::Symbol name) const {
   auto it = net_names_.find(name);
   return it == net_names_.end() ? kNoNet : it->second;
 }
@@ -108,11 +122,11 @@ const Net& Module::net(NetIndex idx) const {
   return nets_[idx];
 }
 
-const ModulePort& Module::module_port(const std::string& name) const {
+const ModulePort& Module::module_port(base::Symbol name) const {
   for (const auto& p : ports_) {
     if (p.name == name) return p;
   }
-  throw Error("module " + name_ + " has no port '" + name + "'");
+  throw Error("module " + name_ + " has no port '" + name.str() + "'");
 }
 
 std::vector<PortSpec> Module::instance_ports(const Instance& inst) {
@@ -122,6 +136,15 @@ std::vector<PortSpec> Module::instance_ports(const Instance& inst) {
       out.push_back(PortSpec{p.name, p.dir, p.width, genus::PortRole::kData});
     }
     return out;
+  }
+  return genus::spec_ports(inst.spec);
+}
+
+const std::vector<PortSpec>& Module::instance_ports_ref(
+    const Instance& inst, std::vector<PortSpec>& storage) {
+  if (inst.ref == RefKind::kModule) {
+    storage = instance_ports(inst);
+    return storage;
   }
   return genus::spec_ports(inst.spec);
 }
@@ -186,33 +209,33 @@ std::vector<std::string> check_module(const Module& m) {
       if (it == inst.connections.end() ||
           it->second.kind == PortConn::Kind::kOpen) {
         if (p.dir == PortDir::kIn) {
-          issue("unconnected input " + inst.name + "." + p.name);
+          issue("unconnected input " + inst.name + "." + p.name.str());
         }
         continue;
       }
       const PortConn& c = it->second;
       if (c.kind == PortConn::Kind::kConst) {
         if (p.dir == PortDir::kOut) {
-          issue("constant bound to output " + inst.name + "." + p.name);
+          issue("constant bound to output " + inst.name + "." + p.name.str());
         }
         continue;
       }
       if (c.net < 0 || c.net >= static_cast<NetIndex>(m.nets().size())) {
-        issue("dangling net reference on " + inst.name + "." + p.name);
+        issue("dangling net reference on " + inst.name + "." + p.name.str());
         continue;
       }
       const Net& net = m.nets()[c.net];
       if (c.replicate) {
         if (p.dir == PortDir::kOut || c.lo < 0 || c.lo >= net.width) {
-          issue("bad replication on " + inst.name + "." + p.name);
+          issue("bad replication on " + inst.name + "." + p.name.str());
         } else {
           ++readers[c.net][c.lo];
         }
         continue;
       }
       if (c.lo < 0 || c.lo + p.width > net.width) {
-        issue("slice overflow: " + inst.name + "." + p.name + " on net '" +
-              net.name + "'");
+        issue("slice overflow: " + inst.name + "." + p.name.str() +
+              " on net '" + net.name.str() + "'");
         continue;
       }
       for (int b = 0; b < p.width; ++b) {
@@ -234,7 +257,8 @@ std::vector<std::string> check_module(const Module& m) {
         }
       }
       if (!known) {
-        issue("connection to unknown port " + inst.name + "." + port_name);
+        issue("connection to unknown port " + inst.name + "." +
+              port_name.str());
       }
     }
   }

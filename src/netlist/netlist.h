@@ -14,12 +14,15 @@
 // without adapter components.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "base/symbol.h"
 #include "genus/spec.h"
 
 namespace bridge::netlist {
@@ -36,7 +39,7 @@ using NetIndex = int;
 inline constexpr NetIndex kNoNet = -1;
 
 struct Net {
-  std::string name;
+  base::Symbol name;
   int width = 1;
 };
 
@@ -67,6 +70,48 @@ struct PortConn {
 
 class Module;
 
+/// Port-connection map of an instance, keyed by interned port names.
+/// Replaces the former std::map<std::string, PortConn>: lookups are linear
+/// scans over a small flat vector with pointer-equality key compares (port
+/// counts are tiny — a handful to ~70 for the widest gates), insertions
+/// keep the entries in port-name *string* order, so iteration visits
+/// connections in exactly the order the string-keyed map did — DRC
+/// reports, evaluation schedules, and VHDL bindings stay bit-identical.
+class ConnMap {
+ public:
+  using value_type = std::pair<base::Symbol, PortConn>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  const_iterator find(base::Symbol port) const {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->first == port) return it;
+    }
+    return items_.end();
+  }
+  std::size_t count(base::Symbol port) const {
+    return find(port) == end() ? 0 : 1;
+  }
+
+  /// Insert-or-assign, preserving name-sorted order on insert.
+  PortConn& operator[](base::Symbol port) {
+    for (auto& [name, conn] : items_) {
+      if (name == port) return conn;
+    }
+    auto pos = std::lower_bound(
+        items_.begin(), items_.end(), port,
+        [](const value_type& v, base::Symbol p) { return v.first < p; });
+    return items_.insert(pos, {port, PortConn{}})->second;
+  }
+
+ private:
+  std::vector<value_type> items_;  // name-sorted (string order)
+};
+
 /// A component/cell/module instantiation within a module.
 struct Instance {
   std::string name;
@@ -78,12 +123,12 @@ struct Instance {
   std::string ref_name;
   /// Child module for kModule; owned by the enclosing Design.
   const Module* module = nullptr;
-  std::map<std::string, PortConn> connections;
+  ConnMap connections;
 };
 
 /// A module port: externally visible connection point bound to a net.
 struct ModulePort {
-  std::string name;
+  base::Symbol name;
   genus::PortDir dir = genus::PortDir::kIn;
   int width = 1;
   NetIndex net = kNoNet;
@@ -97,10 +142,10 @@ class Module {
   const std::string& name() const { return name_; }
 
   /// Create a net; names must be unique within the module.
-  NetIndex add_net(const std::string& name, int width);
+  NetIndex add_net(base::Symbol name, int width);
 
   /// Create a port and its backing net in one step.
-  NetIndex add_port(const std::string& name, genus::PortDir dir, int width);
+  NetIndex add_port(base::Symbol name, genus::PortDir dir, int width);
 
   /// Add an instance bound to an unmapped specification.
   Instance& add_spec_instance(const std::string& name,
@@ -117,23 +162,23 @@ class Module {
                                 const genus::ComponentSpec& spec);
 
   /// Bind `port` of `inst` to a slice of `net` starting at bit `lo`.
-  void connect(Instance& inst, const std::string& port, NetIndex net,
-               int lo = 0);
-  /// Bind `port` of `inst` to a constant value.
-  void connect_const(Instance& inst, const std::string& port,
-                     std::uint64_t value);
+  void connect(Instance& inst, base::Symbol port, NetIndex net, int lo = 0);
+  /// Bind `port` of `inst` to a constant value. The value is masked to the
+  /// port width (ports wider than 64 bits cannot take a constant); see
+  /// PortConn::const_value consumers, which read exactly `width` low bits.
+  void connect_const(Instance& inst, base::Symbol port, std::uint64_t value);
   /// Broadcast one bit of `net` (bit index `bit`) across every bit of a
   /// multi-bit input port.
-  void connect_replicated(Instance& inst, const std::string& port,
-                          NetIndex net, int bit = 0);
+  void connect_replicated(Instance& inst, base::Symbol port, NetIndex net,
+                          int bit = 0);
 
-  NetIndex find_net(const std::string& name) const;  // kNoNet when absent
+  NetIndex find_net(base::Symbol name) const;  // kNoNet when absent
   const Net& net(NetIndex idx) const;
   int net_width(NetIndex idx) const { return net(idx).width; }
 
   const std::vector<Net>& nets() const { return nets_; }
   const std::vector<ModulePort>& module_ports() const { return ports_; }
-  const ModulePort& module_port(const std::string& name) const;
+  const ModulePort& module_port(base::Symbol name) const;
   const std::deque<Instance>& instances() const { return instances_; }
   std::deque<Instance>& instances() { return instances_; }
 
@@ -141,12 +186,18 @@ class Module {
   /// child-module ports for kModule, spec_ports(spec) otherwise.
   static std::vector<genus::PortSpec> instance_ports(const Instance& inst);
 
+  /// Allocation-free variant: returns the cached spec_ports list directly
+  /// for spec/cell instances; only kModule instances materialize into
+  /// `storage`. Use on paths that resolve ports per connection.
+  static const std::vector<genus::PortSpec>& instance_ports_ref(
+      const Instance& inst, std::vector<genus::PortSpec>& storage);
+
  private:
   std::string name_;
   std::vector<Net> nets_;
   std::vector<ModulePort> ports_;
   std::deque<Instance> instances_;  // deque: stable references on growth
-  std::map<std::string, NetIndex> net_names_;
+  std::unordered_map<base::Symbol, NetIndex> net_names_;
 };
 
 /// A collection of modules with stable addresses; owns all hierarchy.

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
 #include "base/bitvec.h"
 #include "base/diag.h"
 #include "base/strutil.h"
+#include "base/symbol.h"
 #include "base/widthexpr.h"
 
 namespace bridge {
@@ -195,6 +197,52 @@ TEST(StrUtil, FormatDouble) {
   EXPECT_EQ(format_double(3.0), "3");
   EXPECT_EQ(format_double(0.25), "0.25");
   EXPECT_EQ(format_double(134.3, 1), "134.3");
+}
+
+TEST(Symbol, InternsToOneIdentity) {
+  base::Symbol a("CI");
+  base::Symbol b(std::string("CI"));
+  base::Symbol c(std::string_view("CI"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(&a.str(), &b.str()) << "same text must intern to one string";
+  EXPECT_NE(a, base::Symbol("CO"));
+  EXPECT_EQ(std::hash<base::Symbol>()(a), std::hash<base::Symbol>()(b));
+}
+
+TEST(Symbol, DefaultIsEmpty) {
+  base::Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, base::Symbol(""));
+  EXPECT_EQ(s.str(), "");
+}
+
+TEST(Symbol, OrdersByTextNotPointer) {
+  // Intern deliberately out of lexicographic order.
+  base::Symbol z("zz_order_test"), a("aa_order_test"), m("mm_order_test");
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Symbol, ConvertsToStringRef) {
+  base::Symbol s("OUT");
+  const std::string& ref = s;  // implicit, no copy
+  EXPECT_EQ(ref, "OUT");
+  EXPECT_EQ(s.str() + "!", "OUT!");
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "OUT");
+}
+
+TEST(Symbol, PoolDeduplicates) {
+  const std::size_t before = base::symbol_pool_size();
+  base::Symbol("symbol_pool_dedup_probe");
+  const std::size_t after_first = base::symbol_pool_size();
+  base::Symbol("symbol_pool_dedup_probe");
+  EXPECT_EQ(after_first, before + 1);
+  EXPECT_EQ(base::symbol_pool_size(), after_first);
 }
 
 }  // namespace

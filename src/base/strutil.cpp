@@ -104,4 +104,27 @@ double parse_double_token(const std::string& token, int line) {
   }
 }
 
+std::string sanitize_identifier(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.front() == '_') out.erase(out.begin());
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "u_" + out;
+  }
+  // Collapse runs of underscores (VHDL forbids "__").
+  std::string collapsed;
+  for (char c : out) {
+    if (c == '_' && !collapsed.empty() && collapsed.back() == '_') continue;
+    collapsed.push_back(c);
+  }
+  if (!collapsed.empty() && collapsed.back() == '_') collapsed.pop_back();
+  return collapsed;
+}
+
 }  // namespace bridge

@@ -30,6 +30,14 @@ bool ends_with(std::string_view s, std::string_view suffix);
 /// Render a double with trailing-zero trimming ("12.5", "3", "0.25").
 std::string format_double(double v, int max_decimals = 3);
 
+/// VHDL-legal basic identifier derived from an arbitrary name: non-ASCII
+/// alphanumerics become underscores, runs of underscores collapse to one,
+/// leading/trailing underscores are stripped, and an empty or digit-leading
+/// result gets a "u_" prefix. Never returns an empty string. Shared by the
+/// VHDL emitter and by DTAS module naming so the two agree: a module named
+/// with this function survives emission verbatim.
+std::string sanitize_identifier(const std::string& name);
+
 /// Parse a token that must be entirely a number; throws ParseError
 /// ("expected a number, got '...'") carrying `line` on anything else.
 /// Shared by the data-book and Liberty loaders.

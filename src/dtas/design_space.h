@@ -202,6 +202,13 @@ struct SpaceOptions {
   /// and plan compilation — kept for equivalence testing; the resulting
   /// design space is bit-identical either way.
   bool use_template_cache = true;
+  /// Materialize each distinct (spec node, alternative) subtree once per
+  /// Synthesizer (dtas::ExtractionCache) and share the immutable module
+  /// across every AlternativeDesign that contains it, instead of rebuilding
+  /// the subtree into every design. Off, every design owns a private copy
+  /// of every module (the reference path, kept for equivalence testing);
+  /// descriptions and emitted VHDL are byte-identical either way.
+  bool use_extraction_cache = true;
 };
 
 struct SpaceStats {

@@ -23,36 +23,66 @@ using netlist::RefKind;
 
 namespace {
 
-std::string sanitize(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      out.push_back(c);
-    } else {
-      out.push_back('_');
-    }
-  }
-  return out;
-}
+std::string sanitize(const std::string& s) { return sanitize_identifier(s); }
 
-/// Materializes chosen alternatives into hierarchical modules.
+/// Materializes chosen alternatives into hierarchical modules. With the
+/// extraction cache enabled, each distinct (node, alternative) subtree is
+/// built once per session as an immutable shared module and merely
+/// *registered* with every further design that needs it; disabled, every
+/// design owns a private copy of every module (the reference path). Both
+/// paths draw module names from the session table in ExtractionCache and
+/// walk subtrees in the same pre-order, so the hierarchies they produce
+/// are byte-identical under emission.
 class Extractor {
  public:
-  Extractor(Design& out, const DesignSpace& space) : out_(out), space_(space) {}
+  Extractor(Design& out, ExtractionCache& cache, bool use_cache)
+      : out_(out), cache_(cache), use_cache_(use_cache) {}
 
-  /// Module implementing (node, alt). Only valid for decomposition alts.
+  /// Module implementing (node, alt), registered with the design (along
+  /// with its transitive children). Only valid for decomposition alts.
   const Module* materialize(const SpecNode* node, int alt_index) {
-    auto key = std::make_pair(node, alt_index);
+    const auto key = std::make_pair(node, alt_index);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
 
+    if (!use_cache_) {
+      Module& mod = out_.add_module(cache_.name_for(node, alt_index));
+      fill(mod, node, alt_index, /*shared_build=*/false);
+      memo_[key] = &mod;
+      return &mod;
+    }
+    std::shared_ptr<const Module> shared = shared_module(node, alt_index);
+    const Module* raw = shared.get();
+    out_.reference_module(std::move(shared));
+    memo_[key] = raw;
+    // Register the subtree's decomposition children with the design in
+    // the same pre-order the cache-off path creates them (the emitters
+    // walk module_order(), so the order is part of the contract).
+    for_each_decomp_child(node, alt_index,
+                          [this](const SpecNode* child, int child_alt) {
+                            materialize(child, child_alt);
+                          });
+    return raw;
+  }
+
+  /// Create the instance in `mod` implementing template instance `ti`
+  /// with the chosen (child, alt). Child modules are materialized into
+  /// (registered with) the design.
+  Instance& bind_instance(Module& mod, const Instance& ti,
+                          const SpecNode* child, int child_alt) {
+    return bind(mod, ti, child, child_alt, /*shared_build=*/false);
+  }
+
+ private:
+  /// Build the body of the module implementing (node, alt) from its
+  /// implementation template. `shared_build` selects how module children
+  /// are resolved: cache-only (building a shared module that must not
+  /// touch any particular design) or design registration.
+  void fill(Module& mod, const SpecNode* node, int alt_index,
+            bool shared_build) {
     const Alternative& alt = node->alts.at(alt_index);
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     BRIDGE_CHECK(!impl->is_leaf(), "materialize called on a leaf alt");
-
-    std::string name = sanitize(node->spec.key()) + "__a" +
-                       std::to_string(alt_index);
-    Module& mod = out_.add_module(name);
     const Module& tmpl = *impl->tmpl;
     for (const auto& p : tmpl.module_ports()) {
       mod.add_port(p.name, p.dir, p.width);
@@ -70,16 +100,23 @@ class Extractor {
       const int child_index = inst_child.at(ti_index++);
       const SpecNode* child = impl->children[child_index];
       const int child_alt = alt.child_alt.at(child_index);
-      bind_instance(mod, ti, child, child_alt);
+      bind(mod, ti, child, child_alt, shared_build);
     }
-    memo_[key] = &mod;
-    return &mod;
   }
 
-  /// Create the instance in `mod` implementing template instance `ti`
-  /// with the chosen (child, alt).
-  Instance& bind_instance(Module& mod, const Instance& ti,
-                          const SpecNode* child, int child_alt) {
+  /// Shared immutable module for (node, alt): served from the cache, or
+  /// built (bottom-up through the cache, never touching the design) and
+  /// published on a miss.
+  std::shared_ptr<const Module> shared_module(const SpecNode* node,
+                                              int alt_index) {
+    if (auto m = cache_.find(node, alt_index)) return m;
+    auto mod = std::make_shared<Module>(cache_.name_for(node, alt_index));
+    fill(*mod, node, alt_index, /*shared_build=*/true);
+    return cache_.insert(node, alt_index, std::move(mod));
+  }
+
+  Instance& bind(Module& mod, const Instance& ti, const SpecNode* child,
+                 int child_alt, bool shared_build) {
     const Alternative& calt = child->alts.at(child_alt);
     const ImplNode* cimpl = child->impls.at(calt.impl_index).get();
     if (cimpl->is_leaf()) {
@@ -94,6 +131,19 @@ class Extractor {
             auto it = ti.connections.find(binding.need_port);
             if (it != ti.connections.end()) {
               ni.connections[cell_port] = it->second;
+            } else {
+              // A matched cell *output* with nothing to drive is legally
+              // open; a matched cell *input* with no connection to copy
+              // through means the template (or input netlist) dropped a
+              // port the cell reads — never silently leave it floating.
+              BRIDGE_CHECK(binding.dir == PortDir::kOut,
+                           "instance " << ti.name << " of "
+                                       << child->spec.key()
+                                       << " leaves input port "
+                                       << binding.need_port
+                                       << " unconnected (cell "
+                                       << cell.name << "." << cell_port
+                                       << " would float)");
             }
             break;
           }
@@ -106,15 +156,35 @@ class Extractor {
       }
       return ni;
     }
-    const Module* child_mod = materialize(child, child_alt);
+    const Module* child_mod = shared_build
+                                  ? shared_module(child, child_alt).get()
+                                  : materialize(child, child_alt);
     Instance& ni = mod.add_module_instance(ti.name, child_mod, child->spec);
     ni.connections = ti.connections;
     return ni;
   }
 
- private:
+  /// Visit (child, alt) of every decomposition (non-leaf) template
+  /// instance of (node, alt), in template-instance order.
+  template <class Fn>
+  void for_each_decomp_child(const SpecNode* node, int alt_index, Fn&& fn) {
+    const Alternative& alt = node->alts.at(alt_index);
+    const ImplNode* impl = node->impls.at(alt.impl_index).get();
+    const std::vector<int>& inst_child = impl->plan->instance_child();
+    const std::size_t count = impl->tmpl->instances().size();
+    for (std::size_t ti_index = 0; ti_index < count; ++ti_index) {
+      const int child_index = inst_child.at(ti_index);
+      const SpecNode* child = impl->children[child_index];
+      const int child_alt = alt.child_alt.at(child_index);
+      const ImplNode* cimpl =
+          child->impls.at(child->alts.at(child_alt).impl_index).get();
+      if (!cimpl->is_leaf()) fn(child, child_alt);
+    }
+  }
+
   Design& out_;
-  const DesignSpace& space_;
+  ExtractionCache& cache_;
+  const bool use_cache_;
   std::map<std::pair<const SpecNode*, int>, const Module*> memo_;
 };
 
@@ -126,6 +196,12 @@ class Extractor {
 /// synthesize call and builds each subtree trace once.
 class Describer {
  public:
+  /// `memo` outlives the Describer: the session-wide table in
+  /// ExtractionCache when the extraction cache is on (traces survive
+  /// across synthesize calls), a per-call local map otherwise.
+  explicit Describer(std::map<ExtractionCache::DescribeKey, std::string>& memo)
+      : memo_(memo) {}
+
   const std::string& describe(const SpecNode* node, int alt_index,
                               int depth) {
     const Key key{node, alt_index, depth};
@@ -154,11 +230,54 @@ class Describer {
   }
 
  private:
-  using Key = std::tuple<const SpecNode*, int, int>;
-  std::map<Key, std::string> memo_;
+  using Key = ExtractionCache::DescribeKey;
+  std::map<Key, std::string>& memo_;
 };
 
 }  // namespace
+
+const std::string& ExtractionCache::name_for(const SpecNode* node,
+                                             int alt_index) {
+  const Key key{node, alt_index};
+  auto it = names_.find(key);
+  if (it != names_.end()) return it->second;
+  // Sanitizing the *whole* name (not just the key part) makes it a VHDL
+  // basic identifier verbatim — emission's own sanitization is the
+  // identity on it — so uniquifying these strings is uniquifying the
+  // emitted entity names themselves.
+  const std::string base = sanitize_identifier(
+      node->spec.key() + "__a" + std::to_string(alt_index));
+  return names_.emplace(key, unique_name(base)).first->second;
+}
+
+std::string ExtractionCache::unique_name(const std::string& base) {
+  int& uses = name_uses_[base];
+  ++uses;
+  // Distinct spec keys can sanitize to the same identifier; a bare
+  // counter suffix keeps every session name (and thus every emitted
+  // entity) unique. The suffixed form is itself recorded, so a later
+  // literal "X_u1" request cannot collide either.
+  if (uses == 1) return base;
+  return unique_name(base + "_u" + std::to_string(uses - 1));
+}
+
+std::shared_ptr<const netlist::Module> ExtractionCache::find(
+    const SpecNode* node, int alt_index) {
+  auto it = modules_.find(Key{node, alt_index});
+  if (it == modules_.end()) return nullptr;
+  ++stats_.hits;
+  return it->second;
+}
+
+const std::shared_ptr<const netlist::Module>& ExtractionCache::insert(
+    const SpecNode* node, int alt_index,
+    std::shared_ptr<const netlist::Module> module) {
+  ++stats_.misses;
+  auto [it, inserted] = modules_.emplace(Key{node, alt_index}, std::move(module));
+  BRIDGE_CHECK(inserted, "duplicate extraction-cache insert for "
+                             << node->spec.key() << " alt " << alt_index);
+  return it->second;
+}
 
 std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
     const ComponentSpec& cell_spec, const ComponentSpec& need) {
@@ -170,6 +289,7 @@ std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
   std::vector<std::pair<base::Symbol, PortBinding>> out;
   for (const PortSpec& cp : cell_ports) {
     PortBinding b;
+    b.dir = cp.dir;
     bool matched = false;
     for (const PortSpec& np : need_ports) {
       if (np.name == cp.name && np.width == cp.width && np.dir == cp.dir) {
@@ -234,8 +354,11 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
     const ComponentSpec& spec) {
   SpecNode* node = space_.expand(spec);
   space_.evaluate(node);
+  const bool use_cache = space_.options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
-  Describer describer;
+  std::map<ExtractionCache::DescribeKey, std::string> local_memo;
+  Describer describer(use_cache ? extract_cache_.describe_memo()
+                                : local_memo);
   for (size_t a = 0; a < node->alts.size(); ++a) {
     const Alternative& alt = node->alts[a];
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
@@ -246,8 +369,8 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
                                         std::to_string(a));
     if (impl->is_leaf()) {
       // Wrap the direct cell match in a module with the spec's ports.
-      Module& top = d.design->add_module(sanitize(spec.key()) + "__direct" +
-                                         std::to_string(a));
+      Module& top = d.design->add_module(
+          sanitize(spec.key() + "__direct" + std::to_string(a)));
       for (const PortSpec& p : genus::spec_ports(spec)) {
         top.add_port(p.name, p.dir, p.width);
       }
@@ -268,7 +391,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
       }
       d.design->set_top(&top);
     } else {
-      Extractor ex(*d.design, space_);
+      Extractor ex(*d.design, extract_cache_, use_cache);
       const Module* top = ex.materialize(node, static_cast<int>(a));
       d.design->set_top(top);
     }
@@ -328,16 +451,19 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   // Materialize each surviving combination. One Describer spans every
   // combination: their per-spec choices overlap heavily, so child traces
   // are built once instead of once per alternative.
+  const bool use_cache = space_.options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
-  Describer describer;
+  std::map<ExtractionCache::DescribeKey, std::string> local_memo;
+  Describer describer(use_cache ? extract_cache_.describe_memo()
+                                : local_memo);
   for (size_t a = 0; a < kept.size(); ++a) {
     const Alternative& alt = kept[a];
     AlternativeDesign d;
     d.metric = alt.metric;
     d.design = std::make_shared<Design>(input.name() + "__alt" +
                                         std::to_string(a));
-    Module& top = d.design->add_module(input.name() + "__impl" +
-                                       std::to_string(a));
+    Module& top = d.design->add_module(
+        sanitize(input.name() + "__impl" + std::to_string(a)));
     for (const auto& p : input.module_ports()) {
       top.add_port(p.name, p.dir, p.width);
     }
@@ -346,7 +472,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
         top.add_net(nn.name, nn.width);
       }
     }
-    Extractor ex(*d.design, space_);
+    Extractor ex(*d.design, extract_cache_, use_cache);
     std::vector<std::string> parts;
     int ti_index = 0;
     for (const Instance& ti : input.instances()) {

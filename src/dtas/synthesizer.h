@@ -8,8 +8,11 @@
 // drawn from the given RTL library." (paper §3)
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dtas/design_space.h"
@@ -21,6 +24,69 @@ struct AlternativeDesign {
   Metric metric;
   std::shared_ptr<netlist::Design> design;  // top() is the implementation
   std::string description;                  // top-level rule/cell trace
+};
+
+/// Per-Synthesizer cache of materialized implementation subtrees — the
+/// TemplateCache pattern one layer down. The alternatives of one front
+/// share almost all of their subtrees (the paper's hierarchical netlists
+/// trace a shared decomposition), so each distinct (SpecNode, alternative)
+/// pair is materialized exactly once as an immutable shared module and
+/// referenced by every AlternativeDesign that contains it
+/// (netlist::Design::reference_module keeps it alive per design).
+///
+/// The cache also owns two session-wide tables both extraction paths use:
+///  - the module name table: names are unique across the whole session
+///    (two distinct nodes whose sanitized spec keys collide get "_u<k>"
+///    uniquifiers), so a shared module can appear in any design, and the
+///    cache-off reference path names every module identically;
+///  - the memoized implementation traces behind Describer.
+///
+/// Not thread-safe: one synthesize call at a time, like the Synthesizer
+/// that owns it.
+class ExtractionCache {
+ public:
+  struct Stats {
+    long hits = 0;    // find() calls served a shared module
+    long misses = 0;  // modules materialized (and published)
+  };
+
+  /// Session-unique, VHDL-legal module name for (node, alt). Memoized;
+  /// first-request order fixes uniquifier assignment, and the cache-on
+  /// and cache-off paths request names in the same order.
+  const std::string& name_for(const SpecNode* node, int alt_index);
+
+  /// Uniquify `base` against every name this session handed out: the
+  /// first request returns `base` itself, collisions get "_u<k>"
+  /// appended. Exposed for name_for and its regression tests.
+  std::string unique_name(const std::string& base);
+
+  /// Shared module for (node, alt); nullptr when not yet materialized.
+  std::shared_ptr<const netlist::Module> find(const SpecNode* node,
+                                              int alt_index);
+
+  /// Publish a materialized module; returns the stored pointer.
+  const std::shared_ptr<const netlist::Module>& insert(
+      const SpecNode* node, int alt_index,
+      std::shared_ptr<const netlist::Module> module);
+
+  /// Memoized (node, alternative, depth) implementation traces, shared by
+  /// every Describer of the session (see synthesizer.cpp).
+  using DescribeKey = std::tuple<const SpecNode*, int, int>;
+  std::map<DescribeKey, std::string>& describe_memo() {
+    return describe_memo_;
+  }
+
+  const Stats& stats() const { return stats_; }
+  /// Distinct modules materialized so far.
+  std::size_t size() const { return modules_.size(); }
+
+ private:
+  using Key = std::pair<const SpecNode*, int>;
+  std::map<Key, std::shared_ptr<const netlist::Module>> modules_;
+  std::map<Key, std::string> names_;
+  std::map<std::string, int> name_uses_;  // base -> names handed out
+  std::map<DescribeKey, std::string> describe_memo_;
+  Stats stats_;
 };
 
 /// Assemble the rule base DTAS uses for a given data book: the standard
@@ -53,9 +119,16 @@ class Synthesizer {
   DesignSpace& space() { return space_; }
   const DesignSpace& space() const { return space_; }
 
+  /// The session-wide extraction cache (shared modules, module names,
+  /// memoized traces). Persists across synthesize calls, so a repeated
+  /// synthesis over the same space extracts on a warm cache.
+  ExtractionCache& extraction_cache() { return extract_cache_; }
+  const ExtractionCache& extraction_cache() const { return extract_cache_; }
+
  private:
   RuleBase rules_;
   DesignSpace space_;
+  ExtractionCache extract_cache_;
 };
 
 /// Map a cell's ports onto the ports of the specification it implements.
@@ -65,6 +138,7 @@ class Synthesizer {
 struct PortBinding {
   enum class Kind { kPort, kConst, kOpen };
   Kind kind = Kind::kOpen;
+  genus::PortDir dir = genus::PortDir::kIn;  // direction of the cell port
   base::Symbol need_port;   // kPort
   std::uint64_t value = 0;  // kConst
 };

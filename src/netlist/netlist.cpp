@@ -150,16 +150,31 @@ const std::vector<PortSpec>& Module::instance_ports_ref(
 }
 
 Module& Design::add_module(const std::string& name) {
-  BRIDGE_CHECK(find_module(name) == nullptr,
+  // The *const* lookup scans owned and referenced modules alike — a new
+  // name must not collide with either kind.
+  BRIDGE_CHECK(std::as_const(*this).find_module(name) == nullptr,
                "duplicate module '" << name << "' in design " << name_);
   modules_.emplace_back(name);
+  order_.push_back(&modules_.back());
   if (top_ == nullptr) top_ = &modules_.back();
   return modules_.back();
 }
 
+void Design::reference_module(std::shared_ptr<const Module> m) {
+  BRIDGE_CHECK(m != nullptr, "null shared module in design " << name_);
+  for (const Module* existing : order_) {
+    if (existing == m.get()) return;  // already registered
+  }
+  BRIDGE_CHECK(std::as_const(*this).find_module(m->name()) == nullptr,
+               "duplicate module '" << m->name() << "' in design " << name_);
+  order_.push_back(m.get());
+  if (top_ == nullptr) top_ = m.get();
+  shared_.push_back(std::move(m));
+}
+
 const Module* Design::find_module(const std::string& name) const {
-  for (const auto& m : modules_) {
-    if (m.name() == name) return &m;
+  for (const Module* m : order_) {
+    if (m->name() == name) return m;
   }
   return nullptr;
 }

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -97,14 +98,13 @@ class ConnMap {
     return find(port) == end() ? 0 : 1;
   }
 
-  /// Insert-or-assign, preserving name-sorted order on insert.
+  /// Insert-or-assign, preserving name-sorted order on insert. One
+  /// lower_bound serves both the lookup and the insertion point.
   PortConn& operator[](base::Symbol port) {
-    for (auto& [name, conn] : items_) {
-      if (name == port) return conn;
-    }
     auto pos = std::lower_bound(
         items_.begin(), items_.end(), port,
         [](const value_type& v, base::Symbol p) { return v.first < p; });
+    if (pos != items_.end() && pos->first == port) return pos->second;
     return items_.insert(pos, {port, PortConn{}})->second;
   }
 
@@ -200,7 +200,12 @@ class Module {
   std::unordered_map<base::Symbol, NetIndex> net_names_;
 };
 
-/// A collection of modules with stable addresses; owns all hierarchy.
+/// A collection of modules with stable addresses. A design either *owns* a
+/// module (add_module — the mutable, build-in-place path) or *references*
+/// an immutable module owned elsewhere (reference_module — the shared
+/// path: one materialized subtree serving many alternative designs, kept
+/// alive here by shared_ptr). Both kinds appear in module_order() in
+/// registration order, which is the order emitters walk.
 class Design {
  public:
   explicit Design(std::string name = "design") : name_(std::move(name)) {}
@@ -208,13 +213,25 @@ class Design {
   const std::string& name() const { return name_; }
 
   Module& add_module(const std::string& name);
+
+  /// Register a shared immutable module. The design co-owns it (so the
+  /// hierarchy outlives whatever cache produced it) and it takes its place
+  /// in module_order(). Registering the same module twice is a no-op;
+  /// registering a second module with the name of an existing one throws.
+  void reference_module(std::shared_ptr<const Module> m);
+
   const Module* find_module(const std::string& name) const;
+  /// Owned modules only: referenced modules are immutable by contract.
   Module* find_module(const std::string& name);
 
   void set_top(const Module* m) { top_ = m; }
   const Module* top() const { return top_; }
 
   const std::deque<Module>& modules() const { return modules_; }
+
+  /// Every module of the design — owned and referenced alike — in
+  /// registration order.
+  const std::vector<const Module*>& module_order() const { return order_; }
 
   /// Count leaf (cell) instances recursively from `m`, following module
   /// references; each module body is counted once per instantiation.
@@ -223,6 +240,8 @@ class Design {
  private:
   std::string name_;
   std::deque<Module> modules_;  // deque: stable addresses
+  std::vector<std::shared_ptr<const Module>> shared_;  // co-owned, immutable
+  std::vector<const Module*> order_;  // owned + shared, registration order
   const Module* top_ = nullptr;
 };
 

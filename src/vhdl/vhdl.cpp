@@ -149,26 +149,15 @@ void emit_module(std::ostringstream& os, const Module& m) {
 }  // namespace
 
 std::string sanitize_identifier(const std::string& name) {
-  std::string out;
-  for (char c : name) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      out.push_back(c);
-    } else {
-      out.push_back('_');
-    }
-  }
-  while (!out.empty() && out.front() == '_') out.erase(out.begin());
-  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
-    out = "u_" + out;
-  }
-  // Collapse runs of underscores (VHDL forbids "__").
-  std::string collapsed;
-  for (char c : out) {
-    if (c == '_' && !collapsed.empty() && collapsed.back() == '_') continue;
-    collapsed.push_back(c);
-  }
-  if (!collapsed.empty() && collapsed.back() == '_') collapsed.pop_back();
-  return collapsed;
+  return bridge::sanitize_identifier(name);
+}
+
+const std::string& EmissionCache::module_text(const Module& m) {
+  auto it = memo_.find(&m);
+  if (it != memo_.end()) return it->second;
+  std::ostringstream os;
+  emit_module(os, m);
+  return memo_.emplace(&m, os.str()).first->second;
 }
 
 std::string emit_structural(const Module& module) {
@@ -178,16 +167,21 @@ std::string emit_structural(const Module& module) {
   return os.str();
 }
 
-std::string emit_structural(const netlist::Design& design) {
-  std::ostringstream os;
-  os << "-- structural VHDL for design '" << design.name() << "'\n";
-  os << "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
+std::string emit_structural(const netlist::Design& design,
+                            EmissionCache& cache) {
+  std::string out = "-- structural VHDL for design '" + design.name() +
+                    "'\nlibrary ieee;\nuse ieee.std_logic_1164.all;\n\n";
   // Children first so every referenced entity precedes its use.
-  for (const auto& m : design.modules()) {
-    if (&m != design.top()) emit_module(os, m);
+  for (const Module* m : design.module_order()) {
+    if (m != design.top()) out += cache.module_text(*m);
   }
-  if (design.top() != nullptr) emit_module(os, *design.top());
-  return os.str();
+  if (design.top() != nullptr) out += cache.module_text(*design.top());
+  return out;
+}
+
+std::string emit_structural(const netlist::Design& design) {
+  EmissionCache cache;
+  return emit_structural(design, cache);
 }
 
 std::string emit_behavioral(const genus::Component& component) {

@@ -8,17 +8,42 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 
 #include "genus/component.h"
 #include "netlist/netlist.h"
 
 namespace bridge::vhdl {
 
+/// Memoizes the structural text of modules by address across emit calls.
+/// The alternative designs of one synthesis front share almost every
+/// module (see dtas::ExtractionCache), so emitting the front through one
+/// EmissionCache renders each distinct module once instead of once per
+/// design. Keyed by address: every module passed in must be immutable and
+/// must outlive the cache (shared extraction modules and front designs
+/// held alive by their AlternativeDesign both qualify).
+class EmissionCache {
+ public:
+  /// Entity + architecture text of `m` (see emit_structural), cached.
+  const std::string& module_text(const netlist::Module& m);
+
+  std::size_t size() const { return memo_.size(); }
+
+ private:
+  std::unordered_map<const netlist::Module*, std::string> memo_;
+};
+
 /// Emit a hierarchical design as structural VHDL: one entity/architecture
 /// pair per module (leaves referenced through component declarations),
 /// with bit-slice, constant, and replication bindings lowered to
 /// intermediate signals where VHDL requires it.
 std::string emit_structural(const netlist::Design& design);
+
+/// The same output, with per-module text served from (and published to)
+/// `cache` — use one cache across a whole front so shared modules are
+/// rendered once.
+std::string emit_structural(const netlist::Design& design,
+                            EmissionCache& cache);
 
 /// Emit one module (plus component declarations) as structural VHDL.
 std::string emit_structural(const netlist::Module& module);

@@ -1,6 +1,7 @@
 // Unit tests for src/base: bit vectors, width expressions, string helpers.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <random>
 #include <sstream>
 
@@ -197,6 +198,37 @@ TEST(StrUtil, FormatDouble) {
   EXPECT_EQ(format_double(3.0), "3");
   EXPECT_EQ(format_double(0.25), "0.25");
   EXPECT_EQ(format_double(134.3, 1), "134.3");
+}
+
+TEST(StrUtil, SanitizeIdentifierBasics) {
+  EXPECT_EQ(sanitize_identifier("ADDER.w16.ci.co[ADD]"),
+            "ADDER_w16_ci_co_ADD");
+  EXPECT_EQ(sanitize_identifier("already_legal"), "already_legal");
+  EXPECT_EQ(sanitize_identifier("MiXeD123"), "MiXeD123");
+}
+
+TEST(StrUtil, SanitizeIdentifierVhdlEdgeCases) {
+  // The cases a VHDL basic identifier forbids: empty, leading digit or
+  // underscore, trailing underscore, consecutive underscores.
+  EXPECT_EQ(sanitize_identifier(""), "u");
+  EXPECT_EQ(sanitize_identifier("___"), "u");
+  EXPECT_EQ(sanitize_identifier("3bad"), "u_3bad");
+  EXPECT_EQ(sanitize_identifier("9dp8__impl0"), "u_9dp8_impl0");
+  EXPECT_EQ(sanitize_identifier("_lead"), "lead");
+  EXPECT_EQ(sanitize_identifier("trail_"), "trail");
+  EXPECT_EQ(sanitize_identifier("a..b"), "a_b");
+  EXPECT_EQ(sanitize_identifier("a[b](c)"), "a_b_c");
+  EXPECT_EQ(sanitize_identifier("__x__"), "x");
+  EXPECT_EQ(sanitize_identifier("++"), "u");
+  // Never empty, never digit-leading, never '_'-edged, never "__".
+  for (const char* raw : {"", "_", "0", "0_", "_0_", "a__b_", ".9."}) {
+    const std::string s = sanitize_identifier(raw);
+    ASSERT_FALSE(s.empty()) << raw;
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(s.front()))) << raw;
+    EXPECT_NE(s.front(), '_') << raw;
+    EXPECT_NE(s.back(), '_') << raw;
+    EXPECT_EQ(s.find("__"), std::string::npos) << raw;
+  }
 }
 
 TEST(Symbol, InternsToOneIdentity) {

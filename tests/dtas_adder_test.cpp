@@ -44,11 +44,11 @@ TEST(DtasAdder, MappedNetlistsPassDrc) {
     auto alts = synth_adder(width);
     ASSERT_FALSE(alts.empty()) << "width " << width;
     for (const auto& alt : alts) {
-      for (const auto& mod : alt.design->modules()) {
-        auto issues = netlist::check_module(mod);
+      for (const netlist::Module* mod : alt.design->module_order()) {
+        auto issues = netlist::check_module(*mod);
         EXPECT_TRUE(issues.empty())
             << "width " << width << " design " << alt.description
-            << " module " << mod.name() << ": " << issues.front();
+            << " module " << mod->name() << ": " << issues.front();
       }
     }
   }

@@ -27,13 +27,16 @@ inline BitVec random_vec(std::mt19937_64& rng, int width) {
   return v;
 }
 
-/// DRC every module of a design; reports the first violation per module.
+/// DRC every module of a design — owned and shared alike (with the
+/// extraction cache on, decomposition designs hold only *referenced*
+/// modules, which modules() would miss); reports the first violation per
+/// module.
 inline void expect_clean_drc(const dtas::AlternativeDesign& alt,
                              const std::string& context) {
-  for (const auto& mod : alt.design->modules()) {
-    auto issues = netlist::check_module(mod);
+  for (const netlist::Module* mod : alt.design->module_order()) {
+    auto issues = netlist::check_module(*mod);
     EXPECT_TRUE(issues.empty()) << context << " [" << alt.description
-                                << "] module " << mod.name() << ": "
+                                << "] module " << mod->name() << ": "
                                 << (issues.empty() ? "" : issues.front());
   }
 }

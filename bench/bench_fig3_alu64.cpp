@@ -19,11 +19,14 @@
 // BENCH_synthesis.json.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "bench_json.h"
 #include "cells/cell.h"
 #include "dtas/synthesizer.h"
 #include "netlist/netlist.h"
+#include "vhdl/vhdl.h"
 
 using namespace bridge;
 
@@ -35,6 +38,9 @@ struct PhaseTimes {
   double extract_ms = 0.0;
   double total() const { return expand_ms + evaluate_ms + extract_ms; }
   std::vector<dtas::AlternativeDesign> alts;
+  dtas::SpaceStats stats;     // this run's space (expand + evaluate counts)
+  long extract_hits = 0;      // extraction-cache delta of the timed pass
+  long extract_misses = 0;
 };
 
 PhaseTimes run_phases(bool compiled, int threads = 1,
@@ -62,13 +68,26 @@ PhaseTimes run_phases(bool compiled, int threads = 1,
   // measures pure shared-module reuse (the cache is session-scoped, so a
   // prior synthesize on the same Synthesizer warms it).
   if (warm_extract) synth.synthesize(alu);
+  const dtas::ExtractionCache::Stats cache_before =
+      synth.extraction_cache().stats();
   const auto t2 = clock::now();
   pt.alts = synth.synthesize(alu);  // re-uses the expanded+evaluated space
   const auto t3 = clock::now();
+  const dtas::ExtractionCache::Stats cache_after =
+      synth.extraction_cache().stats();
+  pt.extract_hits = cache_after.hits - cache_before.hits;
+  pt.extract_misses = cache_after.misses - cache_before.misses;
+  pt.stats = synth.space().stats();
   pt.expand_ms = ms(t0, t1);
   pt.evaluate_ms = ms(t1, t2);
   pt.extract_ms = ms(t2, t3);
   return pt;
+}
+
+double rate(long hits, long misses) {
+  const long total = hits + misses;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
 }
 
 }  // namespace
@@ -114,12 +133,34 @@ int main() {
   std::printf("design-space generation + extraction: %.1f ms "
               "(paper: <15 min on a SUN-3)\n", ms);
 
+  // Emit every alternative once (the traced iteration's "emit" phase; a
+  // BRIDGE_TRACE run of this bench therefore covers synthesize / expand /
+  // evaluate / extract / emit, which tools/trace_summary.py --check
+  // requires).
+  vhdl::EmissionCache emission;
+  std::size_t vhdl_bytes = 0;
+  for (const auto& a : alts) {
+    vhdl_bytes += vhdl::emit_structural(*a.design, emission).size();
+  }
+  std::printf("emitted structural VHDL for %zu alternatives: %zu bytes\n",
+              alts.size(), vhdl_bytes);
+
+  // Per-synthesis profile of the first (traced) iteration.
+  {
+    const char* profile_path = std::getenv("BRIDGE_PROFILE_OUT");
+    std::ofstream pf(profile_path != nullptr ? profile_path
+                                             : "BENCH_fig3_profile.json");
+    pf << synth.last_profile().to_json() << "\n";
+  }
+
   // Perf trajectory: compiled TimingPlan evaluator vs the reference
   // functional evaluator. Every phase figure is the median of 5 runs,
   // taken per phase (so the rows need not sum to the total row exactly).
   struct PhaseMedians {
     double expand_ms, evaluate_ms, extract_ms, total_ms;
     std::vector<dtas::AlternativeDesign> alts;  // from the last run
+    dtas::SpaceStats stats;                     // from the last run
+    long extract_hits = 0, extract_misses = 0;  // ditto
   };
   auto measure = [](bool use_plan, int threads = 1,
                     bool template_cache = true,
@@ -135,6 +176,9 @@ int main() {
       extract.push_back(pt.extract_ms);
       total.push_back(pt.total());
       m.alts = std::move(pt.alts);
+      m.stats = pt.stats;
+      m.extract_hits = pt.extract_hits;
+      m.extract_misses = pt.extract_misses;
     }
     m.expand_ms = benchjson::median(std::move(expand));
     m.evaluate_ms = benchjson::median(std::move(evaluate));
@@ -251,7 +295,35 @@ int main() {
       .num("extract_ms_nocache", noextract.extract_ms)
       .num("speedup", extract_speedup)
       .str("fronts_identical", extract_identical ? "yes" : "NO");
-  benchjson::write({e, ex, exr});
+
+  // Cache-effectiveness entry: hit *rates* and the prune ratio are
+  // machine-independent structural properties of the search, so the
+  // regression checker holds them to absolute floors — a change that
+  // quietly stops the caches or the bound-and-prune front from working
+  // fails the gate even when wall time happens to look fine.
+  // `compiled` ran on the process-warm template cache; `warm_extract`'s
+  // timed pass ran on a synthesizer-warm extraction cache.
+  const dtas::SpaceStats& cs = compiled.stats;
+  benchjson::Entry ce;
+  ce.name = "fig3_alu64/cache_effect";
+  ce.num("template_warm_hit_rate",
+         rate(cs.template_cache_hits, cs.template_cache_misses))
+      .num("extract_warm_hit_rate",
+           rate(warm_extract.extract_hits, warm_extract.extract_misses))
+      .num("prune_ratio", cs.combinations_evaluated +
+                                      cs.combinations_pruned >
+                                  0
+                              ? static_cast<double>(cs.combinations_pruned) /
+                                    static_cast<double>(
+                                        cs.combinations_evaluated +
+                                        cs.combinations_pruned)
+                              : 0.0)
+      .num("combinations_evaluated",
+           static_cast<double>(cs.combinations_evaluated))
+      .num("combinations_pruned",
+           static_cast<double>(cs.combinations_pruned))
+      .str("fronts_identical", identical ? "yes" : "NO");
+  benchjson::write({e, ex, exr, ce});
   return identical && threaded_identical && nocache_identical &&
                  extract_identical
              ? 0

@@ -53,7 +53,13 @@ struct RunResult {
   long odometer_shards = 0;
   int spec_nodes = 0;
   int impl_nodes = 0;
+  long template_cache_hits = 0;    // this run's lookups only
+  long template_cache_misses = 0;
   std::vector<dtas::AlternativeDesign> alts;
+  double prune_ratio() const {
+    const long total = evaluated + pruned;
+    return total > 0 ? static_cast<double>(pruned) / total : 0.0;
+  }
 };
 
 /// A 16-bit datapath of twelve distinct component specifications:
@@ -197,6 +203,8 @@ RunResult run(const dtas::SpaceOptions& opt, SynthFn&& synth_fn, int repeats) {
         r.odometer_shards = synth.space().stats().odometer_shards;
         r.spec_nodes = synth.space().stats().spec_nodes;
         r.impl_nodes = synth.space().stats().impl_nodes;
+        r.template_cache_hits = synth.space().stats().template_cache_hits;
+        r.template_cache_misses = synth.space().stats().template_cache_misses;
       },
       repeats);
   return r;
@@ -303,6 +311,14 @@ int main() {
         .num("spec_nodes", compiled.spec_nodes)
         .num("impl_nodes", compiled.impl_nodes)
         .num("alternatives", static_cast<double>(compiled.alts.size()))
+        // Cache / prune effectiveness: structural properties of the
+        // search, so the regression gate can catch a cache that quietly
+        // stopped working even when wall time looks fine.
+        .num("template_cache_hits",
+             static_cast<double>(compiled.template_cache_hits))
+        .num("template_cache_misses",
+             static_cast<double>(compiled.template_cache_misses))
+        .num("prune_ratio", compiled.prune_ratio())
         .str("fronts_identical", same ? "yes" : "NO");
     entries.push_back(std::move(e));
 

@@ -1,6 +1,34 @@
 #include "base/thread_pool.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bridge::base {
+
+namespace {
+
+/// Pool metrics, resolved once. Task latency is recorded per *task* (a
+/// task is a whole odometer shard or comparable unit — coarse enough
+/// that one clock pair per task is noise).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::global().counter(
+      "base.thread_pool.tasks_executed");
+  obs::Counter& runs =
+      obs::Registry::global().counter("base.thread_pool.runs");
+  obs::Gauge& queue_depth =
+      obs::Registry::global().gauge("base.thread_pool.queue_depth");
+  obs::Histogram& task_latency_us = obs::Registry::global().histogram(
+      "base.thread_pool.task_latency_us");
+
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int workers) {
   if (workers < 0) workers = 0;
@@ -20,18 +48,38 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+long ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+int ThreadPool::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queue_depth_;
+}
+
+long ThreadPool::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
 void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
                         int slot) {
+  obs::Span span("pool.task", "base");
+  const std::int64_t t0 = obs::Tracer::now_ns();
   try {
     fn(task, slot);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (error_ == nullptr) error_ = std::current_exception();
   }
+  PoolMetrics::get().task_latency_us.record(
+      static_cast<double>(obs::Tracer::now_ns() - t0) / 1000.0);
 }
 
 void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
   if (num_tasks <= 0) return;
+  PoolMetrics& metrics = PoolMetrics::get();
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
@@ -40,7 +88,11 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
     next_task_ = 0;
     pending_ = num_tasks;
     ++generation_;
+    ++runs_;
+    peak_queue_depth_ = std::max(peak_queue_depth_, num_tasks);
   }
+  metrics.runs.add(1);
+  metrics.queue_depth.set(num_tasks);  // folds into the registry peak
   work_cv_.notify_all();
   // The caller is a compute thread too: claim tasks until none are left.
   for (;;) {
@@ -61,6 +113,9 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   fn_ = nullptr;
+  tasks_executed_ += num_tasks_;
+  metrics.tasks.add(num_tasks_);
+  metrics.queue_depth.set(0);
   if (error_ != nullptr) {
     std::exception_ptr error = error_;
     error_ = nullptr;

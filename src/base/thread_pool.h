@@ -39,6 +39,15 @@ class ThreadPool {
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
+  /// fn calls completed across every run() so far (all slots).
+  long tasks_executed() const;
+  /// Largest task count any single run() was asked for — the deepest the
+  /// task queue has ever been, since run() enqueues its whole batch up
+  /// front and blocks until it drains.
+  int peak_queue_depth() const;
+  /// Fork-join rounds executed (run() calls with at least one task).
+  long runs() const;
+
   /// Run fn(task, slot) for every task in [0, num_tasks); blocks until all
   /// calls have returned. The caller participates as one of the compute
   /// threads. `slot` identifies the executing thread — 0 for the caller,
@@ -61,7 +70,7 @@ class ThreadPool {
   /// escape (worker threads must never throw; the caller rethrows late).
   void invoke(const std::function<void(int, int)>& fn, int task, int slot);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a new generation
   std::condition_variable done_cv_;  // run() waits for completion
   // All guarded by mu_. fn_ is only non-null while a run is in flight.
@@ -72,6 +81,11 @@ class ThreadPool {
   int pending_ = 0;  // tasks not yet finished (claimed or unclaimed)
   long generation_ = 0;
   bool stop_ = false;
+  // Introspection (guarded by mu_; mirrored into obs::Registry under
+  // "base.thread_pool.*" so the metrics layer sees every pool at once).
+  long tasks_executed_ = 0;
+  int peak_queue_depth_ = 0;
+  long runs_ = 0;
   std::vector<std::thread> threads_;
 };
 

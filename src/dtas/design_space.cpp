@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "base/diag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bridge::dtas {
 
@@ -82,9 +84,35 @@ TemplateCache& TemplateCache::global() {
 
 const std::vector<CompiledTemplate>* TemplateCache::find(
     const std::string& rule_name, const genus::ComponentSpec& spec) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(Key{rule_name, spec});
-  return it == map_.end() ? nullptr : it->second.get();
+  // Registry mirrors of the global lookup totals, resolved once. Keeping
+  // the single count site here (not in every caller) is what makes the
+  // dotted names trustworthy.
+  static obs::Counter& hit_counter =
+      obs::Registry::global().counter("dtas.expand.template_cache.hits");
+  static obs::Counter& miss_counter =
+      obs::Registry::global().counter("dtas.expand.template_cache.misses");
+  const std::vector<CompiledTemplate>* found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(Key{rule_name, spec});
+    found = it == map_.end() ? nullptr : it->second.get();
+  }
+  if (found != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter.add(1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter.add(1);
+  }
+  return found;
+}
+
+TemplateCache::Stats TemplateCache::snapshot() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.entries = static_cast<long>(size());
+  return s;
 }
 
 const std::vector<CompiledTemplate>& TemplateCache::insert(
@@ -114,6 +142,9 @@ DesignSpace::DesignSpace(const RuleBase& rules,
     threads_ = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
   }
+  if (!options_.trace_path.empty()) {
+    obs::Tracer::global().start(options_.trace_path);
+  }
 }
 
 base::ThreadPool* DesignSpace::pool() {
@@ -123,7 +154,21 @@ base::ThreadPool* DesignSpace::pool() {
   return pool_.get();
 }
 
+namespace {
+
+/// Increment for the lifetime of a recursive call (spans only the
+/// depth-0 entry; see expand_depth_/eval_depth_).
+struct DepthGuard {
+  explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+  ~DepthGuard() { --depth_; }
+  int& depth_;
+};
+
+}  // namespace
+
 SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
+  obs::Span span(expand_depth_ == 0 ? "expand" : nullptr, "dtas");
+  DepthGuard depth(expand_depth_);
   auto it = memo_.find(spec);
   if (it != memo_.end()) return it->second.get();
   auto owned = std::make_unique<SpecNode>();
@@ -131,6 +176,9 @@ SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
   node->spec = spec;
   memo_.emplace(spec, std::move(owned));
   ++stats_.spec_nodes;
+  static obs::Counter& spec_node_counter =
+      obs::Registry::global().counter("dtas.expand.spec_nodes");
+  spec_node_counter.add(1);
   expand_node(node);
   return node;
 }
@@ -183,6 +231,10 @@ std::vector<CompiledTemplate> compile_rule_templates(
 }  // namespace
 
 void DesignSpace::expand_node(SpecNode* node) {
+  static obs::Counter& impl_node_counter =
+      obs::Registry::global().counter("dtas.expand.impl_nodes");
+  static obs::Counter& rule_application_counter =
+      obs::Registry::global().counter("dtas.expand.rule_applications");
   node->in_progress = true;
   const ComponentSpec& spec = node->spec;
 
@@ -193,6 +245,7 @@ void DesignSpace::expand_node(SpecNode* node) {
     node->impls.push_back(std::move(impl));
     ++stats_.impl_nodes;
     ++stats_.leaf_impls;
+    impl_node_counter.add(1);
   }
 
   // Decomposition implementations: every applicable rule contributes.
@@ -203,6 +256,7 @@ void DesignSpace::expand_node(SpecNode* node) {
   for (const auto& rule : rules_.rules()) {
     if (!rule->applies(spec, ctx)) continue;
     ++stats_.rule_applications;
+    rule_application_counter.add(1);
 
     const std::vector<CompiledTemplate>* compiled = nullptr;
     std::vector<CompiledTemplate> local;  // cache-off / uncacheable rules
@@ -247,6 +301,7 @@ void DesignSpace::expand_node(SpecNode* node) {
       impl->children = std::move(children);
       node->impls.push_back(std::move(impl));
       ++stats_.impl_nodes;
+      impl_node_counter.add(1);
     }
   }
 
@@ -631,6 +686,18 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
   // combination is pure array arithmetic, and bound-and-prune skips delay
   // propagation — or discards the combination unstored — when an
   // evaluated candidate already dominates it.
+  //
+  // Registry mirrors are added once per odometer run (bulk deltas), never
+  // per combination — the inner loop stays registry-free.
+  static obs::Counter& evaluated_counter =
+      obs::Registry::global().counter("dtas.evaluate.combinations.evaluated");
+  static obs::Counter& pruned_counter =
+      obs::Registry::global().counter("dtas.evaluate.combinations.pruned");
+  static obs::Counter& parallel_runs_counter =
+      obs::Registry::global().counter("dtas.evaluate.odometer.parallel_runs");
+  static obs::Counter& shards_counter =
+      obs::Registry::global().counter("dtas.evaluate.odometer.shards");
+  obs::Span span("odometer", "dtas");
   const bool prune = prune_enabled();
   long total = 1;
   for (int l : limit) total *= l;  // callers capped the product (trim_limits)
@@ -650,6 +717,8 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
                        front, nullptr, 0, scratch_, candidates, counters);
     stats_.combinations_evaluated += counters.evaluated;
     stats_.combinations_pruned += counters.pruned;
+    evaluated_counter.add(counters.evaluated);
+    pruned_counter.add(counters.pruned);
     return;
   }
 
@@ -682,14 +751,22 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
                        scratches[slot], shards[s].candidates,
                        shards[s].counters);
   });
+  long evaluated = 0;
+  long pruned = 0;
   for (Shard& s : shards) {
     for (Alternative& alt : s.candidates) {
       front.add(alt.metric.area, alt.metric.delay);
       candidates.push_back(std::move(alt));
     }
-    stats_.combinations_evaluated += s.counters.evaluated;
-    stats_.combinations_pruned += s.counters.pruned;
+    evaluated += s.counters.evaluated;
+    pruned += s.counters.pruned;
   }
+  stats_.combinations_evaluated += evaluated;
+  stats_.combinations_pruned += pruned;
+  evaluated_counter.add(evaluated);
+  pruned_counter.add(pruned);
+  parallel_runs_counter.add(1);
+  shards_counter.add(num_shards);
   ++stats_.parallel_odometers;
   stats_.odometer_shards += num_shards;
 }
@@ -702,6 +779,10 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
                                          std::vector<Alternative>& candidates) {
   // Reference path: the original functional evaluator, kept verbatim for
   // equivalence testing and as the bench baseline.
+  static obs::Counter& evaluated_counter =
+      obs::Registry::global().counter("dtas.evaluate.combinations.evaluated");
+  obs::Span span("odometer", "dtas");
+  long evaluated = 0;
   const int n = static_cast<int>(children.size());
   std::vector<int> choice(n, 0);
   for (;;) {
@@ -718,6 +799,7 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
     alt.child_alt = choice;
     alt.metric = eval_template(tmpl, topo, metric_of);
     ++stats_.combinations_evaluated;
+    ++evaluated;
     candidates.push_back(std::move(alt));
 
     int c = 0;
@@ -727,9 +809,12 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
     }
     if (c == n) break;
   }
+  evaluated_counter.add(evaluated);
 }
 
 void DesignSpace::evaluate(SpecNode* node) {
+  obs::Span span(eval_depth_ == 0 ? "evaluate" : nullptr, "dtas");
+  DepthGuard depth(eval_depth_);
   if (node->evaluated) return;
   node->evaluated = true;  // set first: graph is acyclic by construction
 

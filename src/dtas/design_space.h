@@ -22,6 +22,7 @@
 //     specification" — a Pareto filter over (area, delay) at every node.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -100,9 +101,22 @@ struct CompiledTemplate {
 /// scheduling, and TimingPlan compilation entirely.
 class TemplateCache {
  public:
+  /// Process-wide lookup totals. The cache is shared by every DesignSpace
+  /// in the process, so these absolutes can't attribute work to one run —
+  /// diff two snapshot() results to carve out a window, or read the
+  /// per-space deltas in SpaceStats::template_cache_{hits,misses} (each
+  /// space counts only its own lookups, so interleaved spaces stay
+  /// separable and their deltas sum to the global delta).
+  struct Stats {
+    long hits = 0;
+    long misses = 0;    // find() calls that missed (insert usually follows)
+    long entries = 0;   // compiled (rule, spec) entries resident
+  };
+
   static TemplateCache& global();
 
-  /// nullptr when absent.
+  /// nullptr when absent. Counts the lookup in the global Stats and the
+  /// obs registry ("dtas.expand.template_cache.{hits,misses}").
   const std::vector<CompiledTemplate>* find(
       const std::string& rule_name, const genus::ComponentSpec& spec) const;
 
@@ -113,6 +127,9 @@ class TemplateCache {
 
   /// Entries currently cached (diagnostics / tests).
   std::size_t size() const;
+
+  /// Relaxed-read copy of the process-wide totals.
+  Stats snapshot() const;
 
  private:
   struct Key {
@@ -133,6 +150,9 @@ class TemplateCache {
   std::unordered_map<Key, std::unique_ptr<std::vector<CompiledTemplate>>,
                      KeyHash>
       map_;
+  // Lock-free lookup totals (find() is called on the expansion hot path).
+  mutable std::atomic<long> hits_{0};
+  mutable std::atomic<long> misses_{0};
 };
 
 /// A surviving alternative after evaluation: which implementation, which
@@ -209,6 +229,15 @@ struct SpaceOptions {
   /// of every module (the reference path, kept for equivalence testing);
   /// descriptions and emitted VHDL are byte-identical either way.
   bool use_extraction_cache = true;
+  /// Non-empty: start the process span tracer (obs::Tracer) into this
+  /// file when the space is constructed, as if BRIDGE_TRACE had been set
+  /// — the programmatic hook for tracing one synthesis. The first path
+  /// the process starts with wins (the tracer is process-wide); the
+  /// trace is written at process exit or by obs::Tracer::global().stop().
+  /// Tracing never changes results: fronts, descriptions, and VHDL are
+  /// byte-identical with tracing on or off at every thread count
+  /// (tests/obs_test.cpp pins this).
+  std::string trace_path;
 };
 
 struct SpaceStats {
@@ -222,6 +251,10 @@ struct SpaceStats {
   long combinations_pruned = 0;     // skipped or discarded by bound-and-prune
   long parallel_odometers = 0;      // odometer runs that went multi-threaded
   long odometer_shards = 0;         // shards executed across those runs
+  // This space's TemplateCache lookups only — a this-run delta even when
+  // several DesignSpaces interleave on the shared process-wide cache.
+  // TemplateCache::snapshot() holds the global totals; per-space deltas
+  // sum to the global snapshot diff (tests/obs_test.cpp pins this).
   long template_cache_hits = 0;     // rule applications served from the cache
   long template_cache_misses = 0;   // rule applications compiled (+published)
 };
@@ -339,6 +372,11 @@ class DesignSpace {
   SpaceOptions options_;
   SpaceStats stats_;
   int threads_ = 1;  // resolved from options_.threads at construction
+  // Recursion depths of expand()/evaluate(): only the depth-0 entry of
+  // each opens a phase span, so one trace shows one expand and one
+  // evaluate block per top-level request, not thousands of nested ones.
+  int expand_depth_ = 0;
+  int eval_depth_ = 0;
   std::unique_ptr<base::ThreadPool> pool_;
   std::unordered_map<genus::ComponentSpec, std::unique_ptr<SpecNode>> memo_;
   // Serial-path evaluation scratch, reused across odometer runs. Parallel

@@ -1,6 +1,7 @@
 #include "dtas/synthesizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -8,6 +9,8 @@
 #include "base/diag.h"
 #include "base/strutil.h"
 #include "lola/lola.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bridge::dtas {
 
@@ -24,6 +27,79 @@ using netlist::RefKind;
 namespace {
 
 std::string sanitize(const std::string& s) { return sanitize_identifier(s); }
+
+/// Resets and owns one synthesize call's obs::Profile: phases are added by
+/// PhaseTimer scopes; the destructor fills in this-call counter deltas
+/// from the space / extraction-cache stats captured at construction. The
+/// counter names intentionally match the registry's dotted names minus
+/// the "dtas." prefix, so a profile reconciles against a registry
+/// snapshot diff by direct name comparison.
+class ProfileScope {
+ public:
+  ProfileScope(obs::Profile& out, std::string name, const DesignSpace& space,
+               const ExtractionCache& cache)
+      : out_(out),
+        space_(space),
+        cache_(cache),
+        space_before_(space.stats()),
+        cache_before_(cache.stats()) {
+    out_ = obs::Profile{};
+    out_.name = std::move(name);
+  }
+  ~ProfileScope() {
+    const SpaceStats& s = space_.stats();
+    const SpaceStats& b = space_before_;
+    out_.add_counter("expand.spec_nodes", s.spec_nodes - b.spec_nodes);
+    out_.add_counter("expand.impl_nodes", s.impl_nodes - b.impl_nodes);
+    out_.add_counter("expand.rule_applications",
+                     s.rule_applications - b.rule_applications);
+    out_.add_counter("expand.template_cache.hits",
+                     s.template_cache_hits - b.template_cache_hits);
+    out_.add_counter("expand.template_cache.misses",
+                     s.template_cache_misses - b.template_cache_misses);
+    out_.add_counter("evaluate.combinations.evaluated",
+                     s.combinations_evaluated - b.combinations_evaluated);
+    out_.add_counter("evaluate.combinations.pruned",
+                     s.combinations_pruned - b.combinations_pruned);
+    out_.add_counter("evaluate.odometer.parallel_runs",
+                     s.parallel_odometers - b.parallel_odometers);
+    out_.add_counter("evaluate.odometer.shards",
+                     s.odometer_shards - b.odometer_shards);
+    const ExtractionCache::Stats& c = cache_.stats();
+    out_.add_counter("extract.extraction_cache.hits",
+                     c.hits - cache_before_.hits);
+    out_.add_counter("extract.extraction_cache.misses",
+                     c.misses - cache_before_.misses);
+  }
+  obs::Profile& profile() { return out_; }
+
+ private:
+  obs::Profile& out_;
+  const DesignSpace& space_;
+  const ExtractionCache& cache_;
+  SpaceStats space_before_;
+  ExtractionCache::Stats cache_before_;
+};
+
+/// Adds one wall-clock phase entry to a profile on scope exit.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::Profile& profile, const char* name)
+      : profile_(profile),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    profile_.add_phase(name_,
+                       std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+
+ private:
+  obs::Profile& profile_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Materializes chosen alternatives into hierarchical modules. With the
 /// extraction cache enabled, each distinct (node, alternative) subtree is
@@ -266,6 +342,9 @@ std::shared_ptr<const netlist::Module> ExtractionCache::find(
   auto it = modules_.find(Key{node, alt_index});
   if (it == modules_.end()) return nullptr;
   ++stats_.hits;
+  static obs::Counter& hit_counter =
+      obs::Registry::global().counter("dtas.extract.extraction_cache.hits");
+  hit_counter.add(1);
   return it->second;
 }
 
@@ -273,6 +352,9 @@ const std::shared_ptr<const netlist::Module>& ExtractionCache::insert(
     const SpecNode* node, int alt_index,
     std::shared_ptr<const netlist::Module> module) {
   ++stats_.misses;
+  static obs::Counter& miss_counter =
+      obs::Registry::global().counter("dtas.extract.extraction_cache.misses");
+  miss_counter.add(1);
   auto [it, inserted] = modules_.emplace(Key{node, alt_index}, std::move(module));
   BRIDGE_CHECK(inserted, "duplicate extraction-cache insert for "
                              << node->spec.key() << " alt " << alt_index);
@@ -352,8 +434,20 @@ Synthesizer::Synthesizer(const cells::CellLibrary& library,
 
 std::vector<AlternativeDesign> Synthesizer::synthesize(
     const ComponentSpec& spec) {
-  SpecNode* node = space_.expand(spec);
-  space_.evaluate(node);
+  obs::Span synth_span("synthesize", "dtas");
+  ProfileScope prof(profile_, "synthesize:" + spec.key(), space_,
+                    extract_cache_);
+  SpecNode* node;
+  {
+    PhaseTimer t(prof.profile(), "expand");
+    node = space_.expand(spec);
+  }
+  {
+    PhaseTimer t(prof.profile(), "evaluate");
+    space_.evaluate(node);
+  }
+  obs::Span extract_span("extract", "dtas");
+  PhaseTimer extract_timer(prof.profile(), "extract");
   const bool use_cache = space_.options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
   std::map<ExtractionCache::DescribeKey, std::string> local_memo;
@@ -402,51 +496,69 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
 
 std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
     const Module& input) {
+  obs::Span synth_span("synthesize", "dtas");
+  ProfileScope prof(profile_, "synthesize_netlist:" + input.name(), space_,
+                    extract_cache_);
   // Expand and evaluate every distinct instance specification.
   std::vector<SpecNode*> children;
-  for (const Instance& inst : input.instances()) {
-    BRIDGE_CHECK(inst.ref == RefKind::kSpec,
-                 "synthesize_netlist input must be a netlist of "
-                 "specification instances");
-    SpecNode* node = space_.expand(inst.spec);
-    if (std::find(children.begin(), children.end(), node) == children.end()) {
-      children.push_back(node);
+  {
+    PhaseTimer t(prof.profile(), "expand");
+    for (const Instance& inst : input.instances()) {
+      BRIDGE_CHECK(inst.ref == RefKind::kSpec,
+                   "synthesize_netlist input must be a netlist of "
+                   "specification instances");
+      SpecNode* node = space_.expand(inst.spec);
+      if (std::find(children.begin(), children.end(), node) ==
+          children.end()) {
+        children.push_back(node);
+      }
     }
   }
-  for (SpecNode* c : children) {
-    space_.evaluate(c);
-    if (c->alts.empty()) return {};  // unrealizable instance
-  }
-  const EvalSchedule topo = DesignSpace::topo_order(input);
-
-  // Compile the input netlist once; the plan's instance→child map also
-  // drives materialization below.
-  std::vector<const ComponentSpec*> child_specs;
-  child_specs.reserve(children.size());
-  for (const SpecNode* c : children) child_specs.push_back(&c->spec);
-  const TimingPlan plan = TimingPlan::compile(input, topo, child_specs);
-
-  // Odometer over per-spec choices (uniform across the whole netlist) —
-  // the same hot loop as per-implementation evaluation, one level up.
+  std::vector<Alternative> kept;
+  std::unique_ptr<TimingPlan> plan_owned;  // compiled inside the scope below
   const int n = static_cast<int>(children.size());
-  std::vector<int> limit(n);
-  for (int c = 0; c < n; ++c) {
-    limit[c] = static_cast<int>(children[c]->alts.size());
-  }
-  DesignSpace::trim_limits(limit,
-                           space_.options().max_combinations_per_impl);
+  {
+    PhaseTimer t(prof.profile(), "evaluate");
+    for (SpecNode* c : children) {
+      space_.evaluate(c);
+      if (c->alts.empty()) return {};  // unrealizable instance
+    }
+    const EvalSchedule topo = DesignSpace::topo_order(input);
 
-  std::vector<Alternative> candidates;
-  if (space_.options().use_compiled_plan) {
-    ParetoFront front;
-    space_.run_plan_odometer(plan, children, limit, /*impl_index=*/0, front,
-                             candidates);
-  } else {
-    space_.run_reference_odometer(input, topo, children, limit,
-                                  /*impl_index=*/0, candidates);
+    // Compile the input netlist once; the plan's instance→child map also
+    // drives materialization below.
+    std::vector<const ComponentSpec*> child_specs;
+    child_specs.reserve(children.size());
+    for (const SpecNode* c : children) child_specs.push_back(&c->spec);
+    plan_owned = std::make_unique<TimingPlan>(
+        TimingPlan::compile(input, topo, child_specs));
+
+    // Odometer over per-spec choices (uniform across the whole netlist) —
+    // the same hot loop as per-implementation evaluation, one level up.
+    // The per-spec evaluate() calls above opened their own depth-0
+    // "evaluate" spans; this one covers the netlist-level sweep.
+    obs::Span eval_span("evaluate", "dtas");
+    std::vector<int> limit(n);
+    for (int c = 0; c < n; ++c) {
+      limit[c] = static_cast<int>(children[c]->alts.size());
+    }
+    DesignSpace::trim_limits(limit,
+                             space_.options().max_combinations_per_impl);
+
+    std::vector<Alternative> candidates;
+    if (space_.options().use_compiled_plan) {
+      ParetoFront front;
+      space_.run_plan_odometer(*plan_owned, children, limit, /*impl_index=*/0,
+                               front, candidates);
+    } else {
+      space_.run_reference_odometer(input, topo, children, limit,
+                                    /*impl_index=*/0, candidates);
+    }
+    kept = space_.filter_alternatives(std::move(candidates));
   }
-  std::vector<Alternative> kept =
-      space_.filter_alternatives(std::move(candidates));
+  const TimingPlan& plan = *plan_owned;
+  obs::Span extract_span("extract", "dtas");
+  PhaseTimer extract_timer(prof.profile(), "extract");
 
   // Materialize each surviving combination. One Describer spans every
   // combination: their per-spec choices overlap heavily, so child traces

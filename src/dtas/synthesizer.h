@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dtas/design_space.h"
+#include "obs/profile.h"
 
 namespace bridge::dtas {
 
@@ -125,10 +126,18 @@ class Synthesizer {
   ExtractionCache& extraction_cache() { return extract_cache_; }
   const ExtractionCache& extraction_cache() const { return extract_cache_; }
 
+  /// Structured breakdown of the most recent synthesize /
+  /// synthesize_netlist call: wall time per phase (expand / evaluate /
+  /// extract) plus this-call deltas of the space and cache counters.
+  /// Always populated — profiling reads clocks only at phase granularity,
+  /// so it is not gated. Overwritten by the next call.
+  const obs::Profile& last_profile() const { return profile_; }
+
  private:
   RuleBase rules_;
   DesignSpace space_;
   ExtractionCache extract_cache_;
+  obs::Profile profile_;
 };
 
 /// Map a cell's ports onto the ports of the specification it implements.

@@ -1,0 +1,166 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The scattered instrumentation that grew with each perf PR — SpaceStats,
+// TemplateCache / ExtractionCache hit counters, ThreadPool queue depth —
+// reports through here under stable dotted names
+// ("dtas.expand.template_cache.hits", "base.thread_pool.tasks_executed",
+// ...), so one snapshot answers "what did the whole process do" and a
+// snapshot *diff* attributes work to one request even when several
+// subsystems interleave. The per-subsystem stats structs stay (tests and
+// per-run attribution use them); the registry is the unified process-wide
+// view the server mode's request metrics will hang off.
+//
+// Hot-path discipline: reading or bumping a metric is a relaxed atomic
+// operation — no locks, no allocation. The mutex in Registry guards only
+// name registration (first lookup of a name) and snapshotting; hot code
+// resolves its Counter& once (function-local static) and then increments
+// lock-free. Per-combination loops must not even do that: they aggregate
+// locally and add() once per run (see DesignSpace::run_plan_odometer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bridge::obs {
+
+/// Monotonic event count. add() is a relaxed fetch_add.
+class Counter {
+ public:
+  void add(long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Instantaneous level with a high-water mark. set()/add() also fold the
+/// new value into peak() (CAS loop, lock-free).
+class Gauge {
+ public:
+  void set(long v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
+  }
+  void add(long d) { raise_peak(value_.fetch_add(d, std::memory_order_relaxed) + d); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+  long peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_peak(long v) {
+    long cur = peak_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !peak_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<long> value_{0};
+  std::atomic<long> peak_{0};
+};
+
+/// Bucketed distribution of non-negative samples (latencies, depths).
+/// Power-of-two buckets: bucket 0 holds samples in [0, 1], bucket i >= 1
+/// holds (2^(i-1), 2^i]. record() is a handful of relaxed atomics plus a
+/// CAS for the running sum; percentile() linearly interpolates within the
+/// bucket where the cumulative count crosses the target rank, so the
+/// answer is always inside that bucket's bounds (the guarantee the unit
+/// tests pin against known distributions).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// p in [0, 1]; 0 when empty.
+  double percentile(double p) const;
+  void reset();
+
+  /// Lower/upper sample bound of bucket `i` (exposed for snapshots).
+  static double bucket_lower(int i);
+  static double bucket_upper(int i);
+  static int bucket_of(double v);
+
+  long bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long> buckets_[kBuckets] = {};
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};  // CAS-updated (fetch_add on double is C++20
+                                  // but CAS keeps older libstdc++ happy)
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_extrema_{false};
+};
+
+/// Point-in-time copy of one histogram, diffable bucket-by-bucket.
+struct HistogramSnapshot {
+  long count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // of the *live* histogram; not diffable
+  double max = 0.0;
+  std::vector<long> buckets;  // size Histogram::kBuckets
+
+  /// Same interpolation as Histogram::percentile, over these buckets.
+  double percentile(double p) const;
+};
+
+/// Point-in-time copy of every registered metric. diff() subtracts the
+/// monotonic parts (counters, histogram counts/sums/buckets); gauges keep
+/// the newer snapshot's value and peak (levels don't subtract).
+struct Snapshot {
+  std::map<std::string, long> counters;
+  std::map<std::string, long> gauges;
+  std::map<std::string, long> gauge_peaks;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {"name": {"count": n, "sum": s, "p50": ..., "p99": ...}, ...}}.
+  std::string to_json() const;
+};
+
+/// `after` minus `before` on every monotonic metric (names missing from
+/// `before` count as zero). The result attributes work to whatever ran
+/// between the two snapshots.
+Snapshot diff(const Snapshot& after, const Snapshot& before);
+
+class Registry {
+ public:
+  /// Leaked singleton (same rationale as dtas::TemplateCache::global():
+  /// metric references outlive any destruction order).
+  static Registry& global();
+
+  /// The named metric, created on first use. References stay valid for
+  /// the process lifetime; callers cache them (function-local static) so
+  /// the map lookup happens once per call site.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+  /// Zero every registered metric. For tests and single-owner tools;
+  /// concurrent increments during a reset are not attributed anywhere.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bridge::obs

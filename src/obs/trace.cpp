@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace bridge::obs {
+
+Config Config::from_env() {
+  Config c;
+  const char* env = std::getenv("BRIDGE_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    c.enabled = true;
+    c.path = env;
+  }
+  return c;
+}
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+std::int64_t Tracer::now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+int Tracer::thread_id() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+void write_trace_at_exit() { Tracer::global().stop(); }
+
+// Force the singleton (and with it Config::from_env) to exist before
+// main(): the Span fast path reads only the static enabled flag and never
+// touches global(), so without this a BRIDGE_TRACE-only run would never
+// apply the env config at all.
+const bool kEnvConfigApplied = [] {
+  (void)Tracer::global();
+  return true;
+}();
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer;
+    const Config cfg = Config::from_env();
+    if (cfg.enabled) t->start(cfg.path);
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::start(const std::string& path) {
+  static std::once_flag exit_hook;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;  // first path wins
+  started_ = true;
+  path_ = path;
+  (void)now_ns();  // anchor the clock before the first span
+  // Write even when the process never calls stop() (the BRIDGE_TRACE
+  // workflow: run a bench, load the file).
+  std::call_once(exit_hook, [] { std::atexit(write_trace_at_exit); });
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+std::string Tracer::stop() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return "";
+  write_locked();
+  started_ = false;
+  std::string path = std::move(path_);
+  path_.clear();
+  events_.clear();
+  return path;
+}
+
+void Tracer::record(const char* name, const char* cat, std::int64_t start_ns,
+                    std::int64_t end_ns) {
+  const int tid = thread_id();  // resolve outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return;  // stopped between the Span's check and now
+  events_.push_back(Event{name, cat, tid, start_ns, end_ns - start_ns});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_locked() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path_.c_str());
+    return;
+  }
+  // Chrome trace-event format, complete events only. ts/dur are
+  // microseconds; emitting three decimals keeps the tracer's nanosecond
+  // resolution, which is what lets trace_summary.py check containment of
+  // sub-microsecond spans exactly.
+  out << "{\"traceEvents\": [\n";
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"bridge\"}}";
+  char buf[256];
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                  e.name, e.cat, e.tid,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out << buf;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  std::printf("obs: wrote %zu trace events to %s\n", events_.size(),
+              path_.c_str());
+}
+
+}  // namespace bridge::obs

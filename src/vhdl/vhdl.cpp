@@ -7,6 +7,7 @@
 
 #include "base/diag.h"
 #include "base/strutil.h"
+#include "obs/trace.h"
 
 namespace bridge::vhdl {
 
@@ -161,6 +162,7 @@ const std::string& EmissionCache::module_text(const Module& m) {
 }
 
 std::string emit_structural(const Module& module) {
+  obs::Span span("emit", "vhdl");
   std::ostringstream os;
   os << "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
   emit_module(os, module);
@@ -169,6 +171,7 @@ std::string emit_structural(const Module& module) {
 
 std::string emit_structural(const netlist::Design& design,
                             EmissionCache& cache) {
+  obs::Span span("emit", "vhdl");
   std::string out = "-- structural VHDL for design '" + design.name() +
                     "'\nlibrary ieee;\nuse ieee.std_logic_1164.all;\n\n";
   // Children first so every referenced entity precedes its use.
@@ -185,6 +188,7 @@ std::string emit_structural(const netlist::Design& design) {
 }
 
 std::string emit_behavioral(const genus::Component& component) {
+  obs::Span span("emit", "vhdl");
   std::ostringstream os;
   const std::string name = sanitize_identifier(component.name());
   os << "-- behavioral model generated from GENUS generator '"

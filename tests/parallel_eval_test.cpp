@@ -238,12 +238,20 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnceAcrossReuse) {
       EXPECT_EQ(hits[i].load(), 1) << "round " << round << " task " << i;
     }
   }
+  // Introspection: three rounds of 100/101/102 tasks ran to completion.
+  EXPECT_EQ(pool.runs(), 3);
+  EXPECT_EQ(pool.tasks_executed(), 100 + 101 + 102);
+  EXPECT_EQ(pool.peak_queue_depth(), 102);
   // Degenerate cases: no tasks, and a pool with no workers (caller-only).
   pool.run(0, [&](int) { FAIL() << "no task should run"; });
+  EXPECT_EQ(pool.runs(), 3);  // an empty run is not a round
   base::ThreadPool empty(0);
   std::atomic<int> count{0};
   empty.run(7, [&](int) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 7);
+  EXPECT_EQ(empty.runs(), 1);
+  EXPECT_EQ(empty.tasks_executed(), 7);
+  EXPECT_EQ(empty.peak_queue_depth(), 7);
 }
 
 TEST(ThreadPool, SlotIdsStayInRangeAndExceptionsPropagate) {

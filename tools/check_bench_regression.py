@@ -49,6 +49,23 @@ PARALLEL_GATED = [
     "sec6_runtime/datapath16_sweep1m/t8",
 ]
 
+# Cache-effectiveness floors: absolute, within-run, machine-independent.
+# Hit rates and prune ratios are structural properties of the search (how
+# often the warm caches answer, how much of the odometer the front
+# prunes), so a change that quietly disables a cache or the
+# bound-and-prune front fails here even when wall time happens to look
+# fine on the runner. Fields beyond these (raw counts, extra counters)
+# are informational and never gate — new fields in entries are always
+# tolerated.
+EFFECTIVENESS_GATED = {
+    "fig3_alu64/cache_effect": {
+        # The fig3 bench measures these on deliberately warm caches; both
+        # rates are 1.0 when the caches work at all.
+        "template_warm_hit_rate": 0.90,
+        "extract_warm_hit_rate": 0.90,
+    },
+}
+
 
 def load_entries(path):
     with open(path) as f:
@@ -93,6 +110,26 @@ def check_parallel_health(fresh, failures):
     if cores >= 4 and suite:
         print(f"suite_t8 speedup on {cores} cores: "
               f"{suite.get('speedup_vs_1thread', 0.0):.2f}x vs 1 thread")
+
+
+def check_effectiveness(fresh, failures):
+    """Hold cache hit rates / prune ratios to their absolute floors."""
+    for name, floors in sorted(EFFECTIVENESS_GATED.items()):
+        e = fresh.get(name)
+        if e is None:
+            failures.append(
+                f"{name}: effectiveness-gated entry missing from fresh run")
+            continue
+        for field, floor in sorted(floors.items()):
+            v = e.get(field)
+            if v is None:
+                failures.append(f"{name}: effectiveness field '{field}' "
+                                "missing from fresh entry")
+            elif v < floor:
+                failures.append(f"{name}: {field} = {v:.3f} below the "
+                                f"{floor:.2f} floor")
+            else:
+                print(f"{name}.{field}: {v:.3f} (floor {floor:.2f}) ok")
 
 
 def main():
@@ -150,6 +187,7 @@ def main():
         print(f"{name:40s} {bs:8.2f}x {fs:8.2f}x {ratio:6.2f}x  {verdict}")
 
     check_parallel_health(fresh, failures)
+    check_effectiveness(fresh, failures)
 
     if any(f.get("fronts_identical") == "NO" for f in fresh.values()):
         failures.append("a fresh entry reports fronts_identical = NO")

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Summarize and validate Chrome trace-event JSON written by obs::Tracer.
+
+Usage:
+  tools/trace_summary.py trace.json            # per-name summary table
+  tools/trace_summary.py trace.json --check    # validate, exit 1 on failure
+
+--check validates the structural invariants the tracer promises:
+  * events on one thread nest properly (every pair of spans is either
+    disjoint or one contains the other — what a stack of RAII scopes
+    must produce);
+  * the synthesis phases are all present (synthesize, expand, evaluate,
+    extract, emit by default; override with --require);
+  * every expand / evaluate / extract span that overlaps a synthesize
+    span on its thread is fully contained in it (phase coverage: phases
+    belong to a synthesis, they never straddle its boundary).
+
+Timestamps are microseconds with three decimals (the tracer preserves
+nanosecond resolution); containment is checked with a 2 ns epsilon so
+float formatting can never produce false failures.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# Spans shorter than this (microseconds) can't violate containment
+# meaningfully; 0.002 us = 2 ns absorbs the %.3f rounding of ts/dur.
+EPS_US = 0.002
+
+DEFAULT_REQUIRED = ["synthesize", "expand", "evaluate", "extract", "emit"]
+PHASES_UNDER_SYNTHESIZE = ["expand", "evaluate", "extract"]
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    spans = []
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        spans.append(
+            {
+                "name": e["name"],
+                "cat": e.get("cat", ""),
+                "tid": (e.get("pid", 0), e.get("tid", 0)),
+                "ts": float(e["ts"]),
+                "dur": float(e.get("dur", 0.0)),
+            }
+        )
+    return spans
+
+
+def by_thread(spans):
+    threads = defaultdict(list)
+    for s in spans:
+        threads[s["tid"]].append(s)
+    for tid in threads:
+        # Chrome's own convention: start ascending, longer spans first on
+        # ties so parents sort before their children.
+        threads[tid].sort(key=lambda s: (s["ts"], -s["dur"]))
+    return threads
+
+
+def check_nesting(threads):
+    """Stack-validate every thread; returns a list of violation strings."""
+    errors = []
+    for tid, spans in sorted(threads.items()):
+        stack = []  # open spans, innermost last
+        for s in spans:
+            end = s["ts"] + s["dur"]
+            while stack and s["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - EPS_US:
+                stack.pop()
+            if stack:
+                top = stack[-1]
+                top_end = top["ts"] + top["dur"]
+                if end > top_end + EPS_US:
+                    errors.append(
+                        f"tid {tid}: span '{s['name']}' "
+                        f"[{s['ts']:.3f}, {end:.3f}] overlaps but is not "
+                        f"contained in '{top['name']}' "
+                        f"[{top['ts']:.3f}, {top_end:.3f}]"
+                    )
+                    continue  # don't push a malformed span
+            stack.append(s)
+    return errors
+
+
+def check_phase_coverage(threads):
+    """Phases overlapping a synthesize span must be contained in it."""
+    errors = []
+    for tid, spans in sorted(threads.items()):
+        synths = [s for s in spans if s["name"] == "synthesize"]
+        for s in spans:
+            if s["name"] not in PHASES_UNDER_SYNTHESIZE:
+                continue
+            end = s["ts"] + s["dur"]
+            for sy in synths:
+                sy_end = sy["ts"] + sy["dur"]
+                overlaps = s["ts"] < sy_end - EPS_US and end > sy["ts"] + EPS_US
+                contained = (
+                    s["ts"] >= sy["ts"] - EPS_US and end <= sy_end + EPS_US
+                )
+                if overlaps and not contained:
+                    errors.append(
+                        f"tid {tid}: phase '{s['name']}' "
+                        f"[{s['ts']:.3f}, {end:.3f}] straddles synthesize "
+                        f"[{sy['ts']:.3f}, {sy_end:.3f}]"
+                    )
+    return errors
+
+
+def summarize(spans):
+    stats = defaultdict(lambda: {"count": 0, "total": 0.0, "max": 0.0})
+    for s in spans:
+        st = stats[s["name"]]
+        st["count"] += 1
+        st["total"] += s["dur"]
+        st["max"] = max(st["max"], s["dur"])
+    return stats
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="validate nesting and phase coverage; exit 1 on failure",
+    )
+    ap.add_argument(
+        "--require",
+        default=",".join(DEFAULT_REQUIRED),
+        help="comma-separated span names that must appear (with --check)",
+    )
+    args = ap.parse_args()
+
+    spans = load_events(args.trace)
+    threads = by_thread(spans)
+
+    stats = summarize(spans)
+    print(f"{args.trace}: {len(spans)} spans on {len(threads)} thread(s)")
+    print(f"{'name':<24} {'count':>8} {'total(ms)':>12} {'max(ms)':>10}")
+    for name, st in sorted(stats.items(), key=lambda kv: -kv[1]["total"]):
+        print(
+            f"{name:<24} {st['count']:>8} {st['total'] / 1000.0:>12.3f} "
+            f"{st['max'] / 1000.0:>10.3f}"
+        )
+
+    if not args.check:
+        return 0
+
+    errors = []
+    required = [n for n in args.require.split(",") if n]
+    missing = [n for n in required if n not in stats]
+    if missing:
+        errors.append(f"required span name(s) missing: {', '.join(missing)}")
+    errors += check_nesting(threads)
+    errors += check_phase_coverage(threads)
+
+    if errors:
+        print(f"\nCHECK FAILED ({len(errors)} violation(s)):")
+        for e in errors[:50]:
+            print(f"  {e}")
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more")
+        return 1
+    print("\ncheck passed: nesting valid, all required spans present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

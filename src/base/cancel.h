@@ -1,0 +1,75 @@
+// Cooperative cancellation and wall-clock deadlines.
+//
+// A long-lived synthesis service must bound *time* as well as memory: a
+// request against a pathological spec cannot be allowed to hold a worker
+// forever. Cancellation here is cooperative — nothing is interrupted
+// mid-instruction; the design-space hot loops poll a Deadline at coarse
+// checkpoints (per rule application, per odometer chunk, per extracted
+// alternative — never per combination) and unwind via bridge::Cancelled
+// or stop early in best-effort mode (see SpaceOptions::deadline_ms).
+//
+// Polling a Deadline reads a steady clock and a relaxed atomic; it never
+// mutates anything, so a run whose deadline does not fire is bit-identical
+// to an unbounded run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace bridge::base {
+
+/// A thread-safe cancellation flag, shared by the requester (who calls
+/// request_cancel, typically from another thread) and the workers polling
+/// it through a Deadline.
+class CancelToken {
+ public:
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A point in time after which cooperative work should stop, optionally
+/// combined with an external CancelToken. Default-constructed Deadlines
+/// are inactive: expired() is always false and active() lets hot paths
+/// skip the clock read entirely.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (measured on the steady clock).
+  static Deadline after_ms(long ms,
+                           std::shared_ptr<const CancelToken> token = {}) {
+    Deadline d;
+    d.has_time_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  /// Never expires on its own; fires only when the token is cancelled.
+  static Deadline cancel_only(std::shared_ptr<const CancelToken> token) {
+    Deadline d;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  bool active() const { return has_time_ || token_ != nullptr; }
+
+  bool expired() const {
+    if (token_ != nullptr && token_->cancelled()) return true;
+    return has_time_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool has_time_ = false;
+  std::chrono::steady_clock::time_point at_{};
+  std::shared_ptr<const CancelToken> token_;
+};
+
+}  // namespace bridge::base

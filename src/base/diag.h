@@ -35,6 +35,16 @@ class ParseError : public Error {
   int column_;
 };
 
+/// Raised when a synthesis call exceeds its deadline or its CancelToken
+/// is triggered (see base/cancel.h and SpaceOptions::deadline_ms). Not a
+/// failure of the input or the library: the caller asked for the work to
+/// stop, and the pipeline unwound with strong exception safety — the
+/// Synthesizer, its caches, and the thread pool all remain usable.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& msg) : Error(msg) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -1,0 +1,114 @@
+#include "base/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bridge::base {
+
+namespace {
+
+/// splitmix64 finalizer — a cheap, well-mixed pure hash; the firing
+/// decision must depend on every bit of (seed, site, occurrence).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(const char* site) {
+  // FNV-1a over the site name (stable across runs, unlike std::hash).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(const std::string& site, long occurrence)
+    : Error("injected fault at " + site + " (occurrence " +
+            std::to_string(occurrence) + ")"),
+      site_(site),
+      occurrence_(occurrence) {}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* injector = new FaultInjector;
+  return *injector;
+}
+
+void FaultInjector::arm(std::uint64_t seed, std::uint64_t period) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  period_ = period;
+  injected_ = 0;
+  counts_.clear();
+  mode_.store(kSeeded, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_site(const std::string& site_substr, long nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  oneshot_site_ = site_substr;
+  oneshot_left_ = nth < 1 ? 1 : nth;
+  injected_ = 0;
+  counts_.clear();
+  mode_.store(kOneShot, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_.store(kOff, std::memory_order_relaxed);
+}
+
+bool FaultInjector::arm_from_env() {
+  const char* seed_text = std::getenv("BRIDGE_FAULT_SEED");
+  if (seed_text == nullptr || *seed_text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(seed_text, &end, 10);
+  if (end == seed_text || *end != '\0') return false;
+  std::uint64_t period = 64;
+  if (const char* period_text = std::getenv("BRIDGE_FAULT_PERIOD")) {
+    const unsigned long long p = std::strtoull(period_text, &end, 10);
+    if (end != period_text && *end == '\0') period = p;
+  }
+  arm(seed, period);
+  return true;
+}
+
+long FaultInjector::probes(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+long FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+void FaultInjector::slow_probe(const char* site, int mode) {
+  long occurrence = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: a concurrent disarm() must win.
+    mode = mode_.load(std::memory_order_relaxed);
+    if (mode == kOff) return;
+    occurrence = ++counts_[site];
+    if (mode == kSeeded) {
+      fire = period_ != 0 &&
+             mix64(seed_ ^ hash_site(site) ^
+                   static_cast<std::uint64_t>(occurrence)) %
+                     period_ ==
+                 0;
+    } else if (std::strstr(site, oneshot_site_.c_str()) != nullptr) {
+      fire = --oneshot_left_ == 0;
+      if (fire) mode_.store(kOff, std::memory_order_relaxed);
+    }
+    if (fire) ++injected_;
+  }
+  if (fire) throw FaultInjected(site, occurrence);
+}
+
+}  // namespace bridge::base

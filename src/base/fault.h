@@ -1,0 +1,104 @@
+// Deterministic fault injection for exception-safety testing.
+//
+// The synthesis pipeline promises strong exception safety: after any
+// throw — bad_alloc, Cancelled, a rule bug — the Synthesizer stays
+// usable, the caches hold no partially-constructed entries, and a retry
+// produces byte-identical output. Promises like that rot unless they are
+// exercised, so the pipeline carries *probe points* at its failure-prone
+// seams (rule expansion, plan evaluation, extraction, cache insertion,
+// ThreadPool task bodies) where this injector can be armed to throw
+// FaultInjected on a deterministic schedule.
+//
+// Determinism: every probe site keeps its own occurrence counter, and an
+// armed probe fires iff mix(seed, site, occurrence) % period == 0 — a
+// pure function of (seed, site, occurrence). The same seed therefore
+// fires the same site occurrences in every run, regardless of how other
+// sites interleave, which is what makes a failure replayable from just
+// the BRIDGE_FAULT_SEED value in a CI log. (Under a thread pool, *which
+// task* draws a firing occurrence can vary with scheduling; the firing
+// schedule itself never does.)
+//
+// Cost when disarmed (the only state production code ever runs in): one
+// relaxed atomic load per probe. The injector never arms itself from the
+// environment — tests that want the env seed call arm_from_env()
+// explicitly, so a BRIDGE_FAULT_SEED exported by the CI fault matrix
+// perturbs only the tests that opt in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "base/diag.h"
+
+namespace bridge::base {
+
+/// Thrown by an armed probe. Distinct from Error subtypes real failures
+/// use, so tests can assert the injected fault — and nothing else —
+/// surfaced.
+class FaultInjected : public Error {
+ public:
+  FaultInjected(const std::string& site, long occurrence);
+
+  const std::string& site() const { return site_; }
+  long occurrence() const { return occurrence_; }
+
+ private:
+  std::string site_;
+  long occurrence_;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  /// Probabilistic-deterministic mode: occurrence n of site s throws iff
+  /// mix(seed, s, n) % period == 0. period == 0 is counting mode: probes
+  /// are tallied but never fire (used to assert probe coverage).
+  void arm(std::uint64_t seed, std::uint64_t period = 64);
+
+  /// One-shot mode: the nth future probe (1-based, counted from this
+  /// call) whose site name contains `site_substr` throws, then the
+  /// injector disarms itself.
+  void arm_site(const std::string& site_substr, long nth = 1);
+
+  void disarm();
+  bool armed() const {
+    return mode_.load(std::memory_order_relaxed) != kOff;
+  }
+
+  /// Arm from BRIDGE_FAULT_SEED (decimal; period from BRIDGE_FAULT_PERIOD,
+  /// default 64). Returns false — and stays disarmed — when the variable
+  /// is unset or unparsable.
+  bool arm_from_env();
+
+  /// Occurrences recorded at `site` since the last arm (any mode).
+  long probes(const std::string& site) const;
+  /// Faults thrown since the last arm.
+  long injected() const;
+
+  /// The probe itself: a no-op (one relaxed load) when disarmed.
+  void probe(const char* site) {
+    const int mode = mode_.load(std::memory_order_relaxed);
+    if (mode == kOff) return;
+    slow_probe(site, mode);
+  }
+
+ private:
+  enum Mode { kOff = 0, kSeeded = 1, kOneShot = 2 };
+
+  void slow_probe(const char* site, int mode);
+
+  std::atomic<int> mode_{kOff};
+  mutable std::mutex mu_;  // guards everything below (armed paths only)
+  std::uint64_t seed_ = 0;
+  std::uint64_t period_ = 0;
+  std::string oneshot_site_;
+  long oneshot_left_ = 0;
+  long injected_ = 0;
+  std::map<std::string, long> counts_;
+};
+
+}  // namespace bridge::base

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,6 +69,9 @@ void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
   obs::Span span("pool.task", "base");
   const std::int64_t t0 = obs::Tracer::now_ns();
   try {
+    // Inside the try: an injected fault takes the exact path a throwing
+    // task takes — captured below, batch drains, run() rethrows.
+    FaultInjector::global().probe("base.thread_pool.task");
     fn(task, slot);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);

@@ -107,7 +107,16 @@ CellLibrary parse_databook(const std::string& text) {
     while (i < tokens.size()) {
       const std::string attr = to_upper(tokens[i++]);
       if (attr == "KIND") {
-        cell.spec.kind = genus::kind_from_name(next_token("KIND"));
+        // kind_from_name / style_from_name throw plain Error (no
+        // location); re-raise as ParseError so a garbage data book always
+        // reports the offending line instead of a bare lookup failure.
+        const std::string kind = next_token("KIND");
+        try {
+          cell.spec.kind = genus::kind_from_name(kind);
+        } catch (const Error&) {
+          throw ParseError("unknown component kind '" + kind + "'", line_no,
+                           1);
+        }
       } else if (attr == "WIDTH") {
         cell.spec.width =
             static_cast<int>(parse_double_token(next_token("WIDTH"), line_no));
@@ -140,7 +149,12 @@ CellLibrary parse_databook(const std::string& text) {
         }
         cell.spec.ops = ops;
       } else if (attr == "STYLE") {
-        cell.spec.style = genus::style_from_name(next_token("STYLE"));
+        const std::string style = next_token("STYLE");
+        try {
+          cell.spec.style = genus::style_from_name(style);
+        } catch (const Error&) {
+          throw ParseError("unknown style '" + style + "'", line_no, 1);
+        }
       } else if (attr == "REP") {
         cell.spec.rep = to_upper(next_token("REP")) == "BCD"
                             ? genus::Representation::kBcd

@@ -51,6 +51,25 @@ bool looks_like_liberty(const std::string& text) {
 
 }  // namespace
 
+LibraryRegistry::LibraryRegistry(LibraryRegistry&& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  libraries_ = std::move(other.libraries_);
+  by_name_ = std::move(other.by_name_);
+  other.libraries_.clear();
+  other.by_name_.clear();
+}
+
+LibraryRegistry& LibraryRegistry::operator=(LibraryRegistry&& other) {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    libraries_ = std::move(other.libraries_);
+    by_name_ = std::move(other.by_name_);
+    other.libraries_.clear();
+    other.by_name_.clear();
+  }
+  return *this;
+}
+
 LibraryRegistry LibraryRegistry::with_builtins() {
   LibraryRegistry reg;
   reg.add(lsi_library());
@@ -62,6 +81,7 @@ const CellLibrary& LibraryRegistry::add(CellLibrary lib) {
   if (lib.name().empty()) {
     throw Error("cannot register a library without a name");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (by_name_.count(lib.name()) != 0) {
     throw Error("library '" + lib.name() + "' is already registered");
   }
@@ -72,6 +92,7 @@ const CellLibrary& LibraryRegistry::add(CellLibrary lib) {
 }
 
 const CellLibrary* LibraryRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;
 }
@@ -86,6 +107,7 @@ const CellLibrary& LibraryRegistry::at(const std::string& name) const {
 }
 
 std::vector<const CellLibrary*> LibraryRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const CellLibrary*> out;
   out.reserve(libraries_.size());
   for (const CellLibrary& lib : libraries_) out.push_back(&lib);
@@ -93,6 +115,7 @@ std::vector<const CellLibrary*> LibraryRegistry::all() const {
 }
 
 std::vector<std::string> LibraryRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(libraries_.size());
   for (const CellLibrary& lib : libraries_) out.push_back(lib.name());

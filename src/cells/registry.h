@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,11 +27,12 @@ class LibraryRegistry {
 
   // Not copyable: by_name_ holds pointers into libraries_, and library
   // addresses are promised stable for the registry's lifetime. Moves are
-  // fine — deque elements keep their addresses across a move.
+  // fine — deque elements keep their addresses across a move — but must
+  // be hand-written to hold the source's lock (std::mutex is immovable).
   LibraryRegistry(const LibraryRegistry&) = delete;
   LibraryRegistry& operator=(const LibraryRegistry&) = delete;
-  LibraryRegistry(LibraryRegistry&&) = default;
-  LibraryRegistry& operator=(LibraryRegistry&&) = default;
+  LibraryRegistry(LibraryRegistry&& other);
+  LibraryRegistry& operator=(LibraryRegistry&& other);
 
   /// A registry pre-populated with the built-in LSI and TTL data books.
   static LibraryRegistry with_builtins();
@@ -50,7 +52,10 @@ class LibraryRegistry {
   std::vector<const CellLibrary*> all() const;
 
   std::vector<std::string> names() const;
-  int size() const { return static_cast<int>(libraries_.size()); }
+  int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(libraries_.size());
+  }
 
   /// Parse a data-book text file and register it.
   const CellLibrary& load_databook_file(const std::string& path);
@@ -69,6 +74,11 @@ class LibraryRegistry {
                                liberty::LoadReport* report = nullptr);
 
  private:
+  // mu_ guards the containers, not the libraries: entries are immutable
+  // once registered and never removed, so the pointers and references
+  // handed out stay valid without any lock. Concurrent Synthesizers may
+  // therefore share one registry — add/find/at/names from any thread.
+  mutable std::mutex mu_;
   std::deque<CellLibrary> libraries_;  // deque: stable addresses
   std::map<std::string, const CellLibrary*> by_name_;
 };

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "base/diag.h"
+#include "base/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -74,6 +77,72 @@ bool ParetoFront::dominates_bound(double area, double delay_lower_bound) const {
   return std::prev(pos)->second + kPruneMargin <= delay_lower_bound;
 }
 
+long parse_cache_budget(const std::string& text) {
+  if (text.empty()) return -1;
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    return -1;
+  }
+  long multiplier = 1;
+  if (pos < text.size()) {
+    if (pos + 1 != text.size()) return -1;
+    switch (std::tolower(static_cast<unsigned char>(text[pos]))) {
+      case 'k': multiplier = 1L << 10; break;
+      case 'm': multiplier = 1L << 20; break;
+      case 'g': multiplier = 1L << 30; break;
+      default: return -1;
+    }
+  }
+  return static_cast<long>(value) * multiplier;
+}
+
+long cache_budget_from_env() {
+  const char* text = std::getenv("BRIDGE_CACHE_BUDGET");
+  return text == nullptr ? -1 : parse_cache_budget(text);
+}
+
+namespace {
+
+/// Byte footprint of one cached (rule, spec) entry: the compiled modules,
+/// schedules, and plans the cache keeps alive.
+std::size_t entry_footprint(const std::vector<CompiledTemplate>& templates) {
+  std::size_t bytes = sizeof(std::vector<CompiledTemplate>) +
+                      templates.capacity() * sizeof(CompiledTemplate);
+  for (const CompiledTemplate& ct : templates) {
+    if (ct.tmpl != nullptr) bytes += ct.tmpl->approx_footprint_bytes();
+    bytes += ct.child_specs.capacity() * sizeof(genus::ComponentSpec);
+    if (ct.topo != nullptr) {
+      bytes += sizeof(EvalSchedule) + ct.topo->capacity() * sizeof(EvalStep);
+    }
+    if (ct.plan != nullptr) bytes += ct.plan->approx_footprint_bytes();
+  }
+  return bytes;
+}
+
+/// Registry mirrors of the template-cache totals, resolved once. Keeping
+/// the single count site in TemplateCache (not in every caller) is what
+/// makes the dotted names trustworthy.
+struct TemplateCacheMetrics {
+  obs::Counter& hits =
+      obs::Registry::global().counter("dtas.expand.template_cache.hits");
+  obs::Counter& misses =
+      obs::Registry::global().counter("dtas.expand.template_cache.misses");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("dtas.expand.template_cache.evictions");
+  obs::Gauge& bytes =
+      obs::Registry::global().gauge("dtas.expand.template_cache.bytes");
+
+  static TemplateCacheMetrics& get() {
+    static TemplateCacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 TemplateCache& TemplateCache::global() {
   // Leaked deliberately: compiled templates are shared by shared_ptr into
   // design spaces whose lifetime the cache cannot see, and the pool must
@@ -82,29 +151,120 @@ TemplateCache& TemplateCache::global() {
   return *cache;
 }
 
-const std::vector<CompiledTemplate>* TemplateCache::find(
-    const std::string& rule_name, const genus::ComponentSpec& spec) const {
-  // Registry mirrors of the global lookup totals, resolved once. Keeping
-  // the single count site here (not in every caller) is what makes the
-  // dotted names trustworthy.
-  static obs::Counter& hit_counter =
-      obs::Registry::global().counter("dtas.expand.template_cache.hits");
-  static obs::Counter& miss_counter =
-      obs::Registry::global().counter("dtas.expand.template_cache.misses");
-  const std::vector<CompiledTemplate>* found;
+TemplateCache::TemplateCache() {
+  const long env = cache_budget_from_env();
+  if (env >= 0) budget_.store(static_cast<std::size_t>(env),
+                              std::memory_order_relaxed);
+}
+
+TemplateCache::EntryPtr TemplateCache::find(const std::string& rule_name,
+                                            const genus::ComponentSpec& spec) {
+  TemplateCacheMetrics& metrics = TemplateCacheMetrics::get();
+  Key key{rule_name, spec};
+  Shard& shard = shard_for(key);
+  EntryPtr found;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(Key{rule_name, spec});
-    found = it == map_.end() ? nullptr : it->second.get();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.last_use = tick_.fetch_add(1, std::memory_order_relaxed);
+      found = it->second.templates;
+    }
   }
   if (found != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    hit_counter.add(1);
+    metrics.hits.add(1);
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    miss_counter.add(1);
+    metrics.misses.add(1);
   }
   return found;
+}
+
+TemplateCache::EntryPtr TemplateCache::insert(
+    const std::string& rule_name, const genus::ComponentSpec& spec,
+    std::vector<CompiledTemplate> templates) {
+  // An armed fault injector throws here, before any mutation: a failed
+  // insert must leave no partially-constructed entry behind.
+  base::FaultInjector::global().probe("dtas.template_cache.insert");
+  auto owned = std::make_shared<const std::vector<CompiledTemplate>>(
+      std::move(templates));
+  const std::size_t bytes = entry_footprint(*owned);
+  Key key{rule_name, spec};
+  Shard& shard = shard_for(key);
+  const std::size_t budget = budget_.load(std::memory_order_relaxed);
+  EntryPtr stored;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // First writer wins on a publish race; both sides compiled identical
+    // content (expand is pure in the key), so returning the survivor is
+    // correct either way.
+    auto [it, inserted] = shard.map.emplace(
+        key, Entry{std::move(owned), bytes,
+                   tick_.fetch_add(1, std::memory_order_relaxed)});
+    if (inserted) {
+      shard.bytes += bytes;
+      bytes_.fetch_add(static_cast<long>(bytes), std::memory_order_relaxed);
+    }
+    stored = it->second.templates;
+    if (budget != 0) evict_locked(shard, budget / kShards);
+  }
+  TemplateCacheMetrics::get().bytes.set(
+      bytes_.load(std::memory_order_relaxed));
+  return stored;
+}
+
+void TemplateCache::evict_locked(Shard& shard, std::size_t target) {
+  // LRU sweep over unpinned entries. Pinned = the entry vector or any
+  // inner template/plan is referenced outside the cache: an in-flight
+  // find() holds the vector (its copy happened under this shard's lock,
+  // so the count is visible here), and every ImplNode of a live
+  // DesignSpace holds the inner pointers — either way use_count > 1 and
+  // the entry is skipped.
+  while (shard.bytes > target) {
+    auto victim = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      const Entry& e = it->second;
+      if (e.templates.use_count() > 1) continue;
+      bool pinned = false;
+      for (const CompiledTemplate& ct : *e.templates) {
+        if ((ct.tmpl != nullptr && ct.tmpl.use_count() > 1) ||
+            (ct.topo != nullptr && ct.topo.use_count() > 1) ||
+            (ct.plan != nullptr && ct.plan.use_count() > 1)) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) continue;
+      if (victim == shard.map.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == shard.map.end()) break;  // everything left is pinned
+    shard.bytes -= victim->second.bytes;
+    bytes_.fetch_sub(static_cast<long>(victim->second.bytes),
+                     std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    TemplateCacheMetrics::get().evictions.add(1);
+    shard.map.erase(victim);
+  }
+}
+
+void TemplateCache::set_budget_bytes(std::size_t budget) {
+  budget_.store(budget, std::memory_order_relaxed);
+  if (budget != 0) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      evict_locked(shard, budget / kShards);
+    }
+  }
+  TemplateCacheMetrics::get().bytes.set(
+      bytes_.load(std::memory_order_relaxed));
+}
+
+std::size_t TemplateCache::budget_bytes() const {
+  return budget_.load(std::memory_order_relaxed);
 }
 
 TemplateCache::Stats TemplateCache::snapshot() const {
@@ -112,25 +272,18 @@ TemplateCache::Stats TemplateCache::snapshot() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.entries = static_cast<long>(size());
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
-const std::vector<CompiledTemplate>& TemplateCache::insert(
-    const std::string& rule_name, const genus::ComponentSpec& spec,
-    std::vector<CompiledTemplate> templates) {
-  auto owned =
-      std::make_unique<std::vector<CompiledTemplate>>(std::move(templates));
-  std::lock_guard<std::mutex> lock(mu_);
-  // First writer wins on a publish race; both sides compiled identical
-  // content (expand is pure in the key), so returning the survivor is
-  // correct either way.
-  auto [it, inserted] = map_.emplace(Key{rule_name, spec}, std::move(owned));
-  return *it->second;
-}
-
 std::size_t TemplateCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 DesignSpace::DesignSpace(const RuleBase& rules,
@@ -145,6 +298,41 @@ DesignSpace::DesignSpace(const RuleBase& rules,
   if (!options_.trace_path.empty()) {
     obs::Tracer::global().start(options_.trace_path);
   }
+  if (options_.template_cache_budget_bytes >= 0) {
+    TemplateCache::global().set_budget_bytes(
+        static_cast<std::size_t>(options_.template_cache_budget_bytes));
+  }
+  arm_deadline();
+}
+
+void DesignSpace::arm_deadline() {
+  stats_.deadline_hit = false;
+  if (options_.deadline_ms > 0) {
+    deadline_ = base::Deadline::after_ms(options_.deadline_ms,
+                                         options_.cancel);
+  } else if (options_.cancel != nullptr) {
+    deadline_ = base::Deadline::cancel_only(options_.cancel);
+  } else {
+    deadline_ = base::Deadline();
+  }
+}
+
+void DesignSpace::set_deadline_policy(
+    long deadline_ms, bool best_effort,
+    std::shared_ptr<base::CancelToken> cancel) {
+  options_.deadline_ms = deadline_ms;
+  options_.deadline_best_effort = best_effort;
+  options_.cancel = std::move(cancel);
+}
+
+bool DesignSpace::deadline_exceeded() {
+  if (!deadline_.active() || !deadline_.expired()) return false;
+  if (!options_.deadline_best_effort) {
+    throw Cancelled("synthesis deadline exceeded (deadline_ms = " +
+                    std::to_string(options_.deadline_ms) + ")");
+  }
+  stats_.deadline_hit = true;
+  return true;
 }
 
 base::ThreadPool* DesignSpace::pool() {
@@ -179,7 +367,19 @@ SpecNode* DesignSpace::expand(const ComponentSpec& spec) {
   static obs::Counter& spec_node_counter =
       obs::Registry::global().counter("dtas.expand.spec_nodes");
   spec_node_counter.add(1);
-  expand_node(node);
+  try {
+    expand_node(node);
+  } catch (...) {
+    // Strong exception safety: a half-expanded node must not stay
+    // memoized (a retry would trust its expanded/in_progress flags and
+    // its partial impl list). Fully expanded descendants stay — they are
+    // complete, and nothing can reference *this* node yet: it was
+    // in_progress for its whole expansion, so the cyclic-graph check
+    // rejected every template that tried.
+    memo_.erase(spec);
+    --stats_.spec_nodes;
+    throw;
+  }
   return node;
 }
 
@@ -254,22 +454,32 @@ void DesignSpace::expand_node(SpecNode* node) {
   // pure in (rule name, spec) and come from the shared cache.
   RuleContext ctx{library_};
   for (const auto& rule : rules_.rules()) {
+    // Cooperative checkpoints, one per candidate rule: a deadline stops
+    // further rule applications (best-effort) or unwinds (throw mode);
+    // an armed fault injector exercises the unwind path.
+    if (deadline_exceeded()) break;
+    base::FaultInjector::global().probe("dtas.expand.rule");
     if (!rule->applies(spec, ctx)) continue;
     ++stats_.rule_applications;
     rule_application_counter.add(1);
 
+    // `cached` keeps the entry alive while we iterate — under a cache
+    // budget, eviction may race with this loop, and the shared_ptr is
+    // what pins the entry (see TemplateCache::evict_locked).
+    TemplateCache::EntryPtr cached;
     const std::vector<CompiledTemplate>* compiled = nullptr;
     std::vector<CompiledTemplate> local;  // cache-off / uncacheable rules
     if (options_.use_template_cache && rule->cacheable()) {
       TemplateCache& cache = TemplateCache::global();
-      compiled = cache.find(rule->name(), spec);
-      if (compiled != nullptr) {
+      cached = cache.find(rule->name(), spec);
+      if (cached != nullptr) {
         ++stats_.template_cache_hits;
       } else {
         ++stats_.template_cache_misses;
-        compiled = &cache.insert(rule->name(), spec,
-                                 compile_rule_templates(*rule, spec, ctx));
+        cached = cache.insert(rule->name(), spec,
+                              compile_rule_templates(*rule, spec, ctx));
       }
+      compiled = cached.get();
     } else {
       local = compile_rule_templates(*rule, spec, ctx);
       compiled = &local;
@@ -616,12 +826,23 @@ struct OdometerCounters {
 /// (i / prod(limit[0..c))) % limit[c], matching the serial odometer's
 /// increment-with-carry order, so concatenating shard outputs in shard
 /// order reproduces the serial candidate sequence exactly.
+/// What a shard does when the armed deadline expires mid-range: nothing
+/// (no deadline), stop and keep the candidates gathered so far
+/// (best-effort — the flag records that the enumeration is partial), or
+/// throw Cancelled (captured by the pool, rethrown after the batch
+/// drains).
+struct DeadlineHooks {
+  const base::Deadline* deadline = nullptr;  // null = unbounded
+  bool best_effort = false;
+  std::atomic<bool>* hit = nullptr;  // set by best-effort expiry
+};
+
 void run_odometer_range(const TimingPlan& plan,
                         const std::vector<SpecNode*>& children,
                         const std::vector<int>& limit, int impl_index,
                         long begin, long end, bool prune, ParetoFront& front,
                         BoundExchange* shared, std::uint64_t shared_stamp,
-                        EvalScratch& scratch,
+                        const DeadlineHooks& hooks, EvalScratch& scratch,
                         std::vector<Alternative>& candidates,
                         OdometerCounters& counters) {
   const int n = static_cast<int>(children.size());
@@ -635,6 +856,19 @@ void run_odometer_range(const TimingPlan& plan,
   }
   bool local_news = false;  // front points other shards haven't seen
   for (long idx = begin; idx < end; ++idx) {
+    if ((idx - begin) % kBoundExchangePeriod == 0) {
+      // Per-chunk checkpoint (never per combination): deadline poll and
+      // fault probe share the bound-exchange cadence, so the inner loop
+      // stays one clock read per 1024 combinations at worst.
+      base::FaultInjector::global().probe("dtas.evaluate.plan");
+      if (hooks.deadline != nullptr && hooks.deadline->expired()) {
+        if (!hooks.best_effort) {
+          throw Cancelled("synthesis deadline exceeded in odometer");
+        }
+        hooks.hit->store(true, std::memory_order_relaxed);
+        return;  // keep the candidates evaluated so far
+      }
+    }
     if (shared != nullptr && idx != begin &&
         (idx - begin) % kBoundExchangePeriod == 0 &&
         (local_news || shared->stamp() != shared_stamp)) {
@@ -711,12 +945,24 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
                  total / min_shard);
   }
 
+  DeadlineHooks hooks;
+  std::atomic<bool> deadline_hit{false};
+  if (deadline_.active()) {
+    hooks.deadline = &deadline_;
+    hooks.best_effort = options_.deadline_best_effort;
+    hooks.hit = &deadline_hit;
+  }
+
   if (num_shards <= 1) {
     OdometerCounters counters;
     run_odometer_range(plan, children, limit, impl_index, 0, total, prune,
-                       front, nullptr, 0, scratch_, candidates, counters);
+                       front, nullptr, 0, hooks, scratch_, candidates,
+                       counters);
     stats_.combinations_evaluated += counters.evaluated;
     stats_.combinations_pruned += counters.pruned;
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      stats_.deadline_hit = true;
+    }
     evaluated_counter.add(counters.evaluated);
     pruned_counter.add(counters.pruned);
     return;
@@ -747,10 +993,16 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
     ParetoFront local;
     const std::uint64_t stamp = shared.exchange(local);
     run_odometer_range(plan, children, limit, impl_index, begin, end, prune,
-                       local, prune ? &shared : nullptr, stamp,
+                       local, prune ? &shared : nullptr, stamp, hooks,
                        scratches[slot], shards[s].candidates,
                        shards[s].counters);
   });
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    // Best-effort expiry inside one or more shards: the merged candidate
+    // list is a prefix-of-each-shard, still deterministic to merge, but
+    // the enumeration is partial — record it.
+    stats_.deadline_hit = true;
+  }
   long evaluated = 0;
   long pruned = 0;
   for (Shard& s : shards) {
@@ -783,9 +1035,17 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
       obs::Registry::global().counter("dtas.evaluate.combinations.evaluated");
   obs::Span span("odometer", "dtas");
   long evaluated = 0;
+  long seen = 0;
   const int n = static_cast<int>(children.size());
   std::vector<int> choice(n, 0);
   for (;;) {
+    if (seen++ % kBoundExchangePeriod == 0) {
+      // Same per-chunk checkpoint cadence as the compiled path (the
+      // reference odometer is always serial, so the member helper —
+      // which throws or sets stats_.deadline_hit — applies directly).
+      base::FaultInjector::global().probe("dtas.evaluate.plan");
+      if (deadline_exceeded()) break;
+    }
     auto metric_of = [&](const ComponentSpec& spec) -> Metric {
       for (int c = 0; c < n; ++c) {
         if (children[c]->spec == spec) {
@@ -817,13 +1077,30 @@ void DesignSpace::evaluate(SpecNode* node) {
   DepthGuard depth(eval_depth_);
   if (node->evaluated) return;
   node->evaluated = true;  // set first: graph is acyclic by construction
+  try {
+    evaluate_impls(node);
+  } catch (...) {
+    // Strong exception safety: without the reset, a retry would see
+    // evaluated == true over an empty alternative list and conclude the
+    // node is unrealizable. Fully evaluated children keep their alts
+    // (they are complete); this node redoes its own odometers only.
+    node->evaluated = false;
+    node->alts.clear();
+    throw;
+  }
+}
 
+void DesignSpace::evaluate_impls(SpecNode* node) {
   // Evaluated candidates of this node, across all implementations — the
   // prune front a combination must beat to be worth timing.
   ParetoFront front;
 
   std::vector<Alternative> candidates;
   for (size_t ii = 0; ii < node->impls.size(); ++ii) {
+    // Best-effort deadline expiry stops further implementations; the
+    // candidates gathered so far still filter into a valid (partial)
+    // alternative list.
+    if (deadline_exceeded()) break;
     ImplNode* impl = node->impls[ii].get();
     if (impl->is_leaf()) {
       Alternative alt;

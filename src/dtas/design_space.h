@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/thread_pool.h"
 #include "cells/cell.h"
 #include "dtas/rule.h"
@@ -94,13 +96,25 @@ struct CompiledTemplate {
 /// Process-wide cache of compiled rule templates, keyed by
 /// (rule name, spec). Sound because Rule::expand is contractually a pure
 /// function of that key (see Rule::cacheable): rule names encode their
-/// parameters, and the rule context only ever gates applicability. Entries
-/// are append-only and immortal; returned references stay valid for the
-/// process lifetime. DesignSpace consults it per (applicable rule, spec) —
-/// a miss compiles and publishes, a hit skips TemplateBuilder, topo
-/// scheduling, and TimingPlan compilation entirely.
+/// parameters, and the rule context only ever gates applicability.
+/// DesignSpace consults it per (applicable rule, spec) — a miss compiles
+/// and publishes, a hit skips TemplateBuilder, topo scheduling, and
+/// TimingPlan compilation entirely.
+///
+/// Lifecycle: entries are shared_ptr-owned and byte-accounted. With no
+/// budget set (the default) the cache is effectively append-only, as
+/// before. Under a budget (set_budget_bytes / SpaceOptions::
+/// template_cache_budget_bytes / BRIDGE_CACHE_BUDGET) the key space is
+/// sharded and each shard evicts least-recently-used entries down to its
+/// slice of the budget — but never an entry pinned by a live synthesis:
+/// an entry whose vector (or any inner template/plan) is referenced
+/// outside the cache is skipped, so eviction can only reclaim memory, not
+/// invalidate anything a DesignSpace still points at. Callers hold the
+/// returned shared_ptr while iterating.
 class TemplateCache {
  public:
+  using EntryPtr = std::shared_ptr<const std::vector<CompiledTemplate>>;
+
   /// Process-wide lookup totals. The cache is shared by every DesignSpace
   /// in the process, so these absolutes can't attribute work to one run —
   /// diff two snapshot() results to carve out a window, or read the
@@ -111,19 +125,30 @@ class TemplateCache {
     long hits = 0;
     long misses = 0;    // find() calls that missed (insert usually follows)
     long entries = 0;   // compiled (rule, spec) entries resident
+    long evictions = 0; // entries evicted over the process lifetime
+    long bytes = 0;     // resident footprint estimate
   };
 
   static TemplateCache& global();
 
   /// nullptr when absent. Counts the lookup in the global Stats and the
-  /// obs registry ("dtas.expand.template_cache.{hits,misses}").
-  const std::vector<CompiledTemplate>* find(
-      const std::string& rule_name, const genus::ComponentSpec& spec) const;
+  /// obs registry ("dtas.expand.template_cache.{hits,misses}") and
+  /// freshens the entry's LRU stamp on a hit.
+  EntryPtr find(const std::string& rule_name,
+                const genus::ComponentSpec& spec);
 
-  /// Publish (first writer wins on a race); returns the stored entry.
-  const std::vector<CompiledTemplate>& insert(
-      const std::string& rule_name, const genus::ComponentSpec& spec,
-      std::vector<CompiledTemplate> templates);
+  /// Publish (first writer wins on a race); returns the stored entry and
+  /// runs the eviction sweep when a budget is set.
+  EntryPtr insert(const std::string& rule_name,
+                  const genus::ComponentSpec& spec,
+                  std::vector<CompiledTemplate> templates);
+
+  /// Byte budget; 0 = unbounded (the default, modulo BRIDGE_CACHE_BUDGET
+  /// read at construction). Setting a budget sweeps immediately. Pinned
+  /// entries are never evicted, so a budget is a target the cache meets
+  /// whenever enough entries are unpinned, not a hard cap.
+  void set_budget_bytes(std::size_t budget);
+  std::size_t budget_bytes() const;
 
   /// Entries currently cached (diagnostics / tests).
   std::size_t size() const;
@@ -145,15 +170,49 @@ class TemplateCache {
       return h;
     }
   };
+  struct Entry {
+    EntryPtr templates;
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;  // global tick at last find/insert
+  };
+  /// One lock + map + byte total per key-hash shard, so concurrent
+  /// Synthesizers contend only within a shard and eviction sweeps lock
+  /// one shard at a time.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+    std::size_t bytes = 0;
+  };
+  static constexpr int kShards = 8;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::unique_ptr<std::vector<CompiledTemplate>>,
-                     KeyHash>
-      map_;
+  TemplateCache();
+
+  Shard& shard_for(const Key& key) {
+    return shards_[KeyHash{}(key) % kShards];
+  }
+  /// Evict LRU unpinned entries of `s` until its bytes fit `target`.
+  /// Caller holds s.mu.
+  void evict_locked(Shard& s, std::size_t target);
+
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::size_t> budget_{0};
   // Lock-free lookup totals (find() is called on the expansion hot path).
-  mutable std::atomic<long> hits_{0};
-  mutable std::atomic<long> misses_{0};
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> evictions_{0};
+  std::atomic<long> bytes_{0};
 };
+
+/// Parse a byte-budget text: a non-negative integer with an optional
+/// k / m / g (KiB / MiB / GiB) suffix, case-insensitive ("64m", "100000").
+/// Returns -1 when the text is empty or malformed.
+long parse_cache_budget(const std::string& text);
+
+/// BRIDGE_CACHE_BUDGET from the environment, parsed; -1 when unset or
+/// unparsable. Read once by TemplateCache at construction and per
+/// Synthesizer for the extraction cache default.
+long cache_budget_from_env();
 
 /// A surviving alternative after evaluation: which implementation, which
 /// alternative of each distinct child, and the resulting metrics.
@@ -238,6 +297,33 @@ struct SpaceOptions {
   /// byte-identical with tracing on or off at every thread count
   /// (tests/obs_test.cpp pins this).
   std::string trace_path;
+  /// Wall-clock budget per synthesize call, in milliseconds; 0 means
+  /// unbounded. The deadline is polled cooperatively at coarse
+  /// checkpoints (per rule application, per odometer chunk of 1024
+  /// combinations, per extracted alternative — never per combination), so
+  /// overrun past the deadline is bounded by one checkpoint interval. A
+  /// run whose deadline never fires is bit-identical to an unbounded run:
+  /// the checks only read a clock.
+  long deadline_ms = 0;
+  /// What expiry does: false (default) — synthesize throws
+  /// bridge::Cancelled and unwinds with strong exception safety (the
+  /// Synthesizer stays usable; re-arm and retry); true — the call stops
+  /// expanding/enumerating/extracting, returns the best-so-far front, and
+  /// sets SpaceStats::deadline_hit. Best-effort truncation persists in
+  /// the space for the session, like any other evaluated state.
+  bool deadline_best_effort = false;
+  /// External kill switch polled alongside the deadline (see
+  /// base/cancel.h); may be shared across requests. Null = none.
+  std::shared_ptr<base::CancelToken> cancel;
+  /// Byte budget applied to the process-wide TemplateCache at space
+  /// construction: -1 (default) leaves the process setting alone, 0 sets
+  /// it unbounded, > 0 sets the budget. Process-wide — the last space to
+  /// set it wins.
+  long template_cache_budget_bytes = -1;
+  /// Byte budget of the owning Synthesizer's ExtractionCache: -1 takes
+  /// the BRIDGE_CACHE_BUDGET env default (unbounded when unset), 0 is
+  /// unbounded, > 0 is the budget.
+  long extraction_cache_budget_bytes = -1;
 };
 
 struct SpaceStats {
@@ -257,6 +343,11 @@ struct SpaceStats {
   // sum to the global snapshot diff (tests/obs_test.cpp pins this).
   long template_cache_hits = 0;     // rule applications served from the cache
   long template_cache_misses = 0;   // rule applications compiled (+published)
+  // The most recent arm_deadline() window hit its deadline in best-effort
+  // mode (the front returned is best-so-far, not exhaustive). Reset by
+  // arm_deadline(); never set in throw mode, which raises Cancelled
+  // instead.
+  bool deadline_hit = false;
 };
 
 /// Incremental (area, delay) Pareto staircase over evaluated candidates,
@@ -310,6 +401,26 @@ class DesignSpace {
   const SpaceStats& stats() const { return stats_; }
   const SpaceOptions& options() const { return options_; }
 
+  /// (Re-)arm the cooperative deadline from the options: the clock starts
+  /// now, SpaceStats::deadline_hit resets. The Synthesizer calls this at
+  /// the top of every synthesize / synthesize_netlist; direct DesignSpace
+  /// users get one arming at construction.
+  void arm_deadline();
+
+  /// Replace the deadline policy options (deadline_ms / best-effort /
+  /// cancel token) for subsequent arm_deadline() calls — the hook for
+  /// reusing one Synthesizer across requests with different budgets.
+  void set_deadline_policy(long deadline_ms, bool best_effort,
+                           std::shared_ptr<base::CancelToken> cancel);
+
+  /// Poll the armed deadline. False while it hasn't fired (the common
+  /// case: one clock read, no mutation). Once it fires: best-effort mode
+  /// sets SpaceStats::deadline_hit and returns true — the caller stops
+  /// its loop and keeps what it has; otherwise throws bridge::Cancelled.
+  /// Called from the caller thread only; parallel shards poll the
+  /// Deadline directly (see run_plan_odometer).
+  bool deadline_exceeded();
+
   /// Evaluate a template's metrics given per-child-spec metrics: area is
   /// the sum over instances, delay the longest structural path (sequential
   /// instances act as path sources/sinks with their clock-to-q delay).
@@ -357,6 +468,10 @@ class DesignSpace {
  private:
   void expand_node(SpecNode* node);
 
+  /// The body of evaluate() (candidate enumeration + filtering), split
+  /// out so evaluate() can wrap it in the reset-on-exception guard.
+  void evaluate_impls(SpecNode* node);
+
   /// Whether bound-and-prune applies under the current options (it must
   /// stay off when the filter keeps dominated candidates).
   bool prune_enabled() const {
@@ -371,6 +486,7 @@ class DesignSpace {
   const cells::CellLibrary& library_;
   SpaceOptions options_;
   SpaceStats stats_;
+  base::Deadline deadline_;  // armed from options_ (see arm_deadline)
   int threads_ = 1;  // resolved from options_.threads at construction
   // Recursion depths of expand()/evaluate(): only the depth-0 entry of
   // each opens a phase span, so one trace shows one expand and one

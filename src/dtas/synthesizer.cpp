@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "base/diag.h"
+#include "base/fault.h"
 #include "base/strutil.h"
 #include "lola/lola.h"
 #include "obs/metrics.h"
@@ -155,7 +156,13 @@ class Extractor {
   /// are resolved: cache-only (building a shared module that must not
   /// touch any particular design) or design registration.
   void fill(Module& mod, const SpecNode* node, int alt_index,
-            bool shared_build) {
+            bool shared_build,
+            std::vector<std::shared_ptr<const Module>>* children = nullptr) {
+    // Probe before any of `mod` is built: an injected throw here models
+    // a mid-extraction failure, and the unwind must discard the partial
+    // module without publishing it (inserts happen only after a
+    // complete fill).
+    base::FaultInjector::global().probe("dtas.extract.materialize");
     const Alternative& alt = node->alts.at(alt_index);
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     BRIDGE_CHECK(!impl->is_leaf(), "materialize called on a leaf alt");
@@ -176,7 +183,7 @@ class Extractor {
       const int child_index = inst_child.at(ti_index++);
       const SpecNode* child = impl->children[child_index];
       const int child_alt = alt.child_alt.at(child_index);
-      bind(mod, ti, child, child_alt, shared_build);
+      bind(mod, ti, child, child_alt, shared_build, children);
     }
   }
 
@@ -187,12 +194,20 @@ class Extractor {
                                               int alt_index) {
     if (auto m = cache_.find(node, alt_index)) return m;
     auto mod = std::make_shared<Module>(cache_.name_for(node, alt_index));
-    fill(*mod, node, alt_index, /*shared_build=*/true);
-    return cache_.insert(node, alt_index, std::move(mod));
+    // The module holds raw instance pointers into its child modules;
+    // `children` keeps each child's shared_ptr alive from the child's
+    // own insert (whose budget sweep must not reclaim it) through this
+    // insert, where the entry takes them over as subtree pins.
+    std::vector<std::shared_ptr<const Module>> children;
+    fill(*mod, node, alt_index, /*shared_build=*/true, &children);
+    return cache_.insert(node, alt_index, std::move(mod),
+                         std::move(children));
   }
 
   Instance& bind(Module& mod, const Instance& ti, const SpecNode* child,
-                 int child_alt, bool shared_build) {
+                 int child_alt, bool shared_build,
+                 std::vector<std::shared_ptr<const Module>>* children =
+                     nullptr) {
     const Alternative& calt = child->alts.at(child_alt);
     const ImplNode* cimpl = child->impls.at(calt.impl_index).get();
     if (cimpl->is_leaf()) {
@@ -232,9 +247,14 @@ class Extractor {
       }
       return ni;
     }
-    const Module* child_mod = shared_build
-                                  ? shared_module(child, child_alt).get()
-                                  : materialize(child, child_alt);
+    const Module* child_mod;
+    if (shared_build) {
+      std::shared_ptr<const Module> shared = shared_module(child, child_alt);
+      child_mod = shared.get();
+      children->push_back(std::move(shared));
+    } else {
+      child_mod = materialize(child, child_alt);
+    }
     Instance& ni = mod.add_module_instance(ti.name, child_mod, child->spec);
     ni.connections = ti.connections;
     return ni;
@@ -312,6 +332,71 @@ class Describer {
 
 }  // namespace
 
+namespace {
+
+/// Registry mirrors of the extraction-cache lifecycle counters. The
+/// bytes gauge aggregates across every live ExtractionCache in the
+/// process (each adds its deltas and subtracts its residue on
+/// destruction), matching how the template-cache gauge reads: resident
+/// cache bytes process-wide.
+struct ExtractionCacheMetrics {
+  obs::Counter& hits = obs::Registry::global().counter(
+      "dtas.extract.extraction_cache.hits");
+  obs::Counter& misses = obs::Registry::global().counter(
+      "dtas.extract.extraction_cache.misses");
+  obs::Counter& evictions = obs::Registry::global().counter(
+      "dtas.extract.extraction_cache.evictions");
+  obs::Gauge& bytes = obs::Registry::global().gauge(
+      "dtas.extract.extraction_cache.bytes");
+
+  static ExtractionCacheMetrics& get() {
+    static ExtractionCacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+ExtractionCache::ExtractionCache() {
+  const long env = cache_budget_from_env();
+  if (env > 0) budget_ = static_cast<std::size_t>(env);
+}
+
+ExtractionCache::~ExtractionCache() {
+  ExtractionCacheMetrics::get().bytes.add(-static_cast<long>(bytes_));
+}
+
+void ExtractionCache::set_budget_bytes(std::size_t budget) {
+  budget_ = budget;
+  evict_to_budget();
+}
+
+void ExtractionCache::evict_to_budget() {
+  if (budget_ == 0) return;
+  while (bytes_ > budget_) {
+    // LRU among modules only this cache references: use_count > 1 means
+    // some live Design (or an extraction in flight) still points at the
+    // module, and evicting it would only move memory from the cache to
+    // the design — the sharing is the point, so those are pinned.
+    auto victim = modules_.end();
+    for (auto it = modules_.begin(); it != modules_.end(); ++it) {
+      if (it->second.module.use_count() > 1) continue;
+      if (victim == modules_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == modules_.end()) break;  // everything left is pinned
+    bytes_ -= victim->second.bytes;
+    ++stats_.evictions;
+    stats_.bytes = static_cast<long>(bytes_);
+    ExtractionCacheMetrics& metrics = ExtractionCacheMetrics::get();
+    metrics.evictions.add(1);
+    metrics.bytes.add(-static_cast<long>(victim->second.bytes));
+    modules_.erase(victim);
+  }
+}
+
 const std::string& ExtractionCache::name_for(const SpecNode* node,
                                              int alt_index) {
   const Key key{node, alt_index};
@@ -341,24 +426,40 @@ std::shared_ptr<const netlist::Module> ExtractionCache::find(
     const SpecNode* node, int alt_index) {
   auto it = modules_.find(Key{node, alt_index});
   if (it == modules_.end()) return nullptr;
+  it->second.last_use = ++tick_;
   ++stats_.hits;
-  static obs::Counter& hit_counter =
-      obs::Registry::global().counter("dtas.extract.extraction_cache.hits");
-  hit_counter.add(1);
-  return it->second;
+  ExtractionCacheMetrics::get().hits.add(1);
+  return it->second.module;
 }
 
-const std::shared_ptr<const netlist::Module>& ExtractionCache::insert(
+std::shared_ptr<const netlist::Module> ExtractionCache::insert(
     const SpecNode* node, int alt_index,
-    std::shared_ptr<const netlist::Module> module) {
+    std::shared_ptr<const netlist::Module> module,
+    std::vector<std::shared_ptr<const netlist::Module>> children) {
+  // An armed fault injector throws here, before any mutation: a failed
+  // insert must leave no partially-constructed entry behind. (The names_
+  // table the module's name came from is insert-order memoized and
+  // intentionally survives — the retry re-requests the same name.)
+  base::FaultInjector::global().probe("dtas.extraction_cache.insert");
   ++stats_.misses;
-  static obs::Counter& miss_counter =
-      obs::Registry::global().counter("dtas.extract.extraction_cache.misses");
-  miss_counter.add(1);
-  auto [it, inserted] = modules_.emplace(Key{node, alt_index}, std::move(module));
+  const std::size_t module_bytes = module->approx_footprint_bytes();
+  auto [it, inserted] = modules_.emplace(
+      Key{node, alt_index},
+      Entry{std::move(module), std::move(children), module_bytes, ++tick_});
   BRIDGE_CHECK(inserted, "duplicate extraction-cache insert for "
                              << node->spec.key() << " alt " << alt_index);
-  return it->second;
+  bytes_ += module_bytes;
+  stats_.bytes = static_cast<long>(bytes_);
+  ExtractionCacheMetrics& metrics = ExtractionCacheMetrics::get();
+  metrics.misses.add(1);
+  metrics.bytes.add(static_cast<long>(module_bytes));
+  // Keep a strong ref across the sweep: the just-inserted module may be
+  // the only unpinned entry, and the caller must receive a live pointer
+  // either way.
+  std::shared_ptr<const netlist::Module> stored = it->second.module;
+  evict_to_budget();
+  stats_.bytes = static_cast<long>(bytes_);
+  return stored;
 }
 
 std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
@@ -426,7 +527,12 @@ RuleBase default_rules_for(const cells::CellLibrary& library) {
 
 Synthesizer::Synthesizer(RuleBase rules, const cells::CellLibrary& library,
                          SpaceOptions options)
-    : rules_(std::move(rules)), space_(rules_, library, options) {}
+    : rules_(std::move(rules)), space_(rules_, library, options) {
+  if (options.extraction_cache_budget_bytes >= 0) {
+    extract_cache_.set_budget_bytes(
+        static_cast<std::size_t>(options.extraction_cache_budget_bytes));
+  }
+}
 
 Synthesizer::Synthesizer(const cells::CellLibrary& library,
                          SpaceOptions options)
@@ -437,6 +543,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
   obs::Span synth_span("synthesize", "dtas");
   ProfileScope prof(profile_, "synthesize:" + spec.key(), space_,
                     extract_cache_);
+  space_.arm_deadline();
   SpecNode* node;
   {
     PhaseTimer t(prof.profile(), "expand");
@@ -454,6 +561,10 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
   Describer describer(use_cache ? extract_cache_.describe_memo()
                                 : local_memo);
   for (size_t a = 0; a < node->alts.size(); ++a) {
+    // Best-effort deadline: the alternatives already materialized form a
+    // valid (prefix of the) front; throw mode unwinds with nothing
+    // published (the caches only ever hold complete entries).
+    if (space_.deadline_exceeded()) break;
     const Alternative& alt = node->alts[a];
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     AlternativeDesign d;
@@ -499,6 +610,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   obs::Span synth_span("synthesize", "dtas");
   ProfileScope prof(profile_, "synthesize_netlist:" + input.name(), space_,
                     extract_cache_);
+  space_.arm_deadline();
   // Expand and evaluate every distinct instance specification.
   std::vector<SpecNode*> children;
   {
@@ -569,6 +681,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   Describer describer(use_cache ? extract_cache_.describe_memo()
                                 : local_memo);
   for (size_t a = 0; a < kept.size(); ++a) {
+    if (space_.deadline_exceeded()) break;
     const Alternative& alt = kept[a];
     AlternativeDesign d;
     d.metric = alt.metric;

@@ -8,6 +8,7 @@
 // drawn from the given RTL library." (paper §3)
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,14 +43,32 @@ struct AlternativeDesign {
 ///    cache-off reference path names every module identically;
 ///  - the memoized implementation traces behind Describer.
 ///
+/// Lifecycle: modules are byte-accounted, and under a budget
+/// (set_budget_bytes / SpaceOptions::extraction_cache_budget_bytes /
+/// BRIDGE_CACHE_BUDGET) inserts evict least-recently-used modules no
+/// live design references (use_count == 1 — designs returned by
+/// synthesize pin their modules automatically). The name table and
+/// describe memos survive eviction on purpose: a re-materialized module
+/// gets its original session name, so output stays byte-identical under
+/// any eviction schedule.
+///
 /// Not thread-safe: one synthesize call at a time, like the Synthesizer
-/// that owns it.
+/// that owns it. The concurrency model is one Synthesizer (and thus one
+/// ExtractionCache) per thread; the process-wide TemplateCache is the
+/// shared layer.
 class ExtractionCache {
  public:
   struct Stats {
-    long hits = 0;    // find() calls served a shared module
-    long misses = 0;  // modules materialized (and published)
+    long hits = 0;       // find() calls served a shared module
+    long misses = 0;     // modules materialized (and published)
+    long evictions = 0;  // modules evicted under the byte budget
+    long bytes = 0;      // resident footprint estimate
   };
+
+  ExtractionCache();
+  ~ExtractionCache();
+  ExtractionCache(const ExtractionCache&) = delete;
+  ExtractionCache& operator=(const ExtractionCache&) = delete;
 
   /// Session-unique, VHDL-legal module name for (node, alt). Memoized;
   /// first-request order fixes uniquifier assignment, and the cache-on
@@ -65,10 +84,16 @@ class ExtractionCache {
   std::shared_ptr<const netlist::Module> find(const SpecNode* node,
                                               int alt_index);
 
-  /// Publish a materialized module; returns the stored pointer.
-  const std::shared_ptr<const netlist::Module>& insert(
+  /// Publish a materialized module; returns the stored pointer (by
+  /// value: the budget sweep the insert may trigger can evict other
+  /// entries, and map references are not stable across that).
+  /// `children` are the shared modules `module` holds raw instance
+  /// pointers into: the entry co-owns them, so eviction can never
+  /// reclaim a child while a resident parent still points at it.
+  std::shared_ptr<const netlist::Module> insert(
       const SpecNode* node, int alt_index,
-      std::shared_ptr<const netlist::Module> module);
+      std::shared_ptr<const netlist::Module> module,
+      std::vector<std::shared_ptr<const netlist::Module>> children = {});
 
   /// Memoized (node, alternative, depth) implementation traces, shared by
   /// every Describer of the session (see synthesizer.cpp).
@@ -77,16 +102,40 @@ class ExtractionCache {
     return describe_memo_;
   }
 
+  /// Byte budget; 0 = unbounded. The constructor takes the
+  /// BRIDGE_CACHE_BUDGET default. Setting a budget sweeps immediately;
+  /// modules still referenced by live designs are never evicted, so the
+  /// budget is a target, not a hard cap.
+  void set_budget_bytes(std::size_t budget);
+  std::size_t budget_bytes() const { return budget_; }
+
   const Stats& stats() const { return stats_; }
-  /// Distinct modules materialized so far.
+  /// Distinct modules resident (evicted ones no longer count).
   std::size_t size() const { return modules_.size(); }
 
  private:
   using Key = std::pair<const SpecNode*, int>;
-  std::map<Key, std::shared_ptr<const netlist::Module>> modules_;
+  struct Entry {
+    std::shared_ptr<const netlist::Module> module;
+    /// Subtree pins: the modules `module`'s instances point at. Their
+    /// bytes are accounted by their own entries; these refs only keep
+    /// use_count > 1 so the LRU sweep sees them as pinned while this
+    /// parent is resident.
+    std::vector<std::shared_ptr<const netlist::Module>> children;
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Evict LRU unreferenced modules until resident bytes fit the budget.
+  void evict_to_budget();
+
+  std::map<Key, Entry> modules_;
   std::map<Key, std::string> names_;
   std::map<std::string, int> name_uses_;  // base -> names handed out
   std::map<DescribeKey, std::string> describe_memo_;
+  std::size_t budget_ = 0;
+  std::size_t bytes_ = 0;
+  std::uint64_t tick_ = 0;
   Stats stats_;
 };
 

@@ -93,6 +93,14 @@ class TimingPlan {
   /// allocate once it has grown to the plan's node count.
   double delay(const double* child_delay, EvalScratch& scratch) const;
 
+  /// Rough resident size in bytes (vector capacities). Feeds the template
+  /// cache's byte accounting; proportionality matters, exactness doesn't.
+  std::size_t approx_footprint_bytes() const {
+    return sizeof(TimingPlan) + inst_child_.capacity() * sizeof(int) +
+           child_on_path_.capacity() + seq_.capacity() * sizeof(SeqStep) +
+           steps_.capacity() * sizeof(Step) + preds_.capacity() * sizeof(int);
+  }
+
   /// Cheap lower bound on delay(): the worst delay among children with at
   /// least one instance on a timing path (every such instance pins the
   /// worst path to at least its own delay). Used to skip a combination

@@ -3,6 +3,7 @@
 // a recursive-descent equivalent with line-accurate errors).
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "base/diag.h"
 #include "base/strutil.h"
@@ -47,7 +48,7 @@ std::vector<std::string> comma_list(const std::string& value) {
 }
 
 /// Parse "GC_INPUT_WIDTH (w)" into name + annotation.
-GeneratorAst::Param parse_param(const std::string& text) {
+GeneratorAst::Param parse_param(const std::string& text, int line) {
   GeneratorAst::Param p;
   const size_t paren = text.find('(');
   if (paren == std::string::npos) {
@@ -56,7 +57,8 @@ GeneratorAst::Param parse_param(const std::string& text) {
     p.name = trim(text.substr(0, paren));
     const size_t close = text.find(')', paren);
     if (close == std::string::npos) {
-      throw Error("unterminated parameter annotation in '" + text + "'");
+      throw ParseError("unterminated parameter annotation in '" + text + "'",
+                       line, 1);
     }
     p.annotation = trim(text.substr(paren + 1, close - paren - 1));
   }
@@ -64,7 +66,7 @@ GeneratorAst::Param parse_param(const std::string& text) {
 }
 
 /// Parse "I0[w]" or "CLK" into a port declaration.
-GeneratorAst::Port parse_port(const std::string& text) {
+GeneratorAst::Port parse_port(const std::string& text, int line) {
   GeneratorAst::Port p;
   const size_t bracket = text.find('[');
   if (bracket == std::string::npos) {
@@ -73,11 +75,27 @@ GeneratorAst::Port parse_port(const std::string& text) {
     p.name = trim(text.substr(0, bracket));
     const size_t close = text.find(']', bracket);
     if (close == std::string::npos) {
-      throw Error("unterminated width in port '" + text + "'");
+      throw ParseError("unterminated width in port '" + text + "'", line, 1);
     }
     p.width_text = trim(text.substr(bracket + 1, close - bracket - 1));
   }
   return p;
+}
+
+/// Strict integer attribute: the whole value must be one base-10 number.
+/// std::stoi alone would throw std::invalid_argument (not a ParseError)
+/// on garbage and silently accept trailing junk ("3x" -> 3).
+int parse_count(const std::string& value, int line) {
+  try {
+    size_t used = 0;
+    const int v = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("expected an integer attribute value, got '" + value +
+                         "'",
+                     line, 1);
+  }
 }
 
 /// Minimal s-expression reader for the OPERATIONS section.
@@ -97,17 +115,28 @@ class SexpReader {
     for (;;) {
       skip_ws();
       if (pos_ >= text_.size()) return out;
-      out.push_back(read());
+      out.push_back(read(0));
     }
   }
 
  private:
-  Sexp read() {
+  // Recursion guard: read() recurses once per nesting level, so a
+  // pathological "((((..." input would otherwise overflow the stack
+  // instead of failing with a ParseError. Real descriptions nest 3-4
+  // levels deep.
+  static constexpr int kMaxDepth = 128;
+
+  Sexp read(int depth) {
     skip_ws();
     if (pos_ >= text_.size()) {
       throw ParseError("unexpected end of OPERATIONS section", line(), 1);
     }
     if (text_[pos_] == '(') {
+      if (depth >= kMaxDepth) {
+        throw ParseError("OPERATIONS nesting deeper than " +
+                             std::to_string(kMaxDepth) + " levels",
+                         line(), 1);
+      }
       ++pos_;
       Sexp list;
       list.is_list = true;
@@ -120,7 +149,7 @@ class SexpReader {
           ++pos_;
           return list;
         }
-        list.items.push_back(read());
+        list.items.push_back(read(depth + 1));
       }
     }
     if (text_[pos_] == ')') {
@@ -289,10 +318,10 @@ std::vector<GeneratorAst> parse_legend(const std::string& text) {
     } else if (keyword == "KIND") {
       current.kind_name = to_upper(value);
     } else if (keyword == "MAX_PARAMS") {
-      current.max_params = std::stoi(value);
+      current.max_params = parse_count(value, line_no);
     } else if (keyword == "PARAMETERS") {
       for (const std::string& item : comma_list(value)) {
-        current.parameters.push_back(parse_param(item));
+        current.parameters.push_back(parse_param(item, line_no));
       }
     } else if (keyword == "STYLES") {
       for (const std::string& item : comma_list(value)) {
@@ -300,11 +329,11 @@ std::vector<GeneratorAst> parse_legend(const std::string& text) {
       }
     } else if (keyword == "INPUTS") {
       for (const std::string& item : comma_list(value)) {
-        current.inputs.push_back(parse_port(item));
+        current.inputs.push_back(parse_port(item, line_no));
       }
     } else if (keyword == "OUTPUTS") {
       for (const std::string& item : comma_list(value)) {
-        current.outputs.push_back(parse_port(item));
+        current.outputs.push_back(parse_port(item, line_no));
       }
     } else if (keyword == "CLOCK") {
       for (const std::string& item : comma_list(value)) {

@@ -213,6 +213,12 @@ class GroupParser {
     return args;
   }
 
+  // Recursion guard: parse_body recurses once per nested group, so a
+  // garbage file of repeated "g(){g(){..." would otherwise overflow the
+  // stack instead of raising a ParseError. Real Liberty files nest a
+  // handful of levels (library / cell / pin / timing / tables).
+  static constexpr int kMaxDepth = 128;
+
   /// `head` is the group name; the '(' has not been consumed yet.
   GenGroup parse_group(Token head) {
     GenGroup g;
@@ -220,11 +226,16 @@ class GroupParser {
     g.line = head.line;
     g.args = parse_args();
     expect_punct('{');
-    return parse_body(std::move(g));
+    return parse_body(std::move(g), 0);
   }
 
   /// Body loop for a group whose header (name, args, '{') is consumed.
-  GenGroup parse_body(GenGroup g) {
+  GenGroup parse_body(GenGroup g, int depth) {
+    if (depth > kMaxDepth) {
+      throw ParseError("groups nested deeper than " +
+                           std::to_string(kMaxDepth) + " levels",
+                       g.line, 1);
+    }
     while (!peek_punct('}')) {
       if (lex_.peek().kind == Token::Kind::kEnd) {
         throw ParseError("unterminated group '" + g.name + "'", g.line, 1);
@@ -256,7 +267,7 @@ class GroupParser {
           sub.line = name.line;
           sub.args = std::move(args);
           expect_punct('{');
-          g.groups.push_back(parse_body(std::move(sub)));
+          g.groups.push_back(parse_body(std::move(sub), depth + 1));
         } else {
           expect_punct(';');
           GenAttr attr;

@@ -149,6 +149,22 @@ const std::vector<PortSpec>& Module::instance_ports_ref(
   return genus::spec_ports(inst.spec);
 }
 
+std::size_t Module::approx_footprint_bytes() const {
+  std::size_t bytes = sizeof(Module) + name_.capacity();
+  bytes += nets_.capacity() * sizeof(Net);
+  bytes += ports_.capacity() * sizeof(ModulePort);
+  // unordered_map: count nodes + bucket array, both at a flat per-element
+  // estimate (node header + pair + a bucket pointer).
+  bytes += net_names_.size() * (sizeof(void*) * 3 + sizeof(base::Symbol) +
+                                sizeof(NetIndex));
+  for (const Instance& inst : instances_) {
+    bytes += sizeof(Instance) + inst.name.capacity() +
+             inst.ref_name.capacity() +
+             inst.connections.size() * sizeof(ConnMap::value_type);
+  }
+  return bytes;
+}
+
 Module& Design::add_module(const std::string& name) {
   // The *const* lookup scans owned and referenced modules alike — a new
   // name must not collide with either kind.

@@ -192,6 +192,11 @@ class Module {
   static const std::vector<genus::PortSpec>& instance_ports_ref(
       const Instance& inst, std::vector<genus::PortSpec>& storage);
 
+  /// Rough resident size of this module in bytes (containers, strings,
+  /// connection maps). An estimate, not an audit: cache budget accounting
+  /// needs proportionality across modules, not malloc-exact numbers.
+  std::size_t approx_footprint_bytes() const;
+
  private:
   std::string name_;
   std::vector<Net> nets_;

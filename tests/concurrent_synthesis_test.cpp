@@ -1,0 +1,237 @@
+// Concurrency audit: several Synthesizers on distinct threads sharing
+// the process-wide TemplateCache and one LibraryRegistry. The claims
+// under test (designed to run under ThreadSanitizer in CI):
+//  - concurrent synthesis over the three registry libraries produces
+//    fronts byte-identical to a serial run of the same work;
+//  - the shared TemplateCache counters reconcile: per-space deltas sum
+//    to the global snapshot diff even when the spaces interleave;
+//  - LibraryRegistry supports concurrent add/find/names, with duplicate
+//    registration surfacing as exactly one Error per duplicate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/diag.h"
+#include "cells/cell.h"
+#include "cells/registry.h"
+#include "dtas/design_space.h"
+#include "dtas/synthesizer.h"
+#include "genus/spec.h"
+#include "vhdl/vhdl.h"
+
+namespace bridge {
+namespace {
+
+using dtas::AlternativeDesign;
+using dtas::SpaceOptions;
+using dtas::TemplateCache;
+using genus::ComponentSpec;
+
+const cells::LibraryRegistry& registry() {
+  static cells::LibraryRegistry reg = [] {
+    auto r = cells::LibraryRegistry::with_builtins();
+    r.load_liberty_file(std::string(BRIDGE_LIBS_DIR) +
+                        "/sample_sky130_subset.lib");
+    return r;
+  }();
+  return reg;
+}
+
+struct FrontRecord {
+  std::vector<double> areas, delays;
+  std::vector<std::string> descriptions;
+  std::vector<std::string> vhdl;
+
+  bool operator==(const FrontRecord&) const = default;
+};
+
+FrontRecord record_front(const std::vector<AlternativeDesign>& alts) {
+  FrontRecord rec;
+  for (const auto& a : alts) {
+    rec.areas.push_back(a.metric.area);
+    rec.delays.push_back(a.metric.delay);
+    rec.descriptions.push_back(a.description);
+    rec.vhdl.push_back(vhdl::emit_structural(*a.design));
+  }
+  return rec;
+}
+
+std::vector<ComponentSpec> workload() {
+  return {genus::make_alu_spec(16, genus::alu16_ops()),
+          genus::make_adder_spec(32), genus::make_mux_spec(8, 4)};
+}
+
+TEST(ConcurrentSynthesisTest, DistinctSynthesizersMatchSerialBaseline) {
+  const auto libs = registry().all();
+  ASSERT_EQ(libs.size(), 3u);
+  const auto specs = workload();
+
+  // Serial baseline, one synthesizer per library.
+  std::vector<std::vector<FrontRecord>> baseline(libs.size());
+  for (size_t l = 0; l < libs.size(); ++l) {
+    dtas::Synthesizer synth(*libs[l]);
+    for (const ComponentSpec& spec : specs) {
+      baseline[l].push_back(record_front(synth.synthesize(spec)));
+    }
+  }
+
+  // Parallel: N threads, each with its OWN Synthesizer against
+  // lib[i % 3], all racing on the shared TemplateCache. Per-space
+  // counter deltas are collected for reconciliation below.
+  const int kThreads = 8;
+  const auto global_before = TemplateCache::global().snapshot();
+  std::vector<std::vector<FrontRecord>> results(kThreads);
+  std::vector<long> space_hits(kThreads), space_misses(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &libs, &specs, &results, &space_hits,
+                            &space_misses] {
+        dtas::Synthesizer synth(*libs[t % libs.size()]);
+        for (const ComponentSpec& spec : specs) {
+          results[t].push_back(record_front(synth.synthesize(spec)));
+        }
+        space_hits[t] = synth.space().stats().template_cache_hits;
+        space_misses[t] = synth.space().stats().template_cache_misses;
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE("thread " + std::to_string(t) + " on " +
+                 libs[t % libs.size()]->name());
+    EXPECT_EQ(results[t], baseline[t % libs.size()]);
+  }
+
+  // Counter reconciliation: every lookup belongs to exactly one space,
+  // so the per-space deltas (these spaces are fresh: totals ARE deltas)
+  // sum to the global snapshot diff.
+  const auto global_after = TemplateCache::global().snapshot();
+  long hits_sum = 0, misses_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    hits_sum += space_hits[t];
+    misses_sum += space_misses[t];
+  }
+  EXPECT_EQ(hits_sum, global_after.hits - global_before.hits);
+  EXPECT_EQ(misses_sum, global_after.misses - global_before.misses);
+}
+
+TEST(ConcurrentSynthesisTest, ThreadedOdometerInsideThreadedCallers) {
+  // Concurrent Synthesizers that each also shard their own odometer
+  // (nested parallelism: N callers x (1 + workers) pool threads).
+  const ComponentSpec spec = genus::make_alu_spec(16, genus::alu16_ops());
+  dtas::Synthesizer serial(cells::lsi_library());
+  const FrontRecord expect = record_front(serial.synthesize(spec));
+
+  const int kThreads = 4;
+  std::vector<FrontRecord> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &spec, &results] {
+      SpaceOptions opt;
+      opt.threads = 2;
+      dtas::Synthesizer synth(cells::lsi_library(), opt);
+      results[t] = record_front(synth.synthesize(spec));
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], expect) << "thread " << t;
+  }
+}
+
+TEST(ConcurrentSynthesisTest, RegistryConcurrentAddAndFind) {
+  cells::LibraryRegistry reg = cells::LibraryRegistry::with_builtins();
+  const std::string builtin = reg.names().front();  // the LSI data book
+  const int kWriters = 4, kPerWriter = 8, kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads_done{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([w, &reg] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        reg.add(cells::CellLibrary(
+            "lib_w" + std::to_string(w) + "_" + std::to_string(i), "test"));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&reg, &stop, &reads_done, &builtin] {
+      while (!stop.load()) {
+        // Pointers handed out stay valid for the registry's lifetime
+        // even while writers mutate the containers.
+        const cells::CellLibrary* lsi = reg.find(builtin);
+        ASSERT_NE(lsi, nullptr);
+        EXPECT_EQ(lsi->name(), builtin);
+        EXPECT_GE(reg.names().size(), 2u);
+        EXPECT_EQ(reg.find("no-such-library"), nullptr);
+        reads_done.fetch_add(1);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(reg.size(), 2 + kWriters * kPerWriter);
+  EXPECT_GT(reads_done.load(), 0);
+
+  // Racing duplicate registration: exactly one of two threads wins, the
+  // other gets an Error, and the registry stays consistent.
+  std::atomic<int> errors{0};
+  std::thread a([&reg, &errors] {
+    try {
+      reg.add(cells::CellLibrary("dup", "a"));
+    } catch (const Error&) {
+      errors.fetch_add(1);
+    }
+  });
+  std::thread b([&reg, &errors] {
+    try {
+      reg.add(cells::CellLibrary("dup", "b"));
+    } catch (const Error&) {
+      errors.fetch_add(1);
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(errors.load(), 1);
+  EXPECT_NE(reg.find("dup"), nullptr);
+  EXPECT_EQ(reg.size(), 2 + kWriters * kPerWriter + 1);
+}
+
+TEST(ConcurrentSynthesisTest, SharedRegistryLibrariesAcrossThreads) {
+  // Synthesizers on different threads referencing libraries held by one
+  // registry — the service deployment shape. The registry is only read;
+  // each thread owns its Synthesizer.
+  const auto libs = registry().all();
+  const ComponentSpec spec = genus::make_adder_spec(16);
+  std::vector<FrontRecord> expect;
+  for (const cells::CellLibrary* lib : libs) {
+    dtas::Synthesizer synth(*lib);
+    expect.push_back(record_front(synth.synthesize(spec)));
+  }
+  std::vector<std::vector<FrontRecord>> got(3);
+  std::vector<std::thread> threads;
+  for (int round = 0; round < 3; ++round) {
+    threads.emplace_back([round, &libs, &spec, &got] {
+      for (const cells::CellLibrary* lib : libs) {
+        dtas::Synthesizer synth(*lib);
+        got[round].push_back(record_front(synth.synthesize(spec)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(got[round], expect) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace bridge

@@ -64,6 +64,15 @@ EFFECTIVENESS_GATED = {
         "template_warm_hit_rate": 0.90,
         "extract_warm_hit_rate": 0.90,
     },
+    "fig3_alu64/budgeted_cache": {
+        # Extraction cache squeezed to ~99% of its own resident set: the
+        # budget must be doing real work (>= 1 eviction) while the warm
+        # pass still answers >= 90% of lookups from cache. A cache that
+        # thrashes under a near-sized budget, or a budget that silently
+        # stops evicting, both fail here.
+        "warm_hit_rate": 0.90,
+        "evictions": 1,
+    },
 }
 
 

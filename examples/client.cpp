@@ -1,0 +1,119 @@
+// A synthesis client: build an api::SynthesisRequest, frame it, send it
+// to a running `serve` daemon, and print the response.
+//
+//   $ ./client --port 7171                  # synthesize a 16-bit adder
+//   $ ./client --port 7171 --alu 64         # the paper's Figure 3 ALU
+//   $ ./client --port 7171 --deadline-ms 50 # best-effort under a budget
+//   $ ./client --unix /tmp/dtas.sock --health
+//   $ ./client --port 7171 --metrics
+//   $ ./client --port 7171 --shutdown
+//
+// The request JSON is exactly what api::run_request takes in process —
+// see examples/quickstart.cpp for the in-process twin of this program.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/api.h"
+#include "base/diag.h"
+#include "genus/spec.h"
+#include "server/protocol.h"
+
+using namespace bridge;
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string unix_path;
+  std::string method = "synthesize";
+  int adder_width = 16;
+  int alu_width = 0;
+  long deadline_ms = 0;
+  std::string library = "LSI_LGC15";
+  bool emit_vhdl = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--library" && i + 1 < argc) {
+      library = argv[++i];
+    } else if (arg == "--adder" && i + 1 < argc) {
+      adder_width = std::atoi(argv[++i]);
+    } else if (arg == "--alu" && i + 1 < argc) {
+      alu_width = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atol(argv[++i]);
+    } else if (arg == "--emit-vhdl") {
+      emit_vhdl = true;
+    } else if (arg == "--health" || arg == "--metrics" ||
+               arg == "--shutdown") {
+      method = arg.substr(2);
+    } else {
+      std::fprintf(stderr,
+                   "usage: client [--port N | --unix PATH] [--library NAME]\n"
+                   "              [--adder W | --alu W] [--deadline-ms N]\n"
+                   "              [--emit-vhdl] [--health | --metrics | "
+                   "--shutdown]\n");
+      return 2;
+    }
+  }
+
+  try {
+    const int fd = unix_path.empty() ? server::connect_tcp(port)
+                                     : server::connect_unix(unix_path);
+    std::string frame;
+    if (method == "synthesize") {
+      api::SynthesisRequest req;
+      req.library = library;
+      req.spec = alu_width > 0
+                     ? genus::make_alu_spec(alu_width, genus::alu16_ops())
+                     : genus::make_adder_spec(adder_width);
+      req.options.deadline_ms = deadline_ms;
+      req.options.deadline_best_effort = deadline_ms > 0;
+      req.options.emit_vhdl = emit_vhdl;
+      api::Json j = req.encode();
+      j.set("method", "synthesize");
+      frame = j.dump();
+    } else {
+      frame = api::Json::object().set("method", method).dump();
+    }
+    server::write_frame(fd, frame);
+    std::string payload;
+    if (!server::read_frame(fd, payload)) {
+      std::fprintf(stderr, "server closed the connection\n");
+      server::close_socket(fd);
+      return 1;
+    }
+    server::close_socket(fd);
+
+    if (method != "synthesize") {
+      std::printf("%s\n", payload.c_str());
+      return 0;
+    }
+    const api::SynthesisResult res = api::SynthesisResult::from_json(payload);
+    std::printf("status: %s%s  (server %.2f ms)\n", res.status.c_str(),
+                res.deadline_hit ? " [deadline hit, best-effort front]" : "",
+                res.server_ms);
+    if (!res.ok()) {
+      std::printf("error: %s\n", res.error.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < res.alternatives.size(); ++i) {
+      const api::ResultAlternative& alt = res.alternatives[i];
+      std::printf("  %zu: area %7.1f, delay %5.1f ns  -- %s\n", i, alt.area,
+                  alt.delay, alt.description.substr(0, 80).c_str());
+    }
+    std::printf("stats: %ld combinations, template cache %ld/%ld hit/miss\n",
+                res.stats.combinations_evaluated,
+                res.stats.template_cache_hits,
+                res.stats.template_cache_misses);
+    if (emit_vhdl && !res.alternatives.empty()) {
+      std::printf("\n%s", res.alternatives.front().vhdl.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

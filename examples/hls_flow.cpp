@@ -2,11 +2,17 @@
 // behavior -> HLS -> GENUS netlist + state table -> control compiler ->
 // DTAS -> structural VHDL. Prints the intermediate artifacts the paper's
 // system diagram names.
+//
+// The DTAS step goes through the request/response API: the GENUS
+// datapath netlist becomes the `netlist` member of an
+// api::SynthesisRequest — the JSON round-trip below is the exact frame a
+// synthesis server would receive for this flow.
 #include <cstdio>
 
+#include "api/api.h"
 #include "cells/cell.h"
+#include "cells/registry.h"
 #include "ctrl/control_compiler.h"
-#include "dtas/synthesizer.h"
 #include "hls/fsmd.h"
 #include "vhdl/vhdl.h"
 
@@ -50,12 +56,23 @@ end
   std::printf("controller: %d state bits, %d implicants after "
               "Quine-McCluskey\n\n", ctl.state_bits, ctl.implicant_count);
 
-  dtas::Synthesizer synth(cells::lsi_library());
-  auto alts = synth.synthesize_netlist(*fsmd.design.top());
+  // Map the datapath through the request/response API — and prove the
+  // wire form is lossless by running the JSON round-trip of the request.
+  auto registry = cells::LibraryRegistry::with_builtins();
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.input_netlist = *fsmd.design.top();
+  const api::SynthesisRequest over_the_wire =
+      api::SynthesisRequest::from_json(req.to_json());
+  api::SynthesisResult res = api::run_request(over_the_wire, registry);
+  if (!res.ok()) {
+    std::printf("DTAS failed: %s\n", res.error.c_str());
+    return 1;
+  }
   std::printf("DTAS datapath implementations:\n");
-  for (const auto& alt : alts) {
-    std::printf("  area %7.1f, delay %5.1f ns -- %s\n", alt.metric.area,
-                alt.metric.delay, alt.description.substr(0, 100).c_str());
+  for (const api::ResultAlternative& alt : res.alternatives) {
+    std::printf("  area %7.1f, delay %5.1f ns -- %s\n", alt.area, alt.delay,
+                alt.description.substr(0, 100).c_str());
   }
   return 0;
 }

@@ -1,13 +1,18 @@
 // Quickstart: generate a generic component with GENUS, map it into RTL
-// library cells with DTAS, inspect the alternatives, and emit VHDL.
+// library cells through the unified request/response API, inspect the
+// alternatives, and emit VHDL.
+//
+// The same api::SynthesisRequest drives every path: run_request here,
+// examples/client.cpp over a socket, the benches, and the server — its
+// JSON form IS the wire protocol (see README "Server mode").
 //
 //   $ ./quickstart
 #include <cstdio>
 
+#include "api/api.h"
 #include "cells/cell.h"
-#include "dtas/synthesizer.h"
+#include "cells/registry.h"
 #include "genus/library.h"
-#include "vhdl/vhdl.h"
 
 using namespace bridge;
 
@@ -20,20 +25,38 @@ int main() {
   std::printf("generic component: %s\n", adder->name().c_str());
   std::printf("functional spec:   %s\n\n", adder->spec().key().c_str());
 
-  // 2. Map it into the LSI-style data book with DTAS.
-  dtas::Synthesizer synth(cells::lsi_library());
-  auto alternatives = synth.synthesize(adder->spec());
-  std::printf("DTAS alternatives (area in equivalent NAND gates):\n");
-  for (size_t i = 0; i < alternatives.size(); ++i) {
-    const auto& alt = alternatives[i];
-    std::printf("  %zu: area %6.1f, delay %5.1f ns  -- %s\n", i,
-                alt.metric.area, alt.metric.delay, alt.description.c_str());
-  }
+  // 2. Build the synthesis request: spec + library name + options. The
+  // LSI-style data book is one of the registry's built-ins.
+  auto registry = cells::LibraryRegistry::with_builtins();
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = adder->spec();
+  req.options.emit_vhdl = true;
+  std::printf("request (the same JSON a synthesis server accepts):\n%s\n\n",
+              req.to_json().c_str());
 
-  // 3. Emit the smallest alternative as structural VHDL.
-  if (!alternatives.empty()) {
+  // 3. Execute it in-process.
+  api::SynthesisResult res = api::run_request(req, registry);
+  if (!res.ok()) {
+    std::printf("synthesis failed: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf("DTAS alternatives (area in equivalent NAND gates):\n");
+  for (size_t i = 0; i < res.alternatives.size(); ++i) {
+    const api::ResultAlternative& alt = res.alternatives[i];
+    std::printf("  %zu: area %6.1f, delay %5.1f ns  -- %s\n", i, alt.area,
+                alt.delay, alt.description.c_str());
+  }
+  std::printf("\nthis request: %ld combinations evaluated, "
+              "%ld template-cache hits / %ld misses\n",
+              res.stats.combinations_evaluated,
+              res.stats.template_cache_hits,
+              res.stats.template_cache_misses);
+
+  // 4. The VHDL rode back on the response (options.emit_vhdl).
+  if (!res.alternatives.empty()) {
     std::printf("\nstructural VHDL of the smallest design:\n\n%s",
-                vhdl::emit_structural(*alternatives.front().design).c_str());
+                res.alternatives.front().vhdl.c_str());
   }
   return 0;
 }

@@ -7,13 +7,17 @@
 // through src/liberty's spec inference. For every non-LSI library LOLA
 // induces the library-specific rules from abstract design principles —
 // retargeting needs data, not code.
+//
+// Each case is an api::SynthesisRequest differing only in its `library`
+// field, executed against one warm session per book (api::make_session) —
+// the exact shape a retargeting client sends a synthesis server.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "api/api.h"
 #include "base/diag.h"
 #include "cells/registry.h"
-#include "dtas/synthesizer.h"
 #include "liberty/liberty.h"
 
 using namespace bridge;
@@ -35,20 +39,18 @@ int main() {
     std::printf("could not ingest %s: %s\n", lib_path.c_str(), e.what());
   }
 
-  // One rule base and one synthesizer per library, shared across all
-  // cases: induction runs exactly once per book and the memoized design
-  // space is reused. default_rules_for = standard rules + hand-written
-  // LSI rules or LOLA-induced rules for every other book.
+  // One session per library, shared across all cases: induction runs
+  // exactly once per book and the memoized design space is reused.
+  api::SynthesisRequest req;  // options stay at the documented defaults
   std::printf("registered libraries:\n");
-  std::vector<std::unique_ptr<dtas::Synthesizer>> synths;
+  std::vector<std::unique_ptr<dtas::Synthesizer>> sessions;
   for (const cells::CellLibrary* lib : registry.all()) {
-    dtas::RuleBase rules = dtas::default_rules_for(*lib);
+    req.library = lib->name();
+    sessions.push_back(api::make_session(req, *lib));
     std::printf("  %-22s %2d cells  %2d library-specific rules  (%s)\n",
                 lib->name().c_str(), lib->size(),
-                rules.library_specific_count(),
+                sessions.back()->space().rules().library_specific_count(),
                 lib->description().substr(0, 48).c_str());
-    synths.push_back(
-        std::make_unique<dtas::Synthesizer>(std::move(rules), *lib));
   }
   std::printf("\n");
 
@@ -72,18 +74,24 @@ int main() {
 
   for (const Case& c : cases) {
     std::printf("%s:\n", c.label);
-    for (auto& synth : synths) {
-      const cells::CellLibrary& lib = synth->space().library();
-      auto alts = synth->synthesize(c.spec);
+    for (auto& session : sessions) {
+      const cells::CellLibrary& lib = session->space().library();
+      req.library = lib.name();
+      req.spec = c.spec;
+      api::SynthesisResult res = api::run_request(req, *session);
       std::printf("  %-22s: ", lib.name().c_str());
-      if (alts.empty()) {
+      if (!res.ok()) {
+        std::printf("failed: %s\n", res.error.c_str());
+        continue;
+      }
+      if (res.alternatives.empty()) {
         std::printf("no implementation\n");
         continue;
       }
+      const api::ResultAlternative& best = res.alternatives.front();
       std::printf("%zu alts; smallest %.1f gates / %.2f ns; best %s\n",
-                  alts.size(), alts.front().metric.area,
-                  alts.front().metric.delay,
-                  alts.front().description.substr(0, 60).c_str());
+                  res.alternatives.size(), best.area, best.delay,
+                  best.description.substr(0, 60).c_str());
     }
     std::printf("\n");
   }

@@ -1,0 +1,68 @@
+// The synthesis daemon: serve the built-in data books (plus any library
+// files named on the command line) over the length-prefixed JSON
+// protocol until a client sends a shutdown request.
+//
+//   $ ./serve --port 0                 # TCP loopback, ephemeral port
+//   $ ./serve --unix /tmp/dtas.sock    # Unix-domain socket
+//   $ ./serve --port 7171 --workers 4 libs/sample_sky130_subset.lib
+//
+// Talk to it with examples/client.cpp. See README "Server mode" for the
+// framing and schema.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/diag.h"
+#include "cells/registry.h"
+#include "server/server.h"
+
+using namespace bridge;
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  auto registry = cells::LibraryRegistry::with_builtins();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      options.unix_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.workers = std::atoi(argv[++i]);
+    } else if (arg == "--help") {
+      std::printf("usage: serve [--port N | --unix PATH] [--workers N] "
+                  "[library files...]\n");
+      return 0;
+    } else {
+      try {
+        registry.load_file(arg);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "could not load %s: %s\n", arg.c_str(),
+                     e.what());
+        return 1;
+      }
+    }
+  }
+
+  server::SynthesisServer srv(registry, options);
+  try {
+    srv.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "could not start server: %s\n", e.what());
+    return 1;
+  }
+  // One parseable line for scripts (the CI smoke job greps the port).
+  std::printf("serving %s libraries=%d workers=%s endpoint=%s\n",
+              options.unix_path.empty() ? "tcp" : "unix", registry.size(),
+              options.workers > 0 ? std::to_string(options.workers).c_str()
+                                  : "auto",
+              srv.endpoint().c_str());
+  std::fflush(stdout);
+
+  srv.wait();  // until a client sends {"method": "shutdown"}
+  srv.stop();
+  std::printf("server stopped after %ld requests (%ld errors)\n",
+              srv.requests_handled(), srv.errors_returned());
+  return 0;
+}

@@ -1,0 +1,186 @@
+// The unified request/response API for synthesis.
+//
+// Before this layer, configuring a synthesis meant juggling three
+// mechanisms at once: SpaceOptions fields passed to the Synthesizer
+// constructor, environment variables (BRIDGE_CACHE_BUDGET, BRIDGE_TRACE)
+// read at scattered construction points, and per-call method arguments.
+// SynthesisRequest subsumes all three into one value type with JSON
+// encode/decode, so the in-process API, the examples, the benches, and
+// the server wire protocol all speak the same object — a request that
+// worked locally is byte-for-byte the request you send to a daemon.
+//
+// Environment-variable precedence (the consolidation contract, pinned by
+// tests/api_test.cpp): env vars are *documented defaults*, applied only
+// where a request leaves a field at its "unset" sentinel; an explicit
+// request field always wins.
+//
+//   field                              unset sentinel   env default
+//   template_cache_budget_bytes        -1               BRIDGE_CACHE_BUDGET
+//   extraction_cache_budget_bytes      -1               BRIDGE_CACHE_BUDGET
+//   trace_path                         ""               BRIDGE_TRACE
+//
+// Determinism: encode() emits every field in a fixed order, so
+// encode(decode(encode(x))) is byte-identical — the protocol golden
+// tests rely on it — and doubles round-trip exactly (see api/json.h),
+// which is what makes a front received over the wire bit-comparable to
+// one produced in process.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "dtas/design_space.h"
+#include "dtas/synthesizer.h"
+#include "genus/spec.h"
+#include "netlist/netlist.h"
+#include "obs/profile.h"
+
+namespace bridge::cells {
+class LibraryRegistry;
+}  // namespace bridge::cells
+
+namespace bridge::api {
+
+// --- component-spec / netlist codecs ---------------------------------------
+
+/// ComponentSpec <-> JSON object ({"kind": "ALU", "width": 64, ...}).
+Json encode_spec(const genus::ComponentSpec& spec);
+genus::ComponentSpec decode_spec(const Json& j);
+
+/// GENUS input netlist (a Module of specification instances) <-> JSON.
+/// Round-trips ports, non-port nets, and every connection — including
+/// explicit opens, constants, and replicated broadcasts — in ConnMap
+/// (name) order.
+Json encode_netlist(const netlist::Module& m);
+netlist::Module decode_netlist(const Json& j);
+
+// --- request ---------------------------------------------------------------
+
+/// Per-request knobs. This is the public face of dtas::SpaceOptions: a
+/// flat, JSON-serializable subset whose unset sentinels resolve through
+/// the documented env defaults (see file comment). space_options() is
+/// the single translation point.
+struct RequestOptions {
+  long deadline_ms = 0;           // 0 = unbounded
+  bool deadline_best_effort = false;
+  int threads = 1;                // per-request; servers keep this at 1
+  std::string filter = "pareto";  // pareto | none | area_only | delay_only
+  int max_alternatives_per_node = 24;
+  long max_combinations_per_impl = 100000;
+  double min_delay_gain = 0.10;
+  bool use_compiled_plan = true;
+  bool use_template_cache = true;
+  bool use_extraction_cache = true;
+  long template_cache_budget_bytes = -1;    // -1 = BRIDGE_CACHE_BUDGET default
+  long extraction_cache_budget_bytes = -1;  // -1 = BRIDGE_CACHE_BUDGET default
+  std::string trace_path;                   // "" = BRIDGE_TRACE default
+  bool emit_vhdl = false;       // include structural VHDL per alternative
+  bool include_profile = false; // include the per-request phase profile
+
+  bool operator==(const RequestOptions&) const = default;
+
+  /// Resolve into the dtas layer's options, applying the env-default
+  /// precedence documented above. Throws bridge::Error on an unknown
+  /// filter name.
+  dtas::SpaceOptions space_options() const;
+
+  /// Stable key of every field that shapes the memoized design space
+  /// (everything except the deadline trio and the output switches).
+  /// Server sessions cache one Synthesizer per (library, fingerprint):
+  /// requests differing only in deadline/emit flags share warm state.
+  std::string fingerprint() const;
+};
+
+/// One synthesis request: a spec *or* an input netlist, a library name,
+/// and options. The same value drives in-process calls and the wire.
+struct SynthesisRequest {
+  std::string library;  // cells::LibraryRegistry name, e.g. "LSI_LGC15"
+  std::optional<genus::ComponentSpec> spec;
+  std::optional<netlist::Module> input_netlist;
+  RequestOptions options;
+
+  Json encode() const;
+  std::string to_json() const { return encode().dump(); }
+
+  /// Throws bridge::Error / bridge::ParseError on malformed input
+  /// (missing library, neither or both of spec/netlist, bad enum names).
+  static SynthesisRequest decode(const Json& j);
+  static SynthesisRequest from_json(const std::string& text);
+};
+
+// --- result ----------------------------------------------------------------
+
+struct ResultAlternative {
+  double area = 0.0;
+  double delay = 0.0;
+  std::string description;
+  std::string vhdl;  // empty unless the request set emit_vhdl
+};
+
+/// This-request work summary (the SpaceStats / cache deltas a service
+/// client can bill or alert on without parsing a profile).
+struct ResultStats {
+  long combinations_evaluated = 0;
+  long combinations_pruned = 0;
+  long template_cache_hits = 0;
+  long template_cache_misses = 0;
+  long extraction_cache_hits = 0;
+  long extraction_cache_misses = 0;
+};
+
+struct SynthesisResult {
+  std::string status = "ok";  // ok | error | cancelled
+  std::string error;          // non-empty iff status != "ok"
+  bool deadline_hit = false;  // best-effort truncation happened
+  std::vector<ResultAlternative> alternatives;
+  ResultStats stats;
+  bool has_profile = false;
+  obs::Profile profile;   // valid when has_profile
+  double server_ms = 0.0; // wall time on the server; 0 for in-process runs
+
+  bool ok() const { return status == "ok"; }
+
+  Json encode() const;
+  std::string to_json() const { return encode().dump(); }
+  static SynthesisResult decode(const Json& j);
+  static SynthesisResult from_json(const std::string& text);
+
+  /// Error-response helper.
+  static SynthesisResult make_error(std::string status, std::string message);
+};
+
+/// True when `result`'s front is byte-identical to `alts` — same count,
+/// bit-equal metric doubles, same descriptions, and (when `with_vhdl`)
+/// the same emitted VHDL text. The server bench and the concurrency
+/// tests gate on this.
+bool front_matches(const SynthesisResult& result,
+                   const std::vector<dtas::AlternativeDesign>& alts,
+                   bool with_vhdl);
+
+// --- execution --------------------------------------------------------------
+
+/// Build a Synthesizer configured for `req` against `library` (which must
+/// be the registry entry `req.library` names; sessions that outlive one
+/// request are the caller's to keep).
+std::unique_ptr<dtas::Synthesizer> make_session(
+    const SynthesisRequest& req, const cells::CellLibrary& library);
+
+/// Execute `req` on an existing session. The session must have been
+/// built with the same space-shaping options (see
+/// RequestOptions::fingerprint); the per-request deadline policy is
+/// re-armed here, so one warm session serves many requests with
+/// different budgets. Never throws: cancellation and failures come back
+/// as status "cancelled" / "error" results.
+SynthesisResult run_request(const SynthesisRequest& req,
+                            dtas::Synthesizer& session);
+
+/// One-shot convenience: resolve the library in `registry`, build a
+/// fresh session, run. Library-resolution failures come back as error
+/// results, like everything else.
+SynthesisResult run_request(const SynthesisRequest& req,
+                            const cells::LibraryRegistry& registry);
+
+}  // namespace bridge::api

@@ -128,13 +128,64 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
   }
 }
 
+void ThreadPool::submit(std::function<void(int)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_.push_back(std::move(fn));
+    peak_queue_depth_ = std::max(
+        peak_queue_depth_,
+        static_cast<int>(submitted_.size()) + submitted_in_flight_);
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return submitted_.empty() && submitted_in_flight_ == 0;
+  });
+}
+
 void ThreadPool::worker_loop(int slot) {
   long seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return stop_ || (generation_ != seen && next_task_ < num_tasks_);
+      return stop_ || !submitted_.empty() ||
+             (generation_ != seen && next_task_ < num_tasks_);
     });
+    if (!submitted_.empty()) {
+      std::function<void(int)> task = std::move(submitted_.front());
+      submitted_.pop_front();
+      ++submitted_in_flight_;
+      lock.unlock();
+      {
+        obs::Span span("pool.task", "base");
+        const std::int64_t t0 = obs::Tracer::now_ns();
+        try {
+          // No fault probe here: a fault that fired before task(slot)
+          // would skip the task entirely, and submitted tasks have
+          // waiters (a server reader blocked on its completion signal)
+          // that a skipped task would strand. Submitted work carries its
+          // own probe sites inside the task body ("server.request").
+          task(slot);
+        } catch (...) {
+          // Submitted tasks have no join point to rethrow from; their
+          // contract is to not throw, so a stray exception dies here
+          // rather than poison an unrelated run().
+        }
+        PoolMetrics::get().task_latency_us.record(
+            static_cast<double>(obs::Tracer::now_ns() - t0) / 1000.0);
+      }
+      lock.lock();
+      ++tasks_executed_;
+      PoolMetrics::get().tasks.add(1);
+      --submitted_in_flight_;
+      if (submitted_.empty() && submitted_in_flight_ == 0) {
+        done_cv_.notify_all();
+      }
+      continue;
+    }
     if (stop_) return;
     seen = generation_;
     while (next_task_ < num_tasks_) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,6 +64,20 @@ class ThreadPool {
     run(num_tasks, [&fn](int task, int) { fn(task); });
   }
 
+  /// Queue one task for whichever worker frees up first; returns
+  /// immediately. This is the server-scheduler mode: unlike run(), the
+  /// caller does not participate, so `fn` executes on a worker slot in
+  /// 1..workers() — a pool used this way needs workers() >= 1. Callers
+  /// keeping per-slot state (one synthesis session per worker) index it
+  /// by the slot argument. `fn` must not throw; anything it does throw
+  /// is swallowed (submitted tasks have no join point to rethrow from).
+  /// submit() and run() may not be used concurrently on one pool.
+  void submit(std::function<void(int)> fn);
+
+  /// Block until every submitted task has finished (queued and in
+  /// flight). Safe to call with none outstanding.
+  void drain();
+
  private:
   void worker_loop(int slot);
 
@@ -81,6 +96,11 @@ class ThreadPool {
   int pending_ = 0;  // tasks not yet finished (claimed or unclaimed)
   long generation_ = 0;
   bool stop_ = false;
+  // Queued-task mode (submit/drain). Workers prefer the queue over a
+  // fork-join generation and, on shutdown, finish every queued task
+  // before exiting — a submitted task is never silently dropped.
+  std::deque<std::function<void(int)>> submitted_;
+  int submitted_in_flight_ = 0;
   // Introspection (guarded by mu_; mirrored into obs::Registry under
   // "base.thread_pool.*" so the metrics layer sees every pool at once).
   long tasks_executed_ = 0;

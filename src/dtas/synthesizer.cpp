@@ -292,17 +292,21 @@ class Extractor {
 /// synthesize call and builds each subtree trace once.
 class Describer {
  public:
-  /// `memo` outlives the Describer: the session-wide table in
-  /// ExtractionCache when the extraction cache is on (traces survive
-  /// across synthesize calls), a per-call local map otherwise.
-  explicit Describer(std::map<ExtractionCache::DescribeKey, std::string>& memo)
-      : memo_(memo) {}
+  /// With a cache, traces memoize into its session-wide table (surviving
+  /// across synthesize calls) through the narrow find/memoize accessors;
+  /// without one (extraction cache off), a per-call local map serves the
+  /// same role.
+  explicit Describer(ExtractionCache* cache) : cache_(cache) {}
 
   const std::string& describe(const SpecNode* node, int alt_index,
                               int depth) {
     const Key key{node, alt_index, depth};
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (cache_ != nullptr) {
+      if (const std::string* hit = cache_->find_describe(key)) return *hit;
+    } else {
+      auto it = local_.find(key);
+      if (it != local_.end()) return it->second;
+    }
     const Alternative& alt = node->alts.at(alt_index);
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     std::string s;
@@ -322,12 +326,14 @@ class Describer {
         if (!parts.empty()) s += " (" + join(parts, ", ") + ")";
       }
     }
-    return memo_.emplace(key, std::move(s)).first->second;
+    if (cache_ != nullptr) return cache_->memoize_describe(key, std::move(s));
+    return local_.emplace(key, std::move(s)).first->second;
   }
 
  private:
   using Key = ExtractionCache::DescribeKey;
-  std::map<Key, std::string>& memo_;
+  ExtractionCache* cache_;  // null = use the per-call local table
+  std::map<Key, std::string> local_;
 };
 
 }  // namespace
@@ -420,6 +426,17 @@ std::string ExtractionCache::unique_name(const std::string& base) {
   // literal "X_u1" request cannot collide either.
   if (uses == 1) return base;
   return unique_name(base + "_u" + std::to_string(uses - 1));
+}
+
+const std::string* ExtractionCache::find_describe(
+    const DescribeKey& key) const {
+  auto it = describe_memo_.find(key);
+  return it == describe_memo_.end() ? nullptr : &it->second;
+}
+
+const std::string& ExtractionCache::memoize_describe(const DescribeKey& key,
+                                                     std::string text) {
+  return describe_memo_.emplace(key, std::move(text)).first->second;
 }
 
 std::shared_ptr<const netlist::Module> ExtractionCache::find(
@@ -557,9 +574,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
   PhaseTimer extract_timer(prof.profile(), "extract");
   const bool use_cache = space_.options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
-  std::map<ExtractionCache::DescribeKey, std::string> local_memo;
-  Describer describer(use_cache ? extract_cache_.describe_memo()
-                                : local_memo);
+  Describer describer(use_cache ? &extract_cache_ : nullptr);
   for (size_t a = 0; a < node->alts.size(); ++a) {
     // Best-effort deadline: the alternatives already materialized form a
     // valid (prefix of the) front; throw mode unwinds with nothing
@@ -677,9 +692,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   // are built once instead of once per alternative.
   const bool use_cache = space_.options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
-  std::map<ExtractionCache::DescribeKey, std::string> local_memo;
-  Describer describer(use_cache ? extract_cache_.describe_memo()
-                                : local_memo);
+  Describer describer(use_cache ? &extract_cache_ : nullptr);
   for (size_t a = 0; a < kept.size(); ++a) {
     if (space_.deadline_exceeded()) break;
     const Alternative& alt = kept[a];

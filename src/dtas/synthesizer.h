@@ -96,11 +96,20 @@ class ExtractionCache {
       std::vector<std::shared_ptr<const netlist::Module>> children = {});
 
   /// Memoized (node, alternative, depth) implementation traces, shared by
-  /// every Describer of the session (see synthesizer.cpp).
+  /// every Describer of the session (see synthesizer.cpp). The table is
+  /// private state — callers get a lookup and a publish, not the map
+  /// (handing the mutable map across the session boundary let any caller
+  /// corrupt memoized traces out from under later synthesize calls).
   using DescribeKey = std::tuple<const SpecNode*, int, int>;
-  std::map<DescribeKey, std::string>& describe_memo() {
-    return describe_memo_;
-  }
+  /// Memoized trace for `key`; nullptr when absent. The pointer stays
+  /// valid for the cache's lifetime (traces survive eviction).
+  const std::string* find_describe(const DescribeKey& key) const;
+  /// Publish the trace for `key` (first writer wins); returns the stored
+  /// text.
+  const std::string& memoize_describe(const DescribeKey& key,
+                                      std::string text);
+  /// Distinct memoized traces (diagnostics / tests).
+  std::size_t describe_memo_size() const { return describe_memo_.size(); }
 
   /// Byte budget; 0 = unbounded. The constructor takes the
   /// BRIDGE_CACHE_BUDGET default. Setting a budget sweeps immediately;

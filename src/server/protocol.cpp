@@ -1,0 +1,181 @@
+#include "server/protocol.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+namespace bridge::server {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Write exactly `len` bytes. MSG_NOSIGNAL: a peer that disconnected
+/// mid-response must surface as EPIPE (an Error the per-connection
+/// handler catches), not as a process-killing SIGPIPE.
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `len` bytes. Returns false on EOF before the first byte
+/// (only meaningful at a frame boundary); throws on EOF after it.
+bool read_all(int fd, char* data, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw Error("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  // One buffer, one send: a 4-byte header sent on its own interacts
+  // with Nagle + delayed ACK on TCP and stalls every request ~40 ms.
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + payload.size());
+  frame.push_back(static_cast<char>(len >> 24));
+  frame.push_back(static_cast<char>(len >> 16));
+  frame.push_back(static_cast<char>(len >> 8));
+  frame.push_back(static_cast<char>(len));
+  frame.append(payload);
+  write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, std::string& payload, std::size_t max_frame) {
+  char header[4];
+  if (!read_all(fd, header, sizeof(header), /*eof_ok=*/true)) return false;
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len > max_frame) throw FrameTooLarge(len, max_frame);
+  payload.resize(len);
+  if (len > 0) read_all(fd, payload.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+int listen_tcp(int& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    sys_fail("getsockname");
+  }
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind " + path);
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    sys_fail("listen " + path);
+  }
+  return fd;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  // Best effort (a no-op errno on Unix sockets is fine): request
+  // latency, not batching — the protocol is strictly request/response.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  set_tcp_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("connect to port " + std::to_string(port));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("connect to " + path);
+  }
+  return fd;
+}
+
+void close_socket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void shutdown_socket(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace bridge::server

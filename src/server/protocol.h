@@ -1,0 +1,81 @@
+// Wire protocol of the synthesis daemon: length-prefixed JSON frames
+// over a TCP-loopback or Unix-domain stream socket.
+//
+// Framing: every message is a 4-byte big-endian unsigned length followed
+// by that many bytes of UTF-8 JSON — one frame per request, one frame
+// per response. The length prefix makes the stream self-delimiting
+// (payloads may contain anything, including newlines and VHDL text), and
+// the receiver can reject an oversized frame from the header alone,
+// before buffering a byte of it.
+//
+// The payloads are the api layer's objects verbatim: a request frame is
+// api::SynthesisRequest::encode() plus a "method" member, a response
+// frame is api::SynthesisResult::encode() — the wire protocol and the
+// in-process API are the same object (see src/api/api.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "base/diag.h"
+
+namespace bridge::server {
+
+/// Default cap on a frame payload. Generous — a 64-bit ALU front with
+/// full VHDL is well under 1 MiB — while bounding what a hostile or
+/// corrupted length header can make the server allocate.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Oversized-frame rejection: thrown by read_frame when the header
+/// announces more than max_frame bytes. Distinct from Error so the
+/// server can answer with an error frame and close, instead of treating
+/// it like a transport failure.
+class FrameTooLarge : public Error {
+ public:
+  FrameTooLarge(std::size_t announced, std::size_t limit)
+      : Error("frame of " + std::to_string(announced) +
+              " bytes exceeds limit of " + std::to_string(limit)),
+        announced_(announced) {}
+  std::size_t announced() const { return announced_; }
+
+ private:
+  std::size_t announced_;
+};
+
+/// Write one framed payload; throws Error on transport failure (a
+/// disconnected peer is a failure, never a signal — writes use
+/// MSG_NOSIGNAL / ignore SIGPIPE semantics).
+void write_frame(int fd, const std::string& payload);
+
+/// Read one framed payload into `payload`. Returns false on clean EOF at
+/// a frame boundary (peer closed), throws FrameTooLarge on an oversized
+/// announcement and Error on any other transport failure (including EOF
+/// mid-frame).
+bool read_frame(int fd, std::string& payload,
+                std::size_t max_frame = kDefaultMaxFrameBytes);
+
+// --- socket setup (POSIX) --------------------------------------------------
+
+/// Listening TCP socket bound to loopback:`port` (0 = ephemeral). On
+/// return `port` holds the actually bound port. Throws Error on failure.
+int listen_tcp(int& port);
+
+/// Listening Unix-domain socket bound to `path` (unlinked first).
+int listen_unix(const std::string& path);
+
+/// Blocking connect to loopback:`port` / to a Unix-domain `path`.
+int connect_tcp(int port);
+int connect_unix(const std::string& path);
+
+/// Disable Nagle on a TCP socket (best effort; harmless elsewhere). The
+/// protocol is strictly request/response — batching only adds latency.
+void set_tcp_nodelay(int fd);
+
+/// Close a socket fd (no-op on negative fds).
+void close_socket(int fd);
+
+/// Disallow further sends/receives without closing the fd — unblocks a
+/// thread parked in read_frame on this socket.
+void shutdown_socket(int fd);
+
+}  // namespace bridge::server

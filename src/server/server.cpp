@@ -1,0 +1,320 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+
+#include "base/fault.h"
+#include "obs/metrics.h"
+
+namespace bridge::server {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& requests =
+      obs::Registry::global().counter("server.requests");
+  obs::Counter& errors = obs::Registry::global().counter("server.errors");
+  obs::Counter& connections =
+      obs::Registry::global().counter("server.connections");
+  obs::Histogram& request_ms =
+      obs::Registry::global().histogram("server.request_ms");
+
+  static ServerMetrics& get() {
+    static ServerMetrics m;
+    return m;
+  }
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Echo the request's "id" (any JSON value) into the response so clients
+/// can correlate, then serialize.
+std::string finish_response(api::Json response, const api::Json* id) {
+  if (id != nullptr) response.set("id", *id);
+  return response.dump();
+}
+
+}  // namespace
+
+SynthesisServer::SynthesisServer(const cells::LibraryRegistry& registry,
+                                 ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  workers_ = options_.workers;
+  if (workers_ <= 0) {
+    workers_ = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (workers_ < 1) workers_ = 1;
+}
+
+SynthesisServer::~SynthesisServer() { stop(); }
+
+std::string SynthesisServer::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return "tcp:" + std::to_string(port_);
+}
+
+void SynthesisServer::start() {
+  if (running_.load()) return;
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = listen_unix(options_.unix_path);
+  } else {
+    port_ = options_.tcp_port;
+    listen_fd_ = listen_tcp(port_);
+  }
+  pool_ = std::make_unique<base::ThreadPool>(workers_);
+  sessions_.clear();
+  sessions_.resize(static_cast<std::size_t>(workers_) + 1);
+  started_at_ = std::chrono::steady_clock::now();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SynthesisServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Unblock the accept thread, then every parked reader; cancel whatever
+  // is mid-synthesis so workers come back quickly.
+  shutdown_socket(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->cancel != nullptr) conn->cancel->request_cancel();
+      shutdown_socket(conn->fd);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Join readers without holding conns_mu_: an exiting reader takes that
+  // lock to close its fd, so joining under it would deadlock.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns.clear();
+  if (pool_ != nullptr) pool_->drain();
+  close_socket(listen_fd_);
+  listen_fd_ = -1;
+  // Sessions (and their warm caches) die with the server, not with a
+  // connection. The pool dies after them in the destructor.
+  request_shutdown();  // release any wait()ers
+}
+
+void SynthesisServer::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void SynthesisServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void SynthesisServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener broken; stop accepting
+    }
+    set_tcp_nodelay(fd);
+    if (stopping_.load()) {
+      close_socket(fd);
+      return;
+    }
+    ServerMetrics::get().connections.add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->cancel = std::make_shared<base::CancelToken>();
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
+  }
+}
+
+void SynthesisServer::serve_connection(Connection* conn) {
+  std::string payload;
+  for (;;) {
+    try {
+      if (!read_frame(conn->fd, payload, options_.max_frame_bytes)) break;
+    } catch (const FrameTooLarge& e) {
+      // Answer from the header alone, then close: the payload was never
+      // read, so the stream position is unrecoverable.
+      try {
+        write_frame(conn->fd,
+                    api::SynthesisResult::make_error("error", e.what())
+                        .to_json());
+      } catch (const Error&) {
+      }
+      break;
+    } catch (const Error&) {
+      break;  // transport failure (or stop() shut the socket down)
+    }
+    bool shutdown_after = false;
+    const std::string response =
+        handle_message(payload, conn->cancel, shutdown_after);
+    try {
+      write_frame(conn->fd, response);
+    } catch (const Error&) {
+      break;  // client went away mid-response; drop the connection
+    }
+    if (shutdown_after) {
+      request_shutdown();
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  close_socket(conn->fd);
+  conn->fd = -1;
+}
+
+std::string SynthesisServer::handle_message(
+    const std::string& payload,
+    const std::shared_ptr<base::CancelToken>& cancel, bool& shutdown_after) {
+  api::Json msg;
+  try {
+    msg = api::Json::parse(payload);
+  } catch (const Error& e) {
+    errors_.fetch_add(1);
+    ServerMetrics::get().errors.add(1);
+    return api::SynthesisResult::make_error("error", e.what()).to_json();
+  }
+  const api::Json* id = msg.find("id");
+  const std::string method = msg.str_or("method", "synthesize");
+
+  if (method == "health") {
+    api::Json j = api::Json::object();
+    j.set("method", "health")
+        .set("status", "ok")
+        .set("uptime_ms", ms_since(started_at_))
+        .set("requests", requests_.load())
+        .set("errors", errors_.load())
+        .set("workers", workers_);
+    api::Json libs = api::Json::array();
+    for (const std::string& name : registry_.names()) libs.push_back(name);
+    j.set("libraries", std::move(libs));
+    return finish_response(std::move(j), id);
+  }
+  if (method == "metrics") {
+    api::Json j = api::Json::object();
+    j.set("method", "metrics").set("status", "ok");
+    // The registry snapshot serializes itself; re-parse to embed it as a
+    // value rather than a quoted string.
+    j.set("metrics",
+          api::Json::parse(obs::Registry::global().snapshot().to_json()));
+    return finish_response(std::move(j), id);
+  }
+  if (method == "shutdown") {
+    shutdown_after = true;
+    api::Json j = api::Json::object();
+    j.set("method", "shutdown").set("status", "ok");
+    return finish_response(std::move(j), id);
+  }
+  if (method != "synthesize") {
+    errors_.fetch_add(1);
+    ServerMetrics::get().errors.add(1);
+    return finish_response(
+        api::SynthesisResult::make_error("error",
+                                         "unknown method '" + method + "'")
+            .encode(),
+        id);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  api::SynthesisResult result;
+  try {
+    const api::SynthesisRequest req = api::SynthesisRequest::decode(msg);
+    result = dispatch_synthesize(req, cancel);
+  } catch (const std::exception& e) {
+    result = api::SynthesisResult::make_error("error", e.what());
+  }
+  result.server_ms = ms_since(t0);
+  requests_.fetch_add(1);
+  ServerMetrics::get().requests.add(1);
+  ServerMetrics::get().request_ms.record(result.server_ms);
+  if (!result.ok()) {
+    errors_.fetch_add(1);
+    ServerMetrics::get().errors.add(1);
+  }
+  return finish_response(result.encode(), id);
+}
+
+api::SynthesisResult SynthesisServer::dispatch_synthesize(
+    const api::SynthesisRequest& req,
+    const std::shared_ptr<base::CancelToken>& cancel) {
+  // One queued pool task per request; the reader blocks here, so each
+  // connection has exactly one request in flight and responses keep
+  // request order.
+  struct Pending {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    api::SynthesisResult result;
+  } pending;
+  pool_->submit([this, &req, &cancel, &pending](int slot) {
+    api::SynthesisResult r = run_on_worker(req, slot, cancel);
+    {
+      std::lock_guard<std::mutex> lock(pending.mu);
+      pending.result = std::move(r);
+      pending.done = true;
+    }
+    pending.cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(pending.mu);
+  pending.cv.wait(lock, [&pending] { return pending.done; });
+  return std::move(pending.result);
+}
+
+api::SynthesisResult SynthesisServer::run_on_worker(
+    const api::SynthesisRequest& req, int slot,
+    const std::shared_ptr<base::CancelToken>& cancel) {
+  try {
+    // Deterministic fault-injection probe: an armed fault here takes the
+    // same path as any failing request — an error response, never a
+    // wedged worker (tests/server_test.cpp pins this).
+    base::FaultInjector::global().probe("server.request");
+    const cells::CellLibrary* library = registry_.find(req.library);
+    if (library == nullptr) {
+      registry_.at(req.library);  // throws, listing the known names
+    }
+    auto& sessions = sessions_.at(static_cast<std::size_t>(slot));
+    // Best-effort-bounded requests get a segregated session: a deadline
+    // that fires mid-expansion leaves truncated best-effort state in the
+    // space (documented in tests/deadline_test.cpp), which must never
+    // degrade a later full-precision request. Hard deadlines are safe to
+    // share — expiry throws with strong exception safety.
+    const bool truncating = req.options.deadline_ms > 0 &&
+                            req.options.deadline_best_effort;
+    const std::string key = req.library + "|" + req.options.fingerprint() +
+                            (truncating ? "|best-effort" : "");
+    auto it = sessions.find(key);
+    if (it == sessions.end()) {
+      it = sessions.emplace(key, api::make_session(req, *library)).first;
+    }
+    dtas::Synthesizer& session = *it->second;
+    // Install this connection's kill switch; run_request then layers the
+    // request's deadline on top of it.
+    session.space().set_deadline_policy(req.options.deadline_ms,
+                                        req.options.deadline_best_effort,
+                                        cancel);
+    return api::run_request(req, session);
+  } catch (const std::exception& e) {
+    return api::SynthesisResult::make_error("error", e.what());
+  }
+}
+
+}  // namespace bridge::server

@@ -1,0 +1,140 @@
+// Synthesis-as-a-service: a concurrent session server over the api layer.
+//
+// One process-long daemon amortizes the warm state the paper's one-shot
+// flow rebuilds per run: the process-wide dtas::TemplateCache (shared by
+// every session) and one dtas::Synthesizer per worker slot and distinct
+// (library, space-shaping options) — so concurrent clients asking for
+// the same kind of synthesis hit fully warm template and extraction
+// caches after the first request, and fronts stay byte-identical to
+// in-process synthesis (bench_server_throughput gates on both).
+//
+// Threading model:
+//  - one accept thread;
+//  - one reader thread per connection, handling health / metrics /
+//    shutdown inline and dispatching synthesize requests to the pool;
+//  - a base::ThreadPool of `workers` threads executing synthesis, one
+//    queued task per request (ThreadPool::submit), with per-worker-slot
+//    session maps no lock ever touches from two threads.
+//
+// A connection has at most one request in flight (responses are written
+// in request order), so client concurrency is connection concurrency.
+// Each connection owns a base::CancelToken installed into the session's
+// deadline policy for the duration of its requests: stop() cancels them
+// all, so shutdown never waits out a long synthesis.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "base/cancel.h"
+#include "base/thread_pool.h"
+#include "cells/registry.h"
+#include "server/protocol.h"
+
+namespace bridge::server {
+
+struct ServerOptions {
+  /// Non-empty: listen on this Unix-domain socket path (takes precedence
+  /// over TCP).
+  std::string unix_path;
+  /// TCP loopback port; 0 picks an ephemeral port (read it back via
+  /// port() after start()).
+  int tcp_port = 0;
+  /// Synthesis worker threads; 0 = hardware concurrency. At least 1.
+  int workers = 0;
+  /// Per-frame payload cap (see protocol.h).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class SynthesisServer {
+ public:
+  /// `registry` must outlive the server; it is shared with any other
+  /// in-process users (thread-safe by its own contract).
+  SynthesisServer(const cells::LibraryRegistry& registry,
+                  ServerOptions options);
+  ~SynthesisServer();
+  SynthesisServer(const SynthesisServer&) = delete;
+  SynthesisServer& operator=(const SynthesisServer&) = delete;
+
+  /// Bind and begin accepting. Throws Error when the socket can't be
+  /// set up. Returns once the endpoint is live (port() is valid).
+  void start();
+
+  /// Stop accepting, cancel in-flight requests, unblock and join every
+  /// connection, drain the pool. Idempotent.
+  void stop();
+
+  /// Block until a client's shutdown request (or stop()) arrives.
+  void wait();
+
+  bool running() const { return running_.load(); }
+  /// Bound TCP port (after start(); 0 in Unix-socket mode).
+  int port() const { return port_; }
+  /// Human-readable endpoint ("unix:PATH" or "tcp:PORT").
+  std::string endpoint() const;
+
+  long requests_handled() const { return requests_.load(); }
+  long errors_returned() const { return errors_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<base::CancelToken> cancel;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* conn);
+  /// One frame in, one response payload out. Sets `shutdown_after` when
+  /// the message was a shutdown request (reply first, then stop).
+  std::string handle_message(const std::string& payload,
+                             const std::shared_ptr<base::CancelToken>& cancel,
+                             bool& shutdown_after);
+  api::SynthesisResult dispatch_synthesize(
+      const api::SynthesisRequest& req,
+      const std::shared_ptr<base::CancelToken>& cancel);
+  /// Runs on a pool worker: resolve the session for (slot, library,
+  /// options fingerprint) and execute.
+  api::SynthesisResult run_on_worker(
+      const api::SynthesisRequest& req, int slot,
+      const std::shared_ptr<base::CancelToken>& cancel);
+  void request_shutdown();
+
+  const cells::LibraryRegistry& registry_;
+  ServerOptions options_;
+  int workers_ = 1;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  /// Workers and their sessions. sessions_[slot] is touched only by the
+  /// pool worker owning that slot (slots are 1..workers_), so the maps
+  /// need no locks; the pool outlives every request by construction.
+  std::unique_ptr<base::ThreadPool> pool_;
+  std::vector<std::map<std::string, std::unique_ptr<dtas::Synthesizer>>>
+      sessions_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::chrono::steady_clock::time_point started_at_{};
+  std::atomic<long> requests_{0};
+  std::atomic<long> errors_{0};
+};
+
+}  // namespace bridge::server

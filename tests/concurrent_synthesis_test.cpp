@@ -176,6 +176,11 @@ TEST(ConcurrentSynthesisTest, RegistryConcurrentAddAndFind) {
     });
   }
   for (int w = 0; w < kWriters; ++w) threads[w].join();
+  // Under heavy machine load the writers can all finish before any
+  // reader thread is first scheduled; let the readers record at least
+  // one pass before stopping them (they never block, so this is
+  // bounded by scheduling alone).
+  while (reads_done.load() == 0) std::this_thread::yield();
   stop.store(true);
   for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
 

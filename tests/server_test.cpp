@@ -1,0 +1,335 @@
+// The synthesis server: lifecycle, concurrent clients against shared
+// warm caches (fronts byte-identical to in-process synthesis), deadline
+// requests, malformed/oversized frame rejection, client disconnects, and
+// fault injection — none of which may wedge the pool or corrupt shared
+// caches.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "base/diag.h"
+#include "base/fault.h"
+#include "cells/cell.h"
+#include "cells/registry.h"
+#include "genus/spec.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace bridge {
+namespace {
+
+using api::Json;
+
+// One request/response exchange on a fresh connection.
+std::string rpc(int port, const std::string& frame) {
+  const int fd = server::connect_tcp(port);
+  server::write_frame(fd, frame);
+  std::string payload;
+  if (!server::read_frame(fd, payload)) {
+    server::close_socket(fd);
+    throw Error("server closed the connection without responding");
+  }
+  server::close_socket(fd);
+  return payload;
+}
+
+std::string synthesize_frame(const api::SynthesisRequest& req) {
+  Json j = req.encode();
+  j.set("method", "synthesize");
+  return j.dump();
+}
+
+api::SynthesisResult synthesize_over_wire(int port,
+                                          const api::SynthesisRequest& req) {
+  return api::SynthesisResult::from_json(rpc(port, synthesize_frame(req)));
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = cells::LibraryRegistry::with_builtins();
+    server::ServerOptions options;
+    options.tcp_port = 0;  // ephemeral
+    options.workers = 2;   // explicit: the container reports 1 core
+    server_ = std::make_unique<server::SynthesisServer>(registry_, options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    base::FaultInjector::global().disarm();
+    if (server_) server_->stop();
+  }
+
+  int port() const { return server_->port(); }
+
+  cells::LibraryRegistry registry_;
+  std::unique_ptr<server::SynthesisServer> server_;
+};
+
+TEST_F(ServerTest, HealthReportsLibrariesAndWorkers) {
+  const Json res = Json::parse(
+      rpc(port(), Json::object().set("method", "health").dump()));
+  EXPECT_EQ(res.at("status").string_value(), "ok");
+  EXPECT_EQ(res.at("workers").integer(), 2);
+  const Json& libs = res.at("libraries");
+  bool saw_lsi = false;
+  for (const Json& lib : libs.items()) {
+    if (lib.string_value() == cells::lsi_library().name()) saw_lsi = true;
+  }
+  EXPECT_TRUE(saw_lsi);
+}
+
+TEST_F(ServerTest, MetricsEmbedsRegistrySnapshot) {
+  // A synthesis first, so the snapshot has something to say.
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_adder_spec(8);
+  ASSERT_TRUE(synthesize_over_wire(port(), req).ok());
+
+  const Json res = Json::parse(
+      rpc(port(), Json::object().set("method", "metrics").dump()));
+  EXPECT_EQ(res.at("status").string_value(), "ok");
+  ASSERT_NE(res.find("metrics"), nullptr);
+  // The obs registry snapshot rides along verbatim (counters etc.).
+  EXPECT_TRUE(res.at("metrics").find("counters") != nullptr ||
+              res.at("metrics").find("gauges") != nullptr);
+}
+
+TEST_F(ServerTest, ConcurrentClientsMatchSerialInProcess) {
+  // 8 clients, mixed specs, all against the shared warm TemplateCache;
+  // every front must be byte-identical to serial in-process synthesis.
+  std::vector<api::SynthesisRequest> reqs(8);
+  const genus::ComponentSpec specs[] = {
+      genus::make_adder_spec(8),
+      genus::make_adder_spec(16),
+      genus::make_mux_spec(8, 4),
+      genus::make_alu_spec(16, genus::alu16_ops()),
+  };
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].library = cells::lsi_library().name();
+    reqs[i].spec = specs[i % 4];
+    reqs[i].options.emit_vhdl = true;
+  }
+
+  // Serial reference fronts, in process, one fresh session.
+  dtas::Synthesizer direct(cells::lsi_library());
+  std::vector<std::vector<dtas::AlternativeDesign>> expected;
+  for (const api::SynthesisRequest& req : reqs) {
+    expected.push_back(direct.synthesize(*req.spec));
+    ASSERT_FALSE(expected.back().empty());
+  }
+
+  std::vector<api::SynthesisResult> results(reqs.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    clients.emplace_back([this, i, &reqs, &results] {
+      try {
+        results[i] = synthesize_over_wire(port(), reqs[i]);
+      } catch (const std::exception& e) {
+        results[i] = api::SynthesisResult::make_error("error", e.what());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].error;
+    EXPECT_TRUE(api::front_matches(results[i], expected[i], /*with_vhdl=*/true))
+        << "front " << i << " differs from in-process synthesis";
+  }
+  EXPECT_GE(server_->requests_handled(), 8);
+  EXPECT_EQ(server_->errors_returned(), 0);
+}
+
+TEST_F(ServerTest, GarbageFramesGetErrorResponsesAndConnectionSurvives) {
+  // The parser-robustness corpus, framed and sent down one connection:
+  // every entry earns an error response, then a valid request still
+  // works on the very same connection.
+  const std::vector<std::string> corpus = {
+      "",
+      "\n\n\n",
+      std::string(5, '\0'),
+      "\xff\xfe\x80\x81 binary junk \x01\x02",
+      "))))((((",
+      "library library library",
+      "LIBRARY",
+      "NAME:",
+      "!@#$%^&*",
+      std::string(10000, 'x'),
+      "\"unterminated string",
+      "{\"method\": \"synthesize\"}",          // parses; no library
+      "{\"method\": \"no_such_method\"}",
+      "[1, 2, 3]",                             // not an object
+  };
+  const int fd = server::connect_tcp(port());
+  for (const std::string& garbage : corpus) {
+    server::write_frame(fd, garbage);
+    std::string payload;
+    ASSERT_TRUE(server::read_frame(fd, payload)) << "closed on: " << garbage;
+    const Json res = Json::parse(payload);
+    EXPECT_EQ(res.at("status").string_value(), "error") << garbage;
+  }
+  // Same connection, now a well-formed request.
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_adder_spec(8);
+  server::write_frame(fd, synthesize_frame(req));
+  std::string payload;
+  ASSERT_TRUE(server::read_frame(fd, payload));
+  EXPECT_TRUE(api::SynthesisResult::from_json(payload).ok());
+  server::close_socket(fd);
+  EXPECT_GT(server_->errors_returned(), 0);
+}
+
+TEST_F(ServerTest, OversizedFrameIsRejectedWithoutWedging) {
+  const int fd = server::connect_tcp(port());
+  // A frame header announcing far more than max_frame_bytes: the server
+  // answers from the header alone and closes.
+  const std::string huge(64, 'x');
+  unsigned char header[4] = {0x7f, 0xff, 0xff, 0xff};  // ~2 GiB announced
+  ASSERT_EQ(::send(fd, header, 4, MSG_NOSIGNAL), 4);
+  ASSERT_EQ(::send(fd, huge.data(), huge.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(huge.size()));
+  std::string payload;
+  ASSERT_TRUE(server::read_frame(fd, payload));
+  const Json res = Json::parse(payload);
+  EXPECT_EQ(res.at("status").string_value(), "error");
+  server::close_socket(fd);
+
+  // The server is unharmed: a fresh connection synthesizes fine.
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_adder_spec(8);
+  EXPECT_TRUE(synthesize_over_wire(port(), req).ok());
+}
+
+TEST_F(ServerTest, DeadlineRequestAnsweredBestEffortOrRejectedCleanly) {
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_alu_spec(64, genus::alu16_ops());
+  req.options.deadline_ms = 1;
+  req.options.deadline_best_effort = true;
+  const api::SynthesisResult res = synthesize_over_wire(port(), req);
+  // Best effort: a (possibly truncated) front with deadline_hit set, or
+  // a clean cancellation — never a wedged connection or a crash.
+  EXPECT_TRUE(res.ok() || res.status == "cancelled") << res.status;
+
+  // Hard deadline (no best-effort): same contract.
+  req.options.deadline_best_effort = false;
+  const api::SynthesisResult hard = synthesize_over_wire(port(), req);
+  EXPECT_TRUE(hard.ok() || hard.status == "cancelled") << hard.status;
+
+  // The next undeadlined request on the same server is full and exact.
+  req.options.deadline_ms = 0;
+  req.options.deadline_best_effort = false;
+  const api::SynthesisResult full = synthesize_over_wire(port(), req);
+  ASSERT_TRUE(full.ok()) << full.error;
+  dtas::Synthesizer direct(cells::lsi_library());
+  EXPECT_TRUE(api::front_matches(full, direct.synthesize(*req.spec),
+                                 /*with_vhdl=*/false));
+}
+
+TEST_F(ServerTest, ClientDisconnectMidRequestDoesNotWedgeThePool) {
+  // Fire a heavy request and slam the connection shut without reading
+  // the response.
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_alu_spec(64, genus::alu16_ops());
+  const int fd = server::connect_tcp(port());
+  server::write_frame(fd, synthesize_frame(req));
+  server::close_socket(fd);
+
+  // The pool digests it; subsequent clients are served correctly.
+  req.spec = genus::make_adder_spec(16);
+  const api::SynthesisResult res = synthesize_over_wire(port(), req);
+  ASSERT_TRUE(res.ok()) << res.error;
+  dtas::Synthesizer direct(cells::lsi_library());
+  EXPECT_TRUE(api::front_matches(res, direct.synthesize(*req.spec),
+                                 /*with_vhdl=*/false));
+}
+
+TEST_F(ServerTest, InjectedFaultBecomesErrorResponseThenIdenticalRetry) {
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_adder_spec(16);
+
+  base::FaultInjector::global().arm_site("server.request");
+  const api::SynthesisResult faulted = synthesize_over_wire(port(), req);
+  EXPECT_EQ(faulted.status, "error");
+  EXPECT_NE(faulted.error.find("injected"), std::string::npos)
+      << faulted.error;
+
+  // One-shot: the injector disarmed itself; the retry is clean and
+  // byte-identical to in-process synthesis.
+  const api::SynthesisResult retry = synthesize_over_wire(port(), req);
+  ASSERT_TRUE(retry.ok()) << retry.error;
+  dtas::Synthesizer direct(cells::lsi_library());
+  EXPECT_TRUE(api::front_matches(retry, direct.synthesize(*req.spec),
+                                 /*with_vhdl=*/false));
+}
+
+TEST_F(ServerTest, SeededFaultRunNeitherWedgesPoolNorCorruptsCaches) {
+  // The CI fault matrix's mode: a seeded schedule firing across every
+  // probe site in the pipeline. Requests may fail — the server must
+  // answer every one and come out of it with caches intact.
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  long failures = 0;
+  base::FaultInjector::global().arm(12345, /*period=*/8);
+  for (int width : {8, 12, 16, 8, 12, 16}) {
+    req.spec = genus::make_adder_spec(width);
+    const api::SynthesisResult res = synthesize_over_wire(port(), req);
+    if (!res.ok()) ++failures;
+  }
+  base::FaultInjector::global().disarm();
+
+  // Clean run after the storm: byte-identical to a fresh in-process
+  // session, proving the shared caches were not corrupted.
+  req.spec = genus::make_adder_spec(16);
+  const api::SynthesisResult res = synthesize_over_wire(port(), req);
+  ASSERT_TRUE(res.ok()) << res.error;
+  dtas::Synthesizer direct(cells::lsi_library());
+  EXPECT_TRUE(api::front_matches(res, direct.synthesize(*req.spec),
+                                 /*with_vhdl=*/false));
+}
+
+TEST_F(ServerTest, ShutdownMethodUnblocksWait) {
+  std::thread waiter([this] { server_->wait(); });
+  const Json res = Json::parse(
+      rpc(port(), Json::object().set("method", "shutdown").dump()));
+  EXPECT_EQ(res.at("status").string_value(), "ok");
+  waiter.join();  // wait() returned: the shutdown request landed
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST(ServerUnixTest, UnixSocketEndpointServes) {
+  auto registry = cells::LibraryRegistry::with_builtins();
+  server::ServerOptions options;
+  options.unix_path = "/tmp/bridge_server_test.sock";
+  options.workers = 1;
+  server::SynthesisServer srv(registry, options);
+  srv.start();
+  EXPECT_EQ(srv.endpoint(), "unix:/tmp/bridge_server_test.sock");
+
+  api::SynthesisRequest req;
+  req.library = cells::lsi_library().name();
+  req.spec = genus::make_adder_spec(8);
+  Json j = req.encode();
+  j.set("method", "synthesize");
+  const int fd = server::connect_unix(options.unix_path);
+  server::write_frame(fd, j.dump());
+  std::string payload;
+  ASSERT_TRUE(server::read_frame(fd, payload));
+  server::close_socket(fd);
+  EXPECT_TRUE(api::SynthesisResult::from_json(payload).ok());
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace bridge

@@ -76,6 +76,20 @@ EFFECTIVENESS_GATED = {
 }
 
 
+# Server-throughput floors (bench_server_throughput -> BENCH_server.json,
+# checked via --server). Absolute and within-run, like the cache floors:
+# `warm_cold_speedup` compares warm sessions against one-shot cold
+# synthesis measured seconds apart in the same process, so a server that
+# stops sharing warm caches fails the 2x bar on any machine. The
+# `warm_rps` floor is a liveness sanity bound (a warm fig3 request is
+# sub-millisecond; 50 req/s means the server is grossly wedged), kept far
+# below real throughput so runner speed never trips it.
+SERVER_GATED = {
+    "warm_cold_speedup": 2.0,
+    "warm_rps": 50.0,
+}
+
+
 def load_entries(path):
     with open(path) as f:
         doc = json.load(f)
@@ -141,6 +155,29 @@ def check_effectiveness(fresh, failures):
                 print(f"{name}.{field}: {v:.3f} (floor {floor:.2f}) ok")
 
 
+def check_server(path, failures):
+    """Hold the server-throughput entries to their absolute floors."""
+    entries = load_entries(path)
+    gated = {n: e for n, e in entries.items()
+             if n.startswith("server_throughput/")}
+    if not gated:
+        failures.append(f"--server {path}: no server_throughput/* entries")
+        return
+    for name, e in sorted(gated.items()):
+        for field, floor in sorted(SERVER_GATED.items()):
+            v = e.get(field)
+            if v is None:
+                failures.append(f"{name}: server field '{field}' missing")
+            elif v < floor:
+                failures.append(f"{name}: {field} = {v:.2f} below the "
+                                f"{floor:.2f} floor")
+            else:
+                print(f"{name}.{field}: {v:.2f} (floor {floor:.2f}) ok")
+        if e.get("fronts_identical") != "YES":
+            failures.append(f"{name}: served fronts not byte-identical to "
+                            "in-process synthesis")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh")
@@ -148,6 +185,9 @@ def main():
     ap.add_argument("--max-slowdown", type=float, default=0.25,
                     help="maximum allowed fractional drop of a gated "
                          "speedup ratio (default 0.25)")
+    ap.add_argument("--server", metavar="BENCH_SERVER_JSON",
+                    help="also hold BENCH_server.json entries to the "
+                         "SERVER_GATED floors")
     args = ap.parse_args()
 
     fresh = load_entries(args.fresh)
@@ -197,6 +237,8 @@ def main():
 
     check_parallel_health(fresh, failures)
     check_effectiveness(fresh, failures)
+    if args.server:
+        check_server(args.server, failures)
 
     if any(f.get("fronts_identical") == "NO" for f in fresh.values()):
         failures.append("a fresh entry reports fronts_identical = NO")

@@ -72,6 +72,8 @@ struct RequestOptions {
   long max_combinations_per_impl = 100000;
   double min_delay_gain = 0.10;
   bool use_compiled_plan = true;
+  bool node_parallel = true;      // antichain-parallel evaluate (threads > 1)
+  bool delta_cache_keys = true;   // content-fingerprint cache/session keys
   bool use_template_cache = true;
   bool use_extraction_cache = true;
   long template_cache_budget_bytes = -1;    // -1 = BRIDGE_CACHE_BUDGET default
@@ -89,8 +91,10 @@ struct RequestOptions {
 
   /// Stable key of every field that shapes the memoized design space
   /// (everything except the deadline trio and the output switches).
-  /// Server sessions cache one Synthesizer per (library, fingerprint):
-  /// requests differing only in deadline/emit flags share warm state.
+  /// Server sessions cache one Synthesizer per (library *content*
+  /// fingerprint, rules flavor, options fingerprint): requests differing
+  /// only in deadline/emit flags share warm state, and a re-registered
+  /// library with identical content maps back onto its warm session.
   std::string fingerprint() const;
 };
 

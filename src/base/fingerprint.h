@@ -1,0 +1,74 @@
+// 64-bit content fingerprints.
+//
+// The delta-aware cache layers (cells::CellLibrary fingerprints, the
+// template / extraction cache keys in src/dtas) need a stable, fast,
+// process-independent hash over heterogeneous content: strings, integers,
+// enums, and exact double values. std::hash promises none of that
+// (implementation-defined, salted in some standard libraries), so the
+// fingerprint helpers here fix the algorithm: FNV-1a over bytes, with a
+// splitmix64 finalizer for commutative combining.
+//
+// Fingerprints are identities for *caching*, not security: a 64-bit
+// collision between two live keys is astronomically unlikely and would
+// cost a wrong cache share, so none of this is cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace bridge::base {
+
+using Fingerprint = std::uint64_t;
+
+inline constexpr Fingerprint kFingerprintSeed = 1469598103934665603ULL;
+
+/// FNV-1a over a byte range, continuing from `h`.
+inline Fingerprint fp_bytes(Fingerprint h, const void* data,
+                            std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Fold a 64-bit value (little pieces feed through fp_bytes so the result
+/// does not depend on host integer widths beyond the fixed 8 bytes).
+inline Fingerprint fp_u64(Fingerprint h, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  return fp_bytes(h, bytes, sizeof(bytes));
+}
+
+/// Fold a string: length-prefixed, so concatenation ambiguities ("ab"+"c"
+/// vs "a"+"bc") cannot alias.
+inline Fingerprint fp_str(Fingerprint h, const std::string& s) {
+  h = fp_u64(h, s.size());
+  return fp_bytes(h, s.data(), s.size());
+}
+
+/// Fold a double by exact bit pattern: equal values fingerprint equally,
+/// any numeric edit changes the result. (-0.0 vs 0.0 differ — fine for
+/// data-book numbers, which are written, not computed.)
+inline Fingerprint fp_double(Fingerprint h, double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fp_u64(h, bits);
+}
+
+/// splitmix64 finalizer: spreads a fingerprint's entropy across all 64
+/// bits, so commutative combines (sum / xor of mixed values) stay
+/// collision-resistant for order-independent sets.
+inline Fingerprint fp_mix(Fingerprint x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bridge::base

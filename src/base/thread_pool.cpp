@@ -31,6 +31,26 @@ struct PoolMetrics {
 
 }  // namespace
 
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+
+namespace {
+
+/// Scoped set/restore of a thread-local pool marker. Restore (rather than
+/// clear) keeps cross-pool nesting honest: a design-space pool task that
+/// itself runs on a server pool thread must restore the server pool as
+/// the thread's context, not null.
+struct CurrentPoolScope {
+  const ThreadPool*& slot;
+  const ThreadPool* prev;
+  CurrentPoolScope(const ThreadPool*& s, const ThreadPool* p)
+      : slot(s), prev(s) {
+    slot = p;
+  }
+  ~CurrentPoolScope() { slot = prev; }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int workers) {
   if (workers < 0) workers = 0;
   threads_.reserve(workers);
@@ -68,6 +88,7 @@ void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
                         int slot) {
   obs::Span span("pool.task", "base");
   const std::int64_t t0 = obs::Tracer::now_ns();
+  CurrentPoolScope nested_guard(current_pool_, this);
   try {
     // Inside the try: an injected fault takes the exact path a throwing
     // task takes — captured below, batch drains, run() rethrows.
@@ -84,6 +105,23 @@ void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
 void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
   if (num_tasks <= 0) return;
   PoolMetrics& metrics = PoolMetrics::get();
+  if (current_pool_ == this) {
+    // Nested fork-join from inside one of this pool's own tasks: every
+    // other thread may be busy with (or waiting on) the outer generation,
+    // so handing the batch to the shared counters could deadlock. Execute
+    // inline instead — correctness is identical, the batch just runs at
+    // this thread's parallelism. Slot 0 because the nested caller's own
+    // per-slot scratch is the only one it may touch.
+    for (int task = 0; task < num_tasks; ++task) fn(task, /*slot=*/0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_executed_ += num_tasks;
+      ++runs_;
+    }
+    metrics.tasks.add(num_tasks);
+    metrics.runs.add(1);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
@@ -162,6 +200,7 @@ void ThreadPool::worker_loop(int slot) {
       {
         obs::Span span("pool.task", "base");
         const std::int64_t t0 = obs::Tracer::now_ns();
+        CurrentPoolScope nested_guard(current_pool_, this);
         try {
           // No fault probe here: a fault that fired before task(slot)
           // would skip the task entirely, and submitted tasks have

@@ -15,9 +15,16 @@
 // (no lock-free tricks), which keeps the pool trivially clean under
 // ThreadSanitizer.
 //
-// run() is not reentrant and must only be called from one thread at a
-// time; the odometer evaluates one node at a time, so this never
-// constrains it.
+// run() must only be called from one thread at a time, with one
+// exception: a task already executing on a pool may call run() on that
+// same pool. Such a nested fork-join is detected (a thread-local tracks
+// which pool the current thread is executing for) and executed inline on
+// the calling thread — the batch still completes, there is just no extra
+// parallelism to hand it, and crucially no deadlock: the outer generation
+// keeps every worker busy, so queueing a nested generation could wait
+// forever. This is what lets node-parallel design-space evaluation nest
+// its per-node odometer sharding on the same pool, including under the
+// server's queued (submit/drain) mode.
 #pragma once
 
 #include <condition_variable>
@@ -57,6 +64,13 @@ class ThreadPool {
   /// the remaining tasks still run to completion and the first exception
   /// is rethrown from run() once every task has finished — workers never
   /// outlive the fn object or the caller's captured state.
+  ///
+  /// Called from inside a task of this same pool, the batch executes
+  /// inline on the calling thread (slot passed to fn stays the outer
+  /// task's execution context, reported as 0): see the header comment. On
+  /// the inline path an exception aborts the remaining tasks and
+  /// propagates immediately — the caller is the only executor, so there
+  /// is no batch to drain first.
   void run(int num_tasks, const std::function<void(int, int)>& fn);
 
   /// Convenience overload for callers that don't need the thread slot.
@@ -84,6 +98,13 @@ class ThreadPool {
   /// Invoke fn, capturing the first exception instead of letting it
   /// escape (worker threads must never throw; the caller rethrows late).
   void invoke(const std::function<void(int, int)>& fn, int task, int slot);
+
+  /// The pool (if any) the current thread is executing a task for — set
+  /// around every fork-join invoke and submitted-task body, consulted by
+  /// run() to detect same-pool nesting. Thread-local so concurrent tasks
+  /// on different pools (a server worker driving a design-space pool)
+  /// stay independent.
+  static thread_local const ThreadPool* current_pool_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a new generation

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/diag.h"
+#include "base/fingerprint.h"
 #include "base/strutil.h"
 
 namespace bridge::cells {
@@ -13,6 +14,15 @@ std::string Cell::pretty() const {
   os << name << " (" << spec.pretty() << ", area " << format_double(area)
      << ", delay " << format_double(delay_ns) << " ns)";
   return os.str();
+}
+
+std::uint64_t cell_fingerprint(const Cell& cell) {
+  std::uint64_t h = base::kFingerprintSeed;
+  h = base::fp_str(h, cell.name);
+  h = base::fp_u64(h, genus::spec_fingerprint(cell.spec));
+  h = base::fp_double(h, cell.area);
+  h = base::fp_double(h, cell.delay_ns);
+  return h;
 }
 
 CellLibrary::CellLibrary(const CellLibrary& other)
@@ -32,12 +42,25 @@ const Cell& CellLibrary::add(Cell cell) {
     throw Error("library " + name_ + ": duplicate cell '" + cell.name + "'");
   }
   const int index = static_cast<int>(cells_.size());
+  cell.fingerprint = cell_fingerprint(cell);
+  // Finalize before the commutative combine so structured per-cell values
+  // cannot cancel each other in the xor / collide in the sum.
+  const std::uint64_t mixed = base::fp_mix(cell.fingerprint);
+  fp_sum_ += mixed;
+  fp_xor_ ^= mixed;
   cells_.push_back(std::move(cell));
   const Cell& stored = cells_.back();
   by_name_.emplace(stored.name, &stored);
   by_kind_width_[bucket_key(stored.spec.kind, stored.spec.width)]
       .emplace_back(index, &stored);
   return stored;
+}
+
+std::uint64_t CellLibrary::fingerprint() const {
+  std::uint64_t h = base::kFingerprintSeed;
+  h = base::fp_u64(h, fp_sum_);
+  h = base::fp_u64(h, fp_xor_);
+  return base::fp_u64(h, cells_.size());
 }
 
 const Cell* CellLibrary::find(const std::string& name) const {

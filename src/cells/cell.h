@@ -11,6 +11,7 @@
 // the units of Figure 3.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
@@ -26,9 +27,18 @@ struct Cell {
   double area = 0.0;              // equivalent NAND gates
   double delay_ns = 0.0;          // worst-case pin-to-pin / clock-to-q
   std::string description;
+  /// Content fingerprint over everything synthesis can observe: the part
+  /// name (it appears in emitted VHDL and descriptions), the functional
+  /// spec, and the exact area/delay numbers. The description is excluded —
+  /// it is documentation. Computed by CellLibrary::add (any caller-supplied
+  /// value is overwritten) and by cell_fingerprint for free-standing cells.
+  std::uint64_t fingerprint = 0;
 
   std::string pretty() const;
 };
+
+/// The fingerprint CellLibrary::add assigns to a stored cell.
+std::uint64_t cell_fingerprint(const Cell& cell);
 
 /// A technology library: an ordered set of cells with unique names.
 /// Cells have stable addresses for the lifetime of the library, so DTAS
@@ -72,6 +82,17 @@ class CellLibrary {
   const std::deque<Cell>& all() const { return cells_; }
   int size() const { return static_cast<int>(cells_.size()); }
 
+  /// Stable content fingerprint of the whole library: an order-independent
+  /// combine over the per-cell fingerprints plus the cell count, maintained
+  /// incrementally by add(). Two libraries with the same cells fingerprint
+  /// identically regardless of declaration order, registration name, or how
+  /// they were loaded (Liberty file vs in-memory construction); any cell
+  /// add/remove/rename or timing-parameter edit changes the value. The
+  /// library name and description are deliberately excluded: they never
+  /// influence matching, evaluation, or emission. This is the identity the
+  /// delta-aware caches and server sessions key on.
+  std::uint64_t fingerprint() const;
+
  private:
   /// (insertion index, cell) pairs so multi-bucket results can be merged
   /// back into insertion order — alternative ordering downstream (impl
@@ -84,6 +105,10 @@ class CellLibrary {
 
   std::string name_;
   std::string description_;
+  // Order-independent fingerprint accumulators: commutative sum and xor of
+  // the splitmix-finalized per-cell fingerprints (see fingerprint()).
+  std::uint64_t fp_sum_ = 0;
+  std::uint64_t fp_xor_ = 0;
   std::deque<Cell> cells_;  // deque: stable addresses
   std::unordered_map<long long, Bucket> by_kind_width_;
   std::unordered_map<std::string, const Cell*> by_name_;

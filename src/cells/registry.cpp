@@ -91,6 +91,17 @@ const CellLibrary& LibraryRegistry::add(CellLibrary lib) {
   return stored;
 }
 
+const CellLibrary& LibraryRegistry::replace(CellLibrary lib) {
+  if (lib.name().empty()) {
+    throw Error("cannot register a library without a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  libraries_.push_back(std::move(lib));
+  const CellLibrary& stored = libraries_.back();
+  by_name_[stored.name()] = &stored;
+  return stored;
+}
+
 const CellLibrary* LibraryRegistry::find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
@@ -109,16 +120,19 @@ const CellLibrary& LibraryRegistry::at(const std::string& name) const {
 std::vector<const CellLibrary*> LibraryRegistry::all() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const CellLibrary*> out;
-  out.reserve(libraries_.size());
-  for (const CellLibrary& lib : libraries_) out.push_back(&lib);
+  out.reserve(by_name_.size());
+  // Walk in registration order, skipping entries replace() superseded
+  // (only the instance by_name_ points at is current for its name).
+  for (const CellLibrary& lib : libraries_) {
+    auto it = by_name_.find(lib.name());
+    if (it != by_name_.end() && it->second == &lib) out.push_back(&lib);
+  }
   return out;
 }
 
 std::vector<std::string> LibraryRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  out.reserve(libraries_.size());
-  for (const CellLibrary& lib : libraries_) out.push_back(lib.name());
+  for (const CellLibrary* lib : all()) out.push_back(lib->name());
   return out;
 }
 

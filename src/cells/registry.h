@@ -42,19 +42,29 @@ class LibraryRegistry {
   /// library of that name is already registered or the name is empty.
   const CellLibrary& add(CellLibrary lib);
 
+  /// Register `lib`, replacing any same-named library: the name now
+  /// resolves to the new instance. The superseded instance is kept alive
+  /// (deque entries are never destroyed), so references previously handed
+  /// out stay valid — it just no longer appears in find/at/all/names.
+  /// This is the reload path retargeting workflows use; consumers that
+  /// key on CellLibrary::fingerprint() (delta-aware caches, server
+  /// sessions) treat a content-identical reload as the same library.
+  const CellLibrary& replace(CellLibrary lib);
+
   /// Find by library name; nullptr when absent.
   const CellLibrary* find(const std::string& name) const;
 
   /// Find by library name; throws Error (listing known names) when absent.
   const CellLibrary& at(const std::string& name) const;
 
-  /// All libraries, in registration order.
+  /// All current libraries (superseded versions excluded), in first-
+  /// registration order.
   std::vector<const CellLibrary*> all() const;
 
   std::vector<std::string> names() const;
   int size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<int>(libraries_.size());
+    return static_cast<int>(by_name_.size());
   }
 
   /// Parse a data-book text file and register it.
@@ -75,9 +85,11 @@ class LibraryRegistry {
 
  private:
   // mu_ guards the containers, not the libraries: entries are immutable
-  // once registered and never removed, so the pointers and references
-  // handed out stay valid without any lock. Concurrent Synthesizers may
-  // therefore share one registry — add/find/at/names from any thread.
+  // once registered and never destroyed (replace() supersedes by
+  // repointing by_name_, it does not erase), so the pointers and
+  // references handed out stay valid without any lock. Concurrent
+  // Synthesizers may therefore share one registry — add/replace/find/at/
+  // names from any thread.
   mutable std::mutex mu_;
   std::deque<CellLibrary> libraries_;  // deque: stable addresses
   std::map<std::string, const CellLibrary*> by_name_;

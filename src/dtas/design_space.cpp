@@ -11,6 +11,7 @@
 
 #include "base/diag.h"
 #include "base/fault.h"
+#include "base/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -158,9 +159,10 @@ TemplateCache::TemplateCache() {
 }
 
 TemplateCache::EntryPtr TemplateCache::find(const std::string& rule_name,
+                                            std::uint64_t rule_fp,
                                             const genus::ComponentSpec& spec) {
   TemplateCacheMetrics& metrics = TemplateCacheMetrics::get();
-  Key key{rule_name, spec};
+  Key key{rule_name, rule_fp, spec};
   Shard& shard = shard_for(key);
   EntryPtr found;
   {
@@ -182,7 +184,8 @@ TemplateCache::EntryPtr TemplateCache::find(const std::string& rule_name,
 }
 
 TemplateCache::EntryPtr TemplateCache::insert(
-    const std::string& rule_name, const genus::ComponentSpec& spec,
+    const std::string& rule_name, std::uint64_t rule_fp,
+    const genus::ComponentSpec& spec,
     std::vector<CompiledTemplate> templates) {
   // An armed fault injector throws here, before any mutation: a failed
   // insert must leave no partially-constructed entry behind.
@@ -190,7 +193,7 @@ TemplateCache::EntryPtr TemplateCache::insert(
   auto owned = std::make_shared<const std::vector<CompiledTemplate>>(
       std::move(templates));
   const std::size_t bytes = entry_footprint(*owned);
-  Key key{rule_name, spec};
+  Key key{rule_name, rule_fp, spec};
   Shard& shard = shard_for(key);
   const std::size_t budget = budget_.load(std::memory_order_relaxed);
   EntryPtr stored;
@@ -325,13 +328,15 @@ void DesignSpace::set_deadline_policy(
   options_.cancel = std::move(cancel);
 }
 
-bool DesignSpace::deadline_exceeded() {
+bool DesignSpace::deadline_exceeded() { return deadline_poll(stats_); }
+
+bool DesignSpace::deadline_poll(SpaceStats& stats) {
   if (!deadline_.active() || !deadline_.expired()) return false;
   if (!options_.deadline_best_effort) {
     throw Cancelled("synthesis deadline exceeded (deadline_ms = " +
                     std::to_string(options_.deadline_ms) + ")");
   }
-  stats_.deadline_hit = true;
+  stats.deadline_hit = true;
   return true;
 }
 
@@ -438,11 +443,19 @@ void DesignSpace::expand_node(SpecNode* node) {
   node->in_progress = true;
   const ComponentSpec& spec = node->spec;
 
+  // Subtree content fingerprint, folded in step with the impls as they are
+  // appended (see SpecNode::slice_fp). The leaf/decomp discriminants keep
+  // a cell from aliasing a rule application at the same position.
+  std::uint64_t slice_fp =
+      base::fp_u64(base::kFingerprintSeed, genus::spec_fingerprint(spec));
+
   // Leaf implementations: functional matches against the data book.
   for (const cells::Cell* cell : library_.matches(spec)) {
     auto impl = std::make_unique<ImplNode>();
     impl->cell = cell;
     node->impls.push_back(std::move(impl));
+    slice_fp = base::fp_u64(slice_fp, 1);
+    slice_fp = base::fp_u64(slice_fp, cell->fingerprint);
     ++stats_.impl_nodes;
     ++stats_.leaf_impls;
     impl_node_counter.add(1);
@@ -470,13 +483,21 @@ void DesignSpace::expand_node(SpecNode* node) {
     const std::vector<CompiledTemplate>* compiled = nullptr;
     std::vector<CompiledTemplate> local;  // cache-off / uncacheable rules
     if (options_.use_template_cache && rule->cacheable()) {
+      // The key always carries the rule's slice fingerprint — that is
+      // what makes sharing the process-wide cache across libraries
+      // *sound* (a LambdaRule with private behavior gets a private key;
+      // two same-named library rules over divergent content can never
+      // collide), so it is not subject to the delta_cache_keys toggle:
+      // soundness is an invariant, only retarget warm-reuse (extraction
+      // / session keying) is optional.
+      const std::uint64_t rule_fp = rule->slice_fingerprint();
       TemplateCache& cache = TemplateCache::global();
-      cached = cache.find(rule->name(), spec);
+      cached = cache.find(rule->name(), rule_fp, spec);
       if (cached != nullptr) {
         ++stats_.template_cache_hits;
       } else {
         ++stats_.template_cache_misses;
-        cached = cache.insert(rule->name(), spec,
+        cached = cache.insert(rule->name(), rule_fp, spec,
                               compile_rule_templates(*rule, spec, ctx));
       }
       compiled = cached.get();
@@ -509,12 +530,22 @@ void DesignSpace::expand_node(SpecNode* node) {
       impl->topo = ct.topo;
       impl->plan = ct.plan;
       impl->children = std::move(children);
+      slice_fp = base::fp_u64(slice_fp, 2);
+      slice_fp = base::fp_str(slice_fp, impl->rule_name);
+      slice_fp = base::fp_u64(slice_fp, rule->slice_fingerprint());
+      // Children finished expanding inside this loop, so their subtree
+      // fingerprints are final here; folding them makes slice_fp cover
+      // the entire reachable subspace transitively.
+      for (SpecNode* child : impl->children) {
+        slice_fp = base::fp_u64(slice_fp, child->slice_fp);
+      }
       node->impls.push_back(std::move(impl));
       ++stats_.impl_nodes;
       impl_node_counter.add(1);
     }
   }
 
+  node->slice_fp = slice_fp;
   node->in_progress = false;
   node->expanded = true;
   if (node->impls.empty()) ++stats_.dead_specs;
@@ -916,6 +947,16 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
                                     const std::vector<int>& limit,
                                     int impl_index, ParetoFront& front,
                                     std::vector<Alternative>& candidates) {
+  run_plan_odometer(plan, children, limit, impl_index, front, candidates,
+                    scratch_, stats_);
+}
+
+void DesignSpace::run_plan_odometer(const TimingPlan& plan,
+                                    const std::vector<SpecNode*>& children,
+                                    const std::vector<int>& limit,
+                                    int impl_index, ParetoFront& front,
+                                    std::vector<Alternative>& candidates,
+                                    EvalScratch& scratch, SpaceStats& stats) {
   // Compiled path: per-child metric arrays feed the timing plan; each
   // combination is pure array arithmetic, and bound-and-prune skips delay
   // propagation — or discards the combination unstored — when an
@@ -956,12 +997,12 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
   if (num_shards <= 1) {
     OdometerCounters counters;
     run_odometer_range(plan, children, limit, impl_index, 0, total, prune,
-                       front, nullptr, 0, hooks, scratch_, candidates,
+                       front, nullptr, 0, hooks, scratch, candidates,
                        counters);
-    stats_.combinations_evaluated += counters.evaluated;
-    stats_.combinations_pruned += counters.pruned;
+    stats.combinations_evaluated += counters.evaluated;
+    stats.combinations_pruned += counters.pruned;
     if (deadline_hit.load(std::memory_order_relaxed)) {
-      stats_.deadline_hit = true;
+      stats.deadline_hit = true;
     }
     evaluated_counter.add(counters.evaluated);
     pruned_counter.add(counters.pruned);
@@ -1001,7 +1042,7 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
     // Best-effort expiry inside one or more shards: the merged candidate
     // list is a prefix-of-each-shard, still deterministic to merge, but
     // the enumeration is partial — record it.
-    stats_.deadline_hit = true;
+    stats.deadline_hit = true;
   }
   long evaluated = 0;
   long pruned = 0;
@@ -1013,14 +1054,14 @@ void DesignSpace::run_plan_odometer(const TimingPlan& plan,
     evaluated += s.counters.evaluated;
     pruned += s.counters.pruned;
   }
-  stats_.combinations_evaluated += evaluated;
-  stats_.combinations_pruned += pruned;
+  stats.combinations_evaluated += evaluated;
+  stats.combinations_pruned += pruned;
   evaluated_counter.add(evaluated);
   pruned_counter.add(pruned);
   parallel_runs_counter.add(1);
   shards_counter.add(num_shards);
-  ++stats_.parallel_odometers;
-  stats_.odometer_shards += num_shards;
+  ++stats.parallel_odometers;
+  stats.odometer_shards += num_shards;
 }
 
 void DesignSpace::run_reference_odometer(const Module& tmpl,
@@ -1029,6 +1070,17 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
                                          const std::vector<int>& limit,
                                          int impl_index,
                                          std::vector<Alternative>& candidates) {
+  run_reference_odometer(tmpl, topo, children, limit, impl_index, candidates,
+                         stats_);
+}
+
+void DesignSpace::run_reference_odometer(const Module& tmpl,
+                                         const EvalSchedule& topo,
+                                         const std::vector<SpecNode*>& children,
+                                         const std::vector<int>& limit,
+                                         int impl_index,
+                                         std::vector<Alternative>& candidates,
+                                         SpaceStats& stats) {
   // Reference path: the original functional evaluator, kept verbatim for
   // equivalence testing and as the bench baseline.
   static obs::Counter& evaluated_counter =
@@ -1041,10 +1093,11 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
   for (;;) {
     if (seen++ % kBoundExchangePeriod == 0) {
       // Same per-chunk checkpoint cadence as the compiled path (the
-      // reference odometer is always serial, so the member helper —
-      // which throws or sets stats_.deadline_hit — applies directly).
+      // reference odometer is always serial per node, so the deadline
+      // helper — which throws or records a best-effort hit in `stats` —
+      // applies directly).
       base::FaultInjector::global().probe("dtas.evaluate.plan");
-      if (deadline_exceeded()) break;
+      if (deadline_poll(stats)) break;
     }
     auto metric_of = [&](const ComponentSpec& spec) -> Metric {
       for (int c = 0; c < n; ++c) {
@@ -1058,7 +1111,7 @@ void DesignSpace::run_reference_odometer(const Module& tmpl,
     alt.impl_index = impl_index;
     alt.child_alt = choice;
     alt.metric = eval_template(tmpl, topo, metric_of);
-    ++stats_.combinations_evaluated;
+    ++stats.combinations_evaluated;
     ++evaluated;
     candidates.push_back(std::move(alt));
 
@@ -1076,6 +1129,13 @@ void DesignSpace::evaluate(SpecNode* node) {
   obs::Span span(eval_depth_ == 0 ? "evaluate" : nullptr, "dtas");
   DepthGuard depth(eval_depth_);
   if (node->evaluated) return;
+  if (options_.node_parallel && threads_ > 1 && eval_depth_ == 1) {
+    // Top-level entry with a pool available: levelize and fan out. The
+    // recursive serial path below stays the reference (and the only path
+    // at threads == 1 or with the toggle off).
+    evaluate_parallel(node);
+    return;
+  }
   node->evaluated = true;  // set first: graph is acyclic by construction
   try {
     evaluate_impls(node);
@@ -1090,7 +1150,95 @@ void DesignSpace::evaluate(SpecNode* node) {
   }
 }
 
-void DesignSpace::evaluate_impls(SpecNode* node) {
+void DesignSpace::evaluate_parallel(SpecNode* root) {
+  static obs::Counter& levels_counter =
+      obs::Registry::global().counter("dtas.evaluate.node_parallel.levels");
+  static obs::Counter& nodes_counter =
+      obs::Registry::global().counter("dtas.evaluate.node_parallel.nodes");
+  // Layer the un-evaluated sub-DAG reachable from `root`:
+  // level(n) = 1 + max level over the un-evaluated children of its
+  // decomposition impls (0 when every child is already evaluated). Each
+  // layer is an antichain of the evaluation dependency order — its nodes
+  // share no path — so once all lower layers are done, a layer's nodes
+  // evaluate independently. Nodes enter their layer in DFS discovery
+  // order, which is the order the serial recursion would first reach
+  // them; per-node evaluation is exactly the serial code on private
+  // state, so the resulting alts are bit-identical to the serial path.
+  std::unordered_map<const SpecNode*, int> level;
+  std::vector<std::vector<SpecNode*>> levels;
+  std::function<int(SpecNode*)> layer = [&](SpecNode* n) -> int {
+    if (n->evaluated) return -1;
+    auto it = level.find(n);
+    if (it != level.end()) return it->second;
+    int lv = 0;
+    for (const auto& impl : n->impls) {
+      if (impl->is_leaf()) continue;
+      for (SpecNode* child : impl->children) {
+        lv = std::max(lv, layer(child) + 1);
+      }
+    }
+    level.emplace(n, lv);
+    if (static_cast<int>(levels.size()) <= lv) levels.resize(lv + 1);
+    levels[static_cast<std::size_t>(lv)].push_back(n);
+    return lv;
+  };
+  layer(root);
+
+  std::vector<EvalScratch> scratches(static_cast<std::size_t>(threads_));
+  for (std::vector<SpecNode*>& nodes : levels) {
+    if (nodes.size() == 1) {
+      // Single-node antichain (typically the root, whose odometers carry
+      // most of the work): run on the caller so run_plan_odometer can
+      // still shard it across the pool.
+      SpecNode* n = nodes.front();
+      n->evaluated = true;
+      try {
+        evaluate_impls(n, scratch_, stats_, /*children_preevaluated=*/true);
+      } catch (...) {
+        n->evaluated = false;
+        n->alts.clear();
+        throw;
+      }
+      continue;
+    }
+    // Fork-join batch over the antichain. Each node writes only its own
+    // alts/flags, evaluates into the executing thread's scratch, and
+    // accumulates into a private SpaceStats merged after the barrier in
+    // node order (the sums are order-independent; merging in node order
+    // just keeps it obviously deterministic). A throwing node resets
+    // itself — the same strong exception safety as serial evaluate() —
+    // and the pool rethrows the first failure once the batch drains.
+    std::vector<SpaceStats> local(nodes.size());
+    pool()->run(static_cast<int>(nodes.size()), [&](int t, int slot) {
+      SpecNode* n = nodes[static_cast<std::size_t>(t)];
+      n->evaluated = true;
+      try {
+        evaluate_impls(n, scratches[static_cast<std::size_t>(slot)],
+                       local[static_cast<std::size_t>(t)],
+                       /*children_preevaluated=*/true);
+      } catch (...) {
+        n->evaluated = false;
+        n->alts.clear();
+        throw;
+      }
+    });
+    for (const SpaceStats& s : local) {
+      stats_.combinations_evaluated += s.combinations_evaluated;
+      stats_.combinations_pruned += s.combinations_pruned;
+      stats_.parallel_odometers += s.parallel_odometers;
+      stats_.odometer_shards += s.odometer_shards;
+      stats_.deadline_hit = stats_.deadline_hit || s.deadline_hit;
+    }
+    ++stats_.node_parallel_levels;
+    stats_.node_parallel_nodes += static_cast<long>(nodes.size());
+    levels_counter.add(1);
+    nodes_counter.add(static_cast<long>(nodes.size()));
+  }
+}
+
+void DesignSpace::evaluate_impls(SpecNode* node, EvalScratch& scratch,
+                                 SpaceStats& stats,
+                                 bool children_preevaluated) {
   // Evaluated candidates of this node, across all implementations — the
   // prune front a combination must beat to be worth timing.
   ParetoFront front;
@@ -1100,7 +1248,7 @@ void DesignSpace::evaluate_impls(SpecNode* node) {
     // Best-effort deadline expiry stops further implementations; the
     // candidates gathered so far still filter into a valid (partial)
     // alternative list.
-    if (deadline_exceeded()) break;
+    if (deadline_poll(stats)) break;
     ImplNode* impl = node->impls[ii].get();
     if (impl->is_leaf()) {
       Alternative alt;
@@ -1110,10 +1258,19 @@ void DesignSpace::evaluate_impls(SpecNode* node) {
       candidates.push_back(std::move(alt));
       continue;
     }
-    // Evaluate children first.
+    // Evaluate children first. In node-parallel batches the levelization
+    // already evaluated every child in an earlier layer (this may run on
+    // a worker thread, where the recursive path's member state is off
+    // limits) — assert that instead of recursing.
     bool viable = true;
     for (SpecNode* child : impl->children) {
-      evaluate(child);
+      if (children_preevaluated) {
+        BRIDGE_CHECK(child->evaluated,
+                     "node-parallel level order violated for "
+                         << child->spec.key());
+      } else {
+        evaluate(child);
+      }
       if (child->alts.empty()) {
         viable = false;
         break;
@@ -1136,10 +1293,11 @@ void DesignSpace::evaluate_impls(SpecNode* node) {
     // constraint: one choice per *distinct* child spec).
     if (options_.use_compiled_plan) {
       run_plan_odometer(*impl->plan, impl->children, limit,
-                        static_cast<int>(ii), front, candidates);
+                        static_cast<int>(ii), front, candidates, scratch,
+                        stats);
     } else {
       run_reference_odometer(*impl->tmpl, *impl->topo, impl->children, limit,
-                             static_cast<int>(ii), candidates);
+                             static_cast<int>(ii), candidates, stats);
     }
   }
   node->alts = filter_alternatives(std::move(candidates));

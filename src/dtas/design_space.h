@@ -94,12 +94,19 @@ struct CompiledTemplate {
 };
 
 /// Process-wide cache of compiled rule templates, keyed by
-/// (rule name, spec). Sound because Rule::expand is contractually a pure
-/// function of that key (see Rule::cacheable): rule names encode their
-/// parameters, and the rule context only ever gates applicability.
-/// DesignSpace consults it per (applicable rule, spec) — a miss compiles
-/// and publishes, a hit skips TemplateBuilder, topo scheduling, and
-/// TimingPlan compilation entirely.
+/// (rule name, spec, library-slice fingerprint). For the built-in and
+/// LOLA-induced rules the fingerprint is 0 and the key degenerates to the
+/// historical (rule name, spec): Rule::expand is contractually a pure
+/// function of that pair (rule names encode their parameters, and the rule
+/// context only ever gates applicability), so warm templates are shared
+/// across design spaces, libraries, and server sessions. The fingerprint
+/// exists for rules that cannot make that promise (see
+/// Rule::slice_fingerprint): it keys the entry by whatever library slice
+/// the rule's expansions actually depend on, making cross-library
+/// soundness an enforced property of the key rather than a naming
+/// convention. DesignSpace consults the cache per (applicable rule, spec)
+/// — a miss compiles and publishes, a hit skips TemplateBuilder, topo
+/// scheduling, and TimingPlan compilation entirely.
 ///
 /// Lifecycle: entries are shared_ptr-owned and byte-accounted. With no
 /// budget set (the default) the cache is effectively append-only, as
@@ -131,15 +138,16 @@ class TemplateCache {
 
   static TemplateCache& global();
 
-  /// nullptr when absent. Counts the lookup in the global Stats and the
-  /// obs registry ("dtas.expand.template_cache.{hits,misses}") and
+  /// nullptr when absent. `rule_fp` is the rule's slice fingerprint (see
+  /// Rule::slice_fingerprint). Counts the lookup in the global Stats and
+  /// the obs registry ("dtas.expand.template_cache.{hits,misses}") and
   /// freshens the entry's LRU stamp on a hit.
-  EntryPtr find(const std::string& rule_name,
+  EntryPtr find(const std::string& rule_name, std::uint64_t rule_fp,
                 const genus::ComponentSpec& spec);
 
   /// Publish (first writer wins on a race); returns the stored entry and
   /// runs the eviction sweep when a budget is set.
-  EntryPtr insert(const std::string& rule_name,
+  EntryPtr insert(const std::string& rule_name, std::uint64_t rule_fp,
                   const genus::ComponentSpec& spec,
                   std::vector<CompiledTemplate> templates);
 
@@ -159,12 +167,15 @@ class TemplateCache {
  private:
   struct Key {
     std::string rule;
+    std::uint64_t fp = 0;  // Rule::slice_fingerprint of the producing rule
     genus::ComponentSpec spec;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       std::size_t h = std::hash<std::string>()(k.rule);
+      h ^= std::hash<std::uint64_t>()(k.fp) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
       h ^= std::hash<genus::ComponentSpec>()(k.spec) + 0x9e3779b97f4a7c15ULL +
            (h << 6) + (h >> 2);
       return h;
@@ -229,6 +240,17 @@ struct SpecNode {
   bool expanded = false;
   bool in_progress = false;
   bool evaluated = false;
+  /// Content fingerprint of the expanded subtree rooted here: the spec
+  /// plus, per implementation in order, the matched cell's fingerprint
+  /// (leaves) or the producing rule's (name, slice fingerprint) and the
+  /// children's slice_fp (decompositions). Two nodes fingerprint equally
+  /// exactly when their entire reachable design subspace is
+  /// content-identical — same cells, same timing numbers, same impl and
+  /// child ordering — which makes this the cross-retarget identity the
+  /// ExtractionCache keys on: alternative indices, metrics, extracted
+  /// modules, and descriptions are all functions of it. Set by expansion
+  /// (0 until expanded).
+  std::uint64_t slice_fp = 0;
   double count_constrained = -1.0;
   double count_unconstrained = -1.0;
 };
@@ -276,6 +298,30 @@ struct SpaceOptions {
   /// Shards per thread above the minimum shard size — more shards than
   /// threads lets dynamic task claiming level uneven prune rates.
   int shards_per_thread = 4;
+  /// Evaluate independent SpecNodes of one expansion DAG in parallel:
+  /// evaluate() levelizes the un-evaluated sub-DAG and schedules each
+  /// antichain (nodes whose children are all already evaluated) as one
+  /// fork-join batch on the same pool the odometer shards use, so a single
+  /// deep spec saturates all cores instead of only sweeps. Per-node
+  /// evaluation is unchanged — each node keeps its private candidate
+  /// sequence, scratch, and front, and levels are merged in node order —
+  /// so fronts are bit-identical at every thread count and with this
+  /// toggle off (the serial recursive path, kept as the reference).
+  /// Inert at threads == 1.
+  bool node_parallel = true;
+  /// Key the per-Synthesizer ExtractionCache (modules, names, traces) by
+  /// content fingerprint — SpecNode::slice_fp, the spec plus everything
+  /// the expanded subtree bound — instead of node address (default), so
+  /// warm extraction state survives Synthesizer::retarget and is reused
+  /// exactly when the content that produced it matches; the server keys
+  /// warm sessions by library content fingerprint under the same toggle.
+  /// Off, the historical pointer identities are used — they cannot
+  /// outlive their space, so retargets start cold; kept as the reference
+  /// path for byte-identity testing. Fronts, descriptions, and VHDL are
+  /// identical either way within a session. Note the process-wide
+  /// TemplateCache always keys by (rule name, rule fingerprint, spec):
+  /// cross-library sharing soundness is an invariant, not an option.
+  bool delta_cache_keys = true;
   /// Serve rule expansions from the process-wide TemplateCache (and
   /// publish misses into it). Off, every expansion re-runs TemplateBuilder
   /// and plan compilation — kept for equivalence testing; the resulting
@@ -337,6 +383,8 @@ struct SpaceStats {
   long combinations_pruned = 0;     // skipped or discarded by bound-and-prune
   long parallel_odometers = 0;      // odometer runs that went multi-threaded
   long odometer_shards = 0;         // shards executed across those runs
+  long node_parallel_levels = 0;    // DAG antichains evaluated as pool batches
+  long node_parallel_nodes = 0;     // spec nodes evaluated inside those batches
   // This space's TemplateCache lookups only — a this-run delta even when
   // several DesignSpaces interleave on the shared process-wide cache.
   // TemplateCache::snapshot() holds the global totals; per-space deltas
@@ -470,7 +518,42 @@ class DesignSpace {
 
   /// The body of evaluate() (candidate enumeration + filtering), split
   /// out so evaluate() can wrap it in the reset-on-exception guard.
-  void evaluate_impls(SpecNode* node);
+  /// The explicit-scratch/stats overload is the thread-safe worker body of
+  /// node-parallel evaluation: every mutation lands in the caller-provided
+  /// scratch and stats (merged into stats_ after the level's barrier), and
+  /// `children_preevaluated` asserts the levelization guarantee instead of
+  /// recursing (the recursion path touches members and must stay
+  /// caller-thread-only).
+  void evaluate_impls(SpecNode* node) {
+    evaluate_impls(node, scratch_, stats_, /*children_preevaluated=*/false);
+  }
+  void evaluate_impls(SpecNode* node, EvalScratch& scratch, SpaceStats& stats,
+                      bool children_preevaluated);
+
+  /// Levelized node-parallel form of evaluate(): topologically layer the
+  /// un-evaluated sub-DAG under `root`, then evaluate each layer's nodes
+  /// as one fork-join pool batch (single-node layers — typically the root
+  /// — run on the caller so their odometers still shard across the pool).
+  void evaluate_parallel(SpecNode* root);
+
+  /// Thread-safe deadline poll for worker-thread evaluation: identical to
+  /// deadline_exceeded() but records a best-effort hit in `stats` instead
+  /// of stats_.
+  bool deadline_poll(SpaceStats& stats);
+
+  /// Explicit-scratch/stats overloads of the public odometers, so
+  /// node-parallel workers enumerate without touching the shared members.
+  void run_plan_odometer(const TimingPlan& plan,
+                         const std::vector<SpecNode*>& children,
+                         const std::vector<int>& limit, int impl_index,
+                         ParetoFront& front, std::vector<Alternative>& candidates,
+                         EvalScratch& scratch, SpaceStats& stats);
+  void run_reference_odometer(const netlist::Module& tmpl,
+                              const EvalSchedule& topo,
+                              const std::vector<SpecNode*>& children,
+                              const std::vector<int>& limit, int impl_index,
+                              std::vector<Alternative>& candidates,
+                              SpaceStats& stats);
 
   /// Whether bound-and-prune applies under the current options (it must
   /// stay off when the filter keeps dominated candidates).

@@ -1,8 +1,10 @@
 #include "dtas/rule.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "base/diag.h"
+#include "base/fingerprint.h"
 
 namespace bridge::dtas {
 
@@ -10,6 +12,16 @@ using genus::ComponentSpec;
 using genus::Op;
 using netlist::Instance;
 using netlist::NetIndex;
+
+std::uint64_t LambdaRule::next_unique_fingerprint() {
+  // Process-unique, mixed so the values cannot collide with the small
+  // explicit fingerprints authors are likely to choose (0 is reserved for
+  // the pure-rule default and never returned here).
+  static std::atomic<std::uint64_t> next{1};
+  std::uint64_t fp = 0;
+  while (fp == 0) fp = base::fp_mix(0x6c616d62646172ULL ^ next.fetch_add(1));
+  return fp;
+}
 
 void RuleBase::add(std::unique_ptr<Rule> rule) {
   BRIDGE_CHECK(rule != nullptr, "null rule");

@@ -71,6 +71,20 @@ class Rule {
   /// from the global template cache.
   virtual bool cacheable() const { return true; }
 
+  /// The library-slice fingerprint that becomes part of this rule's
+  /// template-cache key alongside (rule name, spec). 0 — the default —
+  /// declares "my expansions depend on nothing beyond (name, spec)", which
+  /// is exactly the purity contract every built-in and LOLA-induced rule
+  /// satisfies (their names encode their parameters), and is what lets
+  /// warm templates be shared across design spaces, libraries, and server
+  /// sessions. A rule whose templates *do* depend on library content must
+  /// return a fingerprint of the cells/attributes it consults, so that two
+  /// same-named rules with different expansions can never collide in the
+  /// process-wide cache. LambdaRule enforces this mechanically: unless an
+  /// explicit fingerprint is supplied, every cacheable lambda rule gets a
+  /// process-unique one (correct, shared-nothing).
+  virtual std::uint64_t slice_fingerprint() const { return 0; }
+
   const std::string& name() const { return name_; }
   /// The abstract design principle the rule instantiates
   /// ("ripple-composition", "bit-slice", "tree-composition", ...).
@@ -106,12 +120,16 @@ class RuleBase {
 };
 
 /// Convenience rule built from two lambdas. The global template cache is
-/// keyed by rule *name*, and lambda rules are exactly where same-named
-/// rules with different expansions could otherwise sneak in (per-library
-/// tweaks sharing a name across rule bases) — so a lambda whose expand is
-/// not a pure function of (name, spec) must be constructed with
-/// `cacheable = false`; LambdaRule is final, making the constructor flag
-/// the only escape hatch.
+/// keyed by (rule name, spec, slice fingerprint), and lambda rules are
+/// exactly where same-named rules with different expansions could
+/// otherwise sneak in (per-library tweaks sharing a name across rule
+/// bases) — so unless the author passes an explicit `fingerprint`
+/// (promising that any two lambda rules constructed with that same name +
+/// fingerprint expand identically), each cacheable LambdaRule is stamped
+/// with a process-unique fingerprint: its templates still get cached and
+/// reused within/across the design spaces holding *that* rule object, but
+/// can never be served to a same-named stranger. LambdaRule is final,
+/// making the constructor the only escape hatch.
 class LambdaRule final : public Rule {
  public:
   using AppliesFn = std::function<bool(const genus::ComponentSpec&,
@@ -119,12 +137,21 @@ class LambdaRule final : public Rule {
   using ExpandFn = std::function<std::vector<netlist::Module>(
       const genus::ComponentSpec&, const RuleContext&)>;
 
+  /// `fingerprint = kUniqueFingerprint` (default) assigns a process-unique
+  /// slice fingerprint when cacheable; pass an explicit value to opt into
+  /// cross-instance template sharing, or `cacheable = false` to bypass the
+  /// template cache entirely.
+  static constexpr std::uint64_t kUniqueFingerprint = ~0ULL;
+
   LambdaRule(std::string name, std::string principle, bool library_specific,
-             AppliesFn applies, ExpandFn expand, bool cacheable = true)
+             AppliesFn applies, ExpandFn expand, bool cacheable = true,
+             std::uint64_t fingerprint = kUniqueFingerprint)
       : Rule(std::move(name), std::move(principle), library_specific),
         applies_(std::move(applies)),
         expand_(std::move(expand)),
-        cacheable_(cacheable) {}
+        cacheable_(cacheable),
+        fingerprint_(fingerprint == kUniqueFingerprint ? next_unique_fingerprint()
+                                                       : fingerprint) {}
 
   bool applies(const genus::ComponentSpec& spec,
                const RuleContext& ctx) const override {
@@ -135,11 +162,15 @@ class LambdaRule final : public Rule {
     return expand_(spec, ctx);
   }
   bool cacheable() const override { return cacheable_; }
+  std::uint64_t slice_fingerprint() const override { return fingerprint_; }
 
  private:
+  static std::uint64_t next_unique_fingerprint();
+
   AppliesFn applies_;
   ExpandFn expand_;
   bool cacheable_;
+  std::uint64_t fingerprint_;
 };
 
 /// Helper for authoring decomposition templates. Wraps a Module whose

@@ -300,7 +300,12 @@ class Describer {
 
   const std::string& describe(const SpecNode* node, int alt_index,
                               int depth) {
-    const Key key{node, alt_index, depth};
+    // Without a cache the table is per-call, so any injective key works;
+    // slice_fp is injective within one space (distinct nodes differ in
+    // spec, and the spec fingerprint seeds slice_fp).
+    const Key key{cache_ != nullptr ? cache_->node_key(node)
+                                    : node->slice_fp,
+                  alt_index, depth};
     if (cache_ != nullptr) {
       if (const std::string* hit = cache_->find_describe(key)) return *hit;
     } else {
@@ -377,6 +382,17 @@ void ExtractionCache::set_budget_bytes(std::size_t budget) {
   evict_to_budget();
 }
 
+void ExtractionCache::clear() {
+  ExtractionCacheMetrics::get().bytes.add(-static_cast<long>(bytes_));
+  modules_.clear();
+  names_.clear();
+  name_uses_.clear();
+  describe_memo_.clear();
+  bytes_ = 0;
+  tick_ = 0;
+  stats_.bytes = 0;
+}
+
 void ExtractionCache::evict_to_budget() {
   if (budget_ == 0) return;
   while (bytes_ > budget_) {
@@ -403,9 +419,21 @@ void ExtractionCache::evict_to_budget() {
   }
 }
 
+std::uint64_t ExtractionCache::node_key(const SpecNode* node) const {
+  if (content_keys_) {
+    // slice_fp is 0 only before expansion; extraction always runs on
+    // evaluated (hence expanded) nodes, so a zero here is a caller bug.
+    BRIDGE_CHECK(node->slice_fp != 0,
+                 "extraction-cache key requested for unexpanded node "
+                     << node->spec.key());
+    return node->slice_fp;
+  }
+  return reinterpret_cast<std::uint64_t>(node);
+}
+
 const std::string& ExtractionCache::name_for(const SpecNode* node,
                                              int alt_index) {
-  const Key key{node, alt_index};
+  const Key key{node_key(node), alt_index};
   auto it = names_.find(key);
   if (it != names_.end()) return it->second;
   // Sanitizing the *whole* name (not just the key part) makes it a VHDL
@@ -441,7 +469,7 @@ const std::string& ExtractionCache::memoize_describe(const DescribeKey& key,
 
 std::shared_ptr<const netlist::Module> ExtractionCache::find(
     const SpecNode* node, int alt_index) {
-  auto it = modules_.find(Key{node, alt_index});
+  auto it = modules_.find(Key{node_key(node), alt_index});
   if (it == modules_.end()) return nullptr;
   it->second.last_use = ++tick_;
   ++stats_.hits;
@@ -461,7 +489,7 @@ std::shared_ptr<const netlist::Module> ExtractionCache::insert(
   ++stats_.misses;
   const std::size_t module_bytes = module->approx_footprint_bytes();
   auto [it, inserted] = modules_.emplace(
-      Key{node, alt_index},
+      Key{node_key(node), alt_index},
       Entry{std::move(module), std::move(children), module_bytes, ++tick_});
   BRIDGE_CHECK(inserted, "duplicate extraction-cache insert for "
                              << node->spec.key() << " alt " << alt_index);
@@ -523,10 +551,14 @@ std::vector<std::pair<base::Symbol, PortBinding>> cell_binding(
   return out;
 }
 
+std::string default_rules_flavor(const cells::CellLibrary& library) {
+  return library.name() == "LSI_LGC15" ? "lsi" : "lola";
+}
+
 RuleBase default_rules_for(const cells::CellLibrary& library) {
   RuleBase base;
   register_standard_rules(base);
-  if (library.name() == "LSI_LGC15") {
+  if (default_rules_flavor(library) == "lsi") {
     // The paper's nine hand-written library-specific rules (§5).
     register_lsi_rules(base);
   } else {
@@ -544,7 +576,9 @@ RuleBase default_rules_for(const cells::CellLibrary& library) {
 
 Synthesizer::Synthesizer(RuleBase rules, const cells::CellLibrary& library,
                          SpaceOptions options)
-    : rules_(std::move(rules)), space_(rules_, library, options) {
+    : rules_(std::move(rules)) {
+  space_.emplace(rules_, library, options);
+  extract_cache_.set_content_keys(options.delta_cache_keys);
   if (options.extraction_cache_budget_bytes >= 0) {
     extract_cache_.set_budget_bytes(
         static_cast<std::size_t>(options.extraction_cache_budget_bytes));
@@ -555,31 +589,48 @@ Synthesizer::Synthesizer(const cells::CellLibrary& library,
                          SpaceOptions options)
     : Synthesizer(default_rules_for(library), library, options) {}
 
+void Synthesizer::retarget(const cells::CellLibrary& library) {
+  retarget(default_rules_for(library), library);
+}
+
+void Synthesizer::retarget(RuleBase rules, const cells::CellLibrary& library) {
+  const SpaceOptions options = space_->options();
+  // Tear down the old space before swapping the rule base it references.
+  space_.reset();
+  rules_ = std::move(rules);
+  space_.emplace(rules_, library, options);
+  // Content-keyed entries survive on purpose — soundness lives in the
+  // key, and identical content re-keys onto them. Pointer keys cannot
+  // outlive the space whose node addresses they are: the allocator may
+  // recycle those addresses, so the reference mode starts cold.
+  if (!extract_cache_.content_keys()) extract_cache_.clear();
+}
+
 std::vector<AlternativeDesign> Synthesizer::synthesize(
     const ComponentSpec& spec) {
   obs::Span synth_span("synthesize", "dtas");
-  ProfileScope prof(profile_, "synthesize:" + spec.key(), space_,
+  ProfileScope prof(profile_, "synthesize:" + spec.key(), *space_,
                     extract_cache_);
-  space_.arm_deadline();
+  space_->arm_deadline();
   SpecNode* node;
   {
     PhaseTimer t(prof.profile(), "expand");
-    node = space_.expand(spec);
+    node = space_->expand(spec);
   }
   {
     PhaseTimer t(prof.profile(), "evaluate");
-    space_.evaluate(node);
+    space_->evaluate(node);
   }
   obs::Span extract_span("extract", "dtas");
   PhaseTimer extract_timer(prof.profile(), "extract");
-  const bool use_cache = space_.options().use_extraction_cache;
+  const bool use_cache = space_->options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
   Describer describer(use_cache ? &extract_cache_ : nullptr);
   for (size_t a = 0; a < node->alts.size(); ++a) {
     // Best-effort deadline: the alternatives already materialized form a
     // valid (prefix of the) front; throw mode unwinds with nothing
     // published (the caches only ever hold complete entries).
-    if (space_.deadline_exceeded()) break;
+    if (space_->deadline_exceeded()) break;
     const Alternative& alt = node->alts[a];
     const ImplNode* impl = node->impls.at(alt.impl_index).get();
     AlternativeDesign d;
@@ -623,9 +674,9 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
 std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
     const Module& input) {
   obs::Span synth_span("synthesize", "dtas");
-  ProfileScope prof(profile_, "synthesize_netlist:" + input.name(), space_,
+  ProfileScope prof(profile_, "synthesize_netlist:" + input.name(), *space_,
                     extract_cache_);
-  space_.arm_deadline();
+  space_->arm_deadline();
   // Expand and evaluate every distinct instance specification.
   std::vector<SpecNode*> children;
   {
@@ -634,7 +685,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
       BRIDGE_CHECK(inst.ref == RefKind::kSpec,
                    "synthesize_netlist input must be a netlist of "
                    "specification instances");
-      SpecNode* node = space_.expand(inst.spec);
+      SpecNode* node = space_->expand(inst.spec);
       if (std::find(children.begin(), children.end(), node) ==
           children.end()) {
         children.push_back(node);
@@ -647,7 +698,7 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   {
     PhaseTimer t(prof.profile(), "evaluate");
     for (SpecNode* c : children) {
-      space_.evaluate(c);
+      space_->evaluate(c);
       if (c->alts.empty()) return {};  // unrealizable instance
     }
     const EvalSchedule topo = DesignSpace::topo_order(input);
@@ -670,18 +721,18 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
       limit[c] = static_cast<int>(children[c]->alts.size());
     }
     DesignSpace::trim_limits(limit,
-                             space_.options().max_combinations_per_impl);
+                             space_->options().max_combinations_per_impl);
 
     std::vector<Alternative> candidates;
-    if (space_.options().use_compiled_plan) {
+    if (space_->options().use_compiled_plan) {
       ParetoFront front;
-      space_.run_plan_odometer(*plan_owned, children, limit, /*impl_index=*/0,
+      space_->run_plan_odometer(*plan_owned, children, limit, /*impl_index=*/0,
                                front, candidates);
     } else {
-      space_.run_reference_odometer(input, topo, children, limit,
+      space_->run_reference_odometer(input, topo, children, limit,
                                     /*impl_index=*/0, candidates);
     }
-    kept = space_.filter_alternatives(std::move(candidates));
+    kept = space_->filter_alternatives(std::move(candidates));
   }
   const TimingPlan& plan = *plan_owned;
   obs::Span extract_span("extract", "dtas");
@@ -690,11 +741,11 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
   // Materialize each surviving combination. One Describer spans every
   // combination: their per-spec choices overlap heavily, so child traces
   // are built once instead of once per alternative.
-  const bool use_cache = space_.options().use_extraction_cache;
+  const bool use_cache = space_->options().use_extraction_cache;
   std::vector<AlternativeDesign> out;
   Describer describer(use_cache ? &extract_cache_ : nullptr);
   for (size_t a = 0; a < kept.size(); ++a) {
-    if (space_.deadline_exceeded()) break;
+    if (space_->deadline_exceeded()) break;
     const Alternative& alt = kept[a];
     AlternativeDesign d;
     d.metric = alt.metric;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -35,6 +36,16 @@ struct AlternativeDesign {
 /// pair is materialized exactly once as an immutable shared module and
 /// referenced by every AlternativeDesign that contains it
 /// (netlist::Design::reference_module keeps it alive per design).
+///
+/// Keying is delta-aware: the public interface still speaks
+/// (SpecNode*, alternative), but entries are stored under the node's
+/// *content* fingerprint (SpecNode::slice_fp — the spec plus everything
+/// the expanded subtree bound: cells, rules, children). Pointers die with
+/// their DesignSpace; content keys survive Synthesizer::retarget, so
+/// swinging to a different library and back (or to a library with
+/// identical content) re-extracts nothing that was already materialized.
+/// With SpaceOptions::delta_cache_keys off the cache falls back to
+/// pointer identity — the reference path retarget cannot reuse.
 ///
 /// The cache also owns two session-wide tables both extraction paths use:
 ///  - the module name table: names are unique across the whole session
@@ -100,7 +111,9 @@ class ExtractionCache {
   /// private state — callers get a lookup and a publish, not the map
   /// (handing the mutable map across the session boundary let any caller
   /// corrupt memoized traces out from under later synthesize calls).
-  using DescribeKey = std::tuple<const SpecNode*, int, int>;
+  /// Keyed by node_key() like the modules, so traces too survive
+  /// retargeting.
+  using DescribeKey = std::tuple<std::uint64_t, int, int>;
   /// Memoized trace for `key`; nullptr when absent. The pointer stays
   /// valid for the cache's lifetime (traces survive eviction).
   const std::string* find_describe(const DescribeKey& key) const;
@@ -110,6 +123,19 @@ class ExtractionCache {
                                       std::string text);
   /// Distinct memoized traces (diagnostics / tests).
   std::size_t describe_memo_size() const { return describe_memo_.size(); }
+
+  /// The cache identity of `node` — its content fingerprint
+  /// (SpecNode::slice_fp, only valid once expanded) under delta-aware
+  /// keys, its address under the pointer-keyed reference mode. Exposed
+  /// so Describer (and tests) can build DescribeKeys consistently.
+  std::uint64_t node_key(const SpecNode* node) const;
+
+  /// Select content (delta-aware, default) vs pointer keying. Must be
+  /// chosen before the first use of the session: flipping it mid-session
+  /// would split the tables. The Synthesizer wires this to
+  /// SpaceOptions::delta_cache_keys at construction.
+  void set_content_keys(bool content) { content_keys_ = content; }
+  bool content_keys() const { return content_keys_; }
 
   /// Byte budget; 0 = unbounded. The constructor takes the
   /// BRIDGE_CACHE_BUDGET default. Setting a budget sweeps immediately;
@@ -122,8 +148,15 @@ class ExtractionCache {
   /// Distinct modules resident (evicted ones no longer count).
   std::size_t size() const { return modules_.size(); }
 
+  /// Drop every table — modules, names, describe memos. Cumulative stats
+  /// survive (they count session work, not residency). Only the
+  /// pointer-keyed retarget path needs this: once the old DesignSpace is
+  /// destroyed its node addresses can be recycled, so stale pointer keys
+  /// could falsely hit. Content keys never need invalidation.
+  void clear();
+
  private:
-  using Key = std::pair<const SpecNode*, int>;
+  using Key = std::pair<std::uint64_t, int>;  // (node_key(node), alt)
   struct Entry {
     std::shared_ptr<const netlist::Module> module;
     /// Subtree pins: the modules `module`'s instances point at. Their
@@ -142,6 +175,7 @@ class ExtractionCache {
   std::map<Key, std::string> names_;
   std::map<std::string, int> name_uses_;  // base -> names handed out
   std::map<DescribeKey, std::string> describe_memo_;
+  bool content_keys_ = true;
   std::size_t budget_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t tick_ = 0;
@@ -153,6 +187,14 @@ class ExtractionCache {
 /// hand-written rules for the LSI-style book, LOLA-induced rules for any
 /// other library (built-in TTL, parsed data-book text, Liberty imports).
 RuleBase default_rules_for(const cells::CellLibrary& library);
+
+/// Which library-specific flavor default_rules_for would pick: "lsi" for
+/// the paper's hand-written LSI rules, "lola" for induced rules. Part of
+/// any cache/session identity that spans libraries (the server keys warm
+/// sessions on content fingerprint + this), because two libraries with
+/// different flavors expand through different rule sets even when their
+/// cell content matched.
+std::string default_rules_flavor(const cells::CellLibrary& library);
 
 class Synthesizer {
  public:
@@ -175,8 +217,24 @@ class Synthesizer {
   std::vector<AlternativeDesign> synthesize_netlist(
       const netlist::Module& input);
 
-  DesignSpace& space() { return space_; }
-  const DesignSpace& space() const { return space_; }
+  /// Swing the session to a different cell library: rebuild the rule base
+  /// (default_rules_for) and the design space, preserving the space
+  /// options. The extraction cache — modules, session names, memoized
+  /// traces — is deliberately kept: its entries are keyed by content
+  /// fingerprint, so retargeting back to a library with identical content
+  /// finds every previously materialized subtree warm, while changed
+  /// content simply misses (the soundness is in the key, not in any
+  /// invalidation sweep). The process-wide TemplateCache likewise carries
+  /// over by construction. With delta_cache_keys off the kept entries are
+  /// unreachable (pointer keys die with the old space) — correct, just
+  /// cold.
+  void retarget(const cells::CellLibrary& library);
+
+  /// As above with an explicit rule base (takes ownership).
+  void retarget(RuleBase rules, const cells::CellLibrary& library);
+
+  DesignSpace& space() { return *space_; }
+  const DesignSpace& space() const { return *space_; }
 
   /// The session-wide extraction cache (shared modules, module names,
   /// memoized traces). Persists across synthesize calls, so a repeated
@@ -193,7 +251,10 @@ class Synthesizer {
 
  private:
   RuleBase rules_;
-  DesignSpace space_;
+  /// optional only so retarget() can destroy-and-rebuild in place (the
+  /// space holds a reference to rules_ and is neither movable nor
+  /// assignable); engaged for the Synthesizer's whole life otherwise.
+  std::optional<DesignSpace> space_;
   ExtractionCache extract_cache_;
   obs::Profile profile_;
 };

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "base/diag.h"
+#include "base/fingerprint.h"
 #include "base/strutil.h"
 
 namespace bridge::genus {
@@ -453,6 +454,22 @@ std::vector<PortSpec> build_spec_ports(const ComponentSpec& spec) {
 }
 
 }  // namespace
+
+std::uint64_t spec_fingerprint(const ComponentSpec& spec) {
+  using base::fp_u64;
+  std::uint64_t h = base::kFingerprintSeed;
+  h = fp_u64(h, static_cast<std::uint64_t>(spec.kind));
+  h = fp_u64(h, static_cast<std::uint64_t>(spec.width));
+  h = fp_u64(h, static_cast<std::uint64_t>(spec.size));
+  h = fp_u64(h, spec.ops.mask());
+  h = fp_u64(h, static_cast<std::uint64_t>(spec.style));
+  h = fp_u64(h, static_cast<std::uint64_t>(spec.rep));
+  const std::uint64_t flags =
+      (spec.carry_in ? 1u : 0u) | (spec.carry_out ? 2u : 0u) |
+      (spec.enable ? 4u : 0u) | (spec.async_set ? 8u : 0u) |
+      (spec.async_reset ? 16u : 0u) | (spec.tristate ? 32u : 0u);
+  return fp_u64(h, flags);
+}
 
 const std::vector<PortSpec>& spec_ports(const ComponentSpec& spec) {
   // Append-only memo: entries are heap-allocated and never removed, so the

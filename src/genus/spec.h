@@ -132,6 +132,14 @@ ComponentSpec make_barrel_shifter_spec(int width, OpSet ops);
 ComponentSpec make_multiplier_spec(int width_a, int width_b);
 ComponentSpec make_logic_unit_spec(int width, OpSet ops);
 
+/// Stable 64-bit content fingerprint of a specification: covers every field
+/// (kind, geometry, op set, style, representation, structural flags) via the
+/// fixed algorithm in base/fingerprint.h, so the value is identical across
+/// processes and runs — unlike std::hash, which may be salted. This is the
+/// spec component of the delta-aware cache keys in src/dtas and of
+/// cells::CellLibrary content fingerprints.
+std::uint64_t spec_fingerprint(const ComponentSpec& spec);
+
 /// Derive the full port list of a specification. This is the single source
 /// of truth used by netlist construction, simulation, and VHDL emission.
 /// Memoized per distinct specification: the returned reference points into

@@ -116,6 +116,17 @@ std::optional<genus::ComponentSpec> infer_spec(const Cell& cell,
 
 /// Convert a parsed Liberty library into a DTAS cell library. Cells that
 /// fail inference are recorded in `report` and skipped.
+///
+/// Fingerprint contract: the produced library's content fingerprint
+/// (cells::CellLibrary::fingerprint — the identity the delta-aware cache
+/// keys and server sessions hang off) depends only on the *content* the
+/// loader admits — cell names, inferred specs, areas, worst-case delays.
+/// Loading byte-identical .lib text therefore always yields the same
+/// fingerprint, whichever path it arrived by (load_liberty on a string vs
+/// load_liberty_file, fresh parse vs re-registration) and regardless of
+/// cell declaration order, while any admitted-content edit — a cell
+/// dropped by a changed function, a retimed arc, a renamed cell — changes
+/// it. tests/fingerprint_test.cpp pins this.
 cells::CellLibrary to_cell_library(const Library& lib,
                                    LoadReport* report = nullptr,
                                    const LoadOptions& options = {});

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <chrono>
+#include <sstream>
 #include <thread>
 
 #include "base/fault.h"
@@ -299,8 +300,25 @@ api::SynthesisResult SynthesisServer::run_on_worker(
     // share — expiry throws with strong exception safety.
     const bool truncating = req.options.deadline_ms > 0 &&
                             req.options.deadline_best_effort;
-    const std::string key = req.library + "|" + req.options.fingerprint() +
-                            (truncating ? "|best-effort" : "");
+    // Sessions are keyed by library *content* (fingerprint), not name:
+    // re-registering a library with identical cells — the common "reload
+    // the same .lib" retargeting loop — maps back onto its warm session,
+    // while any content edit gets a fresh one. The rules flavor rides
+    // along because default_rules_for picks rule sets by library, and two
+    // content-divergent libraries could otherwise only differ outside the
+    // options fingerprint. Pointer-keyed mode (delta_cache_keys off)
+    // falls back to the name so the reference path keeps the historical
+    // one-session-per-name behavior.
+    std::ostringstream key_out;
+    if (req.options.delta_cache_keys) {
+      key_out << "fp:" << std::hex << library->fingerprint() << std::dec
+              << "|rules:" << dtas::default_rules_flavor(*library);
+    } else {
+      key_out << "name:" << req.library;
+    }
+    key_out << "|" << req.options.fingerprint()
+            << (truncating ? "|best-effort" : "");
+    const std::string key = key_out.str();
     auto it = sessions.find(key);
     if (it == sessions.end()) {
       it = sessions.emplace(key, api::make_session(req, *library)).first;

@@ -328,7 +328,7 @@ TEST(ApiSessionTest, DescribeMemoIsEncapsulated) {
   ASSERT_FALSE(synth.synthesize(genus::make_adder_spec(8)).empty());
   dtas::ExtractionCache& cache = synth.extraction_cache();
   EXPECT_GT(cache.describe_memo_size(), 0u);
-  const dtas::ExtractionCache::DescribeKey absent{nullptr, -1, -1};
+  const dtas::ExtractionCache::DescribeKey absent{0, -1, -1};
   EXPECT_EQ(cache.find_describe(absent), nullptr);
   const std::string& stored = cache.memoize_describe(absent, "first");
   EXPECT_EQ(stored, "first");

@@ -227,7 +227,12 @@ TEST(ExtractCacheTest, CollidingSanitizedNamesGetUniquified) {
   ExtractionCache cache;
   SpecNode a, b;
   a.spec = genus::make_adder_spec(8);
-  b.spec = a.spec;  // same key, distinct node — the worst case
+  b.spec = a.spec;  // same key, distinct content — the worst case
+  // Hand-built nodes never went through expand(); give them the distinct
+  // content fingerprints expansion would have (same spec against two
+  // different library slices), which is exactly the colliding-name case.
+  a.slice_fp = 0x1111;
+  b.slice_fp = 0x2222;
   const std::string na = cache.name_for(&a, 0);
   const std::string nb = cache.name_for(&b, 0);
   EXPECT_NE(na, nb);

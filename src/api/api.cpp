@@ -1,6 +1,7 @@
 #include "api/api.h"
 
 #include <cstdint>
+#include <iterator>
 #include <sstream>
 
 #include "base/diag.h"
@@ -227,7 +228,8 @@ Json encode_options(const RequestOptions& o) {
       .set("extraction_cache_budget_bytes", o.extraction_cache_budget_bytes)
       .set("trace_path", o.trace_path)
       .set("emit_vhdl", o.emit_vhdl)
-      .set("include_profile", o.include_profile);
+      .set("include_profile", o.include_profile)
+      .set("verify", o.verify);
   return j;
 }
 
@@ -257,6 +259,7 @@ RequestOptions decode_options(const Json& j) {
   o.trace_path = j.str_or("trace_path", o.trace_path);
   o.emit_vhdl = j.bool_or("emit_vhdl", o.emit_vhdl);
   o.include_profile = j.bool_or("include_profile", o.include_profile);
+  o.verify = j.bool_or("verify", o.verify);
   return o;
 }
 
@@ -365,6 +368,19 @@ Json SynthesisResult::encode() const {
       .set("extraction_cache_hits", stats.extraction_cache_hits)
       .set("extraction_cache_misses", stats.extraction_cache_misses);
   j.set("stats", std::move(sj));
+  if (!diagnostics.empty()) {
+    Json dj = Json::array();
+    for (const lint::Diagnostic& d : diagnostics) {
+      Json e = Json::object();
+      e.set("severity", std::string(lint::severity_name(d.severity)))
+          .set("check", d.check)
+          .set("module", d.module)
+          .set("object", d.object)
+          .set("message", d.message);
+      dj.push_back(std::move(e));
+    }
+    j.set("diagnostics", std::move(dj));
+  }
   if (has_profile) {
     Json pj = Json::object();
     pj.set("name", profile.name);
@@ -407,6 +423,19 @@ SynthesisResult SynthesisResult::decode(const Json& j) {
     res.stats.extraction_cache_hits = sj->int_or("extraction_cache_hits", 0);
     res.stats.extraction_cache_misses =
         sj->int_or("extraction_cache_misses", 0);
+  }
+  if (const Json* dj = j.find("diagnostics")) {
+    for (const Json& e : dj->items()) {
+      lint::Diagnostic d;
+      d.severity = e.str_or("severity", "error") == "warning"
+                       ? lint::Severity::kWarning
+                       : lint::Severity::kError;
+      d.check = e.str_or("check", "");
+      d.module = e.str_or("module", "");
+      d.object = e.str_or("object", "");
+      d.message = e.str_or("message", "");
+      res.diagnostics.push_back(std::move(d));
+    }
   }
   if (const Json* pj = j.find("profile")) {
     res.has_profile = true;
@@ -510,6 +539,18 @@ SynthesisResult run_request(const SynthesisRequest& req,
         a.vhdl = vhdl::emit_structural(*alt.design, emission);
       }
       res.alternatives.push_back(std::move(a));
+    }
+    if (req.options.verify) {
+      // One cache across the front: the alternatives share almost every
+      // module, so each distinct module is linted once per request.
+      lint::Cache lint_cache;
+      for (const dtas::AlternativeDesign& alt : alts) {
+        std::vector<lint::Diagnostic> diags =
+            lint::lint_design(*alt.design, lint_cache);
+        res.diagnostics.insert(res.diagnostics.end(),
+                               std::make_move_iterator(diags.begin()),
+                               std::make_move_iterator(diags.end()));
+      }
     }
     if (req.options.include_profile) {
       res.has_profile = true;

@@ -35,6 +35,7 @@
 #include "dtas/design_space.h"
 #include "dtas/synthesizer.h"
 #include "genus/spec.h"
+#include "lint/lint.h"
 #include "netlist/netlist.h"
 #include "obs/profile.h"
 
@@ -81,6 +82,12 @@ struct RequestOptions {
   std::string trace_path;                   // "" = BRIDGE_TRACE default
   bool emit_vhdl = false;       // include structural VHDL per alternative
   bool include_profile = false; // include the per-request phase profile
+  /// Run the structural linter (src/lint) over every returned design and
+  /// ship the diagnostics in SynthesisResult::diagnostics. Read-only and
+  /// output-only — like emit_vhdl it never shapes the design space, so it
+  /// is excluded from fingerprint() and a warm session serves verifying
+  /// and non-verifying requests alike.
+  bool verify = false;
 
   bool operator==(const RequestOptions&) const = default;
 
@@ -141,6 +148,9 @@ struct SynthesisResult {
   bool deadline_hit = false;  // best-effort truncation happened
   std::vector<ResultAlternative> alternatives;
   ResultStats stats;
+  /// Linter findings across all returned designs (RequestOptions::verify;
+  /// empty means clean — or not requested).
+  std::vector<lint::Diagnostic> diagnostics;
   bool has_profile = false;
   obs::Profile profile;   // valid when has_profile
   double server_ms = 0.0; // wall time on the server; 0 for in-process runs

@@ -1,0 +1,145 @@
+// Clang thread-safety analysis: annotated mutex primitives.
+//
+// Every shared-state site in the codebase declares which mutex guards
+// which members (`BRIDGE_GUARDED_BY`), and every function that expects a
+// lock held says so (`BRIDGE_REQUIRES`). Clang's -Wthread-safety then
+// proves, at compile time, that no annotated member is touched without
+// its lock — the CI clang leg builds with -Werror=thread-safety, so a
+// forgotten lock is a build break, not a tsan flake. GCC compiles the
+// same code unchanged: all attributes expand to nothing outside clang.
+//
+// The analysis only tracks types that are themselves annotated, and
+// libstdc++'s std::mutex is not — hence the thin shims below. They add
+// no state and no behavior beyond std::mutex / std::lock_guard /
+// std::unique_lock: `base::Mutex` is layout- and cost-identical to the
+// std::mutex it wraps, and `base::UniqueLock` *is* a
+// std::unique_lock<std::mutex> internally, so std::condition_variable
+// waits work natively (via `CondVar` or `UniqueLock::native()`).
+//
+// Conventions used across the repo:
+//  - members: `base::Mutex mu_;` + `T state_ BRIDGE_GUARDED_BY(mu_);`
+//  - scoped lock: `base::LockGuard lock(mu_);`
+//  - cv wait: `base::UniqueLock lock(mu_); while (!cond) cv_.wait(lock);`
+//    (explicit while-loop, not a predicate lambda — lambdas are analyzed
+//    as separate functions and cannot see the caller's held locks)
+//  - internal helpers documented "caller holds X" become
+//    `BRIDGE_REQUIRES(X)` so the contract is checked, not trusted
+//  - the rare pattern the analysis cannot express (std::scoped_lock over
+//    two objects' mutexes in move-assignment) is marked
+//    `BRIDGE_NO_THREAD_SAFETY_ANALYSIS` with a comment justifying it
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define BRIDGE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BRIDGE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind).
+#define BRIDGE_CAPABILITY(x) BRIDGE_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define BRIDGE_SCOPED_CAPABILITY BRIDGE_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read or written while holding the given mutex.
+#define BRIDGE_GUARDED_BY(x) BRIDGE_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed while holding the given mutex.
+#define BRIDGE_PT_GUARDED_BY(x) BRIDGE_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities held on entry (and exit).
+#define BRIDGE_REQUIRES(...) \
+  BRIDGE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define BRIDGE_ACQUIRE(...) \
+  BRIDGE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define BRIDGE_RELEASE(...) \
+  BRIDGE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define BRIDGE_TRY_ACQUIRE(...) \
+  BRIDGE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock guard for re-entrant paths).
+#define BRIDGE_EXCLUDES(...) \
+  BRIDGE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define BRIDGE_RETURN_CAPABILITY(x) \
+  BRIDGE_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: function body is not analyzed. Every use carries a
+/// comment explaining why the analysis cannot express the pattern.
+#define BRIDGE_NO_THREAD_SAFETY_ANALYSIS \
+  BRIDGE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bridge::base {
+
+/// std::mutex with capability annotations. Drop-in: same cost, same
+/// semantics; `native()` exposes the wrapped mutex for std APIs
+/// (std::scoped_lock deadlock-avoidance ordering) that need it.
+class BRIDGE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BRIDGE_ACQUIRE() { mu_.lock(); }
+  void unlock() BRIDGE_RELEASE() { mu_.unlock(); }
+  bool try_lock() BRIDGE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std APIs the shim cannot cover. Callers
+  /// locking through native() step outside the analysis and must say why.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over base::Mutex: scope-held, never released early.
+class BRIDGE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) BRIDGE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() BRIDGE_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over base::Mutex, for condition-variable waits and
+/// the manual unlock/relock windows in worker loops. Internally a real
+/// std::unique_lock<std::mutex>, so CondVar (and std::condition_variable
+/// via native()) waits on it directly.
+class BRIDGE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) BRIDGE_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() BRIDGE_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() BRIDGE_ACQUIRE() { lock_.lock(); }
+  void unlock() BRIDGE_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+  /// The wrapped std::unique_lock, for std::condition_variable::wait.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable adapted to UniqueLock. wait() releases and
+/// reacquires internally; to the analysis the lock is held throughout,
+/// which matches the caller-visible contract (held on entry and return).
+/// Guarded state read in the wait condition must therefore use the
+/// explicit while-loop form — see the header comment.
+class CondVar {
+ public:
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bridge::base

@@ -39,7 +39,7 @@ FaultInjector& FaultInjector::global() {
 }
 
 void FaultInjector::arm(std::uint64_t seed, std::uint64_t period) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   seed_ = seed;
   period_ = period;
   injected_ = 0;
@@ -48,7 +48,7 @@ void FaultInjector::arm(std::uint64_t seed, std::uint64_t period) {
 }
 
 void FaultInjector::arm_site(const std::string& site_substr, long nth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   oneshot_site_ = site_substr;
   oneshot_left_ = nth < 1 ? 1 : nth;
   injected_ = 0;
@@ -57,7 +57,7 @@ void FaultInjector::arm_site(const std::string& site_substr, long nth) {
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   mode_.store(kOff, std::memory_order_relaxed);
 }
 
@@ -77,13 +77,13 @@ bool FaultInjector::arm_from_env() {
 }
 
 long FaultInjector::probes(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = counts_.find(site);
   return it == counts_.end() ? 0 : it->second;
 }
 
 long FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return injected_;
 }
 
@@ -91,7 +91,7 @@ void FaultInjector::slow_probe(const char* site, int mode) {
   long occurrence = 0;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     // Re-check under the lock: a concurrent disarm() must win.
     mode = mode_.load(std::memory_order_relaxed);
     if (mode == kOff) return;

@@ -28,9 +28,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "base/annotations.h"
 #include "base/diag.h"
 
 namespace bridge::base {
@@ -92,13 +92,13 @@ class FaultInjector {
   void slow_probe(const char* site, int mode);
 
   std::atomic<int> mode_{kOff};
-  mutable std::mutex mu_;  // guards everything below (armed paths only)
-  std::uint64_t seed_ = 0;
-  std::uint64_t period_ = 0;
-  std::string oneshot_site_;
-  long oneshot_left_ = 0;
-  long injected_ = 0;
-  std::map<std::string, long> counts_;
+  mutable Mutex mu_;  // taken on armed paths only
+  std::uint64_t seed_ BRIDGE_GUARDED_BY(mu_) = 0;
+  std::uint64_t period_ BRIDGE_GUARDED_BY(mu_) = 0;
+  std::string oneshot_site_ BRIDGE_GUARDED_BY(mu_);
+  long oneshot_left_ BRIDGE_GUARDED_BY(mu_) = 0;
+  long injected_ BRIDGE_GUARDED_BY(mu_) = 0;
+  std::map<std::string, long> counts_ BRIDGE_GUARDED_BY(mu_);
 };
 
 }  // namespace bridge::base

@@ -1,9 +1,10 @@
 #include "base/symbol.h"
 
 #include <deque>
-#include <mutex>
 #include <ostream>
 #include <unordered_map>
+
+#include "base/annotations.h"
 
 namespace bridge::base {
 
@@ -13,9 +14,11 @@ namespace {
 /// must stay dereferenceable through static destruction, and the pool's
 /// lifetime must not depend on translation-unit destruction order.
 struct Pool {
-  std::mutex mu;
-  std::deque<std::string> strings;  // deque: stable addresses on growth
-  std::unordered_map<std::string_view, const std::string*> index;
+  Mutex mu;
+  // deque: stable addresses on growth
+  std::deque<std::string> strings BRIDGE_GUARDED_BY(mu);
+  std::unordered_map<std::string_view, const std::string*> index
+      BRIDGE_GUARDED_BY(mu);
 };
 
 Pool& pool() {
@@ -27,7 +30,7 @@ Pool& pool() {
 
 const std::string* Symbol::intern(std::string_view s) {
   Pool& p = pool();
-  std::lock_guard<std::mutex> lock(p.mu);
+  LockGuard lock(p.mu);
   auto it = p.index.find(s);
   if (it != p.index.end()) return it->second;
   p.strings.emplace_back(s);
@@ -43,7 +46,7 @@ const std::string* Symbol::empty_string() {
 
 std::size_t symbol_pool_size() {
   Pool& p = pool();
-  std::lock_guard<std::mutex> lock(p.mu);
+  LockGuard lock(p.mu);
   return p.strings.size();
 }
 

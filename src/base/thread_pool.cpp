@@ -62,7 +62,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -70,17 +70,17 @@ ThreadPool::~ThreadPool() {
 }
 
 long ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return tasks_executed_;
 }
 
 int ThreadPool::peak_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return peak_queue_depth_;
 }
 
 long ThreadPool::runs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return runs_;
 }
 
@@ -95,7 +95,7 @@ void ThreadPool::invoke(const std::function<void(int, int)>& fn, int task,
     FaultInjector::global().probe("base.thread_pool.task");
     fn(task, slot);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (error_ == nullptr) error_ = std::current_exception();
   }
   PoolMetrics::get().task_latency_us.record(
@@ -114,7 +114,7 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
     // per-slot scratch is the only one it may touch.
     for (int task = 0; task < num_tasks; ++task) fn(task, /*slot=*/0);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       tasks_executed_ += num_tasks;
       ++runs_;
     }
@@ -123,7 +123,7 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     fn_ = &fn;
     error_ = nullptr;
     num_tasks_ = num_tasks;
@@ -140,20 +140,20 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
   for (;;) {
     int task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       if (next_task_ >= num_tasks_) break;
       task = next_task_++;
     }
     invoke(fn, task, /*slot=*/0);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       --pending_;
     }
   }
   // Wait until every claimed task has finished (workers included) before
   // letting fn — and anything it captures — go out of scope.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  UniqueLock lock(mu_);
+  while (pending_ != 0) done_cv_.wait(lock);
   fn_ = nullptr;
   tasks_executed_ += num_tasks_;
   metrics.tasks.add(num_tasks_);
@@ -168,7 +168,7 @@ void ThreadPool::run(int num_tasks, const std::function<void(int, int)>& fn) {
 
 void ThreadPool::submit(std::function<void(int)> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     submitted_.push_back(std::move(fn));
     peak_queue_depth_ = std::max(
         peak_queue_depth_,
@@ -178,20 +178,20 @@ void ThreadPool::submit(std::function<void(int)> fn) {
 }
 
 void ThreadPool::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return submitted_.empty() && submitted_in_flight_ == 0;
-  });
+  UniqueLock lock(mu_);
+  while (!submitted_.empty() || submitted_in_flight_ != 0) {
+    done_cv_.wait(lock);
+  }
 }
 
 void ThreadPool::worker_loop(int slot) {
   long seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || !submitted_.empty() ||
-             (generation_ != seen && next_task_ < num_tasks_);
-    });
+    while (!(stop_ || !submitted_.empty() ||
+             (generation_ != seen && next_task_ < num_tasks_))) {
+      work_cv_.wait(lock);
+    }
     if (!submitted_.empty()) {
       std::function<void(int)> task = std::move(submitted_.front());
       submitted_.pop_front();

@@ -27,12 +27,12 @@
 // server's queued (submit/drain) mode.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/annotations.h"
 
 namespace bridge::base {
 
@@ -106,27 +106,29 @@ class ThreadPool {
   /// stay independent.
   static thread_local const ThreadPool* current_pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for a new generation
-  std::condition_variable done_cv_;  // run() waits for completion
-  // All guarded by mu_. fn_ is only non-null while a run is in flight.
-  const std::function<void(int, int)>* fn_ = nullptr;
-  std::exception_ptr error_;  // first exception thrown by an fn call
-  int num_tasks_ = 0;
-  int next_task_ = 0;
-  int pending_ = 0;  // tasks not yet finished (claimed or unclaimed)
-  long generation_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // workers wait for a new generation
+  CondVar done_cv_;  // run() waits for completion
+  // fn_ is only non-null while a run is in flight.
+  const std::function<void(int, int)>* fn_ BRIDGE_GUARDED_BY(mu_) = nullptr;
+  // First exception thrown by an fn call.
+  std::exception_ptr error_ BRIDGE_GUARDED_BY(mu_);
+  int num_tasks_ BRIDGE_GUARDED_BY(mu_) = 0;
+  int next_task_ BRIDGE_GUARDED_BY(mu_) = 0;
+  // Tasks not yet finished (claimed or unclaimed).
+  int pending_ BRIDGE_GUARDED_BY(mu_) = 0;
+  long generation_ BRIDGE_GUARDED_BY(mu_) = 0;
+  bool stop_ BRIDGE_GUARDED_BY(mu_) = false;
   // Queued-task mode (submit/drain). Workers prefer the queue over a
   // fork-join generation and, on shutdown, finish every queued task
   // before exiting — a submitted task is never silently dropped.
-  std::deque<std::function<void(int)>> submitted_;
-  int submitted_in_flight_ = 0;
-  // Introspection (guarded by mu_; mirrored into obs::Registry under
+  std::deque<std::function<void(int)>> submitted_ BRIDGE_GUARDED_BY(mu_);
+  int submitted_in_flight_ BRIDGE_GUARDED_BY(mu_) = 0;
+  // Introspection (mirrored into obs::Registry under
   // "base.thread_pool.*" so the metrics layer sees every pool at once).
-  long tasks_executed_ = 0;
-  int peak_queue_depth_ = 0;
-  long runs_ = 0;
+  long tasks_executed_ BRIDGE_GUARDED_BY(mu_) = 0;
+  int peak_queue_depth_ BRIDGE_GUARDED_BY(mu_) = 0;
+  long runs_ BRIDGE_GUARDED_BY(mu_) = 0;
   std::vector<std::thread> threads_;
 };
 

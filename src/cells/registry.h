@@ -9,10 +9,10 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/annotations.h"
 #include "cells/cell.h"
 
 namespace bridge::liberty {
@@ -63,7 +63,7 @@ class LibraryRegistry {
 
   std::vector<std::string> names() const;
   int size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lock(mu_);
     return static_cast<int>(by_name_.size());
   }
 
@@ -90,9 +90,10 @@ class LibraryRegistry {
   // references handed out stay valid without any lock. Concurrent
   // Synthesizers may therefore share one registry — add/replace/find/at/
   // names from any thread.
-  mutable std::mutex mu_;
-  std::deque<CellLibrary> libraries_;  // deque: stable addresses
-  std::map<std::string, const CellLibrary*> by_name_;
+  mutable base::Mutex mu_;
+  // deque: stable addresses
+  std::deque<CellLibrary> libraries_ BRIDGE_GUARDED_BY(mu_);
+  std::map<std::string, const CellLibrary*> by_name_ BRIDGE_GUARDED_BY(mu_);
 };
 
 }  // namespace bridge::cells

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "base/diag.h"
@@ -166,7 +165,7 @@ TemplateCache::EntryPtr TemplateCache::find(const std::string& rule_name,
   Shard& shard = shard_for(key);
   EntryPtr found;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::LockGuard lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       it->second.last_use = tick_.fetch_add(1, std::memory_order_relaxed);
@@ -198,7 +197,7 @@ TemplateCache::EntryPtr TemplateCache::insert(
   const std::size_t budget = budget_.load(std::memory_order_relaxed);
   EntryPtr stored;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::LockGuard lock(shard.mu);
     // First writer wins on a publish race; both sides compiled identical
     // content (expand is pure in the key), so returning the survivor is
     // correct either way.
@@ -258,7 +257,7 @@ void TemplateCache::set_budget_bytes(std::size_t budget) {
   budget_.store(budget, std::memory_order_relaxed);
   if (budget != 0) {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      base::LockGuard lock(shard.mu);
       evict_locked(shard, budget / kShards);
     }
   }
@@ -283,7 +282,7 @@ TemplateCache::Stats TemplateCache::snapshot() const {
 std::size_t TemplateCache::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::LockGuard lock(shard.mu);
     n += shard.map.size();
   }
   return n;
@@ -828,7 +827,7 @@ class BoundExchange {
   /// Merge `local` into the shared front, refresh `local` to the union,
   /// and return the stamp of the refreshed state.
   std::uint64_t exchange(ParetoFront& local) {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lock(mu_);
     if (front_.merge(local)) {
       stamp_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -837,8 +836,8 @@ class BoundExchange {
   }
 
  private:
-  std::mutex mu_;
-  ParetoFront front_;
+  base::Mutex mu_;
+  ParetoFront front_ BRIDGE_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> stamp_{0};
 };
 

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/annotations.h"
 #include "base/cancel.h"
 #include "base/thread_pool.h"
 #include "cells/cell.h"
@@ -190,9 +190,9 @@ class TemplateCache {
   /// Synthesizers contend only within a shard and eviction sweeps lock
   /// one shard at a time.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Entry, KeyHash> map;
-    std::size_t bytes = 0;
+    mutable base::Mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map BRIDGE_GUARDED_BY(mu);
+    std::size_t bytes BRIDGE_GUARDED_BY(mu) = 0;
   };
   static constexpr int kShards = 8;
 
@@ -202,8 +202,7 @@ class TemplateCache {
     return shards_[KeyHash{}(key) % kShards];
   }
   /// Evict LRU unpinned entries of `s` until its bytes fit `target`.
-  /// Caller holds s.mu.
-  void evict_locked(Shard& s, std::size_t target);
+  void evict_locked(Shard& s, std::size_t target) BRIDGE_REQUIRES(s.mu);
 
   Shard shards_[kShards];
   std::atomic<std::uint64_t> tick_{0};
@@ -370,6 +369,18 @@ struct SpaceOptions {
   /// the BRIDGE_CACHE_BUDGET env default (unbounded when unset), 0 is
   /// unbounded, > 0 is the budget.
   long extraction_cache_budget_bytes = -1;
+  /// Run the structural linter (src/lint) over every extracted
+  /// alternative design before synthesize returns, and throw
+  /// bridge::Error on any error-severity diagnostic — the assert-clean
+  /// backstop for cache/parallel bugs that produce malformed netlists.
+  /// On by default in Debug and sanitizer builds (NDEBUG unset), off in
+  /// Release; fronts, descriptions, and VHDL are byte-identical with the
+  /// toggle on or off (linting only reads the designs).
+#ifndef NDEBUG
+  bool verify_designs = true;
+#else
+  bool verify_designs = false;
+#endif
 };
 
 struct SpaceStats {

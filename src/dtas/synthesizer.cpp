@@ -9,6 +9,7 @@
 #include "base/diag.h"
 #include "base/fault.h"
 #include "base/strutil.h"
+#include "lint/lint.h"
 #include "lola/lola.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -82,6 +83,22 @@ class ProfileScope {
   ExtractionCache::Stats cache_before_;
 };
 
+/// SpaceOptions::verify_designs: run the structural linter over each
+/// extracted design and refuse to return one that fails. The linter is
+/// read-only, so fronts, descriptions, and VHDL are byte-identical with
+/// the gate on or off — it can only turn a bad front into an exception.
+void verify_or_throw(const std::vector<AlternativeDesign>& designs,
+                     lint::Cache& cache) {
+  for (const AlternativeDesign& d : designs) {
+    const std::vector<lint::Diagnostic> diags =
+        lint::lint_design(*d.design, cache);
+    if (lint::has_errors(diags)) {
+      throw Error("post-extraction verification failed for '" +
+                  d.design->name() + "':\n" + lint::render(diags));
+    }
+  }
+}
+
 /// Adds one wall-clock phase entry to a profile on scope exit.
 class PhaseTimer {
  public:
@@ -89,12 +106,18 @@ class PhaseTimer {
       : profile_(profile),
         name_(name),
         start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
+  /// Record the phase now instead of at scope exit (idempotent) — lets
+  /// "extract" stop before the "verify" phase opens, so the two are
+  /// disjoint in the profile instead of verify nesting inside extract.
+  void finish() {
+    if (name_ == nullptr) return;
     profile_.add_phase(name_,
                        std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start_)
                            .count());
+    name_ = nullptr;
   }
+  ~PhaseTimer() { finish(); }
 
  private:
   obs::Profile& profile_;
@@ -668,6 +691,13 @@ std::vector<AlternativeDesign> Synthesizer::synthesize(
     }
     out.push_back(std::move(d));
   }
+  extract_timer.finish();
+  extract_span.close();
+  if (space_->options().verify_designs) {
+    obs::Span verify_span("verify", "dtas");
+    PhaseTimer t(prof.profile(), "verify");
+    verify_or_throw(out, lint_cache_);
+  }
   return out;
 }
 
@@ -775,6 +805,13 @@ std::vector<AlternativeDesign> Synthesizer::synthesize_netlist(
     d.description = join(parts, "; ");
     d.design->set_top(&top);
     out.push_back(std::move(d));
+  }
+  extract_timer.finish();
+  extract_span.close();
+  if (space_->options().verify_designs) {
+    obs::Span verify_span("verify", "dtas");
+    PhaseTimer t(prof.profile(), "verify");
+    verify_or_throw(out, lint_cache_);
   }
   return out;
 }

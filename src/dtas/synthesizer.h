@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dtas/design_space.h"
+#include "lint/lint.h"
 #include "obs/profile.h"
 
 namespace bridge::dtas {
@@ -256,6 +257,12 @@ class Synthesizer {
   /// assignable); engaged for the Synthesizer's whole life otherwise.
   std::optional<DesignSpace> space_;
   ExtractionCache extract_cache_;
+  /// Session memo for SpaceOptions::verify_designs: shared extraction
+  /// modules are linted once per session, not once per design per call.
+  /// Entries track their module weakly, so verdicts never dangle and
+  /// extraction-cache eviction is never blocked — see lint::Cache.
+  /// Survives retarget like the extraction cache.
+  lint::Cache lint_cache_;
   obs::Profile profile_;
 };
 

@@ -1,10 +1,10 @@
 #include "genus/spec.h"
 
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 
+#include "base/annotations.h"
 #include "base/diag.h"
 #include "base/fingerprint.h"
 #include "base/strutil.h"
@@ -478,20 +478,20 @@ const std::vector<PortSpec>& spec_ports(const ComponentSpec& spec) {
   // critical use (single-threaded expansion) and rarely enough not to
   // matter.
   struct Cache {
-    std::mutex mu;
+    base::Mutex mu;
     std::unordered_map<ComponentSpec,
                        std::unique_ptr<const std::vector<PortSpec>>>
-        map;
+        map BRIDGE_GUARDED_BY(mu);
   };
   static Cache* cache = new Cache;
   {
-    std::lock_guard<std::mutex> lock(cache->mu);
+    base::LockGuard lock(cache->mu);
     auto it = cache->map.find(spec);
     if (it != cache->map.end()) return *it->second;
   }
   auto built =
       std::make_unique<const std::vector<PortSpec>>(build_spec_ports(spec));
-  std::lock_guard<std::mutex> lock(cache->mu);
+  base::LockGuard lock(cache->mu);
   // emplace keeps the first entry on a lost race; return whichever stayed.
   auto [it, inserted] = cache->map.emplace(spec, std::move(built));
   return *it->second;

@@ -238,6 +238,13 @@ class Design {
   /// registration order.
   const std::vector<const Module*>& module_order() const { return order_; }
 
+  /// The referenced (shared, immutable) modules and their co-owning
+  /// handles — what address-keyed memo layers (lint::Cache) track
+  /// weakly so their entries can never dangle onto a recycled address.
+  const std::vector<std::shared_ptr<const Module>>& shared_modules() const {
+    return shared_;
+  }
+
   /// Count leaf (cell) instances recursively from `m`, following module
   /// references; each module body is counted once per instantiation.
   static int count_leaf_instances(const Module& m);

@@ -124,28 +124,28 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) {
@@ -168,7 +168,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

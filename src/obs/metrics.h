@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/annotations.h"
 
 namespace bridge::obs {
 
@@ -157,10 +158,15 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards the name→metric maps only; the metrics themselves are
+  // lock-free atomics, bumped without the lock (see the header comment).
+  mutable base::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      BRIDGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      BRIDGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      BRIDGE_GUARDED_BY(mu_);
 };
 
 }  // namespace bridge::obs

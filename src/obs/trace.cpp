@@ -61,7 +61,7 @@ Tracer& Tracer::global() {
 
 void Tracer::start(const std::string& path) {
   static std::once_flag exit_hook;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   if (started_) return;  // first path wins
   started_ = true;
   path_ = path;
@@ -74,7 +74,7 @@ void Tracer::start(const std::string& path) {
 
 std::string Tracer::stop() {
   enabled_flag().store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   if (!started_) return "";
   write_locked();
   started_ = false;
@@ -87,13 +87,13 @@ std::string Tracer::stop() {
 void Tracer::record(const char* name, const char* cat, std::int64_t start_ns,
                     std::int64_t end_ns) {
   const int tid = thread_id();  // resolve outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   if (!started_) return;  // stopped between the Span's check and now
   events_.push_back(Event{name, cat, tid, start_ns, end_ns - start_ns});
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::LockGuard lock(mu_);
   return events_.size();
 }
 

@@ -24,9 +24,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/annotations.h"
 
 namespace bridge::obs {
 
@@ -85,12 +86,12 @@ class Tracer {
     std::int64_t dur_ns;
   };
 
-  void write_locked();
+  void write_locked() BRIDGE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::string path_;
-  bool started_ = false;
-  std::vector<Event> events_;
+  mutable base::Mutex mu_;
+  std::string path_ BRIDGE_GUARDED_BY(mu_);
+  bool started_ BRIDGE_GUARDED_BY(mu_) = false;
+  std::vector<Event> events_ BRIDGE_GUARDED_BY(mu_);
 };
 
 /// RAII phase scope. Constructed with tracing off it does nothing;
@@ -107,10 +108,15 @@ class Span {
     cat_ = cat;
     start_ns_ = Tracer::now_ns();
   }
-  ~Span() {
+  /// Record the span now instead of at scope exit (idempotent) — for
+  /// spans that end mid-scope, e.g. "extract" ending before "verify"
+  /// starts so the phases never nest.
+  void close() {
     if (name_ == nullptr) return;
     Tracer::global().record(name_, cat_, start_ns_, Tracer::now_ns());
+    name_ = nullptr;
   }
+  ~Span() { close(); }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 

@@ -84,7 +84,7 @@ void SynthesisServer::stop() {
   // is mid-synthesis so workers come back quickly.
   shutdown_socket(listen_fd_);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    base::LockGuard lock(conns_mu_);
     for (auto& conn : conns_) {
       if (conn->cancel != nullptr) conn->cancel->request_cancel();
       shutdown_socket(conn->fd);
@@ -95,7 +95,7 @@ void SynthesisServer::stop() {
   // lock to close its fd, so joining under it would deadlock.
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    base::LockGuard lock(conns_mu_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
@@ -111,13 +111,13 @@ void SynthesisServer::stop() {
 }
 
 void SynthesisServer::wait() {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  base::UniqueLock lock(shutdown_mu_);
+  while (!shutdown_requested_) shutdown_cv_.wait(lock);
 }
 
 void SynthesisServer::request_shutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    base::LockGuard lock(shutdown_mu_);
     shutdown_requested_ = true;
   }
   shutdown_cv_.notify_all();
@@ -141,7 +141,7 @@ void SynthesisServer::accept_loop() {
     conn->fd = fd;
     conn->cancel = std::make_shared<base::CancelToken>();
     Connection* raw = conn.get();
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    base::LockGuard lock(conns_mu_);
     conns_.push_back(std::move(conn));
     raw->thread = std::thread([this, raw] { serve_connection(raw); });
   }
@@ -178,7 +178,7 @@ void SynthesisServer::serve_connection(Connection* conn) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  base::LockGuard lock(conns_mu_);
   close_socket(conn->fd);
   conn->fd = -1;
 }
@@ -261,22 +261,22 @@ api::SynthesisResult SynthesisServer::dispatch_synthesize(
   // connection has exactly one request in flight and responses keep
   // request order.
   struct Pending {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    api::SynthesisResult result;
+    base::Mutex mu;
+    base::CondVar cv;
+    bool done BRIDGE_GUARDED_BY(mu) = false;
+    api::SynthesisResult result BRIDGE_GUARDED_BY(mu);
   } pending;
   pool_->submit([this, &req, &cancel, &pending](int slot) {
     api::SynthesisResult r = run_on_worker(req, slot, cancel);
     {
-      std::lock_guard<std::mutex> lock(pending.mu);
+      base::LockGuard lock(pending.mu);
       pending.result = std::move(r);
       pending.done = true;
     }
     pending.cv.notify_one();
   });
-  std::unique_lock<std::mutex> lock(pending.mu);
-  pending.cv.wait(lock, [&pending] { return pending.done; });
+  base::UniqueLock lock(pending.mu);
+  while (!pending.done) pending.cv.wait(lock);
   return std::move(pending.result);
 }
 

@@ -24,16 +24,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/api.h"
+#include "base/annotations.h"
 #include "base/cancel.h"
 #include "base/thread_pool.h"
 #include "cells/registry.h"
@@ -118,8 +117,8 @@ class SynthesisServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  base::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ BRIDGE_GUARDED_BY(conns_mu_);
 
   /// Workers and their sessions. sessions_[slot] is touched only by the
   /// pool worker owning that slot (slots are 1..workers_), so the maps
@@ -128,9 +127,9 @@ class SynthesisServer {
   std::vector<std::map<std::string, std::unique_ptr<dtas::Synthesizer>>>
       sessions_;
 
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
+  base::Mutex shutdown_mu_;
+  base::CondVar shutdown_cv_;
+  bool shutdown_requested_ BRIDGE_GUARDED_BY(shutdown_mu_) = false;
 
   std::chrono::steady_clock::time_point started_at_{};
   std::atomic<long> requests_{0};

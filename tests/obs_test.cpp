@@ -313,10 +313,14 @@ TEST(ObsAcceptanceTest, LastProfileDescribesTheCall) {
   ASSERT_FALSE(alts.empty());
   const obs::Profile& p = synth.last_profile();
   EXPECT_EQ(p.name, "synthesize:" + spec.key());
-  ASSERT_EQ(p.phases_ms.size(), 3u);
+  // Debug builds default SpaceOptions::verify_designs on, appending a
+  // "verify" (lint) phase after the pipeline's three.
+  ASSERT_GE(p.phases_ms.size(), 3u);
+  ASSERT_LE(p.phases_ms.size(), 4u);
   EXPECT_EQ(p.phases_ms[0].first, "expand");
   EXPECT_EQ(p.phases_ms[1].first, "evaluate");
   EXPECT_EQ(p.phases_ms[2].first, "extract");
+  if (p.phases_ms.size() == 4u) EXPECT_EQ(p.phases_ms[3].first, "verify");
   for (const auto& [phase, ms] : p.phases_ms) EXPECT_GE(ms, 0.0) << phase;
   EXPECT_GE(p.total_ms(),
             p.phase_ms("expand") + p.phase_ms("evaluate") - 1e-9);

@@ -102,6 +102,14 @@ EFFECTIVENESS_GATED = {
 }
 
 
+# Lint-phase ceiling (fig3_alu64/lint_phase): the structural linter runs
+# over every extracted design when verification is on, so its cost is held
+# to a within-run ceiling — at most this percentage of the extract phase
+# it rides on. The entry must also report a clean front (0 diagnostics)
+# and byte-identical fronts/VHDL with the verify gate on vs off.
+LINT_ENTRY = "fig3_alu64/lint_phase"
+LINT_MAX_PCT_OF_EXTRACT = 5.0
+
 # Server-throughput floors (bench_server_throughput -> BENCH_server.json,
 # checked via --server). Absolute and within-run, like the cache floors:
 # `warm_cold_speedup` compares warm sessions against one-shot cold
@@ -235,6 +243,31 @@ def check_effectiveness(fresh, failures):
                 print(f"{name}.{field}: {v:.3f} (floor {floor:.2f}) ok")
 
 
+def check_lint_phase(fresh, failures):
+    """Hold the lint phase to its cost ceiling and clean-front contract."""
+    e = fresh.get(LINT_ENTRY)
+    if e is None:
+        failures.append(f"{LINT_ENTRY}: gated entry missing from fresh run")
+        return
+    pct = e.get("lint_vs_extract_pct")
+    if pct is None:
+        failures.append(f"{LINT_ENTRY}: lint_vs_extract_pct missing")
+    elif pct > LINT_MAX_PCT_OF_EXTRACT:
+        failures.append(
+            f"{LINT_ENTRY}: lint cost {pct:.1f}% of the extract phase "
+            f"exceeds the {LINT_MAX_PCT_OF_EXTRACT:.0f}% ceiling")
+    else:
+        print(f"{LINT_ENTRY}: lint {pct:.1f}% of extract "
+              f"(ceiling {LINT_MAX_PCT_OF_EXTRACT:.0f}%) ok")
+    if e.get("diagnostics", 0) != 0:
+        failures.append(f"{LINT_ENTRY}: {e.get('diagnostics')} lint "
+                        "diagnostics on the fig3 front (expected a clean "
+                        "front)")
+    if e.get("fronts_identical") != "yes":
+        failures.append(f"{LINT_ENTRY}: front not byte-identical with "
+                        "verify_designs on vs off")
+
+
 def check_server(path, failures):
     """Hold the server-throughput entries to their absolute floors."""
     entries = load_entries(path)
@@ -319,6 +352,7 @@ def main():
     check_retarget(fresh, failures)
     check_node_parallel(fresh, failures)
     check_effectiveness(fresh, failures)
+    check_lint_phase(fresh, failures)
     if args.server:
         check_server(args.server, failures)
 

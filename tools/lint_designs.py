@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate the structural-lint report from examples/lint_designs.
+
+The driver synthesizes a representative slice of the bench-smoke
+workload against every registered library, runs the src/lint structural
+linter over every returned design, and re-runs each request with the
+`verify` flag off to pin byte-identical fronts. This gate fails when:
+
+  - any request errored (a front the smoke emits must synthesize),
+  - any design produced an error-severity lint diagnostic,
+  - any front diverged between verify on and verify off,
+  - the report is vacuous (no fronts were linted at all).
+
+Warnings are reported but never gate.
+
+Usage:
+  lint_designs.py LINT_designs.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        doc = json.load(f)
+
+    failures = []
+    cases = doc.get("cases", [])
+    if not cases:
+        failures.append("report has no cases")
+    for row in cases:
+        name = f"{row.get('library', '?')}/{row.get('case', '?')}"
+        if row.get("status") != "ok":
+            failures.append(f"{name}: request failed ({row.get('status')})")
+        if row.get("errors", 0) != 0:
+            failures.append(
+                f"{name}: {row['errors']:.0f} lint errors: "
+                + "; ".join(row.get("diagnostics", [])[:5]))
+        if not row.get("verify_identical", False):
+            failures.append(
+                f"{name}: front differs between verify on and off")
+
+    fronts = doc.get("fronts", 0)
+    designs = doc.get("designs_linted", 0)
+    warnings = doc.get("warnings", 0)
+    if fronts < 1 or designs < 1:
+        failures.append(
+            f"vacuous report: {fronts:.0f} fronts / {designs:.0f} designs")
+    print(f"linted {designs:.0f} designs across {fronts:.0f} fronts "
+          f"({len(cases)} cases), {doc.get('errors', 0):.0f} errors, "
+          f"{warnings:.0f} warnings")
+
+    if failures:
+        print("\nDesign lint gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("Design lint gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
